@@ -1,0 +1,79 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation flips exactly one switch of Algorithm 2 and reports the
+resulting ADRS next to the full method's:
+
+- correlated multi-objective GP  vs  independent GPs (Sec. IV-B),
+- non-linear multi-fidelity stack vs linear autoregression (Sec. IV-A),
+- PEIPV cost penalty vs plain EIPV (Eq. (10)),
+- tree pruning on vs off is covered by bench_fig3_pruning (the raw
+  space cannot even be enumerated for most kernels — that *is* the
+  result).
+
+SMOKE scale keeps each run in seconds; differences at this scale are
+noisy, so the benches assert only sanity (valid runs, comparable
+magnitude), while recording the scores for the reproduction report.
+"""
+
+import pytest
+
+from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
+
+
+def _settings(smoke_scale, seed=0, **overrides):
+    base = smoke_scale.bo_settings(seed)
+    fields = {
+        "n_init": base.n_init,
+        "n_iter": base.n_iter,
+        "n_mc_samples": base.n_mc_samples,
+        "candidate_pool": base.candidate_pool,
+        "refit_every": base.refit_every,
+        "seed": base.seed,
+    }
+    fields.update(overrides)
+    return MFBOSettings(**fields)
+
+
+def _run(ctx, settings, name):
+    result = CorrelatedMFBO(ctx.space, ctx.flow, settings, method_name=name).run()
+    return ctx.score(result), result
+
+
+@pytest.mark.parametrize(
+    "ablation,overrides",
+    [
+        ("full", {}),
+        ("independent-objectives", {"correlated": False}),
+        ("linear-fidelity", {"correlated": False, "nonlinear": False}),
+        ("no-cost-penalty", {"cost_aware": False}),
+    ],
+)
+def test_ablation(benchmark, spmv_ctx, smoke_scale, ablation, overrides):
+    settings = _settings(smoke_scale, seed=13, **overrides)
+
+    score, result = benchmark.pedantic(
+        lambda: _run(spmv_ctx, settings, ablation), rounds=1, iterations=1
+    )
+    benchmark.extra_info["adrs"] = round(score, 4)
+    benchmark.extra_info["simulated_hours"] = round(
+        result.total_runtime_s / 3600, 2
+    )
+    benchmark.extra_info["fidelity_mix"] = result.fidelity_histogram()
+    assert score >= 0.0
+    assert result.pareto_indices()
+
+
+def test_no_cost_penalty_runs_higher_fidelities(spmv_ctx, smoke_scale):
+    """Without Eq. (10)'s penalty the optimizer stops favoring the
+    cheap HLS stage — its simulated tool time rises."""
+    cheap_score, cheap = _run(
+        spmv_ctx, _settings(smoke_scale, seed=5), "with-penalty"
+    )
+    costly_score, costly = _run(
+        spmv_ctx, _settings(smoke_scale, seed=5, cost_aware=False),
+        "without-penalty",
+    )
+    hls_share = lambda r: r.fidelity_histogram()["hls"] / max(
+        1, sum(r.fidelity_histogram().values())
+    )
+    assert hls_share(cheap) >= hls_share(costly)

@@ -1,0 +1,38 @@
+"""Fig. 3 / Sec. V-A bench: tree-based design-space pruning.
+
+Benchmarks Algorithm 1 on every evaluation kernel and records the raw
+vs pruned sizes; the paper's headline is SORT_RADIX shrinking from
+> 3.8e12 raw configurations to ~2e4.
+"""
+
+import pytest
+
+from repro.benchsuite.registry import benchmark_names, get_kernel
+from repro.dse.directives import schema_for_kernel
+from repro.dse.tree import prune_design_space
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_pruning(benchmark, name):
+    kernel = get_kernel(name)
+    schema = schema_for_kernel(kernel)
+
+    configs = benchmark.pedantic(
+        lambda: prune_design_space(kernel, schema), rounds=1, iterations=1
+    )
+    raw = schema.raw_size()
+    benchmark.extra_info["raw_size"] = f"{raw:.3e}"
+    benchmark.extra_info["pruned_size"] = len(configs)
+    benchmark.extra_info["ratio"] = f"{raw / len(configs):.2e}"
+    assert raw / len(configs) > 10
+
+
+def test_sort_radix_headline_claim(benchmark):
+    """The paper's explicit SORT_RADIX numbers, as a regression check."""
+    kernel = get_kernel("sort_radix")
+    schema = schema_for_kernel(kernel)
+    configs = benchmark.pedantic(
+        lambda: prune_design_space(kernel, schema), rounds=1, iterations=1
+    )
+    assert schema.raw_size() > 1e10  # paper: > 3.8e12-scale raw space
+    assert len(configs) < 1e5  # paper: pruned to ~20000

@@ -1,0 +1,33 @@
+"""Fig. 4 and Fig. 6 benches: the two conceptual examples.
+
+Fig. 4 — a 1-D toy where the lowest fidelity carries the widest error
+band and wins the penalized-EI comparison.  Fig. 6 — the grid-cell
+decomposition of the Pareto hypervolume and the EIPV-maximizing
+candidate.
+"""
+
+from repro.experiments.fig4_toy import run as run_fig4
+from repro.experiments.fig6_cells import run as run_fig6
+
+
+def test_fig4_toy(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig4(verbose=False), rounds=1, iterations=1
+    )
+    benchmark.extra_info["winner"] = result["winner"]
+    benchmark.extra_info["sigma_by_fidelity"] = {
+        name: round(entry["mean_sigma"], 3)
+        for name, entry in result["fidelities"].items()
+    }
+    assert result["winner"] == "hls"  # paper: the lowest fidelity wins
+
+
+def test_fig6_cells(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig6(verbose=False), rounds=1, iterations=1
+    )
+    benchmark.extra_info["hypervolume"] = round(result["hypervolume"], 3)
+    benchmark.extra_info["nondominated_cells"] = result[
+        "n_nondominated_cells"
+    ]
+    assert abs(result["hypervolume"] - result["box_volume"]) < 1e-9

@@ -1,0 +1,39 @@
+"""Fig. 5 bench: per-fidelity delay sweeps and their divergence.
+
+Regenerates the GEMM-vs-SPMV_ELLPACK contrast: GEMM's three delay
+fidelities nearly overlap while SPMV_ELLPACK's diverge.
+"""
+
+from repro.experiments.fig5 import divergence_score, normalized_delays
+
+
+def test_fig5_gemm(benchmark, gemm_ctx):
+    delays = benchmark.pedantic(
+        lambda: normalized_delays("gemm"), rounds=1, iterations=1
+    )
+    score = divergence_score(delays)
+    benchmark.extra_info["divergence"] = round(score, 4)
+    assert set(delays) == {"hls", "syn", "impl"}
+
+
+def test_fig5_spmv_ellpack(benchmark, spmv_ctx):
+    delays = benchmark.pedantic(
+        lambda: normalized_delays("spmv_ellpack"), rounds=1, iterations=1
+    )
+    score = divergence_score(delays)
+    benchmark.extra_info["divergence"] = round(score, 4)
+
+
+def test_fig5_contrast(benchmark, gemm_ctx, spmv_ctx):
+    """The paper's qualitative claim, as an executable assertion."""
+
+    def contrast():
+        gemm = divergence_score(normalized_delays("gemm"))
+        spmv = divergence_score(normalized_delays("spmv_ellpack"))
+        return gemm, spmv
+
+    gemm, spmv = benchmark.pedantic(contrast, rounds=1, iterations=1)
+    benchmark.extra_info["gemm_divergence"] = round(gemm, 4)
+    benchmark.extra_info["spmv_divergence"] = round(spmv, 4)
+    benchmark.extra_info["ratio"] = round(spmv / gemm, 2)
+    assert spmv > gemm

@@ -1,0 +1,41 @@
+"""Fig. 8 bench: learned Pareto points of every method on GEMM.
+
+Regenerates (at SMOKE scale) the data behind the paper's scatter plots:
+each method's learned Pareto configurations at their *true*
+implementation-fidelity coordinates, next to the real front.
+"""
+
+from repro.experiments.fig8 import PROJECTIONS, scatter_series
+from repro.experiments.harness import TABLE1_METHODS, method_seed, run_method
+
+
+def test_fig8_gemm(benchmark, gemm_ctx, smoke_scale):
+    def build():
+        entry = {
+            "true_front": gemm_ctx.true_front,
+            "all_values": gemm_ctx.Y_true[gemm_ctx.valid],
+            "methods": {},
+        }
+        for method in TABLE1_METHODS:
+            run = run_method(
+                gemm_ctx, method, smoke_scale,
+                seed=method_seed(2021, method, 0),
+            )
+            idx = run.result.pareto_indices()
+            entry["methods"][method] = {
+                "learned_indices": idx,
+                "learned_true_values": gemm_ctx.Y_true[idx],
+                "adrs": run.adrs,
+            }
+        return entry
+
+    entry = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["adrs"] = {
+        m: round(info["adrs"], 4) for m, info in entry["methods"].items()
+    }
+    # Both Fig. 8 projections must be constructible for every series.
+    for projection in PROJECTIONS:
+        series = scatter_series(entry, projection)
+        assert series["real_pareto"].shape[1] == 2
+        for method in TABLE1_METHODS:
+            assert series[method].shape[1] == 2

@@ -1,0 +1,55 @@
+"""Table I regeneration benches — one per method column.
+
+Each bench runs one method once on SPMV_ELLPACK at SMOKE scale and
+records its ADRS and simulated tool time in ``extra_info``; together
+the five benches regenerate one row of Table I (scaled down).  The full
+table at paper scale: ``python -m repro.experiments.table1 --scale paper``.
+"""
+
+import pytest
+
+from repro.experiments.harness import TABLE1_METHODS, method_seed, run_method
+
+
+@pytest.mark.parametrize("method", TABLE1_METHODS)
+def test_table1_method(benchmark, spmv_ctx, smoke_scale, method):
+    def once():
+        return run_method(
+            spmv_ctx, method, smoke_scale,
+            seed=method_seed(2021, method, 0),
+        )
+
+    run = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["adrs"] = round(run.adrs, 4)
+    benchmark.extra_info["simulated_hours"] = round(run.runtime_s / 3600, 2)
+    assert run.adrs >= 0.0
+    assert run.result.pareto_indices()
+
+
+def test_table1_normalization(benchmark, spmv_ctx, smoke_scale):
+    """Build one normalized Table-I row (all methods, ANN anchor)."""
+    from repro.experiments.harness import summarize_benchmark
+    from repro.experiments.table1 import normalized_rows
+
+    runs = {
+        m: [run_method(spmv_ctx, m, smoke_scale, seed=method_seed(7, m, 0))]
+        for m in TABLE1_METHODS
+    }
+    row = summarize_benchmark("spmv_ellpack", runs)
+
+    result = benchmark.pedantic(
+        lambda: normalized_rows([row]), rounds=1, iterations=1
+    )
+    entry = result[0]
+    benchmark.extra_info["normalized_adrs"] = {
+        k: round(v, 3) for k, v in entry["adrs"].items()
+    }
+    benchmark.extra_info["normalized_runtime"] = {
+        k: round(v, 3) for k, v in entry["runtime"].items()
+    }
+    assert entry["adrs"]["ann"] == pytest.approx(1.0)
+    # DAC19's multiple training sets cost the most tool time (paper: 7x
+    # ANN; the smoke scale uses 2 sets -> 2x).
+    assert entry["runtime"]["dac19"] > entry["runtime"]["ann"]
+    # The BO methods are the cheapest in tool time.
+    assert entry["runtime"]["ours"] < entry["runtime"]["ann"]

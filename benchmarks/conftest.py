@@ -1,0 +1,31 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench runs at a deliberately small scale (SMOKE) so the whole
+suite completes offline in minutes on one core; the same code paths
+scale to the paper's protocol via ``repro.experiments.table1 --scale
+paper``.  Results that matter scientifically (ADRS per method, pruning
+ratios, divergence scores) are attached to ``benchmark.extra_info`` so
+``pytest benchmarks/ --benchmark-only`` doubles as a miniature
+reproduction report.
+"""
+
+import pytest
+
+from repro.experiments.harness import SMOKE_SCALE, BenchmarkContext
+
+
+@pytest.fixture(scope="session")
+def smoke_scale():
+    return SMOKE_SCALE
+
+
+@pytest.fixture(scope="session")
+def spmv_ctx():
+    """SPMV_ELLPACK context (ground truth cached for the session)."""
+    return BenchmarkContext.get("spmv_ellpack")
+
+
+@pytest.fixture(scope="session")
+def gemm_ctx():
+    """GEMM context (ground truth cached for the session)."""
+    return BenchmarkContext.get("gemm")

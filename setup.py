@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy (non-PEP-517) editable installs.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so ``pip install -e .`` must fall back to ``--no-use-pep517``; that path
+requires this file.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

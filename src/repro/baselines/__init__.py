@@ -1,0 +1,26 @@
+"""The paper's comparison methods: FPL18, DAC19, ANN, Boosting tree."""
+
+from repro.baselines.ann import MLPRegressor
+from repro.baselines.boosting import GradientBoostingRegressor, RegressionTree
+from repro.baselines.common import (
+    DEFAULT_TRAIN_SIZE,
+    collect_training_data,
+    run_offline_regression,
+)
+from repro.baselines.dac19 import RidgeRegressor, run_dac19
+from repro.baselines.fpl18 import fpl18_settings, run_fpl18
+from repro.baselines.random_search import run_random_search
+
+__all__ = [
+    "DEFAULT_TRAIN_SIZE",
+    "GradientBoostingRegressor",
+    "MLPRegressor",
+    "RegressionTree",
+    "RidgeRegressor",
+    "collect_training_data",
+    "fpl18_settings",
+    "run_dac19",
+    "run_fpl18",
+    "run_offline_regression",
+    "run_random_search",
+]

@@ -1,0 +1,170 @@
+"""Gradient-boosted regression trees (the paper's "Boosting tree" / BT
+baseline, refs [7]-[9], XGBoost-style but implemented from scratch).
+
+CART regression trees with exact split search, fitted to the residuals
+of a shrinking ensemble.  The paper sweeps depth in 1..6 and learning
+rate in {0.1, ..., 0.5}; those are constructor arguments here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node: either a leaf (value) or a split."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """CART regression tree with squared-error splits."""
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 2):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: _Node | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on sample count")
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        left_mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[left_mask], y[left_mask], depth + 1)
+        node.right = self._build(X[~left_mask], y[~left_mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        n, d = X.shape
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        base_sse = float(np.sum((y - y.mean()) ** 2))
+        for feature in range(d):
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            # Prefix sums give every split's SSE in O(n).
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys * ys)
+            total, total_sq = csum[-1], csq[-1]
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i - 1] == xs[i]:
+                    continue  # cannot split between equal values
+                nl, nr = i, n - i
+                sl, sr = csum[i - 1], total - csum[i - 1]
+                ql, qr = csq[i - 1], total_sq - csq[i - 1]
+                sse = (ql - sl * sl / nl) + (qr - sr * sr / nr)
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = 0.5 * (xs[i - 1] + xs[min(i, n - 1)])
+                    best = (feature, float(threshold))
+        return best
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("RegressionTree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[i] = node.value
+        return out
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting over regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 120,
+        learning_rate: float = 0.2,
+        max_depth: int = 3,
+        min_samples_leaf: int = 2,
+        subsample: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.rng = rng or np.random.default_rng(0)
+        self._base: float = 0.0
+        self._trees: list[RegressionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        self._base = float(y.mean())
+        self._trees = []
+        current = np.full_like(y, self._base)
+        n = len(y)
+        for _ in range(self.n_estimators):
+            residual = y - current
+            if self.subsample < 1.0:
+                k = max(2 * self.min_samples_leaf, int(self.subsample * n))
+                idx = self.rng.choice(n, size=min(k, n), replace=False)
+            else:
+                idx = np.arange(n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.fit(X[idx], residual[idx])
+            self._trees.append(tree)
+            current = current + self.learning_rate * tree.predict(X)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("GradientBoostingRegressor is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.full(X.shape[0], self._base)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(X)
+        return out
+
+    @property
+    def n_trees(self) -> int:
+        return len(self._trees)

@@ -1,0 +1,106 @@
+"""Shared driver for the offline-regression baselines (ANN / BT / DAC19).
+
+These methods (paper Sec. V-A) do not iterate: they sample a training
+set, run the *full* flow (up to implementation) on it, fit one regressor
+per objective, predict the whole design space and declare the predicted
+Pareto set as the learned Pareto set.  The simulated runtime is the cost
+of the training-set flow runs — for ANN and BT that is 48 full runs
+(the paper's "number of initialization configurations is 48").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.pareto import pareto_mask
+from repro.core.result import OptimizationResult
+from repro.dse.space import DesignSpace
+from repro.hlsim.flow import HlsFlow
+from repro.hlsim.reports import Fidelity, NUM_OBJECTIVES
+
+#: The paper's training-set size for the regression baselines.
+DEFAULT_TRAIN_SIZE = 48
+
+
+class Regressor(Protocol):
+    """Anything with scikit-style fit/predict over 1-D targets."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+RegressorFactory = Callable[[int], Regressor]
+
+
+def collect_training_data(
+    space: DesignSpace,
+    flow: HlsFlow,
+    indices: list[int],
+    upto: Fidelity = Fidelity.IMPL,
+    invalid_penalty: float = 10.0,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Run the flow on a set of configurations and assemble targets.
+
+    Returns ``(Y, valid, runtime)``: the objective matrix at fidelity
+    ``upto`` with invalid designs punished at ``invalid_penalty ×`` the
+    worst valid observation (paper Sec. IV-C), the validity mask, and
+    the total simulated runtime.
+    """
+    rows: list[np.ndarray] = []
+    valids: list[bool] = []
+    runtime = 0.0
+    for index in indices:
+        result = flow.run(space[index], upto=upto)
+        runtime += result.total_runtime_s
+        report = result.report_at(upto)
+        rows.append(report.objectives())
+        valids.append(report.valid)
+    Y = np.vstack(rows)
+    valid = np.array(valids)
+    if valid.any() and not valid.all():
+        worst = Y[valid].max(axis=0)
+        Y[~valid] = worst * invalid_penalty
+    return Y, valid, runtime
+
+
+def run_offline_regression(
+    space: DesignSpace,
+    flow: HlsFlow,
+    regressor_factory: RegressorFactory,
+    method_name: str,
+    rng: np.random.Generator,
+    n_train: int = DEFAULT_TRAIN_SIZE,
+    extra_runtime_factor: float = 1.0,
+) -> OptimizationResult:
+    """Train per-objective regressors and return the predicted Pareto set.
+
+    ``regressor_factory(objective_index)`` builds one fresh regressor
+    per objective.  ``extra_runtime_factor`` scales the reported runtime
+    (DAC19's multiple training sets cost 7× on average — paper Sec. V-C).
+    """
+    n_train = min(n_train, len(space))
+    train_idx = space.sample_indices(rng, n_train)
+    Y_train, _valid, runtime = collect_training_data(space, flow, train_idx)
+    X_train = space.features[train_idx]
+
+    predictions = np.empty((len(space), NUM_OBJECTIVES))
+    for objective in range(NUM_OBJECTIVES):
+        model = regressor_factory(objective)
+        model.fit(X_train, Y_train[:, objective])
+        predictions[:, objective] = model.predict(space.features)
+
+    mask = pareto_mask(predictions)
+    learned = [i for i in range(len(space)) if mask[i]]
+    return OptimizationResult(
+        kernel_name=space.kernel.name,
+        method=method_name,
+        cs_indices=learned,
+        cs_values=predictions[mask],
+        cs_fidelities=[Fidelity.IMPL] * len(learned),
+        history=[],
+        total_runtime_s=runtime * extra_runtime_factor,
+        evaluation_counts={"hls": n_train, "syn": n_train, "impl": n_train},
+    )

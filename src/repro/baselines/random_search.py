@@ -1,0 +1,39 @@
+"""Random-search reference: sample, run the full flow, keep the Pareto set.
+
+Not part of the paper's Table I, but the canonical sanity baseline: any
+model-based method must beat it at equal evaluation budget, and several
+tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import collect_training_data
+from repro.core.result import OptimizationResult
+from repro.dse.space import DesignSpace
+from repro.hlsim.flow import HlsFlow
+from repro.hlsim.reports import Fidelity
+
+
+def run_random_search(
+    space: DesignSpace,
+    flow: HlsFlow,
+    rng: np.random.Generator,
+    n_evals: int = 48,
+    method_name: str = "random",
+) -> OptimizationResult:
+    """Evaluate ``n_evals`` random configurations at full fidelity."""
+    n_evals = min(n_evals, len(space))
+    indices = space.sample_indices(rng, n_evals)
+    Y, _valid, runtime = collect_training_data(space, flow, indices)
+    return OptimizationResult(
+        kernel_name=space.kernel.name,
+        method=method_name,
+        cs_indices=indices,
+        cs_values=Y,
+        cs_fidelities=[Fidelity.IMPL] * len(indices),
+        history=[],
+        total_runtime_s=runtime,
+        evaluation_counts={"hls": n_evals, "syn": n_evals, "impl": n_evals},
+    )

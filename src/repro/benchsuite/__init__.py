@@ -1,0 +1,27 @@
+"""The six evaluation benchmarks: five MachSuite kernels + iSmart2."""
+
+from repro.benchsuite.gemm import build_gemm
+from repro.benchsuite.ismart2 import build_ismart2
+from repro.benchsuite.registry import (
+    BENCHMARKS,
+    benchmark_names,
+    get_kernel,
+    get_space,
+)
+from repro.benchsuite.sort_radix import build_sort_radix
+from repro.benchsuite.spmv_crs import build_spmv_crs
+from repro.benchsuite.spmv_ellpack import build_spmv_ellpack
+from repro.benchsuite.stencil3d import build_stencil3d
+
+__all__ = [
+    "BENCHMARKS",
+    "benchmark_names",
+    "build_gemm",
+    "build_ismart2",
+    "build_sort_radix",
+    "build_spmv_crs",
+    "build_spmv_ellpack",
+    "build_stencil3d",
+    "get_kernel",
+    "get_space",
+]

@@ -1,0 +1,104 @@
+"""GEMM — dense 64×64×64 matrix multiply (MachSuite ``gemm/ncubed``).
+
+Structure: an initialization sweep over the output matrix, then the
+classic three-deep multiply-accumulate nest.  The inner product loop is
+the pipeline site; ``m1`` is indexed by the reduction loop while ``m2``
+and ``prod`` are indexed by the column loop, so the pruning trees couple
+{m1, k} and {m2, prod, j, init}.
+
+GEMM is the paper's example of a *regular* kernel whose three fidelity
+reports nearly overlap (Fig. 5(a)) — the fidelity profile's
+irregularity is correspondingly small.
+"""
+
+from __future__ import annotations
+
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    InlineSite,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+
+N = 64  # matrix dimension
+
+
+def build_gemm() -> Kernel:
+    """Construct the GEMM kernel IR with its directive sites."""
+    init = Loop(
+        name="init",
+        trip_count=N * N,
+        body=OpCounts(store=1.0),
+        accesses=(
+            ArrayAccess("prod", index_loop="init", writes=1.0, reads=0.0),
+        ),
+        unroll_factors=(1, 2, 4, 8),
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4, 8),
+    )
+    k_loop = Loop(
+        name="k",
+        trip_count=N,
+        body=OpCounts(add=1.0, mul=1.0, load=2.0, store=1.0),
+        accesses=(
+            ArrayAccess("m1", index_loop="k", outer_loops=("i",)),
+            ArrayAccess("m2", index_loop="j", outer_loops=("k",)),
+            ArrayAccess(
+                "prod", index_loop="j", outer_loops=("i",), reads=1.0, writes=1.0
+            ),
+        ),
+        unroll_factors=(1, 2, 4, 8, 16),
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4, 8),
+    )
+    j_loop = Loop(
+        name="j", trip_count=N, children=(k_loop,), unroll_factors=(1, 2, 4, 8)
+    )
+    i_loop = Loop(
+        name="i", trip_count=N, children=(j_loop,), unroll_factors=(1, 2, 4)
+    )
+    # DMA burst buffer: latency-minor, but wide bursts stress the clock
+    # (its path joins the max-coupled timing model) and burn BRAM.
+    io_burst = Loop(
+        name="io_burst",
+        trip_count=2048,
+        body=OpCounts(load=1.0, store=1.0),
+        accesses=(
+            ArrayAccess("iobuf", index_loop="io_burst", reads=1.0, writes=1.0),
+        ),
+        unroll_factors=(1, 2, 3, 4, 6, 8, 12, 16),
+        pipeline_site=True,
+        ii_candidates=(1,),
+    )
+    return Kernel(
+        name="gemm",
+        arrays=(
+            Array("m1", depth=N * N, partition_factors=(1, 2, 4, 8, 16)),
+            Array("m2", depth=N * N, partition_factors=(1, 2, 4, 8)),
+            Array("prod", depth=N * N, partition_factors=(1, 2, 4, 8)),
+            Array("iobuf", depth=2048,
+                  partition_factors=(1, 2, 3, 4, 6, 8, 12, 16)),
+        ),
+        loops=(init, i_loop, io_burst),
+        inline_sites=(
+            InlineSite("mac", call_overhead_cycles=2, lut_cost=180,
+                       calls_per_kernel=4),
+            InlineSite("burst_rw", call_overhead_cycles=4, lut_cost=240,
+                       calls_per_kernel=2),
+        ),
+        target_clock_ns=10.0,
+        fidelity=FidelityProfile(
+            # Delay fidelities nearly overlap (paper Fig. 5(a)) but the
+            # area/power reports still shift across stages.
+            irregularity=0.08,
+            area_irregularity=0.55,
+            power_irregularity=0.45,
+            noise=0.008,
+            t_hls=280.0,
+            t_syn=1100.0,
+            t_impl=2300.0,
+        ),
+    )

@@ -1,0 +1,112 @@
+"""iSmart2 — object-detection DNN accelerator kernel (the paper's [19]).
+
+A representative slice of the iSmartDNN pipeline: a 3×3 convolution
+layer (output-channel × pixel × MAC-tap nest), a max-pool reduction,
+and a fixed-point normalization epilogue with dividers.
+
+The normalization loop is the resource hog: its divider array grows
+linearly with the unroll factor, so the widest configurations exceed
+the VC707's placement budget and *fail implementation* — the invalid
+designs that the paper punishes at 10× the observed worst (Sec. IV-C).
+Lower fidelities cannot see those failures, which is exactly the risk
+multi-fidelity optimization has to manage.
+"""
+
+from __future__ import annotations
+
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    InlineSite,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+
+OUT_CHANNELS = 16
+PIXELS = 256  # 16×16 output feature map
+TAPS = 27  # 3×3×3 receptive field
+FMAP = 4096
+
+
+def build_ismart2() -> Kernel:
+    """Construct the iSmart2 kernel IR with its directive sites."""
+    mac = Loop(
+        name="mac",
+        trip_count=TAPS,
+        body=OpCounts(add=1.0, mul=1.0, load=2.0),
+        accesses=(
+            ArrayAccess("wt", index_loop="mac", outer_loops=("oc",)),
+            ArrayAccess("fin", index_loop="mac", outer_loops=("pix",)),
+        ),
+        unroll_factors=(1, 3, 9, 27),
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4),
+    )
+    pix = Loop(
+        name="pix",
+        trip_count=PIXELS,
+        body=OpCounts(add=1.0, store=1.0),
+        accesses=(
+            ArrayAccess("fout", index_loop="pix", outer_loops=("oc",),
+                        reads=0.0, writes=1.0),
+        ),
+        children=(mac,),
+        unroll_factors=(1, 2, 4, 8),
+    )
+    oc = Loop(
+        name="oc", trip_count=OUT_CHANNELS, children=(pix,),
+        unroll_factors=(1, 2, 4),
+    )
+    # The pooled values leave through a FIFO stream into the norm stage
+    # (dataflow-style), so the pool loop has no partition-coupling access
+    # to ``fpool`` — only the gather from ``fout``.
+    pool = Loop(
+        name="pool",
+        trip_count=PIXELS * OUT_CHANNELS // 4,
+        body=OpCounts(cmp=3.0, load=4.0, store=1.0),
+        accesses=(
+            ArrayAccess("fout", index_loop="pool", reads=4.0),
+        ),
+        unroll_factors=(1, 2, 4, 8),
+        pipeline_site=True,
+        ii_candidates=(1, 2),
+    )
+    norm = Loop(
+        name="norm",
+        trip_count=FMAP,
+        body=OpCounts(div=2.0, mul=1.0, load=1.0, store=1.0),
+        accesses=(
+            ArrayAccess("fpool", index_loop="norm", reads=1.0, writes=1.0),
+        ),
+        unroll_factors=(1, 2, 4, 8, 16, 32, 64, 128),
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4),
+    )
+    return Kernel(
+        name="ismart2",
+        arrays=(
+            Array("wt", depth=OUT_CHANNELS * TAPS,
+                  partition_factors=(1, 3, 9, 27)),
+            Array("fin", depth=FMAP, partition_factors=(1, 3, 9, 27)),
+            Array("fout", depth=FMAP, partition_factors=(1, 2, 4, 8)),
+            Array("fpool", depth=FMAP,
+                  partition_factors=(1, 2, 4, 8, 16, 32, 64, 128)),
+        ),
+        loops=(oc, pool, norm),
+        inline_sites=(
+            InlineSite("conv3x3", call_overhead_cycles=3, lut_cost=260,
+                       calls_per_kernel=2),
+            InlineSite("quant", call_overhead_cycles=2, lut_cost=150,
+                       calls_per_kernel=1),
+        ),
+        target_clock_ns=10.0,
+        fidelity=FidelityProfile(
+            irregularity=0.30,
+            noise=0.012,
+            t_hls=420.0,
+            t_syn=1500.0,
+            t_impl=3200.0,
+        ),
+    )

@@ -1,0 +1,45 @@
+"""Benchmark registry — the paper's six evaluation kernels (Sec. V-A)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.benchsuite.gemm import build_gemm
+from repro.benchsuite.ismart2 import build_ismart2
+from repro.benchsuite.sort_radix import build_sort_radix
+from repro.benchsuite.spmv_crs import build_spmv_crs
+from repro.benchsuite.spmv_ellpack import build_spmv_ellpack
+from repro.benchsuite.stencil3d import build_stencil3d
+from repro.dse.space import DesignSpace
+from repro.hlsim.ir import Kernel
+
+#: Builders in the paper's Table I order.
+BENCHMARKS: dict[str, Callable[[], Kernel]] = {
+    "gemm": build_gemm,
+    "ismart2": build_ismart2,
+    "sort_radix": build_sort_radix,
+    "spmv_ellpack": build_spmv_ellpack,
+    "spmv_crs": build_spmv_crs,
+    "stencil3d": build_stencil3d,
+}
+
+
+def benchmark_names() -> list[str]:
+    """Names of all benchmarks, in Table I order."""
+    return list(BENCHMARKS)
+
+
+def get_kernel(name: str) -> Kernel:
+    """Build a benchmark kernel by name."""
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        ) from None
+    return builder()
+
+
+def get_space(name: str, prune: bool = True) -> DesignSpace:
+    """Build a benchmark's (pruned) design space by name."""
+    return DesignSpace.from_kernel(get_kernel(name), prune=prune)

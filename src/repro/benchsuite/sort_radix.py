@@ -1,0 +1,135 @@
+"""SORT_RADIX — radix-4 integer sort (MachSuite ``sort/radix``).
+
+Four phases per digit pass: histogram, local scan of bucket sums, global
+prefix scan, and the scatter/update.  The phases share the data and
+bucket arrays, so Algorithm 1 merges almost everything into one pruning
+tree whose compatible factor set is tiny — while the *raw* space
+(every unroll × partition × pipeline combination, including non-power-
+of-two factors that real tools accept) is astronomically large.  The
+paper quotes > 3.8 × 10^12 raw configurations pruned to ≈ 20 000 for
+this benchmark; this model reproduces that regime (≈ 10^12 → ≈ 2 × 10^4).
+
+Irregular scatter addressing makes its fidelity reports diverge
+strongly, and the paper singles it out as hard for the non-GP baselines
+("the irregular memory accesses of SORT_RADIX bring great challenges to
+ANN, Boosting tree, and DAC19").
+"""
+
+from __future__ import annotations
+
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    InlineSite,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+
+N = 2048  # elements to sort
+BUCKETS = 2048
+SCAN_BLOCKS = 512
+RADIX = 4
+
+#: Rich factor menus (powers of two and their multiples of 3) — real
+#: HLS tools accept arbitrary factors; almost all get pruned.
+_WIDE = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+_MID = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+_NARROW = (1, 2, 4, 8, 16)
+
+
+def build_sort_radix() -> Kernel:
+    """Construct the SORT_RADIX kernel IR with its directive sites."""
+    hist = Loop(
+        name="hist",
+        trip_count=N,
+        body=OpCounts(add=2.0, logic=2.0, cmp=1.0, load=2.0, store=1.0),
+        accesses=(
+            ArrayAccess("a", index_loop="hist"),
+            ArrayAccess("bucket", index_loop="hist", reads=1.0, writes=1.0),
+        ),
+        unroll_factors=_MID,
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4),
+    )
+    local_scan_inner = Loop(
+        name="lscan_j",
+        trip_count=RADIX,
+        body=OpCounts(add=1.0, load=1.0, store=1.0),
+        accesses=(
+            ArrayAccess(
+                "bucket", index_loop="lscan_j", outer_loops=("lscan_i",),
+                reads=1.0, writes=1.0,
+            ),
+        ),
+        unroll_factors=(1, 2, 4),
+        pipeline_site=True,
+        ii_candidates=(1,),
+    )
+    local_scan = Loop(
+        name="lscan_i",
+        trip_count=SCAN_BLOCKS,
+        children=(local_scan_inner,),
+        unroll_factors=(1, 2, 4, 8),
+    )
+    sum_scan = Loop(
+        name="sum_scan",
+        trip_count=SCAN_BLOCKS,
+        body=OpCounts(add=1.0, load=2.0, store=1.0),
+        accesses=(
+            ArrayAccess("sum", index_loop="sum_scan", reads=2.0, writes=1.0),
+        ),
+        unroll_factors=_NARROW,
+        pipeline_site=True,
+        ii_candidates=(1, 2),
+    )
+    update = Loop(
+        name="update",
+        trip_count=N,
+        body=OpCounts(add=2.0, logic=2.0, load=3.0, store=1.0),
+        accesses=(
+            ArrayAccess("a", index_loop="update"),
+            ArrayAccess("b", index_loop="update", reads=0.0, writes=1.0),
+            ArrayAccess("bucket", index_loop="update", reads=1.0, writes=1.0),
+        ),
+        unroll_factors=_MID,
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4),
+    )
+    copyback = Loop(
+        name="copyback",
+        trip_count=N,
+        body=OpCounts(load=1.0, store=1.0),
+        accesses=(
+            ArrayAccess("b", index_loop="copyback"),
+            ArrayAccess("a", index_loop="copyback", reads=0.0, writes=1.0),
+        ),
+        unroll_factors=_WIDE,
+        pipeline_site=True,
+        ii_candidates=(1,),
+    )
+    return Kernel(
+        name="sort_radix",
+        arrays=(
+            Array("a", depth=N, partition_factors=_WIDE),
+            Array("b", depth=N, partition_factors=_WIDE),
+            Array("bucket", depth=BUCKETS, partition_factors=_MID),
+            Array("sum", depth=SCAN_BLOCKS, partition_factors=_NARROW),
+        ),
+        loops=(hist, local_scan, sum_scan, update, copyback),
+        inline_sites=(
+            InlineSite("digit", call_overhead_cycles=1, lut_cost=90,
+                       calls_per_kernel=8),
+            InlineSite("scatter", call_overhead_cycles=3, lut_cost=220,
+                       calls_per_kernel=4),
+        ),
+        target_clock_ns=10.0,
+        fidelity=FidelityProfile(
+            irregularity=0.45,
+            noise=0.015,
+            t_hls=330.0,
+            t_syn=1250.0,
+            t_impl=2600.0,
+        ),
+    )

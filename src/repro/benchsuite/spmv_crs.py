@@ -1,0 +1,115 @@
+"""SPMV_CRS — sparse matrix-vector multiply, compressed-row storage
+(MachSuite ``spmv/crs``), with a diagonal-scaling epilogue.
+
+Row extents come from the delimiter array, so the inner loop's trip
+count is data-dependent (modeled by its average); the gather through
+``cols`` is irregular.  The scaling epilogue carries a divider — the
+long-latency unit that stresses both the clock model and the resource
+model when unrolled.
+"""
+
+from __future__ import annotations
+
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    InlineSite,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+
+ROWS = 494
+NNZ = 1666
+AVG_ROW = 8  # modeled trip count of the data-dependent inner loop
+
+
+def build_spmv_crs() -> Kernel:
+    """Construct the SPMV_CRS kernel IR with its directive sites."""
+    inner = Loop(
+        name="j",
+        trip_count=AVG_ROW,
+        body=OpCounts(add=1.0, mul=1.0, load=3.0),
+        accesses=(
+            ArrayAccess("val", index_loop="j", outer_loops=("i",)),
+            ArrayAccess("cols", index_loop="j", outer_loops=("i",)),
+            ArrayAccess("vec", index_loop="j"),
+        ),
+        unroll_factors=(1, 2, 4, 8),
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4, 8),
+    )
+    rows = Loop(
+        name="i",
+        trip_count=ROWS,
+        body=OpCounts(add=1.0, load=2.0, store=1.0),
+        accesses=(
+            ArrayAccess("rowdelim", index_loop="i", reads=2.0),
+            ArrayAccess("out", index_loop="i", reads=0.0, writes=1.0),
+        ),
+        children=(inner,),
+        unroll_factors=(1, 2, 4),
+    )
+    accumulate = Loop(
+        name="acc",
+        trip_count=ROWS,
+        body=OpCounts(add=1.0, load=2.0, store=1.0),
+        accesses=(
+            ArrayAccess("out", index_loop="acc"),
+            ArrayAccess("tmp", index_loop="acc", reads=1.0, writes=1.0),
+        ),
+        unroll_factors=(1, 2, 4, 8),
+        pipeline_site=True,
+        ii_candidates=(1, 2),
+    )
+    scale = Loop(
+        name="scale",
+        trip_count=ROWS,
+        body=OpCounts(div=1.0, load=2.0, store=1.0),
+        accesses=(
+            ArrayAccess("tmp", index_loop="scale", reads=1.0, writes=1.0),
+            ArrayAccess("diag", index_loop="scale"),
+        ),
+        unroll_factors=(1, 2, 4, 8),
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4),
+    )
+    prefetch = Loop(
+        name="prefetch",
+        trip_count=832,
+        body=OpCounts(load=1.0, store=1.0),
+        accesses=(
+            ArrayAccess("pfbuf", index_loop="prefetch", reads=1.0, writes=1.0),
+        ),
+        unroll_factors=(1, 2, 4, 8, 13, 16, 26),
+        pipeline_site=True,
+        ii_candidates=(1,),
+    )
+    return Kernel(
+        name="spmv_crs",
+        arrays=(
+            Array("pfbuf", depth=832,
+                  partition_factors=(1, 2, 4, 8, 13, 16, 26)),
+            Array("val", depth=NNZ, partition_factors=(1, 2, 4, 8, 16)),
+            Array("cols", depth=NNZ, partition_factors=(1, 2, 4, 8, 16)),
+            Array("vec", depth=ROWS, partition_factors=(1, 2, 4, 8)),
+            Array("rowdelim", depth=ROWS + 1, partition_factors=(1, 2, 4)),
+            Array("out", depth=ROWS, partition_factors=(1, 2, 4, 8)),
+            Array("tmp", depth=ROWS, partition_factors=(1, 2, 4, 8)),
+            Array("diag", depth=ROWS, partition_factors=(1, 2, 4, 8)),
+        ),
+        loops=(rows, accumulate, scale, prefetch),
+        inline_sites=(
+            InlineSite("rowdot", call_overhead_cycles=2, lut_cost=160,
+                       calls_per_kernel=2),
+        ),
+        target_clock_ns=10.0,
+        fidelity=FidelityProfile(
+            irregularity=0.45,
+            noise=0.018,
+            t_hls=260.0,
+            t_syn=1050.0,
+            t_impl=2200.0,
+        ),
+    )

@@ -1,0 +1,103 @@
+"""SPMV_ELLPACK — sparse matrix-vector multiply, ELLPACK format
+(MachSuite ``spmv/ellpack``), applied twice (power-iteration style).
+
+494 rows with a fixed bound of 10 non-zeros per row.  The inner
+product loop gathers from the dense vector through the column-index
+array — the data-dependent addressing that makes this kernel's
+post-Synth/post-Impl reports diverge wildly from the HLS estimates
+(paper Fig. 5(b)); the fidelity profile's irregularity is the largest
+in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    InlineSite,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+
+ROWS = 494
+L = 10  # bounded non-zeros per row
+
+
+def _spmv_nest(suffix: str) -> Loop:
+    inner = Loop(
+        name=f"j{suffix}",
+        trip_count=L,
+        body=OpCounts(add=1.0, mul=1.0, load=3.0),
+        accesses=(
+            ArrayAccess("nzval", index_loop=f"j{suffix}", outer_loops=(f"i{suffix}",)),
+            ArrayAccess("cols", index_loop=f"j{suffix}", outer_loops=(f"i{suffix}",)),
+            ArrayAccess("vec", index_loop=f"j{suffix}"),
+        ),
+        unroll_factors=(1, 2, 5, 10),
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4),
+    )
+    return Loop(
+        name=f"i{suffix}",
+        trip_count=ROWS,
+        body=OpCounts(store=1.0),
+        accesses=(
+            ArrayAccess("out", index_loop=f"i{suffix}", reads=0.0, writes=1.0),
+        ),
+        children=(inner,),
+        unroll_factors=(1, 2, 4, 8),
+    )
+
+
+def build_spmv_ellpack() -> Kernel:
+    """Construct the SPMV_ELLPACK kernel IR with its directive sites."""
+    init = Loop(
+        name="init",
+        trip_count=ROWS,
+        body=OpCounts(store=1.0),
+        accesses=(
+            ArrayAccess("out", index_loop="init", reads=0.0, writes=1.0),
+        ),
+        unroll_factors=(1, 2, 4, 8),
+        pipeline_site=True,
+        ii_candidates=(1, 2),
+    )
+    # Matrix-stream staging buffer (DMA side): cheap in cycles, but its
+    # banking joins the max-coupled clock path.
+    stage = Loop(
+        name="stage",
+        trip_count=1024,
+        body=OpCounts(load=1.0, store=1.0),
+        accesses=(
+            ArrayAccess("stagebuf", index_loop="stage", reads=1.0, writes=1.0),
+        ),
+        unroll_factors=(1, 2, 4, 5, 8, 10, 20),
+        pipeline_site=True,
+        ii_candidates=(1,),
+    )
+    return Kernel(
+        name="spmv_ellpack",
+        arrays=(
+            Array("nzval", depth=ROWS * L, partition_factors=(1, 2, 5, 10, 20)),
+            Array("cols", depth=ROWS * L, partition_factors=(1, 2, 5, 10, 20)),
+            Array("vec", depth=ROWS, partition_factors=(1, 2, 5, 10)),
+            Array("out", depth=ROWS, partition_factors=(1, 2, 4, 8)),
+            Array("stagebuf", depth=1024,
+                  partition_factors=(1, 2, 4, 5, 8, 10, 20)),
+        ),
+        loops=(init, _spmv_nest("1"), _spmv_nest("2"), stage),
+        inline_sites=(
+            InlineSite("dot", call_overhead_cycles=2, lut_cost=140,
+                       calls_per_kernel=2),
+        ),
+        target_clock_ns=10.0,
+        fidelity=FidelityProfile(
+            irregularity=0.55,
+            noise=0.02,
+            t_hls=250.0,
+            t_syn=1000.0,
+            t_impl=2100.0,
+        ),
+    )

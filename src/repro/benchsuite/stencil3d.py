@@ -1,0 +1,101 @@
+"""STENCIL3D — 7-point 3-D stencil over a 32×32×32 grid
+(MachSuite ``stencil/stencil3d``).
+
+A boundary-copy prologue followed by the triple-nested interior sweep.
+Both phases touch the same two grids, so the pruning tree ties the
+boundary loop's unroll, the innermost sweep unroll and both grid
+partitions to a single compatible factor.  Access patterns are regular;
+fidelity divergence is modest.
+"""
+
+from __future__ import annotations
+
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    InlineSite,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+
+SIZE = 32
+INTERIOR = SIZE - 2
+
+#: Shared compatible-factor menu of grids and grid-indexing loops.
+_GRID_FACTORS = (1, 2, 3, 5, 6, 10, 15, 30)
+
+
+def build_stencil3d() -> Kernel:
+    """Construct the STENCIL3D kernel IR with its directive sites."""
+    boundary = Loop(
+        name="boundary",
+        trip_count=6 * SIZE * SIZE,
+        body=OpCounts(load=1.0, store=1.0),
+        accesses=(
+            ArrayAccess("orig", index_loop="boundary"),
+            ArrayAccess("sol", index_loop="boundary", reads=0.0, writes=1.0),
+        ),
+        unroll_factors=_GRID_FACTORS,
+        pipeline_site=True,
+        ii_candidates=(1, 2),
+    )
+    k_loop = Loop(
+        name="k",
+        trip_count=INTERIOR,
+        body=OpCounts(add=7.0, mul=2.0, load=8.0, store=1.0),
+        accesses=(
+            ArrayAccess("orig", index_loop="k", outer_loops=("i", "j"), reads=7.0),
+            ArrayAccess("sol", index_loop="k", outer_loops=("i", "j"),
+                        reads=0.0, writes=1.0),
+        ),
+        unroll_factors=_GRID_FACTORS,
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4),
+    )
+    j_loop = Loop(
+        name="j", trip_count=INTERIOR, children=(k_loop,),
+        unroll_factors=(1, 2, 3, 5, 6),
+    )
+    i_loop = Loop(
+        name="i", trip_count=INTERIOR, children=(j_loop,),
+        unroll_factors=(1, 2, 3),
+    )
+    halo = Loop(
+        name="halo",
+        trip_count=1024,
+        body=OpCounts(load=1.0, store=1.0),
+        accesses=(
+            ArrayAccess("halobuf", index_loop="halo", reads=1.0, writes=1.0),
+        ),
+        unroll_factors=(1, 2, 4, 8, 16, 32),
+        pipeline_site=True,
+        ii_candidates=(1,),
+    )
+    return Kernel(
+        name="stencil3d",
+        arrays=(
+            Array("halobuf", depth=1024,
+                  partition_factors=(1, 2, 4, 8, 16, 32)),
+            Array("orig", depth=SIZE ** 3, partition_factors=_GRID_FACTORS),
+            Array("sol", depth=SIZE ** 3, partition_factors=_GRID_FACTORS),
+            # Stencil coefficients: register-cached, freely partitionable.
+            Array("coef", depth=2, width_bits=32, partition_factors=(1, 2)),
+        ),
+        loops=(boundary, i_loop, halo),
+        inline_sites=(
+            InlineSite("tap", call_overhead_cycles=1, lut_cost=110,
+                       calls_per_kernel=2),
+        ),
+        target_clock_ns=10.0,
+        fidelity=FidelityProfile(
+            irregularity=0.20,
+            area_irregularity=0.45,
+            power_irregularity=0.40,
+            noise=0.01,
+            t_hls=300.0,
+            t_syn=1150.0,
+            t_impl=2400.0,
+        ),
+    )

@@ -1,0 +1,224 @@
+"""Exact Gaussian-process regression (paper Sec. II-A).
+
+A constant-mean GP with i.i.d. Gaussian observation noise, fitted by
+maximizing the log marginal likelihood with analytic gradients
+(L-BFGS-B, multi-restart).  Targets are standardized internally, so the
+constant mean is zero in the working space and predictions are returned
+in the original units.
+
+Sized for the paper's regime: tens to a few hundred training points,
+refitted at every Bayesian-optimization step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
+from scipy.optimize import minimize
+
+from repro.core.kernels import Matern52, StationaryKernel
+
+#: Bounds on the log observation-noise variance.
+LOG_NOISE_BOUNDS = (math.log(1e-8), math.log(1.0))
+
+#: Jitter added to covariance diagonals before factorization.
+JITTER = 1e-8
+
+
+@dataclass
+class _FitState:
+    """Everything needed for fast posterior evaluation after fitting."""
+
+    X: np.ndarray
+    y_raw: np.ndarray
+    y_mean: float
+    y_std: float
+    theta: np.ndarray  # kernel params + [log noise]
+    chol: np.ndarray  # lower Cholesky of K + noise I
+    alpha: np.ndarray  # (K + noise I)^-1 y
+
+
+class GaussianProcess:
+    """Single-output exact GP regression with MLE hyperparameters."""
+
+    def __init__(
+        self,
+        kernel: StationaryKernel | None = None,
+        n_restarts: int = 2,
+        max_opt_iter: int = 80,
+        rng: np.random.Generator | None = None,
+    ):
+        self.kernel = kernel or Matern52()
+        self.n_restarts = n_restarts
+        self.max_opt_iter = max_opt_iter
+        self.rng = rng or np.random.default_rng(0)
+        self._state: _FitState | None = None
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        optimize: bool = True,
+        init_theta: np.ndarray | None = None,
+    ) -> "GaussianProcess":
+        """Fit to data; with ``optimize=False`` reuses ``init_theta``
+        (or the previous fit's hyperparameters) and only reconditions.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on sample count")
+        if X.shape[0] < 1:
+            raise ValueError("need at least one training point")
+        dim = X.shape[1]
+
+        y_mean = float(np.mean(y))
+        y_std = float(np.std(y))
+        if y_std < 1e-12:
+            y_std = 1.0
+        z = (y - y_mean) / y_std
+
+        if init_theta is None and self._state is not None and not optimize:
+            init_theta = self._state.theta
+        if init_theta is None:
+            init_theta = np.concatenate(
+                [self.kernel.default_params(dim), [math.log(1e-4)]]
+            )
+        theta = np.asarray(init_theta, dtype=float)
+
+        if optimize:
+            theta = self._optimize(X, z, theta)
+
+        chol, alpha = self._condition(X, z, theta)
+        self._state = _FitState(
+            X=X, y_raw=y, y_mean=y_mean, y_std=y_std,
+            theta=theta, chol=chol, alpha=alpha,
+        )
+        return self
+
+    def _condition(
+        self, X: np.ndarray, z: np.ndarray, theta: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        K = self.kernel(X, X, theta[:-1])
+        noise = math.exp(theta[-1])
+        K[np.diag_indices_from(K)] += noise + JITTER
+        L = cholesky(K, lower=True)
+        alpha = cho_solve((L, True), z)
+        return L, alpha
+
+    def _neg_lml_and_grad(
+        self, theta: np.ndarray, X: np.ndarray, z: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        n, dim = X.shape
+        K, kernel_grads = self.kernel.with_gradients(X, theta[:-1])
+        noise = math.exp(theta[-1])
+        Kn = K.copy()
+        Kn[np.diag_indices_from(Kn)] += noise + JITTER
+        try:
+            L = cholesky(Kn, lower=True)
+        except np.linalg.LinAlgError:
+            return 1e10, np.zeros_like(theta)
+        alpha = cho_solve((L, True), z)
+        lml = (
+            -0.5 * float(z @ alpha)
+            - float(np.sum(np.log(np.diag(L))))
+            - 0.5 * n * math.log(2.0 * math.pi)
+        )
+        # dLML/dtheta = 0.5 tr((alpha alpha^T - K^-1) dK/dtheta)
+        Kinv = cho_solve((L, True), np.eye(n))
+        W = np.outer(alpha, alpha) - Kinv
+        grad = np.empty_like(theta)
+        for k, dK in enumerate(kernel_grads):
+            grad[k] = 0.5 * float(np.sum(W * dK))
+        grad[-1] = 0.5 * noise * float(np.trace(W))
+        return -lml, -grad
+
+    def _optimize(
+        self, X: np.ndarray, z: np.ndarray, theta0: np.ndarray
+    ) -> np.ndarray:
+        dim = X.shape[1]
+        bounds = self.kernel.bounds(dim) + [LOG_NOISE_BOUNDS]
+        starts = [theta0]
+        for _ in range(self.n_restarts):
+            jittered = theta0 + self.rng.normal(0.0, 0.7, size=theta0.shape)
+            starts.append(
+                np.clip(
+                    jittered,
+                    [b[0] for b in bounds],
+                    [b[1] for b in bounds],
+                )
+            )
+        best_theta, best_val = theta0, math.inf
+        for start in starts:
+            result = minimize(
+                self._neg_lml_and_grad,
+                start,
+                args=(X, z),
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": self.max_opt_iter},
+            )
+            if result.fun < best_val:
+                best_val, best_theta = float(result.fun), result.x
+        return best_theta
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._state is not None
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Fitted hyperparameters (kernel log-params + log noise)."""
+        return self._require_state().theta.copy()
+
+    def predict(
+        self, Xs: np.ndarray, include_noise: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance at query points (original units)."""
+        state = self._require_state()
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        theta_k = state.theta[:-1]
+        Ks = self.kernel(state.X, Xs, theta_k)
+        mean_z = Ks.T @ state.alpha
+        v = solve_triangular(state.chol, Ks, lower=True)
+        var_z = self.kernel.diag(Xs, theta_k) - np.sum(v * v, axis=0)
+        var_z = np.maximum(var_z, 1e-12)
+        if include_noise:
+            var_z = var_z + math.exp(state.theta[-1])
+        mean = state.y_mean + state.y_std * mean_z
+        var = (state.y_std ** 2) * var_z
+        return mean, var
+
+    def log_marginal_likelihood(self, theta: np.ndarray | None = None) -> float:
+        """LML of the standardized training data at ``theta``."""
+        state = self._require_state()
+        z = (state.y_raw - state.y_mean) / state.y_std
+        use = state.theta if theta is None else np.asarray(theta, dtype=float)
+        value, _ = self._neg_lml_and_grad(use, state.X, z)
+        return -value
+
+    def sample_posterior(
+        self, Xs: np.ndarray, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw marginal posterior samples, shape (n_samples, len(Xs))."""
+        mean, var = self.predict(Xs)
+        return mean[None, :] + np.sqrt(var)[None, :] * rng.standard_normal(
+            (n_samples, mean.shape[0])
+        )
+
+    def _require_state(self) -> _FitState:
+        if self._state is None:
+            raise RuntimeError("GaussianProcess is not fitted")
+        return self._state

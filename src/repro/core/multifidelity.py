@@ -1,0 +1,266 @@
+"""Multi-fidelity surrogate stacks (paper Sec. IV-A, Eq. (5) and Fig. 7).
+
+Two constructions:
+
+- :class:`NonlinearMultiFidelityStack` — the paper's model.  Fidelity 0
+  is a correlated multi-objective GP on the directive features; fidelity
+  ``i > 0`` is a correlated multi-objective GP whose inputs are the
+  features *concatenated with the lower-fidelity posterior means of all
+  objectives* (the orange arrows of Fig. 7):
+
+      f_{i+1}(x) = z(f_i(x), x) + f_e(x)
+
+  with both ``z`` and the error term absorbed into one GP over the
+  augmented input.  Predictions propagate posterior means up the stack.
+
+- :class:`LinearMultiFidelityStack` — the linear autoregressive model of
+  Kennedy & O'Hagan used by FPL18 (the paper's [12]): per-objective
+  independent GPs with ``f_{i+1}(x) = rho_i f_i(x) + delta_i(x)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import StationaryKernel
+from repro.core.multitask import IndependentMultiObjectiveGP, MultiTaskGP
+
+Dataset = tuple[np.ndarray, np.ndarray]
+
+
+def _check_datasets(datasets: list[Dataset], n_tasks: int) -> None:
+    if not datasets:
+        raise ValueError("need at least one fidelity dataset")
+    for level, (X, Y) in enumerate(datasets):
+        X = np.atleast_2d(X)
+        Y = np.atleast_2d(Y)
+        if X.shape[0] != Y.shape[0]:
+            raise ValueError(f"fidelity {level}: X and Y sample counts differ")
+        if X.shape[0] < 2:
+            raise ValueError(f"fidelity {level}: need at least 2 points")
+        if Y.shape[1] != n_tasks:
+            raise ValueError(
+                f"fidelity {level}: expected {n_tasks} objectives, "
+                f"got {Y.shape[1]}"
+            )
+
+
+@dataclass
+class _AugScaler:
+    """Standardizer for the lower-fidelity-mean input columns.
+
+    Directive features are already in [0, 1]; appended objective means
+    are in raw units (watts, microseconds) and must be rescaled so the
+    ARD lengthscale bounds remain meaningful.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, aug: np.ndarray) -> "_AugScaler":
+        mean = aug.mean(axis=0)
+        std = aug.std(axis=0)
+        std[std < 1e-12] = 1.0
+        return cls(mean=mean, std=std)
+
+    def transform(self, aug: np.ndarray) -> np.ndarray:
+        return (aug - self.mean) / self.std
+
+
+class NonlinearMultiFidelityStack:
+    """Correlated multi-objective GPs chained non-linearly across
+    fidelities (the paper's combined model, Fig. 7)."""
+
+    def __init__(
+        self,
+        n_fidelities: int,
+        n_tasks: int,
+        kernel: StationaryKernel | None = None,
+        n_restarts: int = 1,
+        max_opt_iter: int = 80,
+        rng: np.random.Generator | None = None,
+        correlated: bool = True,
+    ):
+        if n_fidelities < 1:
+            raise ValueError("need at least one fidelity")
+        self.n_fidelities = n_fidelities
+        self.n_tasks = n_tasks
+        self.rng = rng or np.random.default_rng(0)
+        model_cls = MultiTaskGP if correlated else IndependentMultiObjectiveGP
+        self.models = [
+            model_cls(
+                n_tasks,
+                kernel=kernel,
+                n_restarts=n_restarts,
+                max_opt_iter=max_opt_iter,
+                rng=self.rng,
+            )
+            for _ in range(n_fidelities)
+        ]
+        self._scalers: list[_AugScaler | None] = [None] * n_fidelities
+
+    def fit(
+        self, datasets: list[Dataset], optimize: bool = True
+    ) -> "NonlinearMultiFidelityStack":
+        """Fit the stack bottom-up.
+
+        ``datasets[i] = (X_i, Y_i)`` holds the points evaluated at
+        fidelity ``i``; the paper's nesting ``X_impl ⊆ X_syn ⊆ X_hls``
+        is not required by the model, only recommended by the flow.
+        """
+        if len(datasets) != self.n_fidelities:
+            raise ValueError(
+                f"expected {self.n_fidelities} datasets, got {len(datasets)}"
+            )
+        _check_datasets(datasets, self.n_tasks)
+        for level, (X, Y) in enumerate(datasets):
+            X = np.atleast_2d(np.asarray(X, dtype=float))
+            Y = np.atleast_2d(np.asarray(Y, dtype=float))
+            inputs = self._augment(level, X, fit_scaler=True)
+            self.models[level].fit(Y=Y, X=inputs, optimize=optimize)
+        return self
+
+    def _augment(
+        self, level: int, X: np.ndarray, fit_scaler: bool = False
+    ) -> np.ndarray:
+        """Input matrix of fidelity ``level``: features (+ lower means)."""
+        if level == 0:
+            return X
+        lower_mean, _ = self.predict(level - 1, X)
+        if fit_scaler:
+            self._scalers[level] = _AugScaler.fit(lower_mean)
+        scaler = self._scalers[level]
+        if scaler is None:
+            raise RuntimeError(f"fidelity {level} used before fitting")
+        return np.hstack([X, scaler.transform(lower_mean)])
+
+    def predict(
+        self, level: int, Xs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior at fidelity ``level``: (means (m, M), covs (m, M, M)).
+
+        Lower-fidelity information enters through recursively propagated
+        posterior means (deterministic mean-field propagation).
+        """
+        if not 0 <= level < self.n_fidelities:
+            raise ValueError(f"no fidelity {level}")
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        inputs = self._augment(level, Xs)
+        return self.models[level].predict(inputs)
+
+    def predict_marginals(
+        self, level: int, Xs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        mean, cov = self.predict(level, Xs)
+        m = self.n_tasks
+        return mean, np.maximum(cov[:, np.arange(m), np.arange(m)], 1e-12)
+
+    def task_correlation(self, level: int) -> np.ndarray:
+        """Learned objective-correlation matrix at one fidelity."""
+        return self.models[level].task_correlation()
+
+
+class LinearMultiFidelityStack:
+    """Independent-objective, linear-autoregressive stack (FPL18)."""
+
+    def __init__(
+        self,
+        n_fidelities: int,
+        n_tasks: int,
+        kernel: StationaryKernel | None = None,
+        n_restarts: int = 1,
+        max_opt_iter: int = 80,
+        rng: np.random.Generator | None = None,
+    ):
+        if n_fidelities < 1:
+            raise ValueError("need at least one fidelity")
+        self.n_fidelities = n_fidelities
+        self.n_tasks = n_tasks
+        self.rng = rng or np.random.default_rng(0)
+        self._kernel = kernel
+        self._n_restarts = n_restarts
+        self._max_opt_iter = max_opt_iter
+        # models[level][task]; rhos[level][task] (level 0 has no rho).
+        self.models: list[list[GaussianProcess]] = []
+        self.rhos: list[np.ndarray] = []
+
+    def fit(
+        self, datasets: list[Dataset], optimize: bool = True
+    ) -> "LinearMultiFidelityStack":
+        if len(datasets) != self.n_fidelities:
+            raise ValueError(
+                f"expected {self.n_fidelities} datasets, got {len(datasets)}"
+            )
+        _check_datasets(datasets, self.n_tasks)
+        reuse = bool(self.models) and not optimize
+        if not reuse:
+            self.models = [
+                [self._new_gp() for _ in range(self.n_tasks)]
+                for _ in range(self.n_fidelities)
+            ]
+        self.rhos = [np.ones(self.n_tasks)]
+        X0, Y0 = datasets[0]
+        for t in range(self.n_tasks):
+            self.models[0][t].fit(
+                np.atleast_2d(X0), np.asarray(Y0)[:, t], optimize=optimize
+            )
+        for level in range(1, self.n_fidelities):
+            X, Y = datasets[level]
+            X = np.atleast_2d(np.asarray(X, dtype=float))
+            Y = np.atleast_2d(np.asarray(Y, dtype=float))
+            lower_mean, _ = self.predict_marginals(level - 1, X)
+            rho = np.ones(self.n_tasks)
+            for t in range(self.n_tasks):
+                # Least squares with intercept; the offset itself is
+                # absorbed by the residual GP's constant mean.
+                mu = lower_mean[:, t]
+                A = np.column_stack([mu, np.ones_like(mu)])
+                coef, *_ = np.linalg.lstsq(A, Y[:, t], rcond=None)
+                if np.isfinite(coef[0]) and abs(coef[0]) > 1e-9:
+                    rho[t] = float(coef[0])
+                residual = Y[:, t] - rho[t] * mu
+                self.models[level][t].fit(X, residual, optimize=optimize)
+            self.rhos.append(rho)
+        return self
+
+    def _new_gp(self) -> GaussianProcess:
+        return GaussianProcess(
+            kernel=self._kernel,
+            n_restarts=self._n_restarts,
+            max_opt_iter=self._max_opt_iter,
+            rng=self.rng,
+        )
+
+    def predict_marginals(
+        self, level: int, Xs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-objective means and variances at a fidelity (m, M)."""
+        if not self.models:
+            raise RuntimeError("LinearMultiFidelityStack is not fitted")
+        if not 0 <= level < self.n_fidelities:
+            raise ValueError(f"no fidelity {level}")
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        means = np.empty((Xs.shape[0], self.n_tasks))
+        variances = np.empty_like(means)
+        for t in range(self.n_tasks):
+            mu, var = self.models[0][t].predict(Xs)
+            means[:, t], variances[:, t] = mu, var
+        for lv in range(1, level + 1):
+            rho = self.rhos[lv]
+            for t in range(self.n_tasks):
+                mu_d, var_d = self.models[lv][t].predict(Xs)
+                means[:, t] = rho[t] * means[:, t] + mu_d
+                variances[:, t] = rho[t] ** 2 * variances[:, t] + var_d
+        return means, np.maximum(variances, 1e-12)
+
+    def predict(self, level: int, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Diagonal-covariance variant of the stack posterior."""
+        mean, var = self.predict_marginals(level, Xs)
+        m = self.n_tasks
+        cov = np.zeros((mean.shape[0], m, m))
+        cov[:, np.arange(m), np.arange(m)] = var
+        return mean, cov

@@ -1,0 +1,510 @@
+"""Correlated multi-objective Gaussian process (paper Sec. IV-B, Eq. (9)).
+
+The core is the intrinsic-coregionalization multi-task GP (Bonilla et
+al., NIPS'08 — the paper's [17]): the covariance between objective ``i``
+at ``x`` and objective ``j`` at ``x'`` contains a shared factorized term
+
+    K_task[i, j] * k_shared(x, x'),
+
+with ``k_shared`` an ARD Matérn-5/2 kernel and ``K_task`` a learned PSD
+task-similarity matrix (parametrized by its Cholesky factor).  On top of
+the shared process each objective carries a *private* residual GP with
+its own ARD lengthscales:
+
+    Cov(f_i(x), f_j(x')) = K_task[i,j] k_shared(x, x')
+                           + delta_ij k_i(x, x').
+
+Pure ICM (private processes off) forces one set of lengthscales onto
+all objectives; when the objectives depend on different directive
+subsets, maximum likelihood then explains the worst-matched objective
+as noise.  The private residuals remove that failure mode while keeping
+the correlated structure the paper's acquisition needs — the posterior
+at a new configuration is still a correlated M-variate Gaussian
+``N(mu, Sigma)`` with dense ``Sigma``.
+
+All objectives are observed at every training input — true in the HLS
+setting, where one tool run reports power, delay and LUT together.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky, solve_triangular
+from scipy.optimize import minimize
+
+from repro.core.gp import JITTER, LOG_NOISE_BOUNDS
+from repro.core.kernels import Matern52, StationaryKernel
+
+#: Bounds on entries of the task-matrix Cholesky factor.
+TASK_CHOL_BOUNDS = (-5.0, 5.0)
+
+#: Bounds on the private-process log signal variance.
+PRIVATE_SIGNAL_BOUNDS = (-8.0, 2.0)
+
+
+@dataclass
+class _MTState:
+    X: np.ndarray
+    Y_raw: np.ndarray
+    y_mean: np.ndarray
+    y_std: np.ndarray
+    theta_shared: np.ndarray
+    theta_private: np.ndarray  # (m, n_kernel_params) or empty
+    task_chol: np.ndarray  # L with B = L L^T
+    log_noise: np.ndarray  # per task
+    chol: np.ndarray  # Cholesky of the full nM x nM covariance
+    alpha: np.ndarray  # K^-1 z (task-major stacking)
+
+
+def _tril_indices(m: int) -> tuple[np.ndarray, np.ndarray]:
+    return np.tril_indices(m)
+
+
+class MultiTaskGP:
+    """ICM + private-residual multi-task GP over M joint objectives."""
+
+    def __init__(
+        self,
+        n_tasks: int,
+        kernel: StationaryKernel | None = None,
+        n_restarts: int = 1,
+        max_opt_iter: int = 80,
+        rng: np.random.Generator | None = None,
+        private_processes: bool = True,
+    ):
+        if n_tasks < 1:
+            raise ValueError("need at least one task")
+        self.n_tasks = n_tasks
+        self.kernel = kernel or Matern52()
+        self.n_restarts = n_restarts
+        self.max_opt_iter = max_opt_iter
+        self.rng = rng or np.random.default_rng(0)
+        self.private_processes = private_processes
+        self._state: _MTState | None = None
+
+    # ------------------------------------------------------------------
+    # parameter packing
+    # ------------------------------------------------------------------
+
+    def _nk(self, dim: int) -> int:
+        return self.kernel.n_params(dim)
+
+    def _pack(
+        self,
+        theta_shared: np.ndarray,
+        L: np.ndarray,
+        theta_private: np.ndarray,
+        log_noise: np.ndarray,
+    ) -> np.ndarray:
+        rows, cols = _tril_indices(self.n_tasks)
+        return np.concatenate(
+            [theta_shared, L[rows, cols], theta_private.ravel(), log_noise]
+        )
+
+    def _unpack(
+        self, params: np.ndarray, dim: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        m = self.n_tasks
+        nk = self._nk(dim)
+        nl = m * (m + 1) // 2
+        np_priv = m * nk if self.private_processes else 0
+        theta_shared = params[:nk]
+        L = np.zeros((m, m))
+        rows, cols = _tril_indices(m)
+        L[rows, cols] = params[nk : nk + nl]
+        theta_private = params[nk + nl : nk + nl + np_priv].reshape(
+            (m, nk) if self.private_processes else (0, nk)
+        )
+        log_noise = params[nk + nl + np_priv :]
+        return theta_shared, L, theta_private, log_noise
+
+    def _bounds(self, dim: int) -> list[tuple[float, float]]:
+        m = self.n_tasks
+        shared = self.kernel.bounds(dim)
+        # Fix the shared-kernel signal variance at 1: the task matrix B
+        # carries the shared output scales (removes a redundancy).
+        shared[0] = (0.0, 0.0)
+        bounds = shared + [TASK_CHOL_BOUNDS] * (m * (m + 1) // 2)
+        if self.private_processes:
+            for _ in range(m):
+                private = self.kernel.bounds(dim)
+                private[0] = PRIVATE_SIGNAL_BOUNDS
+                bounds += private
+        bounds += [LOG_NOISE_BOUNDS] * m
+        return bounds
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        optimize: bool = True,
+        init_params: np.ndarray | None = None,
+    ) -> "MultiTaskGP":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = np.asarray(Y, dtype=float)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        n, m = Y.shape
+        if m != self.n_tasks:
+            raise ValueError(f"expected {self.n_tasks} objectives, got {m}")
+        if X.shape[0] != n:
+            raise ValueError("X and Y disagree on sample count")
+        dim = X.shape[1]
+
+        y_mean = Y.mean(axis=0)
+        y_std = Y.std(axis=0)
+        y_std[y_std < 1e-12] = 1.0
+        Z = (Y - y_mean) / y_std
+
+        if init_params is None and self._state is not None and not optimize:
+            state = self._state
+            if state.X.shape[1] == dim:
+                init_params = self._pack(
+                    state.theta_shared, state.task_chol,
+                    state.theta_private, state.log_noise,
+                )
+        if init_params is None:
+            init_params = self._default_init(Z, dim)
+        params = np.asarray(init_params, dtype=float)
+
+        if optimize:
+            params = self._optimize(X, Z, params)
+
+        theta_s, L, theta_p, log_noise = self._unpack(params, dim)
+        chol, alpha = self._condition(X, Z, theta_s, L, theta_p, log_noise)
+        self._state = _MTState(
+            X=X, Y_raw=Y, y_mean=y_mean, y_std=y_std,
+            theta_shared=theta_s, theta_private=theta_p,
+            task_chol=L, log_noise=log_noise,
+            chol=chol, alpha=alpha,
+        )
+        return self
+
+    def _default_init(self, Z: np.ndarray, dim: int) -> np.ndarray:
+        m = self.n_tasks
+        nk = self._nk(dim)
+        if Z.shape[0] >= 3:
+            corr = np.corrcoef(Z.T)
+            corr = np.nan_to_num(corr, nan=0.0)
+            np.fill_diagonal(corr, 1.0)
+        else:
+            corr = np.eye(m)
+        # Split the unit output scale between shared and private parts.
+        B0 = 0.6 * corr + 0.1 * np.eye(m)
+        L0 = cholesky(B0, lower=True)
+        theta_p = np.tile(self.kernel.default_params(dim), (m, 1))
+        if self.private_processes:
+            theta_p[:, 0] = math.log(0.35)
+        return self._pack(
+            self.kernel.default_params(dim),
+            L0,
+            theta_p if self.private_processes else np.empty((0, nk)),
+            np.full(m, math.log(1e-4)),
+        )
+
+    def _full_cov(
+        self,
+        X: np.ndarray,
+        theta_s: np.ndarray,
+        L: np.ndarray,
+        theta_p: np.ndarray,
+        log_noise: np.ndarray,
+    ) -> np.ndarray:
+        n = X.shape[0]
+        m = self.n_tasks
+        Kx = self.kernel(X, X, theta_s)
+        B = L @ L.T
+        K = np.kron(B, Kx)
+        if self.private_processes:
+            for t in range(m):
+                Kp = self.kernel(X, X, theta_p[t])
+                K[t * n : (t + 1) * n, t * n : (t + 1) * n] += Kp
+        noise = np.exp(log_noise)
+        K[np.diag_indices_from(K)] += np.repeat(noise, n) + JITTER
+        return K
+
+    def _condition(
+        self,
+        X: np.ndarray,
+        Z: np.ndarray,
+        theta_s: np.ndarray,
+        L: np.ndarray,
+        theta_p: np.ndarray,
+        log_noise: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        K = self._full_cov(X, theta_s, L, theta_p, log_noise)
+        Lc = cholesky(K, lower=True)
+        z = Z.T.ravel()  # task-major stacking
+        alpha = cho_solve((Lc, True), z)
+        return Lc, alpha
+
+    def _neg_lml_and_grad(
+        self, params: np.ndarray, X: np.ndarray, Z: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        n, dim = X.shape
+        m = self.n_tasks
+        theta_s, L, theta_p, log_noise = self._unpack(params, dim)
+        Kx, shared_grads = self.kernel.with_gradients(X, theta_s)
+        B = L @ L.T
+        K = np.kron(B, Kx)
+        private_grads: list[list[np.ndarray]] = []
+        if self.private_processes:
+            for t in range(m):
+                Kp, grads_p = self.kernel.with_gradients(X, theta_p[t])
+                K[t * n : (t + 1) * n, t * n : (t + 1) * n] += Kp
+                private_grads.append(grads_p)
+        noise = np.exp(log_noise)
+        K[np.diag_indices_from(K)] += np.repeat(noise, n) + JITTER
+        try:
+            Lc = cholesky(K, lower=True)
+        except np.linalg.LinAlgError:
+            return 1e10, np.zeros_like(params)
+        z = Z.T.ravel()
+        alpha = cho_solve((Lc, True), z)
+        lml = (
+            -0.5 * float(z @ alpha)
+            - float(np.sum(np.log(np.diag(Lc))))
+            - 0.5 * n * m * math.log(2.0 * math.pi)
+        )
+        Kinv = cho_solve((Lc, True), np.eye(n * m))
+        W = np.outer(alpha, alpha) - Kinv
+
+        # Block traces T[i, j] = tr(W_ij Kx) drive the task-matrix grads;
+        # Wb = sum_ij B_ij W_ij drives the shared-kernel grads.
+        T = np.empty((m, m))
+        Wb = np.zeros((n, n))
+        W_diag_blocks = []
+        for i in range(m):
+            W_diag_blocks.append(W[i * n : (i + 1) * n, i * n : (i + 1) * n])
+            for j in range(m):
+                Wij = W[i * n : (i + 1) * n, j * n : (j + 1) * n]
+                T[i, j] = float(np.sum(Wij * Kx))
+                Wb += B[i, j] * Wij
+
+        grad = np.empty_like(params)
+        nk = self._nk(dim)
+        for k, dKx in enumerate(shared_grads):
+            grad[k] = 0.5 * float(np.sum(Wb * dKx))
+        # d/dL_ab of 0.5 sum_ij dB_ij T_ij with dB = E_ab L^T + L E_ab^T
+        grad_L = T @ L
+        rows, cols = _tril_indices(m)
+        nl = len(rows)
+        grad[nk : nk + nl] = grad_L[rows, cols]
+        offset = nk + nl
+        if self.private_processes:
+            for t in range(m):
+                Wtt = W_diag_blocks[t]
+                for k, dKp in enumerate(private_grads[t]):
+                    grad[offset + t * nk + k] = 0.5 * float(np.sum(Wtt * dKp))
+            offset += m * nk
+        for t in range(m):
+            grad[offset + t] = 0.5 * noise[t] * float(
+                np.trace(W_diag_blocks[t])
+            )
+        return -lml, -grad
+
+    def _optimize(
+        self, X: np.ndarray, Z: np.ndarray, params0: np.ndarray
+    ) -> np.ndarray:
+        dim = X.shape[1]
+        bounds = self._bounds(dim)
+        lo = np.array([b[0] for b in bounds])
+        hi = np.array([b[1] for b in bounds])
+        starts = [np.clip(params0, lo, hi)]
+        for _ in range(self.n_restarts):
+            jitter = self.rng.normal(0.0, 0.4, size=params0.shape)
+            starts.append(np.clip(params0 + jitter, lo, hi))
+        best, best_val = starts[0], math.inf
+        for start in starts:
+            result = minimize(
+                self._neg_lml_and_grad,
+                start,
+                args=(X, Z),
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": self.max_opt_iter},
+            )
+            if result.fun < best_val:
+                best_val, best = float(result.fun), result.x
+        return best
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._state is not None
+
+    def params(self) -> np.ndarray:
+        """Packed hyperparameters of the last fit."""
+        state = self._require_state()
+        return self._pack(
+            state.theta_shared, state.task_chol,
+            state.theta_private, state.log_noise,
+        )
+
+    def task_covariance(self) -> np.ndarray:
+        """Learned shared task matrix B (standardized output space)."""
+        state = self._require_state()
+        return state.task_chol @ state.task_chol.T
+
+    def task_correlation(self) -> np.ndarray:
+        """Correlation implied by the *total* per-task covariances.
+
+        Diagonal totals include the private-process signal, so the
+        off-diagonals shrink when a task is mostly private — the honest
+        picture of how much the objectives actually co-vary.
+        """
+        state = self._require_state()
+        B = self.task_covariance().copy()
+        total_diag = np.diag(B).copy()
+        if self.private_processes and state.theta_private.size:
+            total_diag += np.exp(state.theta_private[:, 0])
+        d = np.sqrt(np.clip(total_diag, 1e-12, None))
+        corr = B / np.outer(d, d)
+        np.fill_diagonal(corr, 1.0)
+        return corr
+
+    def predict(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Joint posterior at each query point.
+
+        Returns ``(mean, cov)`` with ``mean`` of shape (m_query, M) and
+        ``cov`` of shape (m_query, M, M) — per-point correlated Gaussians
+        in the *original* objective units.
+        """
+        state = self._require_state()
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        n = state.X.shape[0]
+        M = self.n_tasks
+        mq = Xs.shape[0]
+        B = state.task_chol @ state.task_chol.T
+
+        ks = self.kernel(state.X, Xs, state.theta_shared)  # (n, mq)
+        # Cross-covariance for all (task, query) pairs at once; column
+        # index of task i, query s is i*mq + s.
+        kstar = np.kron(B, ks)
+        if self.private_processes and state.theta_private.size:
+            for t in range(M):
+                kp = self.kernel(state.X, Xs, state.theta_private[t])
+                kstar[t * n : (t + 1) * n, t * mq : (t + 1) * mq] += kp
+
+        mean_z = (kstar.T @ state.alpha).reshape(M, mq).T  # (mq, M)
+
+        V = solve_triangular(state.chol, kstar, lower=True)
+        Vr = V.reshape(n * M, M, mq)
+        reduction = np.einsum("kim,kjm->mij", Vr, Vr)
+        kxx = self.kernel.diag(Xs, state.theta_shared)  # (mq,)
+        cov_z = B[None, :, :] * kxx[:, None, None] - reduction
+        if self.private_processes and state.theta_private.size:
+            for t in range(M):
+                cov_z[:, t, t] += self.kernel.diag(Xs, state.theta_private[t])
+        # Symmetrize + floor the marginal variances.
+        cov_z = 0.5 * (cov_z + np.transpose(cov_z, (0, 2, 1)))
+        cov_z[:, np.arange(M), np.arange(M)] = np.maximum(
+            cov_z[:, np.arange(M), np.arange(M)], 1e-12
+        )
+
+        scale = state.y_std
+        mean = state.y_mean + mean_z * scale
+        cov = cov_z * np.outer(scale, scale)[None, :, :]
+        return mean, cov
+
+    def predict_marginals(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-task posterior means and variances (diagonal of ``cov``)."""
+        mean, cov = self.predict(Xs)
+        M = self.n_tasks
+        var = cov[:, np.arange(M), np.arange(M)]
+        return mean, np.maximum(var, 1e-12)
+
+    def log_marginal_likelihood(self) -> float:
+        state = self._require_state()
+        Z = (state.Y_raw - state.y_mean) / state.y_std
+        value, _ = self._neg_lml_and_grad(self.params(), state.X, Z)
+        return -value
+
+    def _require_state(self) -> _MTState:
+        if self._state is None:
+            raise RuntimeError("MultiTaskGP is not fitted")
+        return self._state
+
+
+class IndependentMultiObjectiveGP:
+    """M independent single-output GPs behind the MultiTaskGP interface.
+
+    The correlation ablation and the FPL18 baseline (paper's [11], [12])
+    model the objectives as *independent* GPs; this adapter lets the
+    optimizer swap models without branching: ``predict`` returns a
+    diagonal per-point covariance.
+    """
+
+    def __init__(
+        self,
+        n_tasks: int,
+        kernel: StationaryKernel | None = None,
+        n_restarts: int = 1,
+        max_opt_iter: int = 80,
+        rng: np.random.Generator | None = None,
+    ):
+        from repro.core.gp import GaussianProcess
+
+        if n_tasks < 1:
+            raise ValueError("need at least one task")
+        self.n_tasks = n_tasks
+        self.models = [
+            GaussianProcess(
+                kernel=kernel,
+                n_restarts=n_restarts,
+                max_opt_iter=max_opt_iter,
+                rng=rng or np.random.default_rng(0),
+            )
+            for _ in range(n_tasks)
+        ]
+
+    def fit(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        optimize: bool = True,
+        init_params: np.ndarray | None = None,
+    ) -> "IndependentMultiObjectiveGP":
+        Y = np.atleast_2d(np.asarray(Y, dtype=float))
+        if Y.shape[1] != self.n_tasks:
+            raise ValueError(f"expected {self.n_tasks} objectives")
+        for t, model in enumerate(self.models):
+            model.fit(X, Y[:, t], optimize=optimize)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return all(m.is_fitted for m in self.models)
+
+    def predict(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        mean, var = self.predict_marginals(Xs)
+        m = self.n_tasks
+        cov = np.zeros((mean.shape[0], m, m))
+        cov[:, np.arange(m), np.arange(m)] = var
+        return mean, cov
+
+    def predict_marginals(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        means = np.empty((Xs.shape[0], self.n_tasks))
+        variances = np.empty_like(means)
+        for t, model in enumerate(self.models):
+            means[:, t], variances[:, t] = model.predict(Xs)
+        return means, np.maximum(variances, 1e-12)
+
+    def task_covariance(self) -> np.ndarray:
+        """Diagonal by construction — objectives are independent."""
+        return np.eye(self.n_tasks)
+
+    def task_correlation(self) -> np.ndarray:
+        return np.eye(self.n_tasks)

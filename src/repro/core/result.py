@@ -1,0 +1,65 @@
+"""Optimization run records and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pareto import pareto_mask
+from repro.hlsim.reports import Fidelity
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One iteration of Algorithm 2: which point, which fidelity, cost."""
+
+    step: int
+    config_index: int
+    fidelity: Fidelity
+    acquisition: float
+    runtime_s: float
+    objectives: np.ndarray
+    valid: bool
+
+
+@dataclass
+class OptimizationResult:
+    """Output of a design-space-exploration run.
+
+    ``cs_indices`` / ``cs_values`` form the candidate Pareto set *CS*
+    of Algorithm 2 — each configuration paired with its report at the
+    highest fidelity it was run at (invalid designs carry punished
+    values).  ``total_runtime_s`` is the simulated tool time, the
+    quantity behind Table I's "overall running time".
+    """
+
+    kernel_name: str
+    method: str
+    cs_indices: list[int] = field(default_factory=list)
+    cs_values: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    cs_fidelities: list[Fidelity] = field(default_factory=list)
+    history: list[StepRecord] = field(default_factory=list)
+    total_runtime_s: float = 0.0
+    evaluation_counts: dict[str, int] = field(default_factory=dict)
+
+    def pareto_indices(self) -> list[int]:
+        """Configuration indices of the learned (non-dominated) set."""
+        if len(self.cs_indices) == 0:
+            return []
+        mask = pareto_mask(self.cs_values)
+        return [idx for idx, keep in zip(self.cs_indices, mask) if keep]
+
+    def pareto_values(self) -> np.ndarray:
+        """Objective vectors of the learned Pareto set (as recorded)."""
+        if len(self.cs_indices) == 0:
+            return np.empty((0, self.cs_values.shape[1] if self.cs_values.size else 3))
+        mask = pareto_mask(self.cs_values)
+        return self.cs_values[mask]
+
+    def fidelity_histogram(self) -> dict[str, int]:
+        """How many BO steps ran at each fidelity."""
+        counts = {f.short_name: 0 for f in Fidelity}
+        for record in self.history:
+            counts[record.fidelity.short_name] += 1
+        return counts

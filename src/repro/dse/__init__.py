@@ -1,0 +1,43 @@
+"""Design-space substrate: directives, tree pruning, encoding, specs."""
+
+from repro.dse.directives import (
+    Configuration,
+    DirectiveKind,
+    DirectiveSchema,
+    DirectiveSite,
+    schema_for_kernel,
+)
+from repro.dse.space import DesignSpace
+from repro.dse.spec import (
+    SpecError,
+    dump_kernel,
+    kernel_to_spec,
+    load_kernel,
+    loads_kernel,
+    parse_kernel,
+)
+from repro.dse.tree import (
+    PruningTree,
+    build_pruning_trees,
+    prune_design_space,
+    pruning_ratio,
+)
+
+__all__ = [
+    "Configuration",
+    "DesignSpace",
+    "DirectiveKind",
+    "DirectiveSchema",
+    "DirectiveSite",
+    "PruningTree",
+    "SpecError",
+    "build_pruning_trees",
+    "dump_kernel",
+    "kernel_to_spec",
+    "load_kernel",
+    "loads_kernel",
+    "parse_kernel",
+    "prune_design_space",
+    "pruning_ratio",
+    "schema_for_kernel",
+]

@@ -1,0 +1,125 @@
+"""Code-structure queries over the kernel IR.
+
+These helpers answer the structural questions the pruning method and the
+scheduler keep asking — which loops are innermost, which loops access a
+given array, how deep a loop sits — without re-walking the IR by hand at
+every call site.
+"""
+
+from __future__ import annotations
+
+from repro.hlsim.ir import Array, ArrayAccess, Kernel, Loop
+
+
+def innermost_loops(kernel: Kernel) -> list[Loop]:
+    """Loops with no children — the only legal pipeline targets here."""
+    return [loop for loop in kernel.all_loops() if not loop.children]
+
+
+def loop_depth(kernel: Kernel, name: str) -> int:
+    """Nesting depth of a loop (top-level loops have depth 0)."""
+
+    def search(loop: Loop, depth: int) -> int | None:
+        if loop.name == name:
+            return depth
+        for child in loop.children:
+            found = search(child, depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    for top in kernel.loops:
+        found = search(top, 0)
+        if found is not None:
+            return found
+    raise KeyError(f"kernel {kernel.name!r} has no loop {name!r}")
+
+
+def loop_path(kernel: Kernel, name: str) -> list[Loop]:
+    """The chain of loops from a top-level loop down to ``name``."""
+
+    def search(loop: Loop, path: list[Loop]) -> list[Loop] | None:
+        path = path + [loop]
+        if loop.name == name:
+            return path
+        for child in loop.children:
+            found = search(child, path)
+            if found is not None:
+                return found
+        return None
+
+    for top in kernel.loops:
+        found = search(top, [])
+        if found is not None:
+            return found
+    raise KeyError(f"kernel {kernel.name!r} has no loop {name!r}")
+
+
+def loops_accessing(kernel: Kernel, array: str) -> list[Loop]:
+    """Loops whose bodies access ``array`` (the tree's children nodes)."""
+    result = []
+    seen = set()
+    for loop, access in kernel.all_accesses():
+        if access.array == array and loop.name not in seen:
+            seen.add(loop.name)
+            result.append(loop)
+    return result
+
+
+def accesses_to(kernel: Kernel, array: str) -> list[tuple[Loop, ArrayAccess]]:
+    """All ``(loop, access)`` pairs touching ``array``."""
+    return [
+        (loop, access)
+        for loop, access in kernel.all_accesses()
+        if access.array == array
+    ]
+
+
+def total_iterations(loop: Loop) -> int:
+    """Product of trip counts along the deepest nesting of ``loop``.
+
+    For a loop with several children this is the trip count times the
+    *sum* of child iteration counts (children run sequentially).
+    """
+    if not loop.children:
+        return loop.trip_count
+    return loop.trip_count * sum(total_iterations(c) for c in loop.children)
+
+
+def kernel_iterations(kernel: Kernel) -> int:
+    """Total innermost iterations executed by the whole kernel."""
+    return sum(total_iterations(top) for top in kernel.loops)
+
+
+def arrays_shared_by_loop(kernel: Kernel) -> dict[str, set[str]]:
+    """Map loop name -> set of arrays its subtree accesses.
+
+    Arrays co-accessed in one loop must share partition type (paper
+    Fig. 3's backtracking step); this map exposes those couplings.
+    """
+    result: dict[str, set[str]] = {}
+    for loop, access in kernel.all_accesses():
+        result.setdefault(loop.name, set()).add(access.array)
+        for outer in access.outer_loops:
+            result.setdefault(outer, set()).add(access.array)
+    return result
+
+
+def validate_pipeline_sites(kernel: Kernel) -> None:
+    """Reject pipeline directives on non-innermost loops.
+
+    Vivado HLS flattens (fully unrolls) inner loops when an outer loop
+    is pipelined; our scheduler does not model that, so the benchsuite
+    restricts pipelining to innermost loops and this check enforces it.
+    """
+    for loop in kernel.all_loops():
+        if loop.pipeline_site and loop.children:
+            raise ValueError(
+                f"kernel {kernel.name!r}: pipeline site on non-innermost "
+                f"loop {loop.name!r}"
+            )
+
+
+def array_of(kernel: Kernel, access: ArrayAccess) -> Array:
+    """Resolve the :class:`Array` object of an access."""
+    return kernel.array(access.array)

@@ -1,0 +1,246 @@
+"""YAML design-space specifications.
+
+The paper defines initial design spaces "by specifying all of the
+possible locations of directives and their factors in YAML files"
+(Sec. V).  This module parses such specs into :class:`~repro.hlsim.ir.Kernel`
+objects and serializes kernels back, so benchmark definitions can live
+in version-controlled YAML next to the code.
+
+Spec layout::
+
+    kernel: gemm
+    target_clock_ns: 10.0
+    fidelity: {irregularity: 0.05, noise: 0.01,
+               t_hls: 30.0, t_syn: 300.0, t_impl: 900.0}
+    arrays:
+      - {name: A, depth: 4096, width_bits: 32,
+         partition_factors: [1, 2, 4, 8], partition_types: [cyclic]}
+    loops:
+      - name: L1
+        trip: 64
+        body: {add: 1, mul: 1, load: 2, store: 1}
+        unroll: [1, 2, 4]
+        pipeline: {ii: [1, 2, 4]}
+        accesses:
+          - {array: A, index_loop: L1, outer_loops: [], reads: 2, writes: 1}
+        children: []
+    inline_sites:
+      - {name: comp, call_overhead_cycles: 2, lut_cost: 150, calls: 1}
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+import yaml
+
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    InlineSite,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+
+_OP_FIELDS = ("add", "mul", "div", "cmp", "logic", "load", "store")
+
+
+class SpecError(ValueError):
+    """Raised on malformed design-space specifications."""
+
+
+def parse_kernel(spec: Mapping[str, Any]) -> Kernel:
+    """Build a :class:`Kernel` from a parsed YAML mapping."""
+    if "kernel" not in spec:
+        raise SpecError("spec missing 'kernel' name")
+    name = str(spec["kernel"])
+    arrays = tuple(_parse_array(a) for a in spec.get("arrays", []))
+    loops = tuple(_parse_loop(l) for l in spec.get("loops", []))
+    if not loops:
+        raise SpecError(f"kernel {name!r}: spec declares no loops")
+    inline_sites = tuple(
+        _parse_inline(site) for site in spec.get("inline_sites", [])
+    )
+    fidelity = _parse_fidelity(spec.get("fidelity", {}))
+    try:
+        return Kernel(
+            name=name,
+            arrays=arrays,
+            loops=loops,
+            inline_sites=inline_sites,
+            target_clock_ns=float(spec.get("target_clock_ns", 10.0)),
+            fidelity=fidelity,
+        )
+    except ValueError as exc:
+        raise SpecError(str(exc)) from exc
+
+
+def load_kernel(path: str | Path) -> Kernel:
+    """Parse a kernel spec from a YAML file."""
+    with open(path) as handle:
+        spec = yaml.safe_load(handle)
+    if not isinstance(spec, Mapping):
+        raise SpecError(f"{path}: top level of spec must be a mapping")
+    return parse_kernel(spec)
+
+
+def loads_kernel(text: str) -> Kernel:
+    """Parse a kernel spec from a YAML string."""
+    spec = yaml.safe_load(text)
+    if not isinstance(spec, Mapping):
+        raise SpecError("top level of spec must be a mapping")
+    return parse_kernel(spec)
+
+
+def kernel_to_spec(kernel: Kernel) -> dict[str, Any]:
+    """Serialize a kernel back to a YAML-ready mapping (round-trips)."""
+    return {
+        "kernel": kernel.name,
+        "target_clock_ns": kernel.target_clock_ns,
+        "fidelity": {
+            "irregularity": kernel.fidelity.irregularity,
+            "area_irregularity": kernel.fidelity.area_irregularity,
+            "power_irregularity": kernel.fidelity.power_irregularity,
+            "noise": kernel.fidelity.noise,
+            "t_hls": kernel.fidelity.t_hls,
+            "t_syn": kernel.fidelity.t_syn,
+            "t_impl": kernel.fidelity.t_impl,
+        },
+        "arrays": [_dump_array(a) for a in kernel.arrays],
+        "loops": [_dump_loop(l) for l in kernel.loops],
+        "inline_sites": [
+            {
+                "name": s.name,
+                "call_overhead_cycles": s.call_overhead_cycles,
+                "lut_cost": s.lut_cost,
+                "calls": s.calls_per_kernel,
+            }
+            for s in kernel.inline_sites
+        ],
+    }
+
+
+def dump_kernel(kernel: Kernel, path: str | Path) -> None:
+    """Write a kernel spec to a YAML file."""
+    with open(path, "w") as handle:
+        yaml.safe_dump(kernel_to_spec(kernel), handle, sort_keys=False)
+
+
+def _parse_array(raw: Mapping[str, Any]) -> Array:
+    _require(raw, ("name", "depth"), "array")
+    return Array(
+        name=str(raw["name"]),
+        depth=int(raw["depth"]),
+        width_bits=int(raw.get("width_bits", 32)),
+        partition_factors=tuple(int(f) for f in raw.get("partition_factors", [1])),
+        partition_types=tuple(raw.get("partition_types", ["cyclic"])),
+    )
+
+
+def _parse_loop(raw: Mapping[str, Any]) -> Loop:
+    _require(raw, ("name", "trip"), "loop")
+    pipeline = raw.get("pipeline")
+    if pipeline:
+        pipeline_site = True
+        ii = tuple(int(v) for v in pipeline.get("ii", [1]))
+    else:
+        pipeline_site = False
+        ii = (1,)
+    return Loop(
+        name=str(raw["name"]),
+        trip_count=int(raw["trip"]),
+        body=_parse_ops(raw.get("body", {})),
+        accesses=tuple(_parse_access(a) for a in raw.get("accesses", [])),
+        children=tuple(_parse_loop(c) for c in raw.get("children", [])),
+        unroll_factors=tuple(int(u) for u in raw.get("unroll", [1])),
+        pipeline_site=pipeline_site,
+        ii_candidates=ii,
+    )
+
+
+def _parse_access(raw: Mapping[str, Any]) -> ArrayAccess:
+    _require(raw, ("array", "index_loop"), "access")
+    return ArrayAccess(
+        array=str(raw["array"]),
+        index_loop=str(raw["index_loop"]),
+        outer_loops=tuple(str(o) for o in raw.get("outer_loops", [])),
+        reads=float(raw.get("reads", 1.0)),
+        writes=float(raw.get("writes", 0.0)),
+    )
+
+
+def _parse_ops(raw: Mapping[str, Any]) -> OpCounts:
+    unknown = set(raw) - set(_OP_FIELDS)
+    if unknown:
+        raise SpecError(f"unknown op-count fields: {sorted(unknown)}")
+    return OpCounts(**{k: float(v) for k, v in raw.items()})
+
+
+def _parse_inline(raw: Mapping[str, Any]) -> InlineSite:
+    _require(raw, ("name",), "inline site")
+    return InlineSite(
+        name=str(raw["name"]),
+        call_overhead_cycles=int(raw.get("call_overhead_cycles", 2)),
+        lut_cost=int(raw.get("lut_cost", 150)),
+        calls_per_kernel=int(raw.get("calls", 1)),
+    )
+
+
+def _parse_fidelity(raw: Mapping[str, Any]) -> FidelityProfile:
+    defaults = FidelityProfile()
+    return FidelityProfile(
+        irregularity=float(raw.get("irregularity", defaults.irregularity)),
+        area_irregularity=float(raw.get("area_irregularity", -1.0)),
+        power_irregularity=float(raw.get("power_irregularity", -1.0)),
+        noise=float(raw.get("noise", defaults.noise)),
+        t_hls=float(raw.get("t_hls", defaults.t_hls)),
+        t_syn=float(raw.get("t_syn", defaults.t_syn)),
+        t_impl=float(raw.get("t_impl", defaults.t_impl)),
+    )
+
+
+def _require(raw: Mapping[str, Any], fields: tuple[str, ...], what: str) -> None:
+    missing = [f for f in fields if f not in raw]
+    if missing:
+        raise SpecError(f"{what} spec missing fields: {missing}")
+
+
+def _dump_array(array: Array) -> dict[str, Any]:
+    return {
+        "name": array.name,
+        "depth": array.depth,
+        "width_bits": array.width_bits,
+        "partition_factors": list(array.partition_factors),
+        "partition_types": list(array.partition_types),
+    }
+
+
+def _dump_loop(loop: Loop) -> dict[str, Any]:
+    body = {
+        field: getattr(loop.body, field)
+        for field in _OP_FIELDS
+        if getattr(loop.body, field)
+    }
+    spec: dict[str, Any] = {
+        "name": loop.name,
+        "trip": loop.trip_count,
+        "body": body,
+        "unroll": list(loop.unroll_factors),
+        "accesses": [
+            {
+                "array": a.array,
+                "index_loop": a.index_loop,
+                "outer_loops": list(a.outer_loops),
+                "reads": a.reads,
+                "writes": a.writes,
+            }
+            for a in loop.accesses
+        ],
+        "children": [_dump_loop(c) for c in loop.children],
+    }
+    if loop.pipeline_site:
+        spec["pipeline"] = {"ii": list(loop.ii_candidates)}
+    return spec

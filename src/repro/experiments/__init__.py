@@ -1,0 +1,37 @@
+"""Experiment drivers: one module per paper table / figure.
+
+- ``table1``       — Table I (normalized ADRS / std / runtime)
+- ``fig3_pruning`` — tree-pruning ratios (Fig. 3 / Sec. V-A claim)
+- ``fig4_toy``     — 1-D multi-fidelity EI toy (Fig. 4)
+- ``fig5``         — per-fidelity delay sweeps (Fig. 5)
+- ``fig6_cells``   — Pareto hypervolume cell decomposition (Fig. 6)
+- ``fig8``         — learned Pareto points per method (Fig. 8)
+
+Each is runnable as ``python -m repro.experiments.<name>``.
+"""
+
+from repro.experiments.harness import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    SMOKE_SCALE,
+    TABLE1_METHODS,
+    BenchmarkContext,
+    ExperimentScale,
+    MethodRun,
+    run_benchmark,
+    run_method,
+    run_table1,
+)
+
+__all__ = [
+    "BenchmarkContext",
+    "ExperimentScale",
+    "MethodRun",
+    "PAPER_SCALE",
+    "SMALL_SCALE",
+    "SMOKE_SCALE",
+    "TABLE1_METHODS",
+    "run_benchmark",
+    "run_method",
+    "run_table1",
+]

@@ -1,0 +1,97 @@
+"""Normalized per-fidelity delay sweeps (paper Fig. 5).
+
+For GEMM and SPMV_ELLPACK, sweep the whole pruned design space at all
+three fidelities and report how strongly the normalized delay values
+diverge: GEMM's fidelities nearly overlap, SPMV_ELLPACK's diverge —
+the motivation for the *non-linear* multi-fidelity model (Sec. IV-A).
+
+Usage: ``python -m repro.experiments.fig5 [--benchmarks gemm,...]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments.harness import BenchmarkContext
+from repro.hlsim.flow import fidelity_sweep
+from repro.hlsim.reports import ALL_FIDELITIES, Fidelity
+
+DEFAULT_BENCHMARKS = ("gemm", "spmv_ellpack")
+
+
+def normalized_delays(name: str, normalize: bool = False) -> dict[str, np.ndarray]:
+    """Delay per fidelity; optionally min-max normalized for plotting
+    (the paper's Fig. 5 axes are normalized)."""
+    ctx = BenchmarkContext.get(name)
+    sweeps = fidelity_sweep(ctx.space, ctx.flow)
+    delays = {f.short_name: sweeps[f][:, 1] for f in ALL_FIDELITIES}
+    if not normalize:
+        return delays
+    stacked = np.concatenate(list(delays.values()))
+    lo, hi = stacked.min(), stacked.max()
+    span = hi - lo if hi > lo else 1.0
+    return {k: (v - lo) / span for k, v in delays.items()}
+
+
+def divergence_score(delays: dict[str, np.ndarray]) -> float:
+    """Mean relative delay gap between the HLS and IMPL fidelities.
+
+    Small => the fidelity curves overlap (GEMM in Fig. 5(a)); large =>
+    they diverge (SPMV_ELLPACK in Fig. 5(b)).  Computed on the raw
+    normalized series per configuration, relative to the IMPL value.
+    """
+    impl = delays["impl"]
+    scale = np.maximum(np.abs(impl), np.abs(impl).mean() * 1e-3)
+    return float(np.mean(np.abs(delays["hls"] - impl) / scale))
+
+
+def run(
+    benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS, verbose: bool = True
+) -> dict[str, dict]:
+    results = {}
+    for name in benchmarks:
+        delays = normalized_delays(name)
+        rank_corr = float(
+            np.corrcoef(
+                np.argsort(np.argsort(delays["hls"])),
+                np.argsort(np.argsort(delays["impl"])),
+            )[0, 1]
+        )
+        results[name] = {
+            "delays": delays,
+            "divergence": divergence_score(delays),
+            "rank_correlation": rank_corr,
+            "n_configs": len(delays["hls"]),
+        }
+        if verbose:
+            print(
+                f"{name:<14} configs={results[name]['n_configs']:>6} "
+                f"|hls-impl| divergence={results[name]['divergence']:.4f} "
+                f"rank corr={rank_corr:.3f}"
+            )
+    if verbose and {"gemm", "spmv_ellpack"} <= set(results):
+        gemm = results["gemm"]["divergence"]
+        spmv = results["spmv_ellpack"]["divergence"]
+        print(
+            f"\nSPMV_ELLPACK diverges {spmv / gemm:.1f}x more than GEMM "
+            "(paper Fig. 5: overlapping vs divergent fidelities)"
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
+        help="comma-separated benchmark names",
+    )
+    args = parser.parse_args(argv)
+    run(tuple(b for b in args.benchmarks.split(",") if b))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

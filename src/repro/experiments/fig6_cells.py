@@ -1,0 +1,83 @@
+"""Pareto hypervolume cell decomposition (paper Fig. 6).
+
+Builds a small 2-objective (power, delay) example, decomposes the value
+space into grid cells induced by the Pareto points, verifies that the
+dominated cells tile exactly the Pareto hypervolume, and identifies the
+candidate with the highest expected improvement of Pareto hypervolume
+(the paper's green point).
+
+Usage: ``python -m repro.experiments.fig6_cells``
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.acquisition import ehvi_2d_independent, nondominated_cells_2d
+from repro.core.pareto import (
+    default_reference,
+    dominated_boxes,
+    hypervolume,
+    pareto_front,
+    pareto_mask,
+)
+
+
+def run(seed: int = 3, n_points: int = 40, verbose: bool = True) -> dict:
+    rng = np.random.default_rng(seed)
+    # Synthetic (power, delay) cloud with a meaningful trade-off.
+    t = rng.uniform(0.05, 1.0, size=n_points)
+    power = 0.3 + 0.8 / t + 0.1 * rng.normal(size=n_points)
+    delay = t * 10.0 + 0.4 * rng.normal(size=n_points)
+    Y = np.column_stack([np.abs(power), np.abs(delay)])
+
+    front = pareto_front(Y)
+    vref = default_reference(Y)
+    hv = hypervolume(front, vref)
+    boxes = dominated_boxes(front, vref)
+    box_volume = float(
+        np.prod(boxes[:, 1, :] - boxes[:, 0, :], axis=1).sum()
+    )
+    cells = nondominated_cells_2d(front, vref)
+
+    # Candidate predictive distributions (e.g. from a GP posterior);
+    # the argmax of EIPV is Fig. 6(b)'s green point.
+    means = Y * rng.uniform(0.7, 1.0, size=Y.shape)
+    variances = np.full_like(means, 0.2)
+    eipv = ehvi_2d_independent(means, variances, front, vref)
+    best = int(np.argmax(eipv))
+
+    result = {
+        "front_size": len(front),
+        "hypervolume": hv,
+        "box_volume": box_volume,
+        "n_dominated_boxes": len(boxes),
+        "n_nondominated_cells": len(cells),
+        "best_candidate": best,
+        "best_eipv": float(eipv[best]),
+        "dominated_count": int(len(Y) - pareto_mask(Y).sum()),
+    }
+    if verbose:
+        print(f"Pareto points (red in Fig. 6):        {result['front_size']}")
+        print(f"dominated points (blue):              {result['dominated_count']}")
+        print(f"Pareto hypervolume (blank cells):     {hv:.4f}")
+        print(f"sum of disjoint dominated boxes:      {box_volume:.4f}")
+        print(f"non-dominated (light red) cells:      {len(cells)}")
+        print(
+            f"EIPV-maximizing candidate (green):    #{best} "
+            f"(EIPV = {eipv[best]:.4f})"
+        )
+        match = abs(hv - box_volume) < 1e-9
+        print(f"decomposition exact: {match}")
+    return result
+
+
+def main() -> int:
+    run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Reproduce Table I: normalized ADRS / std / runtime per benchmark.
+
+Usage::
+
+    python -m repro.experiments.table1 [--scale smoke|small|paper]
+                                       [--benchmarks gemm,sort_radix,...]
+                                       [--seed N] [--json out.json]
+
+All three metrics are normalized to the ANN baseline, exactly as the
+paper reports them ("expressed as ratios to the results of ANN").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.experiments.harness import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    SMOKE_SCALE,
+    TABLE1_METHODS,
+    ExperimentScale,
+    MethodRun,
+    Table1Row,
+    run_benchmark,
+    summarize_benchmark,
+)
+from repro.benchsuite.registry import benchmark_names
+from repro.metrics.runtime import normalize_to
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": SMOKE_SCALE,
+    "small": SMALL_SCALE,
+    "paper": PAPER_SCALE,
+}
+
+
+def normalized_rows(
+    rows: list[Table1Row], anchor: str = "ann"
+) -> list[dict[str, dict[str, float]]]:
+    """Normalize each metric column to the anchor method, per benchmark."""
+    output = []
+    for row in rows:
+        output.append(
+            {
+                "benchmark": row.benchmark,
+                "adrs": normalize_to(row.adrs_mean, anchor),
+                "adrs_std": normalize_to(
+                    row.adrs_std,
+                    anchor,
+                )
+                if row.adrs_std.get(anchor, 0.0) > 0
+                else {k: float("nan") for k in row.adrs_std},
+                "runtime": normalize_to(row.runtime_mean, anchor),
+                "raw_adrs": dict(row.adrs_mean),
+                "raw_runtime_h": {
+                    k: v / 3600.0 for k, v in row.runtime_mean.items()
+                },
+            }
+        )
+    return output
+
+
+def format_table(
+    normalized: list[dict], methods: tuple[str, ...]
+) -> str:
+    """Render the three normalized blocks the way Table I lays them out."""
+    lines = []
+    headers = {"adrs": "Normalized ADRS",
+               "adrs_std": "Normalized Std-Dev of ADRS",
+               "runtime": "Normalized Overall Running Time"}
+    for metric, title in headers.items():
+        lines.append(title)
+        lines.append(
+            "  " + f"{'Benchmark':<15}" + "".join(f"{m:>9}" for m in methods)
+        )
+        averages = {m: [] for m in methods}
+        for entry in normalized:
+            cells = []
+            for m in methods:
+                value = entry[metric].get(m, float("nan"))
+                averages[m].append(value)
+                cells.append(f"{value:>9.2f}")
+            lines.append("  " + f"{entry['benchmark']:<15}" + "".join(cells))
+        lines.append(
+            "  " + f"{'Average':<15}"
+            + "".join(f"{np.nanmean(averages[m]):>9.2f}" for m in methods)
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def run(
+    scale_name: str = "small",
+    benchmarks: tuple[str, ...] | None = None,
+    methods: tuple[str, ...] = TABLE1_METHODS,
+    base_seed: int = 2021,
+    verbose: bool = True,
+) -> tuple[list[Table1Row], list[dict]]:
+    """Run the full Table I experiment and return raw + normalized rows."""
+    scale = SCALES[scale_name]
+    names = tuple(benchmarks) if benchmarks else tuple(benchmark_names())
+    rows: list[Table1Row] = []
+    for name in names:
+        if verbose:
+            print(f"benchmark {name}:", flush=True)
+        runs = run_benchmark(
+            name, methods=methods, scale=scale, base_seed=base_seed,
+            verbose=verbose,
+        )
+        rows.append(summarize_benchmark(name, runs))
+    return rows, normalized_rows(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated subset (default: all six)")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--json", default="", help="write results as JSON")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    benchmarks = (
+        tuple(b for b in args.benchmarks.split(",") if b)
+        if args.benchmarks
+        else None
+    )
+    rows, normalized = run(
+        scale_name=args.scale,
+        benchmarks=benchmarks,
+        base_seed=args.seed,
+        verbose=not args.quiet,
+    )
+    print(format_table(normalized, TABLE1_METHODS))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(normalized, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

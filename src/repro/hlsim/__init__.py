@@ -1,0 +1,66 @@
+"""FPGA HLS / logic-synthesis / implementation flow simulator.
+
+The substitute substrate for Xilinx Vivado HLS (see DESIGN.md §2): a
+kernel IR, an analytic scheduler / resource / timing / power model, and
+a three-fidelity flow whose reports diverge non-linearly across stages.
+"""
+
+from repro.hlsim.device import TINY_DEVICE, VC707, Device
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    InlineSite,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+from repro.hlsim.reports import (
+    ALL_FIDELITIES,
+    NUM_OBJECTIVES,
+    OBJECTIVE_NAMES,
+    Fidelity,
+    FlowResult,
+    StageReport,
+)
+from repro.hlsim.resources import ResourceEstimate, estimate_resources
+from repro.hlsim.scheduler import ScheduleResult, schedule
+
+# The flow module imports repro.dse (for the directive schema), which in
+# turn imports repro.hlsim.ir — importing it eagerly here would close an
+# import cycle.  Resolve the flow names lazily instead (PEP 562).
+_LAZY_FLOW_NAMES = {"HlsFlow", "fidelity_sweep", "ground_truth"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_FLOW_NAMES:
+        from repro.hlsim import flow
+
+        return getattr(flow, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ALL_FIDELITIES",
+    "Array",
+    "ArrayAccess",
+    "Device",
+    "Fidelity",
+    "FidelityProfile",
+    "FlowResult",
+    "HlsFlow",
+    "InlineSite",
+    "Kernel",
+    "Loop",
+    "NUM_OBJECTIVES",
+    "OBJECTIVE_NAMES",
+    "OpCounts",
+    "ResourceEstimate",
+    "ScheduleResult",
+    "StageReport",
+    "TINY_DEVICE",
+    "VC707",
+    "estimate_resources",
+    "fidelity_sweep",
+    "ground_truth",
+    "schedule",
+]

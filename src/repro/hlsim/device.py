@@ -1,0 +1,53 @@
+"""FPGA device models.
+
+The paper targets a Xilinx Virtex-7 VC707 board (XC7VX485T part); the
+capacities below are that part's published resource counts.  The device
+model bounds utilization metrics and defines when an implementation is
+declared invalid (placement/routing failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Device:
+    """Resource capacities and implementation limits of an FPGA part."""
+
+    name: str
+    luts: int
+    ffs: int
+    dsps: int
+    bram18: int
+    # Designs whose post-implementation LUT utilization exceeds this
+    # fraction fail placement (no valid reports, paper Sec. IV-C).
+    max_lut_util: float = 0.92
+    # Routing gives up when the achieved clock degrades beyond this
+    # multiple of the target clock.
+    max_clock_ratio: float = 2.5
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.ffs, self.dsps, self.bram18) <= 0:
+            raise ValueError("device capacities must be positive")
+        if not 0.0 < self.max_lut_util <= 1.0:
+            raise ValueError("max_lut_util must be in (0, 1]")
+
+
+#: Xilinx Virtex-7 XC7VX485T (VC707 board) — the paper's target device.
+VC707 = Device(
+    name="xc7vx485t (VC707)",
+    luts=303_600,
+    ffs=607_200,
+    dsps=2_800,
+    bram18=2_060,
+)
+
+#: A small artificial part used by tests to trigger invalid designs easily.
+TINY_DEVICE = Device(
+    name="tiny-test-part",
+    luts=20_000,
+    ffs=40_000,
+    dsps=120,
+    bram18=200,
+)

@@ -1,0 +1,295 @@
+"""Kernel intermediate representation for the HLS flow simulator.
+
+The IR models exactly the program structure that HLS directives act on:
+for-loops (unroll / pipeline sites), arrays (partition sites), and
+inlinable sub-functions.  Each loop carries per-iteration operation
+counts and a list of array accesses; each access records which loop's
+induction variable drives the array index.  That access structure is
+what the tree-based pruning method of the paper (Algorithm 1) consumes,
+and what the scheduler uses to derive port conflicts and initiation
+intervals.
+
+The IR is deliberately analytic rather than instruction-accurate: the
+optimization algorithms only ever observe the PPA reports derived from
+it, so what matters is that directives interact with the structure the
+same way they do in Vivado HLS (unroll multiplies op counts, partitioning
+multiplies memory ports, pipelining overlaps iterations at some II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Per-iteration operation counts of a loop body (excluding children).
+
+    Counts are floats so that sub-functions can contribute fractional
+    average costs (e.g. a conditional store executed half the time).
+    """
+
+    add: float = 0.0
+    mul: float = 0.0
+    div: float = 0.0
+    cmp: float = 0.0
+    logic: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+
+    def total_compute(self) -> float:
+        """Number of arithmetic/logic operations per iteration."""
+        return self.add + self.mul + self.div + self.cmp + self.logic
+
+    def total_memory(self) -> float:
+        """Number of memory operations per iteration."""
+        return self.load + self.store
+
+    def scaled(self, factor: float) -> "OpCounts":
+        """Return a copy with every count multiplied by ``factor``."""
+        return OpCounts(
+            add=self.add * factor,
+            mul=self.mul * factor,
+            div=self.div * factor,
+            cmp=self.cmp * factor,
+            logic=self.logic * factor,
+            load=self.load * factor,
+            store=self.store * factor,
+        )
+
+    def merged(self, other: "OpCounts") -> "OpCounts":
+        """Return the element-wise sum of two op-count records."""
+        return OpCounts(
+            add=self.add + other.add,
+            mul=self.mul + other.mul,
+            div=self.div + other.div,
+            cmp=self.cmp + other.cmp,
+            logic=self.logic + other.logic,
+            load=self.load + other.load,
+            store=self.store + other.store,
+        )
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One array access site inside a loop body.
+
+    ``array`` names the accessed :class:`Array`.  ``index_loop`` names the
+    loop whose induction variable drives the partitionable dimension of
+    the index expression (``A[i * 10 + j]`` accessed inside loop ``j`` has
+    ``index_loop='j'`` for cyclic partitioning).  ``outer_loops`` names
+    the loops appearing in the *non*-partitioned dimensions of the index
+    expression (``i`` above) — unrolling those while the array is
+    cyclically partitioned is incompatible (paper Fig. 3: "we will not
+    unroll L1").  ``reads``/``writes`` count accesses per iteration of
+    the enclosing loop.
+    """
+
+    array: str
+    index_loop: str
+    outer_loops: tuple[str, ...] = ()
+    reads: float = 1.0
+    writes: float = 0.0
+
+    @property
+    def ports_needed(self) -> float:
+        return self.reads + self.writes
+
+
+@dataclass(frozen=True)
+class Array:
+    """An on-chip array, root node of a pruning tree (paper Fig. 3).
+
+    ``depth`` is the number of elements, ``width_bits`` the element width.
+    ``partition_factors`` lists the legal ARRAY_PARTITION factors offered
+    to the design space (factor 1 = no partitioning).
+    """
+
+    name: str
+    depth: int
+    width_bits: int = 32
+    partition_factors: tuple[int, ...] = (1, 2, 4, 8)
+    partition_types: tuple[str, ...] = ("cyclic",)
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0:
+            raise ValueError(f"array {self.name!r}: depth must be positive")
+        if not self.partition_factors:
+            raise ValueError(f"array {self.name!r}: no partition factors")
+        if any(f <= 0 for f in self.partition_factors):
+            raise ValueError(f"array {self.name!r}: factors must be positive")
+
+    def bits(self) -> int:
+        """Total storage in bits."""
+        return self.depth * self.width_bits
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A for-loop: an unroll and (optionally) a pipeline directive site.
+
+    ``body`` holds the op counts of the loop's own body statements,
+    excluding child loops.  ``accesses`` are the array accesses issued per
+    iteration of *this* loop (again excluding children).  ``children``
+    nest inner loops.
+    """
+
+    name: str
+    trip_count: int
+    body: OpCounts = field(default_factory=OpCounts)
+    accesses: tuple[ArrayAccess, ...] = ()
+    children: tuple["Loop", ...] = ()
+    unroll_factors: tuple[int, ...] = (1,)
+    pipeline_site: bool = False
+    ii_candidates: tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        if self.trip_count <= 0:
+            raise ValueError(f"loop {self.name!r}: trip count must be positive")
+        if not self.unroll_factors:
+            raise ValueError(f"loop {self.name!r}: no unroll factors")
+        if any(u <= 0 for u in self.unroll_factors):
+            raise ValueError(f"loop {self.name!r}: unroll factors must be positive")
+        if self.pipeline_site and not self.ii_candidates:
+            raise ValueError(f"loop {self.name!r}: pipeline site needs II candidates")
+
+    def walk(self) -> Iterator["Loop"]:
+        """Yield this loop and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def all_accesses(self) -> Iterator[tuple["Loop", ArrayAccess]]:
+        """Yield ``(loop, access)`` pairs for the whole subtree."""
+        for loop in self.walk():
+            for access in loop.accesses:
+                yield loop, access
+
+
+@dataclass(frozen=True)
+class InlineSite:
+    """A callable sub-function that can be inlined (INLINE ON/OFF).
+
+    Inlining removes the call overhead (``call_overhead_cycles`` per
+    invocation) at the cost of duplicated control logic
+    (``lut_cost`` extra LUTs per call site when inlined).
+    """
+
+    name: str
+    call_overhead_cycles: int = 2
+    lut_cost: int = 150
+    calls_per_kernel: int = 1
+
+
+@dataclass(frozen=True)
+class FidelityProfile:
+    """Per-kernel knobs controlling cross-fidelity divergence.
+
+    ``irregularity`` in [0, 1] scales how strongly the post-Synth and
+    post-Impl *timing* (and hence delay) deviates non-linearly from the
+    post-HLS estimates — the paper's Fig. 5 contrast between GEMM
+    (overlapping delay fidelities) and SPMV_ELLPACK (divergent ones).
+    ``area_irregularity`` / ``power_irregularity`` do the same for the
+    LUT and power reports; Fig. 5 only constrains delay, and even
+    regular kernels have poorly-predicted area/power, so these default
+    to at least 0.35.  ``noise`` scales the deterministic
+    per-configuration tool jitter.  The stage times are simulated
+    seconds for a full run *of that stage alone*; cumulative flow time
+    up to a fidelity sums the prefix.
+    """
+
+    irregularity: float = 0.2
+    area_irregularity: float = -1.0  # sentinel: derived in __post_init__
+    power_irregularity: float = -1.0
+    noise: float = 0.01
+    t_hls: float = 300.0
+    t_syn: float = 1200.0
+    t_impl: float = 2400.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.irregularity <= 1.0:
+            raise ValueError("irregularity must be in [0, 1]")
+        if self.area_irregularity < 0.0:
+            object.__setattr__(
+                self, "area_irregularity", max(self.irregularity, 0.35)
+            )
+        if self.power_irregularity < 0.0:
+            object.__setattr__(
+                self, "power_irregularity", max(self.irregularity, 0.35)
+            )
+        for name in ("area_irregularity", "power_irregularity"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.noise < 0.0:
+            raise ValueError("noise must be non-negative")
+        if min(self.t_hls, self.t_syn, self.t_impl) <= 0.0:
+            raise ValueError("stage times must be positive")
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A complete HLS kernel: arrays + loop nests + inline sites."""
+
+    name: str
+    arrays: tuple[Array, ...]
+    loops: tuple[Loop, ...]
+    inline_sites: tuple[InlineSite, ...] = ()
+    target_clock_ns: float = 10.0
+    fidelity: FidelityProfile = field(default_factory=FidelityProfile)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.arrays]
+        if len(names) != len(set(names)):
+            raise ValueError(f"kernel {self.name!r}: duplicate array names")
+        loop_names = [l.name for l in self.all_loops()]
+        if len(loop_names) != len(set(loop_names)):
+            raise ValueError(f"kernel {self.name!r}: duplicate loop names")
+        arrays = set(names)
+        loops = set(loop_names)
+        for loop, access in self.all_accesses():
+            if access.array not in arrays:
+                raise ValueError(
+                    f"kernel {self.name!r}: loop {loop.name!r} accesses "
+                    f"unknown array {access.array!r}"
+                )
+            if access.index_loop not in loops:
+                raise ValueError(
+                    f"kernel {self.name!r}: access to {access.array!r} indexed "
+                    f"by unknown loop {access.index_loop!r}"
+                )
+            for outer in access.outer_loops:
+                if outer not in loops:
+                    raise ValueError(
+                        f"kernel {self.name!r}: access to {access.array!r} has "
+                        f"unknown outer loop {outer!r}"
+                    )
+
+    def all_loops(self) -> list[Loop]:
+        """All loops of the kernel, pre-order across top-level nests."""
+        result: list[Loop] = []
+        for top in self.loops:
+            result.extend(top.walk())
+        return result
+
+    def all_accesses(self) -> Iterator[tuple[Loop, ArrayAccess]]:
+        for top in self.loops:
+            yield from top.all_accesses()
+
+    def loop(self, name: str) -> Loop:
+        """Look up a loop by name."""
+        for candidate in self.all_loops():
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"kernel {self.name!r} has no loop {name!r}")
+
+    def array(self, name: str) -> Array:
+        """Look up an array by name."""
+        for candidate in self.arrays:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"kernel {self.name!r} has no array {name!r}")
+
+    def with_fidelity(self, profile: FidelityProfile) -> "Kernel":
+        """Return a copy of this kernel with a different fidelity profile."""
+        return replace(self, fidelity=profile)

@@ -1,0 +1,66 @@
+"""Power model.
+
+Total power = static + dynamic.  Dynamic power scales with resource
+usage, clock frequency and switching activity; pipelined, highly
+parallel designs keep more of the fabric busy every cycle, which is why
+latency and power are negatively/positively correlated with resources —
+the objective correlations the paper's multi-task GP exploits
+(Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from repro.hlsim.resources import ResourceEstimate
+from repro.hlsim.scheduler import ScheduleResult
+
+#: Device static power (W) — Virtex-7 class part.
+STATIC_POWER_W = 0.24
+
+#: Dynamic power per resource unit per MHz (W / unit / MHz).
+LUT_W_PER_MHZ = 6.0e-7
+FF_W_PER_MHZ = 1.5e-7
+DSP_W_PER_MHZ = 9.0e-6
+BRAM18_W_PER_MHZ = 6.5e-6
+
+#: Clock-distribution power per MHz.
+CLOCK_TREE_W_PER_MHZ = 2.2e-4
+
+
+def switching_activity(schedule: ScheduleResult) -> float:
+    """Average toggle-rate factor in (0, 1].
+
+    A fully pipelined, wide design toggles most of its fabric every
+    cycle; an unoptimized sequential design leaves most units idle.
+    """
+    base = 0.12
+    base += 0.30 * schedule.pipelined_fraction
+    base += 0.08 * min(1.0, schedule.mean_parallelism / 16.0)
+    return min(1.0, base)
+
+
+def estimate_power_w(
+    resources: ResourceEstimate,
+    schedule: ScheduleResult,
+    clock_ns: float,
+    activity: float | None = None,
+    include_clock_tree: bool = True,
+) -> float:
+    """Total power (W) of a design at a given achieved clock.
+
+    ``activity`` overrides the schedule-derived switching activity —
+    the HLS stage uses a crude constant, later stages use the real one.
+    """
+    if clock_ns <= 0:
+        raise ValueError("clock period must be positive")
+    freq_mhz = 1e3 / clock_ns
+    if activity is None:
+        activity = switching_activity(schedule)
+    dynamic = (
+        resources.lut * LUT_W_PER_MHZ
+        + resources.ff * FF_W_PER_MHZ
+        + resources.dsp * DSP_W_PER_MHZ
+        + resources.bram18 * BRAM18_W_PER_MHZ
+    ) * freq_mhz * activity
+    if include_clock_tree:
+        dynamic += CLOCK_TREE_W_PER_MHZ * freq_mhz
+    return STATIC_POWER_W + dynamic

@@ -1,0 +1,92 @@
+"""Report dataclasses and the fidelity ladder of the FPGA flow."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Fidelity(enum.IntEnum):
+    """The three analysis stages, ordered low to high fidelity (Fig. 2)."""
+
+    HLS = 0
+    SYN = 1
+    IMPL = 2
+
+    @property
+    def short_name(self) -> str:
+        return {"HLS": "hls", "SYN": "syn", "IMPL": "impl"}[self.name]
+
+    @classmethod
+    def from_name(cls, name: str) -> "Fidelity":
+        table = {"hls": cls.HLS, "syn": cls.SYN, "impl": cls.IMPL}
+        try:
+            return table[name.lower()]
+        except KeyError:
+            raise ValueError(f"unknown fidelity {name!r}") from None
+
+
+#: All fidelities, low to high — iteration order used across the repo.
+ALL_FIDELITIES: tuple[Fidelity, ...] = (Fidelity.HLS, Fidelity.SYN, Fidelity.IMPL)
+
+#: Objective names in the canonical order (power, delay, LUT) — paper
+#: Sec. III-C's PPA metrics; everything downstream minimizes all three.
+OBJECTIVE_NAMES: tuple[str, ...] = ("power_w", "delay_us", "lut_util")
+
+#: Number of design objectives.
+NUM_OBJECTIVES: int = len(OBJECTIVE_NAMES)
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """PPA report of one stage for one configuration.
+
+    ``valid`` is False for designs that fail placement/routing — only
+    the IMPL stage can report invalidity (lower stages cannot see it,
+    which is exactly the risk the paper's intro describes).
+    """
+
+    stage: Fidelity
+    latency_cycles: float
+    clock_ns: float
+    lut: float
+    ff: float
+    dsp: float
+    bram18: float
+    power_w: float
+    lut_util: float
+    valid: bool
+    runtime_s: float
+
+    @property
+    def delay_us(self) -> float:
+        """Task time length = latency × clock period (paper Sec. III-C)."""
+        return self.latency_cycles * self.clock_ns * 1e-3
+
+    def objectives(self) -> np.ndarray:
+        """The minimized objective vector ``[power, delay, lut_util]``."""
+        return np.array([self.power_w, self.delay_us, self.lut_util])
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Result of running the flow up to some fidelity on one config."""
+
+    reports: tuple[StageReport, ...]
+    total_runtime_s: float
+
+    @property
+    def highest(self) -> StageReport:
+        return self.reports[-1]
+
+    def report_at(self, fidelity: Fidelity) -> StageReport:
+        for report in self.reports:
+            if report.stage == fidelity:
+                return report
+        raise KeyError(f"flow was not run up to {fidelity.short_name}")
+
+    @property
+    def valid(self) -> bool:
+        return all(r.valid for r in self.reports)

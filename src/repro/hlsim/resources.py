@@ -1,0 +1,122 @@
+"""Resource (LUT / FF / DSP / BRAM) estimation.
+
+Mirrors what Vivado HLS's resource estimator does at a coarse grain:
+operators are replicated per unroll copy, array partitions each consume
+whole BRAM18 blocks plus banking multiplexers, pipelining adds pipeline
+registers, and inlining trades call-control LUTs for duplicated logic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.hlsim.ir import Array, Kernel, Loop
+from repro.hlsim.scheduler import partition_of, pipeline_ii_of, unroll_of
+
+#: Per-operator LUT costs (32-bit integer datapath).
+LUT_PER_OP = {
+    "add": 32.0,
+    "mul": 60.0,
+    "div": 1100.0,
+    "cmp": 16.0,
+    "logic": 8.0,
+    "load": 12.0,
+    "store": 10.0,
+}
+
+#: DSP48 slices per operator.
+DSP_PER_OP = {"mul": 2.0}
+
+#: Banking multiplexer LUTs per partition per port.
+MUX_LUT_PER_PARTITION = 6.0
+
+#: Bits per BRAM18 block.
+BRAM18_BITS = 18 * 1024
+
+#: Static control overhead.
+BASE_CTRL_LUT = 1200.0
+CTRL_LUT_PER_LOOP = 40.0
+CALL_CTRL_LUT = 60.0
+
+#: Registers inserted per pipeline stage per unrolled copy.
+PIPELINE_FF_PER_STAGE = 48.0
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Raw (pre-fidelity-distortion) resource usage of a configuration."""
+
+    lut: float
+    ff: float
+    dsp: float
+    bram18: float
+
+
+def _loop_resources(
+    loop: Loop, config: Mapping[str, int]
+) -> tuple[float, float, float]:
+    """(lut, ff, dsp) of one loop subtree under a configuration."""
+    unroll = unroll_of(config, loop)
+    lut = CTRL_LUT_PER_LOOP
+    dsp = 0.0
+    for name, cost in LUT_PER_OP.items():
+        lut += getattr(loop.body, name) * cost * unroll
+    for name, cost in DSP_PER_OP.items():
+        dsp += getattr(loop.body, name) * cost * unroll
+    # Banking muxes: each access to a partitioned array needs per-bank
+    # steering logic on every unrolled copy that addresses it.
+    for access in loop.accesses:
+        partition = partition_of(config, access.array)
+        if partition > 1:
+            copies = max(1.0, float(min(unroll, partition)))
+            lut += MUX_LUT_PER_PARTITION * partition * access.ports_needed * copies
+    ff = 0.6 * lut
+    if pipeline_ii_of(config, loop) > 0 and not loop.children:
+        depth = max(2.0, loop.body.total_compute())
+        ff += PIPELINE_FF_PER_STAGE * depth * unroll
+        lut *= 1.06  # pipeline control overhead
+    for child in loop.children:
+        c_lut, c_ff, c_dsp = _loop_resources(child, config)
+        # An unrolled parent duplicates its children's hardware.
+        lut += c_lut * unroll
+        ff += c_ff * unroll
+        dsp += c_dsp * unroll
+    return lut, ff, dsp
+
+
+def _array_bram(array: Array, config: Mapping[str, int]) -> float:
+    """BRAM18 blocks of one (possibly partitioned) array.
+
+    Each of the ``p`` partitions stores ``ceil(depth / p)`` words and
+    occupies at least one whole BRAM18, so over-partitioning wastes
+    memory — the "more memory resources consumed without increasing the
+    system parallelism" effect the paper prunes against.
+    """
+    partition = min(partition_of(config, array.name), array.depth)
+    words_per_bank = math.ceil(array.depth / partition)
+    bits_per_bank = words_per_bank * array.width_bits
+    return partition * max(1.0, math.ceil(bits_per_bank / BRAM18_BITS))
+
+
+def estimate_resources(
+    kernel: Kernel, config: Mapping[str, int]
+) -> ResourceEstimate:
+    """Raw resource usage of a kernel under a directive configuration."""
+    lut = BASE_CTRL_LUT
+    ff = 0.0
+    dsp = 0.0
+    for top in kernel.loops:
+        l_lut, l_ff, l_dsp = _loop_resources(top, config)
+        lut += l_lut
+        ff += l_ff
+        dsp += l_dsp
+    for site in kernel.inline_sites:
+        if config.get(f"inline@{site.name}", 0):
+            lut += site.lut_cost * site.calls_per_kernel
+        else:
+            lut += CALL_CTRL_LUT
+    bram = sum(_array_bram(array, config) for array in kernel.arrays)
+    ff += 0.3 * lut
+    return ResourceEstimate(lut=lut, ff=ff, dsp=dsp, bram18=bram)

@@ -1,0 +1,243 @@
+"""Latency / initiation-interval model of the HLS stage.
+
+The scheduler turns (kernel IR, directive configuration) into a cycle
+count the way Vivado HLS's list scheduler does at a coarse grain:
+
+- **unroll** replicates a loop body ``u`` times and divides the trip
+  count; replicated compute runs in parallel, but memory accesses are
+  throttled by array ports (2 per BRAM partition), so the effective
+  speedup of unrolling is capped by ``min(u, partition_factor)`` — the
+  interaction the paper's pruning method (Fig. 3) is built around;
+- **pipeline** overlaps iterations of an innermost loop at an achieved
+  initiation interval ``II = max(II_target, II_ports, II_resource)``;
+- **array partitioning** multiplies memory ports, lowering both the
+  unrolled-body memory cycles and the pipeline port II;
+- **inline** removes per-call overhead cycles.
+
+The model is analytic and deterministic; the fidelity stages in
+:mod:`repro.hlsim.flow` layer their distortions on top of it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.hlsim.ir import ArrayAccess, Kernel, Loop
+
+#: Operation latencies in cycles (integer datapath on Virtex-7 at ~100 MHz).
+OP_LATENCY = {
+    "add": 1.0,
+    "mul": 3.0,
+    "div": 18.0,
+    "cmp": 1.0,
+    "logic": 1.0,
+    "load": 2.0,
+    "store": 1.0,
+}
+
+#: Ports per BRAM partition (Xilinx block RAM is dual-ported).
+PORTS_PER_PARTITION = 2.0
+
+#: Fixed cycles of loop entry/exit control.
+LOOP_OVERHEAD = 2.0
+
+#: Fixed kernel start/finish cycles (interface handshake).
+KERNEL_OVERHEAD = 10.0
+
+
+@dataclass(frozen=True)
+class LoopRecord:
+    """Per-loop schedule summary — the timing model's unit of analysis."""
+
+    name: str
+    unroll: int
+    partition: int  # largest banking factor among accessed arrays
+    pipelined: bool
+    ii: float
+    has_mul: bool
+    has_div: bool
+
+
+@dataclass
+class ScheduleResult:
+    """Summary of one scheduled kernel execution."""
+
+    latency_cycles: float
+    max_unroll: int = 1
+    max_partition: int = 1
+    pipelined_fraction: float = 0.0
+    achieved_iis: dict[str, float] = field(default_factory=dict)
+    mean_parallelism: float = 1.0
+    has_div: bool = False
+    loop_records: list[LoopRecord] = field(default_factory=list)
+    # Internal accumulators (iterations executed pipelined vs. total).
+    _pipelined_iters: float = 0.0
+    _total_iters: float = 0.0
+
+
+def unroll_of(config: Mapping[str, int], loop: Loop) -> int:
+    """Unroll factor a configuration assigns to a loop (capped by trip)."""
+    factor = config.get(f"unroll@{loop.name}", 1)
+    return max(1, min(factor, loop.trip_count))
+
+
+def partition_of(config: Mapping[str, int], array: str) -> int:
+    """Partition factor a configuration assigns to an array."""
+    return max(1, config.get(f"array_partition@{array}", 1))
+
+
+def pipeline_ii_of(config: Mapping[str, int], loop: Loop) -> int:
+    """Target II for a loop; 0 means pipelining is off."""
+    if not loop.pipeline_site:
+        return 0
+    return config.get(f"pipeline@{loop.name}", 0)
+
+
+def _compute_cycles(loop: Loop) -> float:
+    """Serial compute latency of one original iteration's body ops."""
+    ops = loop.body
+    cycles = 0.0
+    for name, latency in OP_LATENCY.items():
+        if name in ("load", "store"):
+            continue
+        cycles += getattr(ops, name) * latency
+    return cycles
+
+
+def _memory_cycles(
+    loop: Loop, unroll: int, config: Mapping[str, int]
+) -> float:
+    """Cycles to issue the memory traffic of ``unroll`` merged iterations.
+
+    Each array serves ``PORTS_PER_PARTITION × partition`` accesses per
+    cycle; partitions beyond the unroll factor cannot be exploited by
+    this loop (effective banking is ``min(partition, unroll)``).
+    """
+    total = 0.0
+    for access in loop.accesses:
+        partition = partition_of(config, access.array)
+        effective_banks = min(partition, unroll)
+        issue_rate = PORTS_PER_PARTITION * effective_banks
+        demand = access.ports_needed * unroll
+        total += math.ceil(demand / issue_rate) * OP_LATENCY["load"]
+    return total
+
+
+def _port_ii(loop: Loop, unroll: int, config: Mapping[str, int]) -> float:
+    """Initiation interval forced by array-port conflicts."""
+    worst = 1.0
+    for access in loop.accesses:
+        partition = partition_of(config, access.array)
+        ports = PORTS_PER_PARTITION * partition
+        demand = access.ports_needed * unroll
+        worst = max(worst, math.ceil(demand / ports))
+    return worst
+
+
+def _resource_ii(loop: Loop) -> float:
+    """II floor from long-latency, non-pipelinable units (dividers)."""
+    return 4.0 if loop.body.div > 0 else 1.0
+
+
+def _subtree_min_partition(
+    loop: Loop, config: Mapping[str, int]
+) -> float:
+    """Smallest partition factor among arrays touched by a subtree.
+
+    Used to cap how well replicated child loops can overlap when their
+    parent is unrolled: shared memories serialize the copies.
+    """
+    partitions = [
+        partition_of(config, access.array)
+        for _loop, access in loop.all_accesses()
+    ]
+    return float(min(partitions)) if partitions else math.inf
+
+
+def _loop_cycles(
+    loop: Loop,
+    config: Mapping[str, int],
+    result: ScheduleResult,
+) -> float:
+    """Latency of one complete execution of ``loop`` (recursive)."""
+    unroll = unroll_of(config, loop)
+    result.max_unroll = max(result.max_unroll, unroll)
+    trips = math.ceil(loop.trip_count / unroll)
+
+    compute = _compute_cycles(loop)
+    memory = _memory_cycles(loop, unroll, config)
+    if loop.body.div > 0:
+        result.has_div = True
+
+    children_cycles = 0.0
+    for child in loop.children:
+        child_cycles = _loop_cycles(child, config, result)
+        if unroll > 1:
+            # Replicated child loops overlap up to the banking of the
+            # arrays they share; leftover copies serialize.
+            overlap = min(unroll, _subtree_min_partition(child, config))
+            child_cycles *= unroll / max(overlap, 1.0)
+        children_cycles += child_cycles
+
+    target_ii = pipeline_ii_of(config, loop)
+    pipelined = target_ii > 0 and not loop.children
+    ii = 0.0
+    if pipelined:
+        port_ii = _port_ii(loop, unroll, config)
+        ii = max(float(target_ii), port_ii, _resource_ii(loop))
+        depth = compute + memory + LOOP_OVERHEAD
+        latency = depth + ii * (trips - 1)
+        result.achieved_iis[loop.name] = ii
+        result._pipelined_iters += trips
+    else:
+        iteration = compute + memory + children_cycles
+        latency = trips * iteration + LOOP_OVERHEAD
+    result._total_iters += trips
+    result.loop_records.append(
+        LoopRecord(
+            name=loop.name,
+            unroll=unroll,
+            partition=int(
+                max(
+                    (partition_of(config, a.array) for a in loop.accesses),
+                    default=1,
+                )
+            ),
+            pipelined=pipelined,
+            ii=ii,
+            has_mul=loop.body.mul > 0,
+            has_div=loop.body.div > 0,
+        )
+    )
+    parallel = min(unroll, max(1.0, _subtree_min_partition(loop, config)))
+    result.mean_parallelism = max(result.mean_parallelism, float(parallel))
+    return latency
+
+
+def schedule(kernel: Kernel, config: Mapping[str, int]) -> ScheduleResult:
+    """Schedule a kernel under a directive configuration.
+
+    ``config`` maps directive-site keys (``unroll@L1``,
+    ``pipeline@L2``, ``array_partition@A``, ``inline@f``) to values; any
+    missing site takes its neutral value (no unroll / no pipeline / no
+    partition / not inlined).
+    """
+    result = ScheduleResult(latency_cycles=0.0)
+    total = KERNEL_OVERHEAD
+    for top in kernel.loops:
+        total += _loop_cycles(top, config, result)
+    for site in kernel.inline_sites:
+        inlined = config.get(f"inline@{site.name}", 0)
+        if not inlined:
+            total += site.call_overhead_cycles * site.calls_per_kernel
+
+    for array in kernel.arrays:
+        result.max_partition = max(
+            result.max_partition, partition_of(config, array.name)
+        )
+    total_iters = max(result._total_iters, 1.0)
+    result.pipelined_fraction = min(1.0, result._pipelined_iters / total_iters)
+    result.latency_cycles = total
+    return result

@@ -1,0 +1,117 @@
+"""Clock-period model.
+
+The achievable clock period is what separates the fidelities most in
+practice: HLS assumes the target clock is (mostly) met, logic synthesis
+sees the real combinational depth, and implementation adds routing
+congestion.
+
+The combinational model is **per-loop with max-coupling**: every loop
+contributes a register-to-register path whose depth grows with its
+operator mix, its banking-mux fan-in and its unroll fan-out, and the
+design's clock is set by the *worst* loop.  An optional per-loop ripple
+callback injects netlist-level idiosyncrasies (provided by the flow, as
+a deterministic function of the loop's directive assignment) — the
+max-of-paths structure is what makes real Pareto fronts scattered
+rather than smooth ladders: one badly-drawn loop path ruins an
+otherwise aggressive configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.hlsim.device import Device
+from repro.hlsim.resources import ResourceEstimate
+from repro.hlsim.scheduler import LoopRecord, ScheduleResult
+
+#: Base combinational delay (register-to-register, ns).
+BASE_DELAY_NS = 2.6
+
+#: Extra path delay when multipliers / dividers sit on the loop's path.
+MUL_PATH_NS = 1.1
+DIV_PATH_NS = 2.4
+
+#: Delay per doubling of the banking-mux fan-in.
+MUX_LEVEL_NS = 0.55
+
+#: Delay per doubling of the unroll fan-out.
+FANOUT_LEVEL_NS = 0.22
+
+#: Extra path pressure on pipelined loops (forwarding logic).
+PIPELINE_PATH_NS = 0.25
+
+#: A per-loop ripple callback: maps a loop record to a multiplicative
+#: path-delay factor (1.0 = no ripple).
+LoopRipple = Callable[[LoopRecord], float]
+
+
+def loop_path_ns(record: LoopRecord) -> float:
+    """Nominal critical-path delay of one loop's datapath (ns)."""
+    path = BASE_DELAY_NS
+    if record.has_mul:
+        path += MUL_PATH_NS
+    if record.has_div:
+        path += DIV_PATH_NS
+    path += MUX_LEVEL_NS * math.log2(1.0 + record.partition)
+    path += FANOUT_LEVEL_NS * math.log2(1.0 + record.unroll)
+    if record.pipelined:
+        path += PIPELINE_PATH_NS
+    return path
+
+
+def logic_clock_ns(
+    schedule: ScheduleResult,
+    has_mul: bool,
+    target_clock_ns: float,
+    loop_ripple: LoopRipple | None = None,
+) -> float:
+    """Post-synthesis clock period: the worst loop path wins.
+
+    ``has_mul`` covers kernels whose multipliers sit outside any loop
+    record (defensive default when records are missing).
+    """
+    if schedule.loop_records:
+        period = 0.0
+        for record in schedule.loop_records:
+            path = loop_path_ns(record)
+            if loop_ripple is not None:
+                path *= loop_ripple(record)
+            period = max(period, path)
+    else:
+        period = BASE_DELAY_NS + (MUL_PATH_NS if has_mul else 0.0)
+        if schedule.has_div:
+            period += DIV_PATH_NS
+        period += MUX_LEVEL_NS * math.log2(1.0 + schedule.max_partition)
+        period += FANOUT_LEVEL_NS * math.log2(1.0 + schedule.max_unroll)
+    # Synthesis retimes towards the target but cannot beat physics:
+    # generously-budgeted designs settle slightly under target.
+    return max(period, 0.55 * target_clock_ns)
+
+
+def congestion_factor(resources: ResourceEstimate, device: Device) -> float:
+    """Multiplicative clock degradation from routing congestion.
+
+    Negligible below ~65 % LUT utilization, then growing quadratically —
+    the non-linearity that makes post-implementation reports diverge
+    from earlier stages on resource-hungry configurations.
+    """
+    util = resources.lut / device.luts
+    bram_util = resources.bram18 / device.bram18
+    pressure = max(util, 0.85 * bram_util)
+    excess = max(0.0, pressure - 0.65)
+    return 1.0 + 2.2 * excess * excess + 0.15 * max(0.0, pressure - 0.85)
+
+
+def impl_clock_ns(
+    schedule: ScheduleResult,
+    resources: ResourceEstimate,
+    device: Device,
+    has_mul: bool,
+    target_clock_ns: float,
+    loop_ripple: LoopRipple | None = None,
+) -> float:
+    """Post-implementation clock period including congestion."""
+    return logic_clock_ns(
+        schedule, has_mul, target_clock_ns, loop_ripple=loop_ripple
+    ) * congestion_factor(resources, device)

@@ -1,0 +1,12 @@
+"""Evaluation metrics: ADRS (Eq. (11)) and runtime accounting."""
+
+from repro.metrics.adrs import adrs, euclidean_normalized, relative_gap
+from repro.metrics.runtime import RuntimeLedger, normalize_to
+
+__all__ = [
+    "RuntimeLedger",
+    "adrs",
+    "euclidean_normalized",
+    "normalize_to",
+    "relative_gap",
+]

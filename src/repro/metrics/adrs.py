@@ -1,0 +1,78 @@
+"""Average Distance to Reference Set (paper Eq. (11)).
+
+ADRS measures how closely a learned Pareto set ``Omega`` approximates
+the real Pareto set ``Gamma``:
+
+    ADRS(Gamma, Omega) = (1/|Gamma|) * sum_{g in Gamma} min_{w in Omega} f(g, w)
+
+with ``f`` a point distance.  The standard HLS-DSE choice (the paper
+cites [20] for it) is the worst-case relative objective gap; a
+normalized Euclidean distance is also provided for diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relative_gap(reference: np.ndarray, learned: np.ndarray) -> np.ndarray:
+    """Pairwise worst-case relative objective gap.
+
+    ``reference`` is (g, M), ``learned`` is (w, M); the result is (g, w)
+    with entry ``max_j max(0, (w_j - g_j) / |g_j|)`` — zero when the
+    learned point matches or dominates the reference point.
+    """
+    reference = np.atleast_2d(np.asarray(reference, dtype=float))
+    learned = np.atleast_2d(np.asarray(learned, dtype=float))
+    denom = np.maximum(np.abs(reference), 1e-12)
+    gaps = (learned[None, :, :] - reference[:, None, :]) / denom[:, None, :]
+    return np.clip(gaps, 0.0, None).max(axis=2)
+
+
+def euclidean_normalized(
+    reference: np.ndarray, learned: np.ndarray
+) -> np.ndarray:
+    """Pairwise Euclidean distance after per-objective range scaling."""
+    reference = np.atleast_2d(np.asarray(reference, dtype=float))
+    learned = np.atleast_2d(np.asarray(learned, dtype=float))
+    lo = reference.min(axis=0)
+    hi = reference.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    r = (reference - lo) / span
+    w = (learned - lo) / span
+    diff = r[:, None, :] - w[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=2))
+
+
+_DISTANCES = {
+    "relative": relative_gap,
+    "euclidean": euclidean_normalized,
+}
+
+
+def adrs(
+    reference_front: np.ndarray,
+    learned_set: np.ndarray,
+    distance: str = "relative",
+) -> float:
+    """ADRS of a learned set against the real Pareto front (Eq. (11)).
+
+    Zero iff every reference point is matched or dominated by some
+    learned point.  An empty learned set raises; an empty reference
+    front is a caller bug and raises too.
+    """
+    reference_front = np.atleast_2d(np.asarray(reference_front, dtype=float))
+    learned_set = np.atleast_2d(np.asarray(learned_set, dtype=float))
+    if reference_front.shape[0] == 0:
+        raise ValueError("reference front is empty")
+    if learned_set.shape[0] == 0:
+        raise ValueError("learned set is empty")
+    if reference_front.shape[1] != learned_set.shape[1]:
+        raise ValueError("objective dimensionality mismatch")
+    try:
+        pairwise = _DISTANCES[distance]
+    except KeyError:
+        raise ValueError(
+            f"unknown distance {distance!r}; choose from {sorted(_DISTANCES)}"
+        ) from None
+    return float(pairwise(reference_front, learned_set).min(axis=1).mean())

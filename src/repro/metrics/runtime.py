@@ -1,0 +1,43 @@
+"""Simulated tool-time accounting helpers (Table I's running time)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import OptimizationResult
+
+
+@dataclass
+class RuntimeLedger:
+    """Accumulates simulated flow seconds across runs of one method."""
+
+    entries: list[float] = field(default_factory=list)
+
+    def add(self, result: OptimizationResult) -> None:
+        self.entries.append(result.total_runtime_s)
+
+    def total(self) -> float:
+        return float(sum(self.entries))
+
+    def mean(self) -> float:
+        if not self.entries:
+            raise ValueError("no runtimes recorded")
+        return float(np.mean(self.entries))
+
+
+def normalize_to(
+    values: dict[str, float], anchor: str
+) -> dict[str, float]:
+    """Express a per-method metric as ratios to an anchor method.
+
+    Table I normalizes every column to the ANN baseline ("expressed as
+    ratios to the results of ANN").
+    """
+    if anchor not in values:
+        raise KeyError(f"anchor method {anchor!r} missing from {sorted(values)}")
+    base = values[anchor]
+    if base == 0:
+        raise ValueError(f"anchor method {anchor!r} has zero value")
+    return {name: value / base for name, value in values.items()}

@@ -1,0 +1,169 @@
+"""Tests for EI, cell decomposition, EIPV and the PEIPV penalty."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acquisition import (
+    ehvi_2d_independent,
+    eipv_mc,
+    expected_improvement,
+    nondominated_cells_2d,
+    penalized_eipv,
+)
+from repro.core.pareto import hypervolume, pareto_front
+
+
+class TestExpectedImprovement:
+    def test_known_value_at_mean_equals_best(self):
+        # mu == best: EI = sigma * phi(0) = sigma / sqrt(2 pi).
+        ei = expected_improvement(np.array([1.0]), np.array([2.0]), best=1.0)
+        assert ei[0] == pytest.approx(2.0 / np.sqrt(2 * np.pi))
+
+    def test_zero_sigma_uses_deterministic_improvement(self):
+        ei = expected_improvement(
+            np.array([0.2, 0.8]), np.array([0.0, 0.0]), best=0.5
+        )
+        assert ei[0] == pytest.approx(0.3)
+        assert ei[1] == 0.0
+
+    def test_monotone_in_mean(self):
+        mus = np.linspace(-1, 1, 11)
+        ei = expected_improvement(mus, np.full(11, 0.3), best=0.0)
+        assert np.all(np.diff(ei) <= 1e-12)
+
+    def test_jitter_reduces_ei(self):
+        base = expected_improvement(np.array([0.0]), np.array([0.5]), best=0.5)
+        jittered = expected_improvement(
+            np.array([0.0]), np.array([0.5]), best=0.5, xi=0.3
+        )
+        assert jittered[0] < base[0]
+
+    @given(
+        st.floats(-3, 3), st.floats(0.01, 2.0), st.floats(-3, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_monte_carlo(self, mu, sigma, best):
+        rng = np.random.default_rng(0)
+        ys = rng.normal(mu, sigma, size=200_000)
+        mc = np.maximum(best - ys, 0.0).mean()
+        analytic = expected_improvement(
+            np.array([mu]), np.array([sigma]), best=best
+        )[0]
+        assert analytic == pytest.approx(mc, rel=0.05, abs=5e-3)
+
+
+class TestCells:
+    def test_cell_count_single_point(self):
+        """One Pareto point on a 2-D grid: 3 of 4 cells non-dominated."""
+        front = np.array([[0.5, 0.5]])
+        ref = np.array([1.0, 1.0])
+        cells = nondominated_cells_2d(front, ref)
+        assert len(cells) == 3
+
+    def test_cells_cover_hv_complement(self):
+        rng = np.random.default_rng(1)
+        front = pareto_front(rng.uniform(0.2, 0.9, size=(12, 2)))
+        ref = np.array([1.0, 1.0])
+        cells = nondominated_cells_2d(front, ref)
+        finite = cells[np.all(np.isfinite(cells[:, 0, :]), axis=1)]
+        cell_vol = np.prod(finite[:, 1, :] - finite[:, 0, :], axis=1).sum()
+        # Finite cells + dominated region tile the box [min(front), ref].
+        lo = front.min(axis=0)
+        box = np.prod(ref - lo)
+        assert cell_vol + hypervolume(front, ref) == pytest.approx(box)
+
+
+class TestEIPV:
+    @pytest.fixture
+    def setup(self):
+        rng = np.random.default_rng(2)
+        front = pareto_front(rng.uniform(0, 1, size=(25, 2)))
+        ref = np.array([1.3, 1.3])
+        means = rng.uniform(0, 1.2, size=(30, 2))
+        variances = rng.uniform(1e-3, 0.05, size=(30, 2))
+        return front, ref, means, variances
+
+    def test_analytic_matches_mc(self, setup):
+        front, ref, means, variances = setup
+        analytic = ehvi_2d_independent(means, variances, front, ref)
+        mc = eipv_mc(
+            means, variances, front, ref,
+            rng=np.random.default_rng(0), n_samples=20_000,
+        )
+        assert np.allclose(analytic, mc, atol=2e-3)
+
+    def test_nonnegative(self, setup):
+        front, ref, means, variances = setup
+        assert np.all(ehvi_2d_independent(means, variances, front, ref) >= 0)
+
+    def test_dominated_mean_small_variance_near_zero(self, setup):
+        front, ref, _, _ = setup
+        worst = front.max(axis=0) + 0.05
+        value = ehvi_2d_independent(
+            worst[None, :], np.array([[1e-8, 1e-8]]), front, ref
+        )
+        assert value[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_dominating_mean_large_eipv(self, setup):
+        front, ref, _, _ = setup
+        best = front.min(axis=0) - 0.2
+        value = ehvi_2d_independent(
+            best[None, :], np.array([[1e-6, 1e-6]]), front, ref
+        )
+        assert value[0] > 0.01
+
+    def test_correlated_covariance_accepted(self):
+        rng = np.random.default_rng(3)
+        front = pareto_front(rng.uniform(0, 1, size=(10, 3)))
+        ref = np.full(3, 1.3)
+        means = rng.uniform(0, 1, size=(5, 3))
+        covs = np.empty((5, 3, 3))
+        for i in range(5):
+            A = rng.normal(size=(3, 3)) * 0.1
+            covs[i] = A @ A.T + 1e-4 * np.eye(3)
+        values = eipv_mc(
+            means, covs, front, ref,
+            rng=np.random.default_rng(0), n_samples=256,
+        )
+        assert values.shape == (5,)
+        assert np.all(values >= 0)
+
+    def test_correlation_changes_eipv(self):
+        """Anti-correlated uncertainty yields different EIPV than
+        independent — the effect the paper's model exists to capture."""
+        front = np.array([[0.5, 0.5]])
+        ref = np.array([1.0, 1.0])
+        mean = np.array([[0.5, 0.5]])
+        var = 0.04
+        cov_indep = np.array([[[var, 0.0], [0.0, var]]])
+        cov_anti = np.array([[[var, -0.95 * var], [-0.95 * var, var]]])
+        rng = lambda: np.random.default_rng(0)
+        v_indep = eipv_mc(mean, cov_indep, front, ref, rng(), n_samples=20_000)
+        v_anti = eipv_mc(mean, cov_anti, front, ref, rng(), n_samples=20_000)
+        assert abs(v_indep[0] - v_anti[0]) > 0.1 * max(v_indep[0], 1e-6)
+
+    def test_covs_shape_mismatch(self, setup):
+        front, ref, means, _ = setup
+        with pytest.raises(ValueError, match="incompatible"):
+            eipv_mc(
+                means, np.zeros((2, 2, 2)), front, ref,
+                rng=np.random.default_rng(0),
+            )
+
+
+class TestPenalty:
+    def test_eq10_ratio(self):
+        values = penalized_eipv(np.array([1.0, 2.0]), t_impl=900.0, t_fidelity=30.0)
+        assert np.allclose(values, [30.0, 60.0])
+
+    def test_highest_fidelity_unpenalized(self):
+        values = penalized_eipv(np.array([1.5]), t_impl=900.0, t_fidelity=900.0)
+        assert values[0] == pytest.approx(1.5)
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            penalized_eipv(np.array([1.0]), t_impl=0.0, t_fidelity=1.0)
+        with pytest.raises(ValueError):
+            penalized_eipv(np.array([1.0]), t_impl=1.0, t_fidelity=-1.0)

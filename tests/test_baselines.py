@@ -1,0 +1,175 @@
+"""Tests for the comparison methods (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ann import MLPRegressor
+from repro.baselines.boosting import GradientBoostingRegressor, RegressionTree
+from repro.baselines.common import collect_training_data, run_offline_regression
+from repro.baselines.dac19 import RidgeRegressor, run_dac19
+from repro.baselines.fpl18 import fpl18_settings, run_fpl18
+from repro.baselines.random_search import run_random_search
+from repro.core.optimizer import MFBOSettings
+from repro.dse.space import DesignSpace
+from repro.hlsim.flow import HlsFlow
+from repro.hlsim.reports import Fidelity
+from tests.test_optimizer import small_kernel
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DesignSpace.from_kernel(small_kernel())
+
+
+@pytest.fixture(scope="module")
+def flow(space):
+    return HlsFlow.for_space(space)
+
+
+@pytest.fixture
+def regression_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(60, 4))
+    y = 2.0 * X[:, 0] - X[:, 1] ** 2 + 0.5 * np.sin(4 * X[:, 2])
+    return X, y + 0.02 * rng.normal(size=60)
+
+
+class TestMLP:
+    def test_fits_smooth_function(self, regression_data):
+        X, y = regression_data
+        model = MLPRegressor(epochs=1200, rng=np.random.default_rng(0))
+        model.fit(X[:45], y[:45])
+        pred = model.predict(X[45:])
+        assert np.corrcoef(pred, y[45:])[0, 1] > 0.8
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.zeros((1, 3)))
+
+    def test_rejects_wrong_architecture(self):
+        with pytest.raises(ValueError, match="2 hidden"):
+            MLPRegressor(hidden=(8,))
+
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(epochs=0)
+
+    def test_deterministic_given_rng(self, regression_data):
+        X, y = regression_data
+        a = MLPRegressor(epochs=200, rng=np.random.default_rng(1)).fit(X, y)
+        b = MLPRegressor(epochs=200, rng=np.random.default_rng(1)).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+
+class TestBoosting:
+    def test_tree_fits_step_function(self):
+        X = np.linspace(0, 1, 50)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert np.allclose(tree.predict(X), y, atol=0.01)
+
+    def test_tree_respects_depth(self):
+        X = np.random.default_rng(0).uniform(size=(40, 1))
+        y = np.sin(10 * X[:, 0])
+        shallow = RegressionTree(max_depth=1).fit(X, y)
+        assert len(np.unique(shallow.predict(X))) <= 2
+
+    def test_boosting_beats_single_tree(self, regression_data):
+        X, y = regression_data
+        tree = RegressionTree(max_depth=3).fit(X[:45], y[:45])
+        boost = GradientBoostingRegressor(
+            n_estimators=80, max_depth=3, rng=np.random.default_rng(0)
+        ).fit(X[:45], y[:45])
+        err_tree = np.mean((tree.predict(X[45:]) - y[45:]) ** 2)
+        err_boost = np.mean((boost.predict(X[45:]) - y[45:]) ** 2)
+        assert err_boost < err_tree
+
+    def test_boosting_validates_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_subsampling_runs(self, regression_data):
+        X, y = regression_data
+        model = GradientBoostingRegressor(
+            n_estimators=20, subsample=0.5, rng=np.random.default_rng(0)
+        ).fit(X, y)
+        assert model.n_trees == 20
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((1, 2)))
+
+
+class TestRidge:
+    def test_recovers_linear_coefficients(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(100, 3))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 0.5
+        model = RidgeRegressor(alpha=1e-6).fit(X, y)
+        pred = model.predict(X)
+        assert np.allclose(pred, y, atol=1e-3)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=0.0)
+
+
+class TestDrivers:
+    def test_collect_training_data(self, space, flow):
+        rng = np.random.default_rng(0)
+        indices = space.sample_indices(rng, 6)
+        Y, valid, runtime = collect_training_data(space, flow, indices)
+        assert Y.shape == (6, 3)
+        assert valid.shape == (6,)
+        assert runtime > 0
+
+    def test_offline_regression_result(self, space, flow):
+        result = run_offline_regression(
+            space, flow,
+            regressor_factory=lambda _o: GradientBoostingRegressor(
+                n_estimators=20, rng=np.random.default_rng(0)
+            ),
+            method_name="bt-test",
+            rng=np.random.default_rng(1),
+            n_train=12,
+        )
+        assert result.method == "bt-test"
+        assert result.cs_indices  # predicted Pareto non-empty
+        assert result.evaluation_counts == {"hls": 12, "syn": 12, "impl": 12}
+        # 12 full flows' worth of simulated time.
+        assert result.total_runtime_s > 10 * flow.stage_time(Fidelity.IMPL) * 0.5
+
+    def test_dac19_runtime_is_nsets_times_train(self, space, flow):
+        result = run_dac19(
+            space, flow, rng=np.random.default_rng(0), n_sets=2, set_size=8
+        )
+        assert result.evaluation_counts["impl"] == 16
+        assert result.cs_indices
+
+    def test_fpl18_settings_flip_ablations(self):
+        settings = fpl18_settings(MFBOSettings(n_iter=7, seed=3))
+        assert not settings.correlated
+        assert not settings.nonlinear
+        assert settings.n_iter == 7
+        assert settings.seed == 3
+
+    def test_fpl18_runs(self, space, flow):
+        settings = MFBOSettings(
+            n_init=(5, 3, 2), n_iter=3, n_mc_samples=16,
+            candidate_pool=24, seed=0,
+        )
+        result = run_fpl18(space, flow, settings)
+        assert result.method == "fpl18"
+        assert result.pareto_indices()
+
+    def test_random_search(self, space, flow):
+        result = run_random_search(
+            space, flow, np.random.default_rng(0), n_evals=10
+        )
+        assert len(result.cs_indices) == 10
+        assert result.method == "random"
+        assert result.pareto_indices()

@@ -1,0 +1,105 @@
+"""Tests for the benchmark suite definitions."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import (
+    BENCHMARKS,
+    benchmark_names,
+    get_kernel,
+    get_space,
+)
+from repro.hlsim.flow import HlsFlow
+from repro.hlsim.reports import Fidelity
+
+
+class TestRegistry:
+    def test_table1_order(self):
+        assert benchmark_names() == [
+            "gemm", "ismart2", "sort_radix", "spmv_ellpack",
+            "spmv_crs", "stencil3d",
+        ]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_kernel("bitcoin_miner")
+
+    def test_builders_are_pure(self):
+        for name in benchmark_names():
+            assert get_kernel(name) == get_kernel(name)
+
+    def test_kernel_names_match_keys(self):
+        for name, build in BENCHMARKS.items():
+            assert build().name == name
+
+
+class TestKernelShapes:
+    def test_gemm_structure(self):
+        kernel = get_kernel("gemm")
+        assert {a.name for a in kernel.arrays} >= {"m1", "m2", "prod"}
+        assert kernel.loop("k").pipeline_site
+        # The reduction loop reads both operands and accumulates.
+        accesses = {a.array for a in kernel.loop("k").accesses}
+        assert accesses == {"m1", "m2", "prod"}
+
+    def test_sort_radix_has_phases(self):
+        kernel = get_kernel("sort_radix")
+        loop_names = {l.name for l in kernel.all_loops()}
+        assert {"hist", "sum_scan", "update", "copyback"} <= loop_names
+
+    def test_spmv_kernels_are_irregular(self):
+        for name in ("spmv_ellpack", "spmv_crs"):
+            profile = get_kernel(name).fidelity
+            assert profile.irregularity >= 0.4
+
+    def test_gemm_is_regular_in_delay(self):
+        """Fig. 5(a): GEMM's delay fidelities nearly overlap."""
+        profile = get_kernel("gemm").fidelity
+        assert profile.irregularity <= 0.15
+        # ... but its area/power reports still shift across stages.
+        assert profile.area_irregularity >= 0.35
+
+    def test_ismart2_has_divider_stage(self):
+        kernel = get_kernel("ismart2")
+        assert any(l.body.div > 0 for l in kernel.all_loops())
+
+    def test_stencil3d_nest_depth(self):
+        from repro.dse.codemodel import loop_depth
+
+        assert loop_depth(get_kernel("stencil3d"), "k") == 2
+
+
+class TestSpaceScale:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_space_in_tractable_band(self, name):
+        space = get_space(name)
+        assert 1_000 <= len(space) <= 50_000
+        assert 10 <= space.dim <= 30
+
+    def test_only_ismart2_has_invalid_designs_on_vc707(self):
+        """iSmart2's divider wall is the suite's invalid-design source."""
+        space = get_space("ismart2")
+        flow = HlsFlow.for_space(space)
+        rng = np.random.default_rng(0)
+        idx = space.sample_indices(rng, 300)
+        valid = flow.validity([space[i] for i in idx])
+        assert (~valid).mean() > 0.05
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_pipelining_reduces_cycles(self, name):
+        """Turning on any pipeline site must reduce the cycle count
+        (it can still hurt the clock — that is the trade-off)."""
+        from repro.hlsim.scheduler import schedule
+
+        space = get_space(name)
+        kernel = space.kernel
+        schema = space.schema
+        pipe_sites = [s for s in schema.sites if s.key.startswith("pipeline@")]
+        assert pipe_sites
+        improved = False
+        for site in pipe_sites:
+            off = schedule(kernel, {}).latency_cycles
+            on = schedule(kernel, {site.key: 1}).latency_cycles
+            assert on <= off
+            improved = improved or on < off
+        assert improved, f"{name}: no pipeline site changes the schedule"

@@ -1,0 +1,104 @@
+"""Tests for code-structure queries (repro.dse.codemodel)."""
+
+import pytest
+
+from repro.dse.codemodel import (
+    accesses_to,
+    arrays_shared_by_loop,
+    innermost_loops,
+    kernel_iterations,
+    loop_depth,
+    loop_path,
+    loops_accessing,
+    total_iterations,
+    validate_pipeline_sites,
+)
+from repro.hlsim.ir import Array, ArrayAccess, Kernel, Loop, OpCounts
+
+
+@pytest.fixture
+def kernel():
+    k_loop = Loop(
+        name="k", trip_count=4,
+        body=OpCounts(mul=1, load=2),
+        accesses=(ArrayAccess("A", index_loop="k", outer_loops=("i",)),),
+        pipeline_site=True, ii_candidates=(1,),
+    )
+    j_loop = Loop(name="j", trip_count=8, children=(k_loop,))
+    i_loop = Loop(name="i", trip_count=16, children=(j_loop,))
+    flat = Loop(
+        name="flat", trip_count=32,
+        body=OpCounts(store=1),
+        accesses=(ArrayAccess("B", index_loop="flat", reads=0, writes=1),),
+    )
+    return Kernel(
+        name="cm",
+        arrays=(Array("A", depth=64), Array("B", depth=32)),
+        loops=(i_loop, flat),
+    )
+
+
+class TestQueries:
+    def test_innermost(self, kernel):
+        names = {l.name for l in innermost_loops(kernel)}
+        assert names == {"k", "flat"}
+
+    def test_depth(self, kernel):
+        assert loop_depth(kernel, "i") == 0
+        assert loop_depth(kernel, "j") == 1
+        assert loop_depth(kernel, "k") == 2
+        assert loop_depth(kernel, "flat") == 0
+
+    def test_depth_missing(self, kernel):
+        with pytest.raises(KeyError):
+            loop_depth(kernel, "zzz")
+
+    def test_path(self, kernel):
+        assert [l.name for l in loop_path(kernel, "k")] == ["i", "j", "k"]
+        assert [l.name for l in loop_path(kernel, "flat")] == ["flat"]
+
+    def test_path_missing(self, kernel):
+        with pytest.raises(KeyError):
+            loop_path(kernel, "zzz")
+
+    def test_loops_accessing(self, kernel):
+        assert [l.name for l in loops_accessing(kernel, "A")] == ["k"]
+        assert [l.name for l in loops_accessing(kernel, "B")] == ["flat"]
+
+    def test_accesses_to(self, kernel):
+        pairs = accesses_to(kernel, "A")
+        assert len(pairs) == 1
+        loop, access = pairs[0]
+        assert loop.name == "k" and access.array == "A"
+
+    def test_total_iterations(self, kernel):
+        assert total_iterations(kernel.loop("k")) == 4
+        assert total_iterations(kernel.loop("i")) == 16 * 8 * 4
+
+    def test_kernel_iterations(self, kernel):
+        assert kernel_iterations(kernel) == 16 * 8 * 4 + 32
+
+    def test_arrays_shared_by_loop(self, kernel):
+        shared = arrays_shared_by_loop(kernel)
+        assert shared["k"] == {"A"}
+        assert shared["i"] == {"A"}  # via the outer-loop index
+        assert shared["flat"] == {"B"}
+
+    def test_validate_pipeline_sites_accepts(self, kernel):
+        validate_pipeline_sites(kernel)  # innermost only: fine
+
+    def test_validate_pipeline_sites_rejects_outer(self):
+        inner = Loop(name="in", trip_count=4)
+        outer = Loop(
+            name="out", trip_count=4, children=(inner,),
+            pipeline_site=True, ii_candidates=(1,),
+        )
+        bad = Kernel(name="bad", arrays=(), loops=(outer,))
+        with pytest.raises(ValueError, match="non-innermost"):
+            validate_pipeline_sites(bad)
+
+    def test_benchmarks_pipeline_sites_are_innermost(self):
+        from repro.benchsuite import BENCHMARKS
+
+        for build in BENCHMARKS.values():
+            validate_pipeline_sites(build())

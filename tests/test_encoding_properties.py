@@ -1,0 +1,108 @@
+"""Hypothesis property tests for directive encoding and configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.directives import (
+    Configuration,
+    DirectiveKind,
+    DirectiveSchema,
+    DirectiveSite,
+)
+
+
+@st.composite
+def sites(draw):
+    kind = draw(st.sampled_from(list(DirectiveKind)))
+    target = draw(st.text("abcdefgh", min_size=1, max_size=4))
+    n_values = draw(st.integers(1, 6))
+    values = draw(
+        st.lists(
+            st.integers(0, 128), min_size=n_values, max_size=n_values,
+            unique=True,
+        )
+    )
+    return DirectiveSite(kind, target, tuple(values))
+
+
+@st.composite
+def schemas(draw):
+    n = draw(st.integers(1, 6))
+    collected = []
+    seen = set()
+    while len(collected) < n:
+        site = draw(sites())
+        if site.key not in seen:
+            seen.add(site.key)
+            collected.append(site)
+    return DirectiveSchema(collected)
+
+
+@st.composite
+def schema_and_config(draw):
+    schema = draw(schemas())
+    values = tuple(
+        draw(st.sampled_from(site.values)) for site in schema.sites
+    )
+    return schema, Configuration(values)
+
+
+class TestEncodingProperties:
+    @given(schema_and_config())
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_in_unit_cube(self, sc):
+        schema, config = sc
+        x = schema.encode(config)
+        assert x.shape == (len(schema),)
+        assert np.all(x >= 0.0) and np.all(x <= 1.0)
+
+    @given(schema_and_config())
+    @settings(max_examples=100, deadline=None)
+    def test_dict_roundtrip(self, sc):
+        schema, config = sc
+        again = schema.config_from_dict(schema.config_to_dict(config))
+        assert again.values == config.values
+
+    @given(schema_and_config())
+    @settings(max_examples=100, deadline=None)
+    def test_extreme_values_encode_to_bounds(self, sc):
+        schema, config = sc
+        for site, value in zip(schema.sites, config.values):
+            encoded = site.encode(value)
+            if value == min(site.values):
+                assert encoded == 0.0
+            if value == max(site.values) and len(site.values) > 1:
+                assert encoded == 1.0
+
+    @given(schemas())
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_order_preserving(self, schema):
+        """Larger factors never encode to smaller features."""
+        for site in schema.sites:
+            ordered = sorted(site.values)
+            encoded = [site.encode(v) for v in ordered]
+            assert all(a <= b for a, b in zip(encoded, encoded[1:]))
+
+    @given(schemas())
+    @settings(max_examples=30, deadline=None)
+    def test_raw_size_matches_product(self, schema):
+        expected = 1
+        for site in schema.sites:
+            expected *= len(site.values)
+        assert schema.raw_size() == expected
+
+    @given(schema_and_config(), schema_and_config())
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_configs_distinct_encodings(self, sc1, sc2):
+        schema, a = sc1
+        _, _b = sc2
+        # Same-schema distinct configs map to distinct feature vectors
+        # (min-max encoding is injective per site).
+        for i, site in enumerate(schema.sites):
+            for v1 in site.values:
+                for v2 in site.values:
+                    if v1 != v2 and len(site.values) > 1:
+                        assert site.encode(v1) != site.encode(v2)
+            break  # one site suffices per example

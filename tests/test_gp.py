@@ -1,0 +1,147 @@
+"""Tests for kernels and exact GP regression (repro.core.gp/kernels)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import approx_fprime
+
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import RBF, Matern52
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(30, 4))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2 + 0.05 * rng.normal(size=30)
+    return X, y
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_psd_and_symmetric(self, kernel_cls):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(20, 3))
+        kernel = kernel_cls()
+        theta = kernel.default_params(3)
+        K = kernel(X, X, theta)
+        assert np.allclose(K, K.T)
+        eigs = np.linalg.eigvalsh(K)
+        assert eigs.min() > -1e-8
+
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_diag_matches_full(self, kernel_cls):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(10, 2))
+        kernel = kernel_cls()
+        theta = np.array([0.5, -0.2, 0.3])
+        assert np.allclose(np.diag(kernel(X, X, theta)), kernel.diag(X, theta))
+
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_unit_correlation_at_zero_distance(self, kernel_cls):
+        kernel = kernel_cls()
+        x = np.array([[0.3, 0.7]])
+        theta = kernel.default_params(2)
+        assert kernel(x, x, theta)[0, 0] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_analytic_gradients_match_numeric(self, kernel_cls):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(8, 2))
+        kernel = kernel_cls()
+        theta = np.array([0.4, -0.3, 0.2])
+        _K, grads = kernel.with_gradients(X, theta)
+        for k in range(len(theta)):
+            def entry(t, k=k):
+                full = theta.copy()
+                full[k] = t
+                return kernel(X, X, full)[1, 3]
+
+            numeric = approx_fprime(
+                np.array([theta[k]]), lambda t: entry(t[0]), 1e-7
+            )[0]
+            assert grads[k][1, 3] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    def test_wrong_param_count_raises(self):
+        kernel = RBF()
+        with pytest.raises(ValueError, match="parameters"):
+            kernel(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros(2))
+
+
+class TestGaussianProcess:
+    def test_lml_gradient_matches_numeric(self, data):
+        X, y = data
+        gp = GaussianProcess(kernel=Matern52())
+        z = (y - y.mean()) / y.std()
+        theta = np.array([0.2, -0.4, 0.1, 0.3, -0.2, np.log(1e-3)])
+        f = lambda t: gp._neg_lml_and_grad(t, X, z)[0]
+        numeric = approx_fprime(theta, f, 1e-6)
+        _, analytic = gp._neg_lml_and_grad(theta, X, z)
+        assert np.allclose(numeric, analytic, rtol=1e-3, atol=1e-4)
+
+    def test_interpolates_training_data(self, data):
+        X, y = data
+        gp = GaussianProcess(rng=np.random.default_rng(0)).fit(X, y)
+        mu, var = gp.predict(X)
+        assert np.sqrt(np.mean((mu - y) ** 2)) < 0.2 * y.std()
+        assert np.all(var >= 0)
+
+    def test_generalizes(self, data):
+        X, y = data
+        rng = np.random.default_rng(3)
+        gp = GaussianProcess(rng=rng).fit(X, y)
+        Xs = rng.uniform(size=(50, 4))
+        truth = np.sin(3 * Xs[:, 0]) + Xs[:, 1] ** 2
+        mu, _ = gp.predict(Xs)
+        assert np.corrcoef(mu, truth)[0, 1] > 0.9
+
+    def test_variance_grows_away_from_data(self):
+        X = np.linspace(0, 0.4, 10)[:, None]
+        y = np.sin(8 * X[:, 0])
+        gp = GaussianProcess(rng=np.random.default_rng(0)).fit(X, y)
+        _, var_near = gp.predict(np.array([[0.2]]))
+        _, var_far = gp.predict(np.array([[1.5]]))
+        assert var_far[0] > var_near[0]
+
+    def test_include_noise_increases_variance(self, data):
+        X, y = data
+        gp = GaussianProcess(rng=np.random.default_rng(0)).fit(X, y)
+        _, var = gp.predict(X[:5])
+        _, var_noisy = gp.predict(X[:5], include_noise=True)
+        assert np.all(var_noisy >= var)
+
+    def test_constant_targets(self):
+        X = np.random.default_rng(0).uniform(size=(10, 2))
+        y = np.full(10, 3.5)
+        gp = GaussianProcess(rng=np.random.default_rng(0)).fit(X, y)
+        mu, _ = gp.predict(X)
+        assert np.allclose(mu, 3.5, atol=1e-3)
+
+    def test_refit_without_optimize_reuses_theta(self, data):
+        X, y = data
+        gp = GaussianProcess(rng=np.random.default_rng(0)).fit(X, y)
+        theta = gp.theta
+        gp.fit(X[:20], y[:20], optimize=False)
+        assert np.allclose(gp.theta, theta)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="sample count"):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_sample_posterior_shape(self, data):
+        X, y = data
+        gp = GaussianProcess(rng=np.random.default_rng(0)).fit(X, y)
+        samples = gp.sample_posterior(X[:7], 5, np.random.default_rng(1))
+        assert samples.shape == (5, 7)
+
+    def test_log_marginal_likelihood_improves_with_fit(self, data):
+        X, y = data
+        gp = GaussianProcess(rng=np.random.default_rng(0)).fit(X, y)
+        fitted = gp.log_marginal_likelihood()
+        default = gp.log_marginal_likelihood(
+            np.concatenate([Matern52().default_params(4), [np.log(1e-4)]])
+        )
+        assert fitted >= default - 1e-6

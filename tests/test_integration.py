@@ -1,0 +1,92 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro import optimize_kernel
+from repro.benchsuite import benchmark_names, get_kernel, get_space
+from repro.core.optimizer import MFBOSettings
+from repro.dse.spec import kernel_to_spec, parse_kernel
+from repro.hlsim.flow import HlsFlow
+from repro.hlsim.reports import Fidelity
+
+
+class TestBenchmarkSuiteIntegrity:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_space_builds_and_flow_runs(self, name):
+        space = get_space(name)
+        flow = HlsFlow.for_space(space)
+        rng = np.random.default_rng(0)
+        for idx in space.sample_indices(rng, 5):
+            result = flow.run(space[idx], upto=Fidelity.IMPL)
+            assert len(result.reports) == 3
+            for report in result.reports:
+                assert report.latency_cycles > 0
+                assert report.clock_ns > 0
+                assert report.power_w > 0
+                assert report.lut > 0
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_objective_dynamic_range(self, name):
+        """Every benchmark must expose a real trade-off: each objective
+        varies by at least 1.5x across the pruned space."""
+        space = get_space(name)
+        flow = HlsFlow.for_space(space)
+        rng = np.random.default_rng(1)
+        idx = space.sample_indices(rng, min(150, len(space)))
+        Y = flow.sweep([space[i] for i in idx], Fidelity.IMPL)
+        for j, label in enumerate(("power", "delay", "lut")):
+            ratio = Y[:, j].max() / Y[:, j].min()
+            assert ratio > 1.5, f"{name}/{label} has no dynamic range"
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_yaml_roundtrip_preserves_space(self, name):
+        kernel = get_kernel(name)
+        again = parse_kernel(kernel_to_spec(kernel))
+        assert again == kernel
+
+    def test_stage_times_ordered_for_all(self):
+        for name in benchmark_names():
+            profile = get_kernel(name).fidelity
+            assert profile.t_hls < profile.t_syn < profile.t_impl
+
+
+class TestEndToEnd:
+    def test_optimize_kernel_wrapper(self):
+        result = optimize_kernel(
+            get_kernel("spmv_ellpack"),
+            settings=MFBOSettings(
+                n_init=(6, 4, 3), n_iter=4, n_mc_samples=16,
+                candidate_pool=32, seed=0,
+            ),
+        )
+        assert result.kernel_name == "spmv_ellpack"
+        assert result.pareto_indices()
+        assert result.total_runtime_s > 0
+
+    def test_learned_front_is_nondominated(self):
+        result = optimize_kernel(
+            get_kernel("spmv_ellpack"),
+            settings=MFBOSettings(
+                n_init=(6, 4, 3), n_iter=4, n_mc_samples=16,
+                candidate_pool=32, seed=1,
+            ),
+        )
+        from repro.core.pareto import pareto_mask
+
+        front = result.pareto_values()
+        assert pareto_mask(front).all()
+
+    def test_docstring_quickstart_runs(self):
+        """The module-level doctest example must actually work."""
+        from repro import optimize_kernel as ok
+        from repro.benchsuite import get_kernel as gk
+
+        result = ok(
+            gk("gemm"),
+            settings=MFBOSettings(
+                n_init=(5, 3, 2), n_iter=2, n_mc_samples=8,
+                candidate_pool=16, seed=0,
+            ),
+        )
+        assert len(result.pareto_indices()) > 0

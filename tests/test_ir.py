@@ -1,0 +1,173 @@
+"""Unit tests for the kernel IR (repro.hlsim.ir)."""
+
+import pytest
+
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    InlineSite,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+
+
+def make_kernel(**overrides):
+    inner = Loop(
+        name="inner",
+        trip_count=16,
+        body=OpCounts(add=1, mul=1, load=2, store=1),
+        accesses=(ArrayAccess("a", index_loop="inner", outer_loops=("outer",)),),
+        unroll_factors=(1, 2, 4),
+        pipeline_site=True,
+        ii_candidates=(1, 2),
+    )
+    outer = Loop(name="outer", trip_count=8, children=(inner,))
+    fields = dict(
+        name="k",
+        arrays=(Array("a", depth=128),),
+        loops=(outer,),
+        inline_sites=(InlineSite("f"),),
+    )
+    fields.update(overrides)
+    return Kernel(**fields)
+
+
+class TestOpCounts:
+    def test_totals(self):
+        ops = OpCounts(add=2, mul=1, div=1, cmp=3, logic=1, load=4, store=2)
+        assert ops.total_compute() == 8
+        assert ops.total_memory() == 6
+
+    def test_scaled(self):
+        ops = OpCounts(add=2, load=4).scaled(2.5)
+        assert ops.add == 5.0
+        assert ops.load == 10.0
+        assert ops.mul == 0.0
+
+    def test_merged(self):
+        merged = OpCounts(add=1, store=2).merged(OpCounts(add=3, mul=1))
+        assert merged.add == 4
+        assert merged.mul == 1
+        assert merged.store == 2
+
+
+class TestArray:
+    def test_bits(self):
+        assert Array("a", depth=64, width_bits=16).bits() == 1024
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError, match="depth"):
+            Array("a", depth=0)
+
+    def test_rejects_empty_factors(self):
+        with pytest.raises(ValueError, match="partition factors"):
+            Array("a", depth=8, partition_factors=())
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError, match="positive"):
+            Array("a", depth=8, partition_factors=(1, 0))
+
+
+class TestLoop:
+    def test_walk_preorder(self):
+        kernel = make_kernel()
+        names = [l.name for l in kernel.loops[0].walk()]
+        assert names == ["outer", "inner"]
+
+    def test_rejects_bad_trip(self):
+        with pytest.raises(ValueError, match="trip count"):
+            Loop(name="l", trip_count=0)
+
+    def test_rejects_empty_unrolls(self):
+        with pytest.raises(ValueError, match="unroll"):
+            Loop(name="l", trip_count=4, unroll_factors=())
+
+    def test_rejects_pipeline_without_ii(self):
+        with pytest.raises(ValueError, match="II candidates"):
+            Loop(name="l", trip_count=4, pipeline_site=True, ii_candidates=())
+
+
+class TestKernel:
+    def test_lookup(self):
+        kernel = make_kernel()
+        assert kernel.loop("inner").trip_count == 16
+        assert kernel.array("a").depth == 128
+
+    def test_lookup_missing(self):
+        kernel = make_kernel()
+        with pytest.raises(KeyError):
+            kernel.loop("nope")
+        with pytest.raises(KeyError):
+            kernel.array("nope")
+
+    def test_all_loops(self):
+        kernel = make_kernel()
+        assert [l.name for l in kernel.all_loops()] == ["outer", "inner"]
+
+    def test_rejects_duplicate_loop_names(self):
+        dup = Loop(name="outer", trip_count=4)
+        with pytest.raises(ValueError, match="duplicate loop"):
+            make_kernel(loops=(make_kernel().loops[0], dup))
+
+    def test_rejects_unknown_array_access(self):
+        bad = Loop(
+            name="l",
+            trip_count=4,
+            accesses=(ArrayAccess("ghost", index_loop="l"),),
+        )
+        with pytest.raises(ValueError, match="unknown array"):
+            make_kernel(loops=(bad,))
+
+    def test_rejects_unknown_index_loop(self):
+        bad = Loop(
+            name="l",
+            trip_count=4,
+            accesses=(ArrayAccess("a", index_loop="ghost"),),
+        )
+        with pytest.raises(ValueError, match="unknown loop"):
+            make_kernel(loops=(bad,))
+
+    def test_rejects_unknown_outer_loop(self):
+        bad = Loop(
+            name="l",
+            trip_count=4,
+            accesses=(ArrayAccess("a", index_loop="l", outer_loops=("ghost",)),),
+        )
+        with pytest.raises(ValueError, match="unknown outer loop"):
+            make_kernel(loops=(bad,))
+
+    def test_with_fidelity(self):
+        kernel = make_kernel()
+        new = kernel.with_fidelity(FidelityProfile(irregularity=0.9))
+        assert new.fidelity.irregularity == 0.9
+        assert kernel.fidelity.irregularity != 0.9  # original untouched
+
+
+class TestFidelityProfile:
+    def test_defaults_derive_area_power(self):
+        low = FidelityProfile(irregularity=0.1)
+        assert low.area_irregularity == pytest.approx(0.35)
+        assert low.power_irregularity == pytest.approx(0.35)
+        high = FidelityProfile(irregularity=0.6)
+        assert high.area_irregularity == pytest.approx(0.6)
+
+    def test_explicit_area_power(self):
+        p = FidelityProfile(
+            irregularity=0.1, area_irregularity=0.5, power_irregularity=0.2
+        )
+        assert p.area_irregularity == 0.5
+        assert p.power_irregularity == 0.2
+
+    def test_rejects_bad_irregularity(self):
+        with pytest.raises(ValueError):
+            FidelityProfile(irregularity=1.5)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            FidelityProfile(noise=-0.1)
+
+    def test_rejects_bad_stage_times(self):
+        with pytest.raises(ValueError):
+            FidelityProfile(t_hls=0.0)

@@ -1,0 +1,119 @@
+"""Tests for ADRS (Eq. (11)) and runtime accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.result import OptimizationResult
+from repro.metrics.adrs import adrs, euclidean_normalized, relative_gap
+from repro.metrics.runtime import RuntimeLedger, normalize_to
+
+
+class TestRelativeGap:
+    def test_zero_when_learned_matches(self):
+        front = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert adrs(front, front) == 0.0
+
+    def test_zero_when_learned_dominates(self):
+        front = np.array([[1.0, 2.0]])
+        learned = np.array([[0.5, 1.0]])
+        assert adrs(front, learned) == 0.0
+
+    def test_known_value(self):
+        front = np.array([[1.0, 1.0]])
+        learned = np.array([[1.5, 1.2]])
+        # max((1.5-1)/1, (1.2-1)/1) = 0.5
+        assert adrs(front, learned) == pytest.approx(0.5)
+
+    def test_min_over_learned_set(self):
+        front = np.array([[1.0, 1.0]])
+        learned = np.array([[3.0, 3.0], [1.1, 1.0]])
+        assert adrs(front, learned) == pytest.approx(0.1)
+
+    def test_mean_over_reference(self):
+        front = np.array([[1.0, 1.0], [2.0, 0.5]])
+        learned = np.array([[1.0, 1.0]])
+        # First point matched (0); second: max(0, (1-0.5)/0.5)=1 -> mean 0.5
+        assert adrs(front, learned) == pytest.approx(0.5)
+
+    @given(
+        arrays(float, (5, 3), elements=st.floats(0.1, 10.0, allow_nan=False)),
+        arrays(float, (4, 3), elements=st.floats(0.1, 10.0, allow_nan=False)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_and_finite(self, front, learned):
+        value = adrs(front, learned)
+        assert value >= 0.0
+        assert np.isfinite(value)
+
+    @given(
+        arrays(float, (5, 2), elements=st.floats(0.1, 10.0, allow_nan=False)),
+        arrays(float, (4, 2), elements=st.floats(0.1, 10.0, allow_nan=False)),
+        arrays(float, (2, 2), elements=st.floats(0.1, 10.0, allow_nan=False)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_learned_set(self, front, learned, extra):
+        """Adding learned points never increases ADRS."""
+        base = adrs(front, learned)
+        grown = adrs(front, np.vstack([learned, extra]))
+        assert grown <= base + 1e-12
+
+    def test_euclidean_variant(self):
+        front = np.array([[0.0, 0.0], [1.0, 1.0]])
+        learned = np.array([[0.0, 0.0]])
+        value = adrs(front, learned, distance="euclidean")
+        assert value == pytest.approx(np.sqrt(2.0) / 2.0)
+
+    def test_rejects_empty_sets(self):
+        front = np.array([[1.0, 1.0]])
+        with pytest.raises(ValueError):
+            adrs(np.empty((0, 2)), front)
+        with pytest.raises(ValueError):
+            adrs(front, np.empty((0, 2)))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            adrs(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_rejects_unknown_distance(self):
+        with pytest.raises(ValueError, match="unknown distance"):
+            adrs(np.ones((1, 2)), np.ones((1, 2)), distance="cosine")
+
+    def test_pairwise_shapes(self):
+        gaps = relative_gap(np.ones((3, 2)), np.ones((5, 2)))
+        assert gaps.shape == (3, 5)
+        dists = euclidean_normalized(np.ones((3, 2)), np.ones((5, 2)))
+        assert dists.shape == (3, 5)
+
+
+class TestRuntime:
+    def _result(self, seconds):
+        return OptimizationResult(
+            kernel_name="k", method="m", total_runtime_s=seconds
+        )
+
+    def test_ledger(self):
+        ledger = RuntimeLedger()
+        ledger.add(self._result(10.0))
+        ledger.add(self._result(30.0))
+        assert ledger.total() == 40.0
+        assert ledger.mean() == 20.0
+
+    def test_empty_ledger_mean_raises(self):
+        with pytest.raises(ValueError):
+            RuntimeLedger().mean()
+
+    def test_normalize_to_anchor(self):
+        values = {"ours": 2.0, "ann": 4.0, "dac19": 28.0}
+        normalized = normalize_to(values, "ann")
+        assert normalized == {"ours": 0.5, "ann": 1.0, "dac19": 7.0}
+
+    def test_normalize_missing_anchor(self):
+        with pytest.raises(KeyError):
+            normalize_to({"ours": 1.0}, "ann")
+
+    def test_normalize_zero_anchor(self):
+        with pytest.raises(ValueError):
+            normalize_to({"ann": 0.0}, "ann")

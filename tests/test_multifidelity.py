@@ -1,0 +1,157 @@
+"""Tests for the multi-fidelity surrogate stacks (paper Sec. IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multifidelity import (
+    LinearMultiFidelityStack,
+    NonlinearMultiFidelityStack,
+)
+
+
+def make_mf_data(rng, n0=40, n1=20, n2=10, linear=False):
+    """Three-fidelity synthetic data with nested supports.
+
+    Low fidelity: smooth base functions.  High fidelities apply either a
+    linear or a non-linear transform of the lower-fidelity truth.
+    """
+    X0 = rng.uniform(size=(n0, 2))
+    X1, X2 = X0[:n1], X0[:n2]
+
+    def base(X):
+        f1 = np.sin(3 * X[:, 0]) + X[:, 1]
+        f2 = X[:, 0] * X[:, 1]
+        return np.column_stack([f1, f2])
+
+    def lift(Y, X):
+        if linear:
+            return 1.5 * Y + 0.2
+        return Y * Y * np.sign(Y) + 0.5 * np.sin(2 * X[:, :1]) + Y
+
+    Y0 = base(X0) + 0.01 * rng.normal(size=(n0, 2))
+    Y1 = lift(base(X1), X1) + 0.01 * rng.normal(size=(n1, 2))
+    Y2 = lift(lift(base(X2), X2), X2) + 0.01 * rng.normal(size=(n2, 2))
+    return [(X0, Y0), (X1, Y1), (X2, Y2)], base, lift
+
+
+class TestNonlinearStack:
+    def test_fits_and_predicts_all_levels(self):
+        rng = np.random.default_rng(0)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(3, 2, rng=rng).fit(datasets)
+        Xs = rng.uniform(size=(7, 2))
+        for level in range(3):
+            mean, cov = stack.predict(level, Xs)
+            assert mean.shape == (7, 2)
+            assert cov.shape == (7, 2, 2)
+
+    def test_nonlinear_beats_linear_on_nonlinear_data(self):
+        rng = np.random.default_rng(1)
+        datasets, base, lift = make_mf_data(rng, linear=False)
+        test = rng.uniform(size=(80, 2))
+        truth = lift(lift(base(test), test), test)
+
+        nl = NonlinearMultiFidelityStack(3, 2, rng=np.random.default_rng(0))
+        nl.fit(datasets)
+        lin = LinearMultiFidelityStack(3, 2, rng=np.random.default_rng(0))
+        lin.fit(datasets)
+
+        mu_nl, _ = nl.predict(2, test)
+        mu_lin, _ = lin.predict_marginals(2, test)
+        err_nl = np.sqrt(np.mean((mu_nl - truth) ** 2))
+        err_lin = np.sqrt(np.mean((mu_lin - truth) ** 2))
+        assert err_nl < err_lin * 1.25  # at least competitive, usually better
+
+    def test_high_fidelity_uses_low_fidelity_information(self):
+        """With very few high-fidelity points, the stack must still
+        track the low-fidelity shape."""
+        rng = np.random.default_rng(2)
+        datasets, base, lift = make_mf_data(rng, n2=6)
+        stack = NonlinearMultiFidelityStack(3, 2, rng=rng).fit(datasets)
+        test = rng.uniform(size=(60, 2))
+        truth = lift(lift(base(test), test), test)
+        mu, _ = stack.predict(2, test)
+        corr = np.corrcoef(mu[:, 0], truth[:, 0])[0, 1]
+        assert corr > 0.6
+
+    def test_level_bounds_checked(self):
+        rng = np.random.default_rng(0)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(3, 2, rng=rng).fit(datasets)
+        with pytest.raises(ValueError, match="fidelity"):
+            stack.predict(3, np.zeros((1, 2)))
+
+    def test_dataset_count_mismatch(self):
+        rng = np.random.default_rng(0)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(2, 2, rng=rng)
+        with pytest.raises(ValueError, match="datasets"):
+            stack.fit(datasets)
+
+    def test_rejects_tiny_level(self):
+        rng = np.random.default_rng(0)
+        datasets, _, _ = make_mf_data(rng)
+        datasets[2] = (datasets[2][0][:1], datasets[2][1][:1])
+        stack = NonlinearMultiFidelityStack(3, 2, rng=rng)
+        with pytest.raises(ValueError, match="at least 2"):
+            stack.fit(datasets)
+
+    def test_independent_variant(self):
+        rng = np.random.default_rng(0)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(3, 2, rng=rng, correlated=False)
+        stack.fit(datasets)
+        mean, cov = stack.predict(2, rng.uniform(size=(4, 2)))
+        off = cov.copy()
+        off[:, np.arange(2), np.arange(2)] = 0.0
+        assert np.allclose(off, 0.0)
+        assert np.allclose(stack.task_correlation(0), np.eye(2))
+
+    def test_marginals_shape(self):
+        rng = np.random.default_rng(0)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(3, 2, rng=rng).fit(datasets)
+        mean, var = stack.predict_marginals(1, rng.uniform(size=(5, 2)))
+        assert mean.shape == (5, 2) and var.shape == (5, 2)
+        assert np.all(var > 0)
+
+
+class TestLinearStack:
+    def test_recovers_linear_scaling(self):
+        rng = np.random.default_rng(3)
+        datasets, base, lift = make_mf_data(rng, linear=True)
+        stack = LinearMultiFidelityStack(3, 2, rng=rng).fit(datasets)
+        # rho between consecutive fidelities should approach 1.5.
+        assert stack.rhos[1] == pytest.approx([1.5, 1.5], abs=0.3)
+
+    def test_prediction_quality_on_linear_data(self):
+        rng = np.random.default_rng(4)
+        datasets, base, lift = make_mf_data(rng, linear=True)
+        stack = LinearMultiFidelityStack(3, 2, rng=rng).fit(datasets)
+        test = rng.uniform(size=(60, 2))
+        truth = lift(lift(base(test), test), test)
+        mu, _ = stack.predict_marginals(2, test)
+        assert np.corrcoef(mu[:, 0], truth[:, 0])[0, 1] > 0.9
+
+    def test_variances_positive_and_grow_offdata(self):
+        rng = np.random.default_rng(5)
+        datasets, _, _ = make_mf_data(rng)
+        stack = LinearMultiFidelityStack(3, 2, rng=rng).fit(datasets)
+        _, var_on = stack.predict_marginals(2, datasets[2][0])
+        _, var_off = stack.predict_marginals(2, np.full((1, 2), 3.0))
+        assert np.all(var_on > 0)
+        assert var_off.mean() > var_on.mean()
+
+    def test_unfitted_raises(self):
+        stack = LinearMultiFidelityStack(3, 2)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            stack.predict_marginals(0, np.zeros((1, 2)))
+
+    def test_predict_returns_diagonal_cov(self):
+        rng = np.random.default_rng(6)
+        datasets, _, _ = make_mf_data(rng)
+        stack = LinearMultiFidelityStack(3, 2, rng=rng).fit(datasets)
+        _, cov = stack.predict(1, rng.uniform(size=(3, 2)))
+        off = cov.copy()
+        off[:, np.arange(2), np.arange(2)] = 0.0
+        assert np.allclose(off, 0.0)

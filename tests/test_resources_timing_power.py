@@ -1,0 +1,203 @@
+"""Tests for the resource, timing and power models."""
+
+import numpy as np
+import pytest
+
+from repro.hlsim.device import TINY_DEVICE, VC707
+from repro.hlsim.ir import Array, ArrayAccess, InlineSite, Kernel, Loop, OpCounts
+from repro.hlsim.power import estimate_power_w, switching_activity
+from repro.hlsim.resources import ResourceEstimate, estimate_resources
+from repro.hlsim.scheduler import LoopRecord, ScheduleResult, schedule
+from repro.hlsim.timing import (
+    congestion_factor,
+    impl_clock_ns,
+    logic_clock_ns,
+    loop_path_ns,
+)
+
+
+def make_kernel():
+    loop = Loop(
+        name="L",
+        trip_count=64,
+        body=OpCounts(add=2, mul=1, load=2, store=1),
+        accesses=(ArrayAccess("A", index_loop="L", reads=2.0, writes=1.0),),
+        unroll_factors=(1, 2, 4, 8, 16),
+        pipeline_site=True,
+        ii_candidates=(1, 2),
+    )
+    return Kernel(
+        name="k",
+        arrays=(Array("A", depth=4096,
+                      partition_factors=(1, 2, 4, 8, 16)),),
+        loops=(loop,),
+        inline_sites=(InlineSite("f", lut_cost=500, calls_per_kernel=2),),
+    )
+
+
+class TestResources:
+    def test_unroll_scales_compute_resources(self):
+        kernel = make_kernel()
+        base = estimate_resources(kernel, {})
+        wide = estimate_resources(kernel, {"unroll@L": 8})
+        # The fixed control overhead dilutes the ratio; the op-level
+        # portion must scale ~8x and DSPs exactly 8x.
+        assert wide.lut > 1.5 * base.lut
+        assert wide.dsp == pytest.approx(8 * base.dsp)
+
+    def test_partitioning_costs_bram(self):
+        kernel = make_kernel()
+        base = estimate_resources(kernel, {})
+        split = estimate_resources(kernel, {"array_partition@A": 16})
+        assert split.bram18 > base.bram18
+
+    def test_overpartitioned_small_array_wastes_bram(self):
+        """Each partition occupies >= 1 BRAM18 even if nearly empty."""
+        kernel = Kernel(
+            name="small",
+            arrays=(Array("A", depth=64, partition_factors=(1, 16)),),
+            loops=(Loop(name="L", trip_count=4,
+                        accesses=(ArrayAccess("A", index_loop="L"),)),),
+        )
+        base = estimate_resources(kernel, {"array_partition@A": 1})
+        split = estimate_resources(kernel, {"array_partition@A": 16})
+        assert base.bram18 == 1
+        assert split.bram18 == 16
+
+    def test_pipeline_adds_registers(self):
+        kernel = make_kernel()
+        off = estimate_resources(kernel, {})
+        on = estimate_resources(kernel, {"pipeline@L": 1})
+        assert on.ff > off.ff
+
+    def test_inline_tradeoff(self):
+        kernel = make_kernel()
+        off = estimate_resources(kernel, {"inline@f": 0})
+        on = estimate_resources(kernel, {"inline@f": 1})
+        assert on.lut > off.lut  # duplicated logic
+
+    def test_partition_capped_by_depth(self):
+        kernel = Kernel(
+            name="tiny",
+            arrays=(Array("A", depth=2, partition_factors=(1, 16)),),
+            loops=(Loop(name="L", trip_count=4,
+                        accesses=(ArrayAccess("A", index_loop="L"),)),),
+        )
+        split = estimate_resources(kernel, {"array_partition@A": 16})
+        assert split.bram18 == 2  # at most one bank per word
+
+
+class TestTiming:
+    def record(self, **kw):
+        defaults = dict(name="L", unroll=1, partition=1, pipelined=False,
+                        ii=0.0, has_mul=False, has_div=False)
+        defaults.update(kw)
+        return LoopRecord(**defaults)
+
+    def test_path_grows_with_factors(self):
+        slow = loop_path_ns(self.record(unroll=16, partition=16))
+        fast = loop_path_ns(self.record())
+        assert slow > fast
+
+    def test_div_dominates_path(self):
+        assert loop_path_ns(self.record(has_div=True)) > loop_path_ns(
+            self.record(has_mul=True)
+        )
+
+    def test_max_coupling(self):
+        """The worst loop sets the clock."""
+        good = self.record(name="a")
+        bad = self.record(name="b", unroll=32, partition=32, has_div=True)
+        sched = ScheduleResult(latency_cycles=1.0, loop_records=[good, bad])
+        clock = logic_clock_ns(sched, has_mul=False, target_clock_ns=10.0)
+        assert clock == pytest.approx(
+            max(loop_path_ns(good), loop_path_ns(bad))
+        )
+
+    def test_loop_ripple_applied(self):
+        # target 1.0 keeps the 0.55*target floor out of the way.
+        record = self.record(unroll=8, partition=8)
+        sched = ScheduleResult(latency_cycles=1.0, loop_records=[record])
+        base = logic_clock_ns(sched, False, 1.0)
+        rippled = logic_clock_ns(sched, False, 1.0, loop_ripple=lambda r: 1.5)
+        assert rippled == pytest.approx(1.5 * base)
+
+    def test_clock_floor(self):
+        sched = ScheduleResult(latency_cycles=1.0,
+                               loop_records=[self.record()])
+        clock = logic_clock_ns(sched, False, target_clock_ns=100.0)
+        assert clock >= 55.0  # 0.55 * target floor
+
+    def test_congestion_negligible_at_low_util(self):
+        resources = ResourceEstimate(lut=1000, ff=1000, dsp=1, bram18=2)
+        assert congestion_factor(resources, VC707) == pytest.approx(1.0)
+
+    def test_congestion_grows_when_near_full(self):
+        resources = ResourceEstimate(
+            lut=0.9 * VC707.luts, ff=1000, dsp=1, bram18=2
+        )
+        assert congestion_factor(resources, VC707) > 1.1
+
+    def test_impl_clock_includes_congestion(self):
+        sched = ScheduleResult(latency_cycles=1.0,
+                               loop_records=[self.record()])
+        res_low = ResourceEstimate(lut=1000, ff=0, dsp=0, bram18=1)
+        res_high = ResourceEstimate(
+            lut=0.9 * TINY_DEVICE.luts, ff=0, dsp=0, bram18=1
+        )
+        low = impl_clock_ns(sched, res_low, TINY_DEVICE, False, 10.0)
+        high = impl_clock_ns(sched, res_high, TINY_DEVICE, False, 10.0)
+        assert high > low
+
+
+class TestPower:
+    def test_activity_bounds(self):
+        idle = ScheduleResult(latency_cycles=1.0)
+        busy = ScheduleResult(
+            latency_cycles=1.0, pipelined_fraction=1.0, mean_parallelism=32
+        )
+        assert 0.0 < switching_activity(idle) < switching_activity(busy) <= 1.0
+
+    def test_power_grows_with_resources(self):
+        sched = ScheduleResult(latency_cycles=1.0)
+        small = ResourceEstimate(lut=1000, ff=1000, dsp=2, bram18=4)
+        large = ResourceEstimate(lut=50000, ff=50000, dsp=100, bram18=100)
+        assert estimate_power_w(large, sched, 5.0) > estimate_power_w(
+            small, sched, 5.0
+        )
+
+    def test_power_grows_with_frequency(self):
+        sched = ScheduleResult(latency_cycles=1.0)
+        res = ResourceEstimate(lut=10000, ff=10000, dsp=10, bram18=10)
+        assert estimate_power_w(res, sched, 4.0) > estimate_power_w(
+            res, sched, 8.0
+        )
+
+    def test_static_floor(self):
+        sched = ScheduleResult(latency_cycles=1.0)
+        res = ResourceEstimate(lut=0, ff=0, dsp=0, bram18=0)
+        assert estimate_power_w(res, sched, 10.0,
+                                include_clock_tree=False) >= 0.2
+
+    def test_rejects_bad_clock(self):
+        sched = ScheduleResult(latency_cycles=1.0)
+        res = ResourceEstimate(lut=1, ff=1, dsp=0, bram18=0)
+        with pytest.raises(ValueError):
+            estimate_power_w(res, sched, 0.0)
+
+    def test_objective_correlations_in_model(self):
+        """Latency down (more unroll) => LUT up => power up — the
+        correlations the paper's multi-task GP exploits (Sec. IV-B)."""
+        kernel = make_kernel()
+        rows = []
+        for unroll in (1, 2, 4, 8, 16):
+            cfg = {"unroll@L": unroll, "array_partition@A": unroll}
+            sched = schedule(kernel, cfg)
+            res = estimate_resources(kernel, cfg)
+            power = estimate_power_w(res, sched, 5.0)
+            rows.append((sched.latency_cycles, res.lut, power))
+        latency, lut, power = map(np.array, zip(*rows))
+        from scipy.stats import spearmanr
+
+        assert spearmanr(latency, lut).statistic < -0.9
+        assert spearmanr(lut, power).statistic > 0.9

@@ -1,0 +1,71 @@
+"""Tests for OptimizationResult bookkeeping (repro.core.result)."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import OptimizationResult, StepRecord
+from repro.hlsim.reports import Fidelity
+
+
+@pytest.fixture
+def result():
+    values = np.array([
+        [1.0, 5.0, 0.1],   # Pareto
+        [2.0, 1.0, 0.2],   # Pareto
+        [2.5, 6.0, 0.3],   # dominated by row 0
+        [0.5, 9.0, 0.05],  # Pareto
+    ])
+    history = [
+        StepRecord(step=-1, config_index=10, fidelity=Fidelity.IMPL,
+                   acquisition=float("nan"), runtime_s=100.0,
+                   objectives=values[0], valid=True),
+        StepRecord(step=0, config_index=11, fidelity=Fidelity.HLS,
+                   acquisition=1.5, runtime_s=10.0,
+                   objectives=values[1], valid=True),
+        StepRecord(step=1, config_index=12, fidelity=Fidelity.HLS,
+                   acquisition=0.5, runtime_s=10.0,
+                   objectives=values[2], valid=True),
+        StepRecord(step=2, config_index=13, fidelity=Fidelity.SYN,
+                   acquisition=0.2, runtime_s=40.0,
+                   objectives=values[3], valid=False),
+    ]
+    return OptimizationResult(
+        kernel_name="k",
+        method="m",
+        cs_indices=[10, 11, 12, 13],
+        cs_values=values,
+        cs_fidelities=[Fidelity.IMPL, Fidelity.HLS, Fidelity.HLS,
+                       Fidelity.SYN],
+        history=history,
+        total_runtime_s=160.0,
+    )
+
+
+class TestOptimizationResult:
+    def test_pareto_indices(self, result):
+        assert result.pareto_indices() == [10, 11, 13]
+
+    def test_pareto_values_nondominated(self, result):
+        from repro.core.pareto import pareto_mask
+
+        front = result.pareto_values()
+        assert front.shape == (3, 3)
+        assert pareto_mask(front).all()
+
+    def test_fidelity_histogram(self, result):
+        assert result.fidelity_histogram() == {"hls": 2, "syn": 1, "impl": 1}
+
+    def test_empty_result(self):
+        empty = OptimizationResult(kernel_name="k", method="m")
+        assert empty.pareto_indices() == []
+        assert empty.pareto_values().shape[0] == 0
+        assert empty.fidelity_histogram() == {"hls": 0, "syn": 0, "impl": 0}
+
+    def test_indices_align_with_values(self, result):
+        mask_indices = set(result.pareto_indices())
+        for idx, row in zip(result.cs_indices, result.cs_values):
+            if idx in mask_indices:
+                assert any(
+                    np.allclose(row, front_row)
+                    for front_row in result.pareto_values()
+                )

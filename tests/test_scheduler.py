@@ -1,0 +1,157 @@
+"""Tests for the HLS scheduler model (latency / II semantics)."""
+
+import pytest
+
+from repro.hlsim.ir import Array, ArrayAccess, Kernel, Loop, OpCounts
+from repro.hlsim.scheduler import (
+    KERNEL_OVERHEAD,
+    partition_of,
+    pipeline_ii_of,
+    schedule,
+    unroll_of,
+)
+
+
+def simple_kernel(trip=64, unrolls=(1, 2, 4, 8), partitions=(1, 2, 4, 8)):
+    loop = Loop(
+        name="L",
+        trip_count=trip,
+        body=OpCounts(add=1, mul=1, load=2, store=1),
+        accesses=(ArrayAccess("A", index_loop="L", reads=2.0, writes=1.0),),
+        unroll_factors=unrolls,
+        pipeline_site=True,
+        ii_candidates=(1, 2, 4),
+    )
+    return Kernel(
+        name="simple",
+        arrays=(Array("A", depth=256, partition_factors=partitions),),
+        loops=(loop,),
+    )
+
+
+def latency(kernel, **assignment):
+    return schedule(kernel, assignment).latency_cycles
+
+
+class TestDirectiveLookups:
+    def test_unroll_capped_by_trip(self):
+        loop = Loop(name="L", trip_count=4, unroll_factors=(1, 8))
+        assert unroll_of({"unroll@L": 8}, loop) == 4
+
+    def test_defaults(self):
+        loop = Loop(name="L", trip_count=4)
+        assert unroll_of({}, loop) == 1
+        assert partition_of({}, "A") == 1
+        assert pipeline_ii_of({}, loop) == 0
+
+    def test_pipeline_requires_site(self):
+        loop = Loop(name="L", trip_count=4)
+        assert pipeline_ii_of({"pipeline@L": 2}, loop) == 0
+
+
+class TestLatency:
+    def test_unroll_with_matching_partition_speeds_up(self):
+        kernel = simple_kernel()
+        base = latency(kernel)
+        fast = latency(kernel, **{"unroll@L": 8, "array_partition@A": 8})
+        assert fast < base / 3
+
+    def test_unroll_without_partition_is_throttled(self):
+        """Paper Fig. 3's motivation: partition < unroll throttles."""
+        kernel = simple_kernel()
+        matched = latency(kernel, **{"unroll@L": 8, "array_partition@A": 8})
+        throttled = latency(kernel, **{"unroll@L": 8, "array_partition@A": 1})
+        assert throttled > matched * 1.5
+
+    def test_overpartitioning_gives_no_speedup(self):
+        """partition > unroll wastes BRAM without speeding anything up."""
+        kernel = simple_kernel()
+        matched = latency(kernel, **{"unroll@L": 2, "array_partition@A": 2})
+        over = latency(kernel, **{"unroll@L": 2, "array_partition@A": 8})
+        assert over == pytest.approx(matched)
+
+    def test_pipelining_reduces_latency(self):
+        kernel = simple_kernel()
+        base = latency(kernel)
+        pipelined = latency(kernel, **{"pipeline@L": 1})
+        assert pipelined < base / 2
+
+    def test_port_conflicts_bound_ii(self):
+        """3 ports/iter over 2 BRAM ports -> achieved II 2 despite target 1."""
+        kernel = simple_kernel()
+        result = schedule(kernel, {"pipeline@L": 1})
+        assert result.achieved_iis["L"] == pytest.approx(2.0)
+
+    def test_partitioning_restores_ii(self):
+        kernel = simple_kernel()
+        result = schedule(
+            kernel, {"pipeline@L": 1, "array_partition@A": 2}
+        )
+        assert result.achieved_iis["L"] == pytest.approx(1.0)
+
+    def test_divider_forces_ii_floor(self):
+        loop = Loop(
+            name="L", trip_count=32,
+            body=OpCounts(div=1, load=1),
+            accesses=(ArrayAccess("A", index_loop="L"),),
+            pipeline_site=True, ii_candidates=(1,),
+        )
+        kernel = Kernel(
+            name="divk", arrays=(Array("A", depth=64),), loops=(loop,),
+        )
+        result = schedule(kernel, {"pipeline@L": 1})
+        assert result.achieved_iis["L"] >= 4.0
+        assert result.has_div
+
+    def test_kernel_overhead_present(self):
+        kernel = simple_kernel()
+        assert latency(kernel) > KERNEL_OVERHEAD
+
+    def test_inline_removes_call_overhead(self):
+        from repro.hlsim.ir import InlineSite
+
+        loop = Loop(name="L", trip_count=4, body=OpCounts(add=1))
+        kernel = Kernel(
+            name="k", arrays=(), loops=(loop,),
+            inline_sites=(InlineSite("f", call_overhead_cycles=10,
+                                     calls_per_kernel=3),),
+        )
+        off = schedule(kernel, {"inline@f": 0}).latency_cycles
+        on = schedule(kernel, {"inline@f": 1}).latency_cycles
+        assert off - on == pytest.approx(30.0)
+
+    def test_nested_loops_multiply(self):
+        inner = Loop(name="in", trip_count=10, body=OpCounts(add=1))
+        outer = Loop(name="out", trip_count=10, children=(inner,))
+        kernel = Kernel(name="nest", arrays=(), loops=(outer,))
+        single = Kernel(name="single", arrays=(), loops=(inner,))
+        nested_lat = schedule(kernel, {}).latency_cycles
+        single_lat = schedule(single, {}).latency_cycles
+        assert nested_lat > 5 * single_lat
+
+    def test_loop_records_populated(self):
+        kernel = simple_kernel()
+        result = schedule(kernel, {"unroll@L": 4, "array_partition@A": 4,
+                                   "pipeline@L": 1})
+        assert len(result.loop_records) == 1
+        record = result.loop_records[0]
+        assert record.name == "L"
+        assert record.unroll == 4
+        assert record.partition == 4
+        assert record.pipelined
+        assert record.has_mul and not record.has_div
+
+    def test_pipelined_fraction(self):
+        kernel = simple_kernel()
+        off = schedule(kernel, {})
+        on = schedule(kernel, {"pipeline@L": 1})
+        assert off.pipelined_fraction == 0.0
+        assert on.pipelined_fraction == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        kernel = simple_kernel()
+        cfg = {"unroll@L": 4, "array_partition@A": 4, "pipeline@L": 2}
+        assert (
+            schedule(kernel, cfg).latency_cycles
+            == schedule(kernel, cfg).latency_cycles
+        )

@@ -1,0 +1,162 @@
+"""Tests for the tree-based pruning method (paper Algorithm 1, Fig. 3)."""
+
+import pytest
+
+from repro.dse.directives import schema_for_kernel
+from repro.dse.tree import (
+    build_pruning_trees,
+    prune_design_space,
+    pruning_ratio,
+)
+from repro.hlsim.ir import Array, ArrayAccess, Kernel, Loop, OpCounts
+
+
+def fig3_kernel():
+    """The paper's Fig. 3 example: three loops, two arrays.
+
+    ``A`` is accessed in L2 and L3 (indexed by them, block-indexed by
+    L1); ``B`` is accessed in L3 only.
+    """
+    l2 = Loop(
+        name="L2",
+        trip_count=10,
+        body=OpCounts(add=1, load=1),
+        accesses=(ArrayAccess("A", index_loop="L2", outer_loops=("L1",)),),
+        unroll_factors=(1, 2, 5),
+    )
+    l3 = Loop(
+        name="L3",
+        trip_count=10,
+        body=OpCounts(add=1, load=2),
+        accesses=(
+            ArrayAccess("B", index_loop="L3", outer_loops=("L1",)),
+            ArrayAccess("A", index_loop="L3", outer_loops=("L1",)),
+        ),
+        unroll_factors=(1, 2, 5),
+    )
+    l1 = Loop(
+        name="L1", trip_count=10, children=(l2, l3), unroll_factors=(1, 2, 5)
+    )
+    return Kernel(
+        name="fig3",
+        arrays=(
+            Array("A", depth=100, partition_factors=(1, 2, 5, 10)),
+            Array("B", depth=100, partition_factors=(1, 2, 5, 10)),
+        ),
+        loops=(l1,),
+    )
+
+
+class TestTreeConstruction:
+    def test_fig3_merges_into_one_tree(self):
+        """A's and B's trees share L3 (and L1), so they merge (Fig. 3b)."""
+        trees = build_pruning_trees(fig3_kernel())
+        assert len(trees) == 1
+        tree = trees[0]
+        assert tree.arrays == {"A", "B"}
+        assert tree.loops == {"L1", "L2", "L3"}
+        assert ("A", "L2") in tree.edges
+        assert ("A", "L3") in tree.edges
+        assert ("B", "L3") in tree.edges
+        assert ("A", "L1") in tree.outer_edges
+
+    def test_disjoint_arrays_make_separate_trees(self):
+        la = Loop(
+            name="la", trip_count=4,
+            accesses=(ArrayAccess("a", index_loop="la"),),
+            unroll_factors=(1, 2),
+        )
+        lb = Loop(
+            name="lb", trip_count=4,
+            accesses=(ArrayAccess("b", index_loop="lb"),),
+            unroll_factors=(1, 2),
+        )
+        kernel = Kernel(
+            name="two",
+            arrays=(Array("a", depth=8), Array("b", depth=8)),
+            loops=(la, lb),
+        )
+        assert len(build_pruning_trees(kernel)) == 2
+
+
+class TestPruning:
+    def test_compatibility_constraint(self):
+        """Every surviving config has partition == indexing-loop unroll."""
+        kernel = fig3_kernel()
+        schema = schema_for_kernel(kernel)
+        configs = prune_design_space(kernel, schema)
+        assert configs
+        for config in configs:
+            d = schema.config_to_dict(config)
+            # A is indexed by both L2 and L3 -> all three factors equal.
+            assert d["array_partition@A"] == d["unroll@L2"] == d["unroll@L3"]
+            assert d["array_partition@B"] == d["unroll@L3"]
+
+    def test_outer_loop_rule(self):
+        """Partitioned array => its outer-index loops stay rolled."""
+        kernel = fig3_kernel()
+        schema = schema_for_kernel(kernel)
+        for config in prune_design_space(kernel, schema):
+            d = schema.config_to_dict(config)
+            if d["array_partition@A"] > 1:
+                assert d["unroll@L1"] == 1
+
+    def test_fig3_space_size(self):
+        """Shared factor in {1,2,5}; L1 free only when unpartitioned."""
+        kernel = fig3_kernel()
+        schema = schema_for_kernel(kernel)
+        configs = prune_design_space(kernel, schema)
+        # factor=1: L1 in {1,2,5}; factor in {2,5}: L1=1  -> 3 + 2 = 5.
+        assert len(configs) == 5
+
+    def test_pruning_is_massive_on_sort_radix(self):
+        """Paper Sec. V-A: > 3.8e12 raw pruned to ~2e4 for SORT_RADIX."""
+        from repro.benchsuite import build_sort_radix
+
+        kernel = build_sort_radix()
+        schema = schema_for_kernel(kernel)
+        raw, pruned = pruning_ratio(kernel, schema)
+        assert raw > 1e10
+        assert pruned < 1e5
+        assert raw / pruned > 1e6
+
+    def test_pruned_configs_unique_and_sorted(self):
+        kernel = fig3_kernel()
+        schema = schema_for_kernel(kernel)
+        configs = prune_design_space(kernel, schema)
+        values = [c.values for c in configs]
+        assert values == sorted(set(values))
+
+    def test_no_tree_keeps_all_free_sites(self):
+        """A kernel with no array accesses prunes nothing."""
+        loop = Loop(
+            name="l", trip_count=8, unroll_factors=(1, 2, 4),
+            pipeline_site=True, ii_candidates=(1, 2),
+        )
+        kernel = Kernel(name="free", arrays=(), loops=(loop,))
+        schema = schema_for_kernel(kernel)
+        configs = prune_design_space(kernel, schema)
+        assert len(configs) == schema.raw_size()
+
+    def test_pruned_is_subset_of_raw(self):
+        kernel = fig3_kernel()
+        schema = schema_for_kernel(kernel)
+        pruned = prune_design_space(kernel, schema)
+        assert len(pruned) <= schema.raw_size()
+        for config in pruned:
+            schema.config_to_dict(config)  # raises if illegal
+
+
+class TestBenchmarkSpaces:
+    @pytest.mark.parametrize(
+        "name", ["gemm", "ismart2", "sort_radix", "spmv_ellpack",
+                 "spmv_crs", "stencil3d"],
+    )
+    def test_every_benchmark_prunes(self, name):
+        from repro.benchsuite import get_kernel
+
+        kernel = get_kernel(name)
+        schema = schema_for_kernel(kernel)
+        raw, pruned = pruning_ratio(kernel, schema)
+        assert pruned >= 100, f"{name}: space too small to explore"
+        assert raw / pruned >= 10, f"{name}: pruning did nothing"
