@@ -1,0 +1,127 @@
+"""Hot-path regression benchmark for the BO loop (ISSUE 1 tentpole).
+
+Runs the full fixed-seed 40-iteration GEMM optimization three times:
+
+- **compat**: prediction cache and warm starts off — the seed
+  implementation's behaviour (every fidelity sweep re-predicts every
+  lower level, every refit restarts from defaults with random
+  restarts);
+- **cached**: per-step prediction cache on, warm starts off — must
+  reproduce the compat run's ``StepRecord`` trace *bit-for-bit* (same
+  selected configurations, fidelities and acquisition values) while
+  skipping redundant posterior evaluations;
+- **fast** (the shipped defaults): cache + warm-started refits — a
+  different (equally valid) hyperparameter trajectory that must be at
+  least 2× faster end-to-end than compat.
+
+Both properties are asserted, so this doubles as the regression test
+for the ISSUE 1 acceptance criteria.  Run directly for a report:
+
+    PYTHONPATH=src python benchmarks/bench_optimizer_hotpath.py
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.benchsuite.registry import get_space
+from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
+from repro.hlsim.flow import HlsFlow
+
+SEED = 2021
+N_ITER = 40
+
+#: Required end-to-end speedup of the full fast path over compat mode.
+MIN_SPEEDUP = 2.0
+
+
+def _settings(cache: bool, warm: bool) -> MFBOSettings:
+    return MFBOSettings(
+        n_iter=N_ITER,
+        cache_predictions=cache,
+        warm_start=warm,
+        seed=SEED,
+    )
+
+
+def _selection_trace(result):
+    """The per-step selection sequence, exact-equality comparable."""
+    return [
+        (
+            r.step,
+            r.config_index,
+            int(r.fidelity),
+            # NaN marks non-acquisition steps (init/verification); map it
+            # to None so == compares the rest exactly.
+            None if math.isnan(r.acquisition) else r.acquisition,
+            tuple(float(v) for v in r.objectives),
+        )
+        for r in result.history
+    ]
+
+
+def _run(space, cache: bool, warm: bool):
+    flow = HlsFlow.for_space(space)
+    optimizer = CorrelatedMFBO(space, flow, settings=_settings(cache, warm))
+    start = time.perf_counter()
+    result = optimizer.run()
+    wall = time.perf_counter() - start
+    return wall, result, optimizer
+
+
+@pytest.mark.slow
+def test_hotpath_cached_exactness_and_fast_speedup():
+    space = get_space("gemm")
+    wall_compat, res_compat, _ = _run(space, cache=False, warm=False)
+    wall_cached, res_cached, opt_cached = _run(space, cache=True, warm=False)
+    wall_fast, res_fast, _ = _run(space, cache=True, warm=True)
+
+    # The cached sweep is an exactness optimization: identical
+    # selections, fidelities, acquisition values and observations.
+    assert _selection_trace(res_cached) == _selection_trace(res_compat)
+    assert opt_cached._stack.cache_hits > 0
+
+    # The full fast path must deliver the end-to-end speedup.
+    speedup = wall_compat / wall_fast
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast path only {speedup:.2f}x faster than compat "
+        f"({wall_fast:.1f}s vs {wall_compat:.1f}s); need {MIN_SPEEDUP}x"
+    )
+
+    # Sanity: the fast trajectory still finds a comparable-size CS.
+    assert len(res_fast.cs_indices) >= 0.5 * len(res_compat.cs_indices)
+
+
+def main() -> None:
+    space = get_space("gemm")
+    print(f"gemm space: {len(space)} configurations, {N_ITER} BO steps, "
+          f"seed {SEED}")
+    rows = []
+    for label, cache, warm in (
+        ("compat", False, False),
+        ("cached", True, False),
+        ("fast", True, True),
+    ):
+        wall, result, optimizer = _run(space, cache, warm)
+        rows.append((label, wall, result, optimizer))
+        hits = optimizer._stack.cache_hits
+        snap = optimizer.metrics.snapshot()
+        print(
+            f"  {label:>6}: {wall:6.1f}s  "
+            f"fit {snap.get('fit_s', 0.0):6.1f}s  "
+            f"predict {snap.get('predict_s', 0.0):5.2f}s  "
+            f"hvi {snap.get('hvi_s', 0.0):5.2f}s  "
+            f"cache hits {hits}"
+        )
+    (_, wall_compat, res_compat, _) = rows[0]
+    (_, wall_cached, res_cached, _) = rows[1]
+    (_, wall_fast, _, _) = rows[2]
+    same = _selection_trace(res_cached) == _selection_trace(res_compat)
+    print(f"cached trace identical to compat: {same}")
+    print(f"speedup cached: {wall_compat / wall_cached:.2f}x, "
+          f"full fast path: {wall_compat / wall_fast:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

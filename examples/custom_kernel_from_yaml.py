@@ -12,7 +12,6 @@ the pruned space is small).
 Run:  python examples/custom_kernel_from_yaml.py
 """
 
-import numpy as np
 
 from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
 from repro.core.pareto import pareto_front

@@ -13,39 +13,35 @@ paper's fairness requirement.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
 from repro.core.result import OptimizationResult
 from repro.dse.space import DesignSpace
 from repro.hlsim.flow import HlsFlow
+from repro.obs.trace import JsonlTraceWriter
 
 
 def fpl18_settings(base: MFBOSettings | None = None) -> MFBOSettings:
-    """Derive FPL18 settings from a base configuration."""
+    """Derive FPL18 settings from a base configuration.
+
+    Only the two modeling switches differ from the base; every other
+    knob (budgets, penalties, hot-path switches, seed) carries over, so
+    newly added settings are inherited automatically.
+    """
     base = base or MFBOSettings()
-    return MFBOSettings(
-        n_init=base.n_init,
-        n_iter=base.n_iter,
-        n_mc_samples=base.n_mc_samples,
-        candidate_pool=base.candidate_pool,
-        refit_every=base.refit_every,
-        invalid_penalty=base.invalid_penalty,
-        reference_margin=base.reference_margin,
-        correlated=False,
-        nonlinear=False,
-        cost_aware=base.cost_aware,
-        n_restarts=base.n_restarts,
-        max_opt_iter=base.max_opt_iter,
-        seed=base.seed,
-    )
+    return replace(base, correlated=False, nonlinear=False)
 
 
 def run_fpl18(
     space: DesignSpace,
     flow: HlsFlow,
     settings: MFBOSettings | None = None,
+    tracer: JsonlTraceWriter | None = None,
 ) -> OptimizationResult:
     """Run the FPL18 baseline on a design space."""
     optimizer = CorrelatedMFBO(
-        space, flow, settings=fpl18_settings(settings), method_name="fpl18"
+        space, flow, settings=fpl18_settings(settings), method_name="fpl18",
+        tracer=tracer,
     )
     return optimizer.run()

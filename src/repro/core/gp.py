@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
+from scipy.linalg import cho_solve, cholesky, solve_triangular
 from scipy.optimize import minimize
 
 from repro.core.kernels import Matern52, StationaryKernel
@@ -67,9 +67,16 @@ class GaussianProcess:
         y: np.ndarray,
         optimize: bool = True,
         init_theta: np.ndarray | None = None,
+        warm_start: bool = False,
     ) -> "GaussianProcess":
         """Fit to data; with ``optimize=False`` reuses ``init_theta``
         (or the previous fit's hyperparameters) and only reconditions.
+
+        With ``warm_start=True`` (and ``optimize=True``) the marginal-
+        likelihood optimization starts from the previous fit's
+        hyperparameters and runs a *single* L-BFGS-B descent — no random
+        restarts — which converges in a handful of iterations when the
+        training set changed by one point (the BO refit pattern).
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
@@ -85,7 +92,16 @@ class GaussianProcess:
             y_std = 1.0
         z = (y - y_mean) / y_std
 
+        n_theta = self.kernel.n_params(dim) + 1
+        warm = (
+            warm_start
+            and init_theta is None
+            and self._state is not None
+            and self._state.theta.shape[0] == n_theta
+        )
         if init_theta is None and self._state is not None and not optimize:
+            init_theta = self._state.theta
+        if warm:
             init_theta = self._state.theta
         if init_theta is None:
             init_theta = np.concatenate(
@@ -94,7 +110,7 @@ class GaussianProcess:
         theta = np.asarray(init_theta, dtype=float)
 
         if optimize:
-            theta = self._optimize(X, z, theta)
+            theta = self._optimize(X, z, theta, n_restarts=0 if warm else None)
 
         chol, alpha = self._condition(X, z, theta)
         self._state = _FitState(
@@ -114,10 +130,14 @@ class GaussianProcess:
         return L, alpha
 
     def _neg_lml_and_grad(
-        self, theta: np.ndarray, X: np.ndarray, z: np.ndarray
+        self,
+        theta: np.ndarray,
+        X: np.ndarray,
+        z: np.ndarray,
+        diffs: np.ndarray | None = None,
     ) -> tuple[float, np.ndarray]:
         n, dim = X.shape
-        K, kernel_grads = self.kernel.with_gradients(X, theta[:-1])
+        K, kernel_grads = self.kernel.with_gradients(X, theta[:-1], diffs=diffs)
         noise = math.exp(theta[-1])
         Kn = K.copy()
         Kn[np.diag_indices_from(Kn)] += noise + JITTER
@@ -141,12 +161,17 @@ class GaussianProcess:
         return -lml, -grad
 
     def _optimize(
-        self, X: np.ndarray, z: np.ndarray, theta0: np.ndarray
+        self,
+        X: np.ndarray,
+        z: np.ndarray,
+        theta0: np.ndarray,
+        n_restarts: int | None = None,
     ) -> np.ndarray:
         dim = X.shape[1]
+        restarts = self.n_restarts if n_restarts is None else n_restarts
         bounds = self.kernel.bounds(dim) + [LOG_NOISE_BOUNDS]
         starts = [theta0]
-        for _ in range(self.n_restarts):
+        for _ in range(restarts):
             jittered = theta0 + self.rng.normal(0.0, 0.7, size=theta0.shape)
             starts.append(
                 np.clip(
@@ -155,12 +180,13 @@ class GaussianProcess:
                     [b[1] for b in bounds],
                 )
             )
+        diffs = self.kernel.pairwise_diffs(X)
         best_theta, best_val = theta0, math.inf
         for start in starts:
             result = minimize(
                 self._neg_lml_and_grad,
                 start,
-                args=(X, z),
+                args=(X, z, diffs),
                 jac=True,
                 method="L-BFGS-B",
                 bounds=bounds,

@@ -85,16 +85,35 @@ class StationaryKernel(abc.ABC):
         sf2, _ = self.split(theta, X.shape[1])
         return np.full(X.shape[0], sf2)
 
+    @staticmethod
+    def pairwise_diffs(X: np.ndarray) -> np.ndarray:
+        """Raw pairwise differences ``X_i - X_j`` of shape (n, n, d).
+
+        Hyperparameter-independent, so a marginal-likelihood optimizer
+        can compute this once per training matrix and pass it to every
+        :meth:`with_gradients` evaluation instead of rebuilding the
+        O(n² d) tensor at each L-BFGS-B step.
+        """
+        X = _as_2d(X)
+        return X[:, None, :] - X[None, :, :]
+
     def with_gradients(
-        self, X: np.ndarray, theta: np.ndarray
+        self, X: np.ndarray, theta: np.ndarray,
+        diffs: np.ndarray | None = None,
     ) -> tuple[np.ndarray, list[np.ndarray]]:
-        """K(X, X) plus ``dK/dtheta_k`` for every log-parameter."""
+        """K(X, X) plus ``dK/dtheta_k`` for every log-parameter.
+
+        ``diffs`` optionally carries :meth:`pairwise_diffs` output for
+        ``X`` (identical results, skips the tensor rebuild).
+        """
         X = _as_2d(X)
         dim = X.shape[1]
         sf2, ls = self.split(theta, dim)
         # Per-dimension scaled squared distances (needed by ARD grads).
-        diffs = (X[:, None, :] - X[None, :, :]) / ls
-        sq_per_dim = diffs * diffs
+        if diffs is None:
+            diffs = X[:, None, :] - X[None, :, :]
+        scaled = diffs / ls
+        sq_per_dim = scaled * scaled
         sq = np.sum(sq_per_dim, axis=2)
         corr, dcorr_dsq = self._corr_and_grad(sq)
         K = sf2 * corr

@@ -16,6 +16,27 @@ Two constructions:
 - :class:`LinearMultiFidelityStack` — the linear autoregressive model of
   Kennedy & O'Hagan used by FPL18 (the paper's [12]): per-objective
   independent GPs with ``f_{i+1}(x) = rho_i f_i(x) + delta_i(x)``.
+
+Hot-path machinery shared by both stacks:
+
+- **Per-step prediction cache.**  Scanning all fidelities over one
+  candidate matrix re-derives every lower level once per higher level
+  (1 + 2 + ... + L model predictions).  With
+  :meth:`enable_prediction_cache` the stack memoizes one prediction per
+  level, keyed by candidate-matrix *identity*, so the same sweep costs
+  exactly L predictions — and, because a cache hit returns the very
+  arrays the uncached call would recompute from identical inputs, the
+  cached sweep is bit-for-bit identical to the uncached one.  The cache
+  is invalidated by :meth:`fit` and by :meth:`begin_step`.
+- **Warm-started refits.**  ``fit(..., warm_start=True)`` starts each
+  level's hyperparameter optimization from its previous optimum with no
+  random restarts (see :meth:`MultiTaskGP.fit`).
+- **Refit skipping.**  When a level's training set is unchanged *and*
+  no lower level was refit (so its augmented inputs are unchanged too),
+  ``fit`` skips the level entirely instead of re-factorizing — legal
+  only under ``warm_start`` or ``optimize=False``, where re-fitting
+  identical data from the current optimum is a no-op by construction.
+  ``last_refit_levels`` records what was actually refit.
 """
 
 from __future__ import annotations
@@ -71,7 +92,73 @@ class _AugScaler:
         return (aug - self.mean) / self.std
 
 
-class NonlinearMultiFidelityStack:
+class _PredictionCache:
+    """One memoized prediction per fidelity level, keyed by matrix identity.
+
+    Identity (``is``) keying sidesteps both hashing cost and false
+    positives from recycled ids: the cache holds a reference to the key
+    array, so the id cannot be reused while the entry lives.  Callers
+    must not mutate a matrix they pass in while the cache is active.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[np.ndarray, tuple]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, level: int, Xs: np.ndarray) -> tuple | None:
+        entry = self._entries.get(level)
+        if entry is not None and entry[0] is Xs:
+            self.hits += 1
+            return entry[1]
+        return None
+
+    def put(self, level: int, Xs: np.ndarray, value: tuple) -> None:
+        self.misses += 1
+        self._entries[level] = (Xs, value)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class _StackCachingMixin:
+    """Prediction-cache toggle and data-fingerprint helpers."""
+
+    def _init_caching(self, n_fidelities: int) -> None:
+        self._cache_enabled = False
+        self._cache = _PredictionCache()
+        self._fit_data: list[Dataset | None] = [None] * n_fidelities
+        self.last_refit_levels: list[int] = []
+
+    def enable_prediction_cache(self, enabled: bool = True) -> None:
+        self._cache_enabled = enabled
+        if not enabled:
+            self._cache.clear()
+
+    def begin_step(self) -> None:
+        """Invalidate per-step memos (call once per optimization step)."""
+        self._cache.clear()
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache.misses
+
+    def _data_unchanged(self, level: int, X: np.ndarray, Y: np.ndarray) -> bool:
+        prev = self._fit_data[level]
+        return (
+            prev is not None
+            and prev[0].shape == X.shape
+            and prev[1].shape == Y.shape
+            and np.array_equal(prev[0], X)
+            and np.array_equal(prev[1], Y)
+        )
+
+
+class NonlinearMultiFidelityStack(_StackCachingMixin):
     """Correlated multi-objective GPs chained non-linearly across
     fidelities (the paper's combined model, Fig. 7)."""
 
@@ -84,6 +171,7 @@ class NonlinearMultiFidelityStack:
         max_opt_iter: int = 80,
         rng: np.random.Generator | None = None,
         correlated: bool = True,
+        cache_predictions: bool = False,
     ):
         if n_fidelities < 1:
             raise ValueError("need at least one fidelity")
@@ -102,9 +190,14 @@ class NonlinearMultiFidelityStack:
             for _ in range(n_fidelities)
         ]
         self._scalers: list[_AugScaler | None] = [None] * n_fidelities
+        self._init_caching(n_fidelities)
+        self.enable_prediction_cache(cache_predictions)
 
     def fit(
-        self, datasets: list[Dataset], optimize: bool = True
+        self,
+        datasets: list[Dataset],
+        optimize: bool = True,
+        warm_start: bool = False,
     ) -> "NonlinearMultiFidelityStack":
         """Fit the stack bottom-up.
 
@@ -117,11 +210,28 @@ class NonlinearMultiFidelityStack:
                 f"expected {self.n_fidelities} datasets, got {len(datasets)}"
             )
         _check_datasets(datasets, self.n_tasks)
+        self._cache.clear()
+        self.last_refit_levels = []
+        skippable = warm_start or not optimize
+        lower_refit = False
         for level, (X, Y) in enumerate(datasets):
             X = np.atleast_2d(np.asarray(X, dtype=float))
             Y = np.atleast_2d(np.asarray(Y, dtype=float))
+            if (
+                skippable
+                and not lower_refit
+                and self.models[level].is_fitted
+                and self._data_unchanged(level, X, Y)
+            ):
+                continue
             inputs = self._augment(level, X, fit_scaler=True)
-            self.models[level].fit(Y=Y, X=inputs, optimize=optimize)
+            self.models[level].fit(
+                Y=Y, X=inputs, optimize=optimize, warm_start=warm_start
+            )
+            self._fit_data[level] = (X, Y)
+            self.last_refit_levels.append(level)
+            lower_refit = True
+        self._cache.clear()
         return self
 
     def _augment(
@@ -144,13 +254,23 @@ class NonlinearMultiFidelityStack:
         """Posterior at fidelity ``level``: (means (m, M), covs (m, M, M)).
 
         Lower-fidelity information enters through recursively propagated
-        posterior means (deterministic mean-field propagation).
+        posterior means (deterministic mean-field propagation).  With the
+        prediction cache enabled, each level is computed at most once per
+        step for a given candidate matrix (identity-keyed, bitwise-exact
+        memoization).
         """
         if not 0 <= level < self.n_fidelities:
             raise ValueError(f"no fidelity {level}")
         Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        if self._cache_enabled:
+            cached = self._cache.get(level, Xs)
+            if cached is not None:
+                return cached
         inputs = self._augment(level, Xs)
-        return self.models[level].predict(inputs)
+        out = self.models[level].predict(inputs)
+        if self._cache_enabled:
+            self._cache.put(level, Xs, out)
+        return out
 
     def predict_marginals(
         self, level: int, Xs: np.ndarray
@@ -164,7 +284,7 @@ class NonlinearMultiFidelityStack:
         return self.models[level].task_correlation()
 
 
-class LinearMultiFidelityStack:
+class LinearMultiFidelityStack(_StackCachingMixin):
     """Independent-objective, linear-autoregressive stack (FPL18)."""
 
     def __init__(
@@ -175,6 +295,7 @@ class LinearMultiFidelityStack:
         n_restarts: int = 1,
         max_opt_iter: int = 80,
         rng: np.random.Generator | None = None,
+        cache_predictions: bool = False,
     ):
         if n_fidelities < 1:
             raise ValueError("need at least one fidelity")
@@ -187,31 +308,56 @@ class LinearMultiFidelityStack:
         # models[level][task]; rhos[level][task] (level 0 has no rho).
         self.models: list[list[GaussianProcess]] = []
         self.rhos: list[np.ndarray] = []
+        self._init_caching(n_fidelities)
+        self.enable_prediction_cache(cache_predictions)
 
     def fit(
-        self, datasets: list[Dataset], optimize: bool = True
+        self,
+        datasets: list[Dataset],
+        optimize: bool = True,
+        warm_start: bool = False,
     ) -> "LinearMultiFidelityStack":
         if len(datasets) != self.n_fidelities:
             raise ValueError(
                 f"expected {self.n_fidelities} datasets, got {len(datasets)}"
             )
         _check_datasets(datasets, self.n_tasks)
-        reuse = bool(self.models) and not optimize
+        self._cache.clear()
+        self.last_refit_levels = []
+        reuse = bool(self.models) and (warm_start or not optimize)
         if not reuse:
             self.models = [
                 [self._new_gp() for _ in range(self.n_tasks)]
                 for _ in range(self.n_fidelities)
             ]
-        self.rhos = [np.ones(self.n_tasks)]
+            self.rhos = []
+        skippable = reuse and len(self.rhos) == self.n_fidelities
+        old_rhos, self.rhos = self.rhos, [np.ones(self.n_tasks)]
+        lower_refit = False
         X0, Y0 = datasets[0]
-        for t in range(self.n_tasks):
-            self.models[0][t].fit(
-                np.atleast_2d(X0), np.asarray(Y0)[:, t], optimize=optimize
-            )
+        X0 = np.atleast_2d(np.asarray(X0, dtype=float))
+        Y0 = np.atleast_2d(np.asarray(Y0, dtype=float))
+        if skippable and self._data_unchanged(0, X0, Y0):
+            pass
+        else:
+            for t in range(self.n_tasks):
+                self.models[0][t].fit(
+                    X0, Y0[:, t], optimize=optimize, warm_start=warm_start
+                )
+            self._fit_data[0] = (X0, Y0)
+            self.last_refit_levels.append(0)
+            lower_refit = True
         for level in range(1, self.n_fidelities):
             X, Y = datasets[level]
             X = np.atleast_2d(np.asarray(X, dtype=float))
             Y = np.atleast_2d(np.asarray(Y, dtype=float))
+            if (
+                skippable
+                and not lower_refit
+                and self._data_unchanged(level, X, Y)
+            ):
+                self.rhos.append(old_rhos[level])
+                continue
             lower_mean, _ = self.predict_marginals(level - 1, X)
             rho = np.ones(self.n_tasks)
             for t in range(self.n_tasks):
@@ -223,8 +369,14 @@ class LinearMultiFidelityStack:
                 if np.isfinite(coef[0]) and abs(coef[0]) > 1e-9:
                     rho[t] = float(coef[0])
                 residual = Y[:, t] - rho[t] * mu
-                self.models[level][t].fit(X, residual, optimize=optimize)
+                self.models[level][t].fit(
+                    X, residual, optimize=optimize, warm_start=warm_start
+                )
             self.rhos.append(rho)
+            self._fit_data[level] = (X, Y)
+            self.last_refit_levels.append(level)
+            lower_refit = True
+        self._cache.clear()
         return self
 
     def _new_gp(self) -> GaussianProcess:
@@ -244,17 +396,41 @@ class LinearMultiFidelityStack:
         if not 0 <= level < self.n_fidelities:
             raise ValueError(f"no fidelity {level}")
         Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
-        means = np.empty((Xs.shape[0], self.n_tasks))
-        variances = np.empty_like(means)
-        for t in range(self.n_tasks):
-            mu, var = self.models[0][t].predict(Xs)
-            means[:, t], variances[:, t] = mu, var
-        for lv in range(1, level + 1):
+        means, variances, start = None, None, 0
+        if self._cache_enabled:
+            cached = self._cache.get(level, Xs)
+            if cached is not None:
+                means, variances = cached
+                return means, np.maximum(variances, 1e-12)
+            # Resume from the deepest cached lower level; the cache
+            # stores the *pre-floor* running values, so resuming is
+            # bitwise identical to recomputing from level 0.
+            for lv in range(level - 1, -1, -1):
+                cached = self._cache.get(lv, Xs)
+                if cached is not None:
+                    means = cached[0].copy()
+                    variances = cached[1].copy()
+                    start = lv + 1
+                    break
+        if means is None:
+            means = np.empty((Xs.shape[0], self.n_tasks))
+            variances = np.empty_like(means)
+            for t in range(self.n_tasks):
+                mu, var = self.models[0][t].predict(Xs)
+                means[:, t], variances[:, t] = mu, var
+            start = 1
+            if self._cache_enabled and level > 0:
+                self._cache.put(0, Xs, (means.copy(), variances.copy()))
+        for lv in range(start, level + 1):
             rho = self.rhos[lv]
             for t in range(self.n_tasks):
                 mu_d, var_d = self.models[lv][t].predict(Xs)
                 means[:, t] = rho[t] * means[:, t] + mu_d
                 variances[:, t] = rho[t] ** 2 * variances[:, t] + var_d
+            if self._cache_enabled and lv < level:
+                self._cache.put(lv, Xs, (means.copy(), variances.copy()))
+        if self._cache_enabled:
+            self._cache.put(level, Xs, (means, variances))
         return means, np.maximum(variances, 1e-12)
 
     def predict(self, level: int, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -59,8 +59,28 @@ class _MTState:
     alpha: np.ndarray  # K^-1 z (task-major stacking)
 
 
+_TRIL_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
 def _tril_indices(m: int) -> tuple[np.ndarray, np.ndarray]:
-    return np.tril_indices(m)
+    # Cached: rebuilt ~10^5 times per BO run otherwise (hot path).
+    got = _TRIL_CACHE.get(m)
+    if got is None:
+        got = _TRIL_CACHE[m] = np.tril_indices(m)
+    return got
+
+
+def _kron2(B: np.ndarray, K: np.ndarray) -> np.ndarray:
+    """``np.kron(B, K)`` for 2-D operands via broadcasting.
+
+    Identical elementwise products (bit-for-bit the same matrix), a
+    fraction of ``np.kron``'s overhead at hot-path call rates.
+    """
+    b0, b1 = B.shape
+    k0, k1 = K.shape
+    return (B[:, None, :, None] * K[None, :, None, :]).reshape(
+        b0 * k0, b1 * k1
+    )
 
 
 class MultiTaskGP:
@@ -146,7 +166,16 @@ class MultiTaskGP:
         Y: np.ndarray,
         optimize: bool = True,
         init_params: np.ndarray | None = None,
+        warm_start: bool = False,
     ) -> "MultiTaskGP":
+        """Fit the multi-task GP.
+
+        ``warm_start=True`` (with ``optimize=True``) starts the
+        likelihood optimization from the previous fit's hyperparameters
+        and skips the random restarts — the standard BO refit pattern
+        where the training set grew by one point and the old optimum is
+        an excellent initial guess.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         Y = np.asarray(Y, dtype=float)
         if Y.ndim == 1:
@@ -163,7 +192,17 @@ class MultiTaskGP:
         y_std[y_std < 1e-12] = 1.0
         Z = (Y - y_mean) / y_std
 
-        if init_params is None and self._state is not None and not optimize:
+        warm = (
+            warm_start
+            and init_params is None
+            and self._state is not None
+            and self._state.X.shape[1] == dim
+        )
+        if (
+            init_params is None
+            and self._state is not None
+            and (warm or not optimize)
+        ):
             state = self._state
             if state.X.shape[1] == dim:
                 init_params = self._pack(
@@ -175,7 +214,9 @@ class MultiTaskGP:
         params = np.asarray(init_params, dtype=float)
 
         if optimize:
-            params = self._optimize(X, Z, params)
+            params = self._optimize(
+                X, Z, params, n_restarts=0 if warm else None
+            )
 
         theta_s, L, theta_p, log_noise = self._unpack(params, dim)
         chol, alpha = self._condition(X, Z, theta_s, L, theta_p, log_noise)
@@ -221,7 +262,7 @@ class MultiTaskGP:
         m = self.n_tasks
         Kx = self.kernel(X, X, theta_s)
         B = L @ L.T
-        K = np.kron(B, Kx)
+        K = _kron2(B, Kx)
         if self.private_processes:
             for t in range(m):
                 Kp = self.kernel(X, X, theta_p[t])
@@ -246,18 +287,24 @@ class MultiTaskGP:
         return Lc, alpha
 
     def _neg_lml_and_grad(
-        self, params: np.ndarray, X: np.ndarray, Z: np.ndarray
+        self,
+        params: np.ndarray,
+        X: np.ndarray,
+        Z: np.ndarray,
+        diffs: np.ndarray | None = None,
     ) -> tuple[float, np.ndarray]:
         n, dim = X.shape
         m = self.n_tasks
         theta_s, L, theta_p, log_noise = self._unpack(params, dim)
-        Kx, shared_grads = self.kernel.with_gradients(X, theta_s)
+        Kx, shared_grads = self.kernel.with_gradients(X, theta_s, diffs=diffs)
         B = L @ L.T
-        K = np.kron(B, Kx)
+        K = _kron2(B, Kx)
         private_grads: list[list[np.ndarray]] = []
         if self.private_processes:
             for t in range(m):
-                Kp, grads_p = self.kernel.with_gradients(X, theta_p[t])
+                Kp, grads_p = self.kernel.with_gradients(
+                    X, theta_p[t], diffs=diffs
+                )
                 K[t * n : (t + 1) * n, t * n : (t + 1) * n] += Kp
                 private_grads.append(grads_p)
         noise = np.exp(log_noise)
@@ -311,22 +358,28 @@ class MultiTaskGP:
         return -lml, -grad
 
     def _optimize(
-        self, X: np.ndarray, Z: np.ndarray, params0: np.ndarray
+        self,
+        X: np.ndarray,
+        Z: np.ndarray,
+        params0: np.ndarray,
+        n_restarts: int | None = None,
     ) -> np.ndarray:
         dim = X.shape[1]
+        restarts = self.n_restarts if n_restarts is None else n_restarts
         bounds = self._bounds(dim)
         lo = np.array([b[0] for b in bounds])
         hi = np.array([b[1] for b in bounds])
         starts = [np.clip(params0, lo, hi)]
-        for _ in range(self.n_restarts):
+        for _ in range(restarts):
             jitter = self.rng.normal(0.0, 0.4, size=params0.shape)
             starts.append(np.clip(params0 + jitter, lo, hi))
+        diffs = self.kernel.pairwise_diffs(X)
         best, best_val = starts[0], math.inf
         for start in starts:
             result = minimize(
                 self._neg_lml_and_grad,
                 start,
-                args=(X, Z),
+                args=(X, Z, diffs),
                 jac=True,
                 method="L-BFGS-B",
                 bounds=bounds,
@@ -391,7 +444,7 @@ class MultiTaskGP:
         ks = self.kernel(state.X, Xs, state.theta_shared)  # (n, mq)
         # Cross-covariance for all (task, query) pairs at once; column
         # index of task i, query s is i*mq + s.
-        kstar = np.kron(B, ks)
+        kstar = _kron2(B, ks)
         if self.private_processes and state.theta_private.size:
             for t in range(M):
                 kp = self.kernel(state.X, Xs, state.theta_private[t])
@@ -475,12 +528,13 @@ class IndependentMultiObjectiveGP:
         Y: np.ndarray,
         optimize: bool = True,
         init_params: np.ndarray | None = None,
+        warm_start: bool = False,
     ) -> "IndependentMultiObjectiveGP":
         Y = np.atleast_2d(np.asarray(Y, dtype=float))
         if Y.shape[1] != self.n_tasks:
             raise ValueError(f"expected {self.n_tasks} objectives")
         for t, model in enumerate(self.models):
-            model.fit(X, Y[:, t], optimize=optimize)
+            model.fit(X, Y[:, t], optimize=optimize, warm_start=warm_start)
         return self
 
     @property

@@ -249,7 +249,7 @@ def hvi_batch(
     if boxes is None:
         boxes = dominated_boxes(front, ref)
     edge = np.clip(ref[None, :] - samples, 0.0, None)
-    own = np.prod(edge, axis=1)
+    own = _prod_last_axis(edge)
     if boxes.shape[0] == 0:
         return own
     lows = boxes[:, 0, :]  # (B, M)
@@ -259,5 +259,18 @@ def hvi_batch(
     # [y, ref]; box highs never exceed ref by construction.
     lo = np.maximum(samples[:, None, :], lows[None, :, :])
     ext = np.clip(highs[None, :, :] - lo, 0.0, None)
-    inter = np.prod(ext, axis=2).sum(axis=1)
+    inter = _prod_last_axis(ext).sum(axis=1)
     return np.maximum(own - inter, 0.0)
+
+
+def _prod_last_axis(a: np.ndarray) -> np.ndarray:
+    """Sequential product over the last axis.
+
+    Same reduction order as ``np.prod`` (so results are bitwise
+    identical) but much faster for the tiny M of this problem, where
+    ``np.prod``'s generic reduction dominates the hot acquisition loop.
+    """
+    out = a[..., 0]
+    for k in range(1, a.shape[-1]):
+        out = out * a[..., k]
+    return out

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.experiments.harness import BenchmarkContext
 from repro.hlsim.flow import fidelity_sweep
-from repro.hlsim.reports import ALL_FIDELITIES, Fidelity
+from repro.hlsim.reports import ALL_FIDELITIES
 
 DEFAULT_BENCHMARKS = ("gemm", "spmv_ellpack")
 

@@ -22,6 +22,7 @@ minutes and seconds respectively.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.core.result import OptimizationResult
 from repro.dse.space import DesignSpace
 from repro.hlsim.flow import HlsFlow, ground_truth
 from repro.metrics.adrs import adrs
+from repro.obs.trace import JsonlTraceWriter
 
 
 @dataclass(frozen=True)
@@ -141,30 +143,38 @@ class MethodRun:
     result: OptimizationResult
 
 
-MethodRunner = Callable[[BenchmarkContext, ExperimentScale, int], OptimizationResult]
+#: Runners take (context, scale, seed) plus an optional keyword-only
+#: ``tracer`` (a :class:`JsonlTraceWriter`); runners without a per-step
+#: loop simply ignore it.
+MethodRunner = Callable[..., OptimizationResult]
 
 
 def _run_ours(
-    ctx: BenchmarkContext, scale: ExperimentScale, seed: int
+    ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
+    tracer: JsonlTraceWriter | None = None,
 ) -> OptimizationResult:
     optimizer = CorrelatedMFBO(
-        ctx.space, ctx.flow, settings=scale.bo_settings(seed), method_name="ours"
+        ctx.space, ctx.flow, settings=scale.bo_settings(seed),
+        method_name="ours", tracer=tracer,
     )
     return optimizer.run()
 
 
 def _run_fpl18(
-    ctx: BenchmarkContext, scale: ExperimentScale, seed: int
+    ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
+    tracer: JsonlTraceWriter | None = None,
 ) -> OptimizationResult:
     settings = fpl18_settings(scale.bo_settings(seed))
     optimizer = CorrelatedMFBO(
-        ctx.space, ctx.flow, settings=settings, method_name="fpl18"
+        ctx.space, ctx.flow, settings=settings, method_name="fpl18",
+        tracer=tracer,
     )
     return optimizer.run()
 
 
 def _run_ann(
-    ctx: BenchmarkContext, scale: ExperimentScale, seed: int
+    ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
+    tracer: JsonlTraceWriter | None = None,
 ) -> OptimizationResult:
     rng = np.random.default_rng(seed)
     return run_offline_regression(
@@ -182,7 +192,8 @@ def _run_ann(
 
 
 def _run_bt(
-    ctx: BenchmarkContext, scale: ExperimentScale, seed: int
+    ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
+    tracer: JsonlTraceWriter | None = None,
 ) -> OptimizationResult:
     rng = np.random.default_rng(seed)
     return run_offline_regression(
@@ -201,7 +212,8 @@ def _run_bt(
 
 
 def _run_dac19(
-    ctx: BenchmarkContext, scale: ExperimentScale, seed: int
+    ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
+    tracer: JsonlTraceWriter | None = None,
 ) -> OptimizationResult:
     return run_dac19(
         ctx.space,
@@ -213,7 +225,8 @@ def _run_dac19(
 
 
 def _run_random(
-    ctx: BenchmarkContext, scale: ExperimentScale, seed: int
+    ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
+    tracer: JsonlTraceWriter | None = None,
 ) -> OptimizationResult:
     return run_random_search(
         ctx.space, ctx.flow, rng=np.random.default_rng(seed),
@@ -253,15 +266,30 @@ def run_method(
     method: str,
     scale: ExperimentScale,
     seed: int,
+    trace_dir: str | Path | None = None,
 ) -> MethodRun:
-    """Run one method once and score it."""
+    """Run one method once and score it.
+
+    With ``trace_dir`` set, per-step JSONL traces are written to
+    ``{trace_dir}/{benchmark}.{method}.seed{seed}.jsonl`` (methods
+    without a per-step loop produce no trace file).
+    """
     try:
         runner = METHOD_RUNNERS[method]
     except KeyError:
         raise KeyError(
             f"unknown method {method!r}; available: {sorted(METHOD_RUNNERS)}"
         ) from None
-    result = runner(ctx, scale, seed)
+    if trace_dir is None:
+        result = runner(ctx, scale, seed)
+    else:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        path = trace_dir / f"{ctx.name}.{method}.seed{seed}.jsonl"
+        with JsonlTraceWriter(path) as tracer:
+            result = runner(ctx, scale, seed, tracer=tracer)
+        if tracer.lines_written == 0:
+            path.unlink(missing_ok=True)  # method does not trace
     return MethodRun(
         method=method,
         seed=seed,
@@ -277,6 +305,7 @@ def run_benchmark(
     scale: ExperimentScale = SMALL_SCALE,
     base_seed: int = 2021,
     verbose: bool = False,
+    trace_dir: str | Path | None = None,
 ) -> dict[str, list[MethodRun]]:
     """All repeats of all methods on one benchmark."""
     ctx = BenchmarkContext.get(name)
@@ -284,7 +313,7 @@ def run_benchmark(
     for method in methods:
         for repeat in range(scale.n_repeats):
             seed = method_seed(base_seed, method, repeat)
-            run = run_method(ctx, method, scale, seed)
+            run = run_method(ctx, method, scale, seed, trace_dir=trace_dir)
             runs[method].append(run)
             if verbose:
                 print(
@@ -323,6 +352,7 @@ def run_table1(
     scale: ExperimentScale = SMALL_SCALE,
     base_seed: int = 2021,
     verbose: bool = False,
+    trace_dir: str | Path | None = None,
 ) -> list[Table1Row]:
     """Reproduce Table I: every method on every benchmark."""
     names = tuple(benchmarks) if benchmarks else tuple(benchmark_names())
@@ -332,7 +362,7 @@ def run_table1(
             print(f"benchmark {name}:")
         runs = run_benchmark(
             name, methods=methods, scale=scale, base_seed=base_seed,
-            verbose=verbose,
+            verbose=verbose, trace_dir=trace_dir,
         )
         rows.append(summarize_benchmark(name, runs))
     return rows

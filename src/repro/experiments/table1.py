@@ -24,7 +24,6 @@ from repro.experiments.harness import (
     SMOKE_SCALE,
     TABLE1_METHODS,
     ExperimentScale,
-    MethodRun,
     Table1Row,
     run_benchmark,
     summarize_benchmark,

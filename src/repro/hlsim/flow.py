@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Mapping
+from collections import OrderedDict
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from repro.dse.directives import Configuration, DirectiveSchema
 from repro.dse.space import DesignSpace
 from repro.hlsim.device import VC707, Device
 from repro.hlsim.ir import Kernel
-from repro.hlsim.power import estimate_power_w, switching_activity
+from repro.hlsim.power import estimate_power_w
 from repro.hlsim.reports import (
     ALL_FIDELITIES,
     Fidelity,
@@ -59,11 +59,17 @@ def _stable_seed(*parts: object) -> int:
 class HlsFlow:
     """Simulated FPGA design flow for one kernel + directive schema."""
 
+    #: Default report-cache capacity; generous for any BO run (a few
+    #: hundred distinct configurations) while bounding memory on
+    #: whole-space sweeps of large kernels.
+    DEFAULT_CACHE_CAPACITY = 4096
+
     def __init__(
         self,
         kernel: Kernel,
         schema: DirectiveSchema,
         device: Device = VC707,
+        cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
     ):
         self.kernel = kernel
         self.schema = schema
@@ -89,11 +95,27 @@ class HlsFlow:
         self._has_mul = any(
             loop.body.mul > 0 for loop in kernel.all_loops()
         )
-        self._cache: dict[tuple[int, ...], tuple[StageReport, ...]] = {}
+        if cache_capacity is not None and cache_capacity < 1:
+            raise ValueError("cache_capacity must be positive (or None)")
+        # LRU report cache: reports are deterministic per configuration,
+        # but an unbounded dict grows without limit across whole-space
+        # sweeps (16k configs × 3 reports for a large kernel) and across
+        # long-lived flows shared by many runs.
+        self._cache_capacity = cache_capacity
+        self._cache: OrderedDict[
+            tuple[int, ...], tuple[StageReport, ...]
+        ] = OrderedDict()
 
     @classmethod
-    def for_space(cls, space: DesignSpace, device: Device = VC707) -> "HlsFlow":
-        return cls(space.kernel, space.schema, device)
+    def for_space(
+        cls,
+        space: DesignSpace,
+        device: Device = VC707,
+        cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
+    ) -> "HlsFlow":
+        return cls(
+            space.kernel, space.schema, device, cache_capacity=cache_capacity
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -111,6 +133,16 @@ class HlsFlow:
         reports = self._all_reports(config)[: int(upto) + 1]
         total = sum(r.runtime_s for r in reports)
         return FlowResult(reports=tuple(reports), total_runtime_s=total)
+
+    def reports(self, config: Configuration) -> tuple[StageReport, ...]:
+        """All three stage reports of one configuration (cached).
+
+        Sweep-style consumers should prefer this over calling
+        :meth:`objectives`/:meth:`validity` per fidelity: one pass
+        extracts every view of a configuration while it is hot in the
+        LRU cache.
+        """
+        return self._all_reports(config)
 
     def stage_time(self, upto: Fidelity) -> float:
         """Nominal time of running the flow from scratch up to ``upto``.
@@ -151,6 +183,7 @@ class HlsFlow:
     def _all_reports(self, config: Configuration) -> tuple[StageReport, ...]:
         cached = self._cache.get(config.values)
         if cached is not None:
+            self._cache.move_to_end(config.values)
             return cached
         cfg = self.schema.config_to_dict(config)
         sched = schedule(self.kernel, cfg)
@@ -193,6 +226,11 @@ class HlsFlow:
         impl = self._impl_report(config, sched, raw, syn, phases)
         reports = (hls, syn, impl)
         self._cache[config.values] = reports
+        if (
+            self._cache_capacity is not None
+            and len(self._cache) > self._cache_capacity
+        ):
+            self._cache.popitem(last=False)
         return reports
 
     def _hls_report(
@@ -445,8 +483,14 @@ def ground_truth(
     ``Y`` of shape (n, 3).
     """
     flow = flow or HlsFlow.for_space(space)
-    y = flow.sweep(list(space.configs), Fidelity.IMPL)
-    valid = flow.validity(list(space.configs))
+    rows: list[np.ndarray] = []
+    flags: list[bool] = []
+    for config in space.configs:
+        impl = flow.reports(config)[int(Fidelity.IMPL)]
+        rows.append(impl.objectives())
+        flags.append(impl.valid)
+    y = np.vstack(rows)
+    valid = np.array(flags)
     if not valid.any():
         raise RuntimeError(
             f"kernel {space.kernel.name!r}: no valid design in the space"
@@ -462,7 +506,9 @@ def fidelity_sweep(
 ) -> dict[Fidelity, np.ndarray]:
     """Objective matrices of the whole space at every fidelity (Fig. 5)."""
     flow = flow or HlsFlow.for_space(space)
-    return {
-        fidelity: flow.sweep(list(space.configs), fidelity)
-        for fidelity in ALL_FIDELITIES
-    }
+    rows: dict[Fidelity, list[np.ndarray]] = {f: [] for f in ALL_FIDELITIES}
+    for config in space.configs:
+        reports = flow.reports(config)
+        for fidelity in ALL_FIDELITIES:
+            rows[fidelity].append(reports[int(fidelity)].objectives())
+    return {fidelity: np.vstack(rows[fidelity]) for fidelity in ALL_FIDELITIES}

@@ -24,7 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.hlsim.ir import ArrayAccess, Kernel, Loop
+from repro.hlsim.ir import Kernel, Loop
 
 #: Operation latencies in cycles (integer datapath on Virtex-7 at ~100 MHz).
 OP_LATENCY = {

@@ -1,0 +1,34 @@
+"""Observability primitives for the optimization hot path.
+
+Three small, dependency-free layers:
+
+- :mod:`repro.obs.timing` — wall-clock timers and counters
+  (:class:`~repro.obs.timing.Metrics`) that the optimizer uses to
+  attribute per-step time to fitting, prediction and acquisition.
+- :mod:`repro.obs.trace` — a structured per-step JSONL trace
+  (:class:`~repro.obs.trace.JsonlTraceWriter`) with a versioned schema,
+  so long optimization runs can be inspected, diffed and regression-
+  tested offline.
+- :mod:`repro.obs.profiling` — an opt-in cProfile hook
+  (:func:`~repro.obs.profiling.maybe_profile`) for drilling into a
+  single run without touching the code under test.
+"""
+
+from repro.obs.profiling import maybe_profile
+from repro.obs.timing import Metrics, Timer
+from repro.obs.trace import (
+    STEP_TRACE_FIELDS,
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceWriter,
+    read_trace,
+)
+
+__all__ = [
+    "Metrics",
+    "Timer",
+    "JsonlTraceWriter",
+    "read_trace",
+    "maybe_profile",
+    "STEP_TRACE_FIELDS",
+    "TRACE_SCHEMA_VERSION",
+]

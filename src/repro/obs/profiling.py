@@ -1,0 +1,47 @@
+"""Opt-in cProfile hook for optimization runs.
+
+``maybe_profile(path)`` wraps any block in a profiler when ``path`` is
+set and is a no-op otherwise, so call sites can thread a single optional
+argument through instead of branching:
+
+    with maybe_profile(args.profile):
+        run_benchmark(...)
+
+A ``.txt`` path gets a human-readable cumulative-time table; any other
+suffix gets binary ``pstats`` output for ``snakeviz``/``pstats``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+
+@contextmanager
+def maybe_profile(
+    path: str | Path | None,
+    sort: str = "cumulative",
+    limit: int = 50,
+) -> Iterator[cProfile.Profile | None]:
+    """Profile the enclosed block into ``path`` (no-op when falsy)."""
+    if not path:
+        yield None
+        return
+    path = Path(path)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        if path.suffix == ".txt":
+            buffer = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buffer)
+            stats.sort_stats(sort).print_stats(limit)
+            path.write_text(buffer.getvalue())
+        else:
+            profiler.dump_stats(str(path))

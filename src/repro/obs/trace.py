@@ -1,0 +1,98 @@
+"""Structured JSONL step traces for optimization runs.
+
+One JSON object per line.  Every line carries ``"v"`` (schema version)
+and ``"event"``; the optimizer emits one ``"step"`` line per Bayesian-
+optimization iteration plus a single ``"run_start"`` header.  Non-finite
+floats are serialized as ``null`` so the output stays strict JSON.
+
+The step schema (:data:`STEP_TRACE_FIELDS`) is covered by a regression
+test — tools that consume traces (dashboards, diffing, the hot-path
+benchmark) can rely on the field set per version.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO, Any, Mapping
+
+#: Bump when a field is added, removed or changes meaning.
+TRACE_SCHEMA_VERSION = 1
+
+#: Fields guaranteed on every ``event == "step"`` line (schema v1).
+STEP_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "step",
+    "config_index",
+    "fidelity",
+    "pool_size",
+    "acquisition",
+    "valid",
+    "flow_runtime_s",
+    "fit_s",
+    "predict_s",
+    "hvi_s",
+    "eval_s",
+    "step_s",
+    "cache_hits",
+    "cache_misses",
+)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars and non-finite floats into strict JSON."""
+    if hasattr(value, "item"):  # numpy scalar
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+class JsonlTraceWriter:
+    """Append-only JSONL writer with eager flushing.
+
+    Eager flushing keeps the trace useful for *live* observability —
+    ``tail -f`` works while a long run is still going.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle: IO[str] | None = self.path.open("w")
+        self.lines_written = 0
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        if self._handle is None:
+            raise RuntimeError(f"trace writer for {self.path} is closed")
+        payload = {k: _jsonable(v) for k, v in record.items()}
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace(
+    path: str | Path, event: str | None = None
+) -> list[dict[str, Any]]:
+    """Parse a JSONL trace, optionally filtering by ``event`` type."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if event is None or record.get("event") == event:
+                records.append(record)
+    return records

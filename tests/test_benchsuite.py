@@ -10,7 +10,6 @@ from repro.benchsuite import (
     get_space,
 )
 from repro.hlsim.flow import HlsFlow
-from repro.hlsim.reports import Fidelity
 
 
 class TestRegistry:

@@ -167,3 +167,45 @@ class TestGroundTruth:
         Y = flow.sweep(configs, Fidelity.SYN)
         for row, config in zip(Y, configs):
             assert np.allclose(row, flow.objectives(config, Fidelity.SYN))
+
+
+class TestReportCacheLRU:
+    """ISSUE 1 satellite: the report cache must be bounded (LRU)."""
+
+    def test_cache_never_exceeds_capacity(self, space):
+        flow = HlsFlow.for_space(space, cache_capacity=4)
+        for config in list(space.configs)[:10]:
+            flow.run(config)
+        assert len(flow._cache) <= 4
+
+    def test_unbounded_when_capacity_none(self, space):
+        flow = HlsFlow.for_space(space, cache_capacity=None)
+        configs = list(space.configs)[:10]
+        for config in configs:
+            flow.run(config)
+        assert len(flow._cache) == len({c.values for c in configs})
+
+    def test_eviction_is_least_recently_used(self, space):
+        flow = HlsFlow.for_space(space, cache_capacity=2)
+        c0, c1, c2 = list(space.configs)[:3]
+        first = flow.reports(c0)
+        flow.reports(c1)
+        flow.reports(c0)  # refresh c0 -> c1 becomes LRU
+        flow.reports(c2)  # evicts c1
+        assert c1.values not in flow._cache
+        assert flow.reports(c0) is first  # c0 survived, same tuple object
+
+    def test_recomputed_reports_identical_after_eviction(self, space):
+        bounded = HlsFlow.for_space(space, cache_capacity=1)
+        unbounded = HlsFlow.for_space(space, cache_capacity=None)
+        configs = list(space.configs)[:4]
+        for config in configs:  # churn the 1-entry cache
+            bounded.reports(config)
+        for config in configs:
+            again = bounded.reports(config)
+            reference = unbounded.reports(config)
+            assert again == reference  # determinism: eviction is invisible
+
+    def test_rejects_non_positive_capacity(self, space):
+        with pytest.raises(ValueError, match="cache_capacity"):
+            HlsFlow.for_space(space, cache_capacity=0)

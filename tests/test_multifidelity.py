@@ -155,3 +155,143 @@ class TestLinearStack:
         off = cov.copy()
         off[:, np.arange(2), np.arange(2)] = 0.0
         assert np.allclose(off, 0.0)
+
+
+class TestPredictionCache:
+    """ISSUE 1 tentpole: cached sweeps are bitwise-exact memoization."""
+
+    def test_nonlinear_cached_sweep_bitwise_identical(self):
+        rng = np.random.default_rng(4)
+        datasets, _, _ = make_mf_data(rng)
+        plain = NonlinearMultiFidelityStack(3, 2, rng=np.random.default_rng(9))
+        plain.fit(datasets)
+        cached = NonlinearMultiFidelityStack(
+            3, 2, rng=np.random.default_rng(9), cache_predictions=True
+        )
+        cached.fit(datasets)
+        Xs = rng.uniform(size=(11, 2))
+        cached.begin_step()
+        for level in range(3):
+            mean_p, cov_p = plain.predict(level, Xs)
+            mean_c, cov_c = cached.predict(level, Xs)
+            assert np.array_equal(mean_p, mean_c)
+            assert np.array_equal(cov_p, cov_c)
+        # Levels 0 and 1 were reused when predicting levels 1 and 2.
+        assert cached.cache_hits >= 2
+
+    def test_linear_cached_sweep_bitwise_identical(self):
+        rng = np.random.default_rng(5)
+        datasets, _, _ = make_mf_data(rng, linear=True)
+        plain = LinearMultiFidelityStack(3, 2, rng=np.random.default_rng(9))
+        plain.fit(datasets)
+        cached = LinearMultiFidelityStack(
+            3, 2, rng=np.random.default_rng(9), cache_predictions=True
+        )
+        cached.fit(datasets)
+        Xs = rng.uniform(size=(11, 2))
+        cached.begin_step()
+        for level in range(3):
+            mean_p, var_p = plain.predict_marginals(level, Xs)
+            mean_c, var_c = cached.predict_marginals(level, Xs)
+            assert np.array_equal(mean_p, mean_c)
+            assert np.array_equal(var_p, var_c)
+        assert cached.cache_hits > 0
+
+    def test_upward_sweep_costs_one_prediction_per_level(self):
+        rng = np.random.default_rng(6)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(
+            3, 2, rng=rng, cache_predictions=True
+        )
+        stack.fit(datasets)
+        Xs = rng.uniform(size=(9, 2))
+        stack.begin_step()
+        hits0, misses0 = stack.cache_hits, stack.cache_misses
+        for level in range(3):
+            stack.predict(level, Xs)
+        # Uncached this sweep would run 1 + 2 + 3 = 6 model predictions;
+        # the cache reduces it to one computed prediction per level (3
+        # misses) plus one hit per augmentation (levels 1 and 2 reuse
+        # the level below).
+        assert stack.cache_misses - misses0 == 3
+        assert stack.cache_hits - hits0 == 2
+
+    def test_cache_invalidated_by_begin_step_and_fit(self):
+        rng = np.random.default_rng(7)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(
+            3, 2, rng=rng, cache_predictions=True
+        )
+        stack.fit(datasets)
+        Xs = rng.uniform(size=(5, 2))
+        stack.begin_step()
+        stack.predict(2, Xs)
+        misses_before = stack.cache_misses
+        stack.begin_step()
+        stack.predict(2, Xs)  # must recompute, not serve stale entries
+        assert stack.cache_misses > misses_before
+
+
+class TestWarmStartRefit:
+    """ISSUE 1 tentpole: warm-started refits and refit skipping."""
+
+    def test_unchanged_data_skips_refit(self):
+        rng = np.random.default_rng(8)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(3, 2, rng=rng)
+        stack.fit(datasets, warm_start=True)
+        assert stack.last_refit_levels == [0, 1, 2]
+        stack.fit(datasets, warm_start=True)
+        assert stack.last_refit_levels == []
+
+    def test_changed_level_refits_it_and_above(self):
+        rng = np.random.default_rng(9)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(3, 2, rng=rng)
+        stack.fit(datasets, warm_start=True)
+        (X1, Y1) = datasets[1]
+        datasets[1] = (
+            np.vstack([X1, rng.uniform(size=(1, 2))]),
+            np.vstack([Y1, Y1[-1:]]),
+        )
+        stack.fit(datasets, warm_start=True)
+        # Level 0 unchanged -> skipped; level 1 changed -> its augmented
+        # inputs feed level 2, which must refit too.
+        assert stack.last_refit_levels == [1, 2]
+
+    def test_cold_fit_never_skips(self):
+        rng = np.random.default_rng(10)
+        datasets, _, _ = make_mf_data(rng)
+        stack = NonlinearMultiFidelityStack(3, 2, rng=rng)
+        stack.fit(datasets)
+        stack.fit(datasets)  # warm_start=False: full refit both times
+        assert stack.last_refit_levels == [0, 1, 2]
+
+    def test_linear_stack_skip_preserves_rhos(self):
+        rng = np.random.default_rng(11)
+        datasets, _, _ = make_mf_data(rng, linear=True)
+        stack = LinearMultiFidelityStack(3, 2, rng=rng)
+        stack.fit(datasets, warm_start=True)
+        rhos_before = [rho.copy() for rho in stack.rhos]
+        stack.fit(datasets, warm_start=True)
+        assert stack.last_refit_levels == []
+        for before, after in zip(rhos_before, stack.rhos):
+            assert np.array_equal(before, after)
+
+    def test_warm_start_prediction_quality_holds(self):
+        rng = np.random.default_rng(12)
+        datasets, base, lift = make_mf_data(rng)
+        test = rng.uniform(size=(60, 2))
+        truth = lift(lift(base(test), test), test)
+
+        cold = NonlinearMultiFidelityStack(3, 2, rng=np.random.default_rng(2))
+        cold.fit(datasets)
+        warm = NonlinearMultiFidelityStack(3, 2, rng=np.random.default_rng(2))
+        warm.fit(datasets)
+        for _ in range(3):  # simulate BO-style incremental refits
+            warm.fit(datasets, warm_start=True)
+        mu_cold, _ = cold.predict(2, test)
+        mu_warm, _ = warm.predict(2, test)
+        err_cold = float(np.mean((mu_cold - truth) ** 2))
+        err_warm = float(np.mean((mu_warm - truth) ** 2))
+        assert err_warm <= err_cold * 1.5 + 1e-6

@@ -1,0 +1,251 @@
+"""Tests for the observability layer (repro.obs) and its optimizer wiring."""
+
+import json
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
+from repro.dse.space import DesignSpace
+from repro.hlsim.flow import HlsFlow
+from repro.hlsim.ir import (
+    Array,
+    ArrayAccess,
+    FidelityProfile,
+    Kernel,
+    Loop,
+    OpCounts,
+)
+from repro.obs import (
+    STEP_TRACE_FIELDS,
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceWriter,
+    Metrics,
+    Timer,
+    maybe_profile,
+    read_trace,
+)
+
+
+def tiny_kernel():
+    loop = Loop(
+        name="L",
+        trip_count=128,
+        body=OpCounts(add=2, mul=1, load=2, store=1),
+        accesses=(ArrayAccess("A", index_loop="L", reads=2.0, writes=1.0),),
+        unroll_factors=(1, 2, 4),
+        pipeline_site=True,
+        ii_candidates=(1, 2),
+    )
+    return Kernel(
+        name="obs-kernel",
+        arrays=(Array("A", depth=512, partition_factors=(1, 2, 4)),),
+        loops=(loop,),
+        fidelity=FidelityProfile(
+            irregularity=0.3, noise=0.01, t_hls=10.0, t_syn=50.0, t_impl=120.0
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DesignSpace.from_kernel(tiny_kernel())
+
+
+def quick_settings(**overrides):
+    defaults = dict(
+        n_init=(5, 3, 2), n_iter=4, n_mc_samples=16, candidate_pool=24,
+        refit_every=2, seed=3,
+    )
+    defaults.update(overrides)
+    return MFBOSettings(**defaults)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        assert first >= 0.005
+        with timer:
+            pass
+        assert timer.elapsed >= first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestMetrics:
+    def test_timed_and_counts(self):
+        metrics = Metrics()
+        with metrics.timed("fit"):
+            time.sleep(0.005)
+        metrics.incr("hits", 3)
+        metrics.incr("hits")
+        assert metrics.time("fit") >= 0.003
+        assert metrics.count("hits") == 4
+        assert metrics.time("missing") == 0.0
+        assert metrics.count("missing") == 0
+
+    def test_snapshot_delta(self):
+        metrics = Metrics()
+        metrics.add_time("fit", 1.0)
+        before = metrics.snapshot()
+        metrics.add_time("fit", 0.5)
+        metrics.incr("hits", 2)
+        delta = Metrics.delta(before, metrics.snapshot())
+        assert delta["fit"] == pytest.approx(0.5)
+        assert delta["hits"] == 2
+
+    def test_reset(self):
+        metrics = Metrics()
+        metrics.add_time("fit", 1.0)
+        metrics.incr("hits")
+        metrics.reset()
+        assert metrics.snapshot() == {}
+
+
+class TestJsonlTrace:
+    def test_roundtrip_and_filter(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            writer.write({"v": 1, "event": "run_start", "seed": 7})
+            writer.write({"v": 1, "event": "step", "step": 0})
+            writer.write({"v": 1, "event": "step", "step": 1})
+        assert writer.lines_written == 3
+        assert [r["step"] for r in read_trace(path, event="step")] == [0, 1]
+        assert len(read_trace(path)) == 3
+
+    def test_non_finite_and_numpy_become_strict_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            writer.write(
+                {
+                    "nan": float("nan"),
+                    "inf": float("inf"),
+                    "npint": np.int64(3),
+                    "npfloat": np.float64(1.5),
+                }
+            )
+        line = path.read_text().strip()
+        record = json.loads(line)  # must parse as strict JSON
+        assert record["nan"] is None
+        assert record["inf"] is None
+        assert record["npint"] == 3
+        assert record["npfloat"] == 1.5
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = JsonlTraceWriter(tmp_path / "trace.jsonl")
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.write({"event": "step"})
+
+
+class TestMaybeProfile:
+    def test_noop_without_path(self):
+        with maybe_profile(None) as profiler:
+            assert profiler is None
+
+    def test_writes_text_table(self, tmp_path):
+        path = tmp_path / "profile.txt"
+        with maybe_profile(path) as profiler:
+            assert profiler is not None
+            sum(range(1000))
+        text = path.read_text()
+        assert "cumulative" in text
+
+    def test_writes_binary_pstats(self, tmp_path):
+        import pstats
+
+        path = tmp_path / "profile.prof"
+        with maybe_profile(path):
+            sum(range(1000))
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+
+class TestOptimizerTrace:
+    """ISSUE 1: every run can emit a schema-versioned per-step trace."""
+
+    def _traced_run(self, space, path, **overrides):
+        flow = HlsFlow.for_space(space)
+        with JsonlTraceWriter(path) as tracer:
+            optimizer = CorrelatedMFBO(
+                space, flow, settings=quick_settings(**overrides),
+                tracer=tracer,
+            )
+            result = optimizer.run()
+        return result
+
+    def test_step_schema(self, space, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = self._traced_run(space, path)
+        header = read_trace(path, event="run_start")
+        assert len(header) == 1
+        assert header[0]["v"] == TRACE_SCHEMA_VERSION
+        assert header[0]["seed"] == 3
+        steps = read_trace(path, event="step")
+        assert len(steps) == 4  # one line per BO iteration
+        for record in steps:
+            assert set(record) == set(STEP_TRACE_FIELDS)
+            assert record["v"] == TRACE_SCHEMA_VERSION
+            assert record["fidelity"] in ("hls", "syn", "impl")
+            assert record["pool_size"] > 0
+            assert record["step_s"] >= 0.0
+            assert isinstance(record["cache_hits"], int)
+        # Trace agrees with the in-memory history for the BO steps.
+        bo_records = [r for r in result.history if r.step >= 0
+                      and not math.isnan(r.acquisition)]
+        assert [r["config_index"] for r in steps] == [
+            r.config_index for r in bo_records
+        ]
+
+    def test_trace_deterministic_under_fixed_seed(self, space, tmp_path):
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        self._traced_run(space, path_a)
+        self._traced_run(space, path_b)
+        keys = ("step", "config_index", "fidelity", "acquisition", "valid")
+        trace_a = [[r[k] for k in keys] for r in read_trace(path_a, "step")]
+        trace_b = [[r[k] for k in keys] for r in read_trace(path_b, "step")]
+        assert trace_a == trace_b
+
+    def test_untraced_run_unaffected(self, space):
+        flow = HlsFlow.for_space(space)
+        result = CorrelatedMFBO(
+            space, flow, settings=quick_settings()
+        ).run()
+        assert len(result.history) >= 4
+
+
+class TestHarnessTraceDir:
+    def test_run_method_writes_trace(self, tmp_path):
+        from repro.experiments.harness import (
+            SMOKE_SCALE,
+            BenchmarkContext,
+            run_method,
+        )
+
+        ctx = BenchmarkContext.get("spmv_ellpack")
+        run = run_method(ctx, "ours", SMOKE_SCALE, seed=5,
+                         trace_dir=tmp_path)
+        path = tmp_path / "spmv_ellpack.ours.seed5.jsonl"
+        assert path.exists()
+        steps = read_trace(path, event="step")
+        assert len(steps) == SMOKE_SCALE.n_iter
+        assert run.adrs >= 0.0
+
+    def test_run_method_removes_empty_trace(self, tmp_path):
+        from repro.experiments.harness import (
+            SMOKE_SCALE,
+            BenchmarkContext,
+            run_method,
+        )
+
+        ctx = BenchmarkContext.get("spmv_ellpack")
+        run_method(ctx, "random", SMOKE_SCALE, seed=5, trace_dir=tmp_path)
+        assert not (tmp_path / "spmv_ellpack.random.seed5.jsonl").exists()

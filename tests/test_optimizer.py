@@ -224,3 +224,122 @@ class TestRun:
         result = CorrelatedMFBO(space, flow, settings).run()
         # Cannot evaluate more configs at impl than exist.
         assert result.evaluation_counts["impl"] <= len(space)
+
+
+class TestPunishmentRescaling:
+    """ISSUE 1 satellite: punished entries must track the growing worst."""
+
+    def test_punished_entries_rescale_when_worst_grows(self, space, flow):
+        optimizer = CorrelatedMFBO(space, flow, quick_settings())
+        optimizer._track_worst(np.array([1.0, 1.0, 1.0]))
+        snapshot = optimizer._punished_value()
+        optimizer._data[Fidelity.HLS].add(7, snapshot, punished=True)
+        optimizer._cs[7] = (snapshot, Fidelity.HLS, False)
+        optimizer._punished_cs.add(7)
+        # A much worse valid observation arrives: the stale punished
+        # snapshot must be recomputed, not kept frozen.
+        optimizer._track_worst(np.array([5.0, 2.0, 1.0]))
+        expected = np.array([50.0, 20.0, 10.0])
+        assert np.allclose(optimizer._data[Fidelity.HLS].values[-1], expected)
+        assert np.allclose(optimizer._cs[7][0], expected)
+
+    def test_sentinel_replaced_once_valid_seen(self, space, flow):
+        optimizer = CorrelatedMFBO(space, flow, quick_settings())
+        sentinel = optimizer._punished_value()  # no valid design yet
+        assert np.allclose(sentinel, 1e6)
+        optimizer._data[Fidelity.SYN].add(3, sentinel, punished=True)
+        optimizer._track_worst(np.array([2.0, 3.0, 4.0]))
+        assert np.allclose(
+            optimizer._data[Fidelity.SYN].values[-1],
+            np.array([20.0, 30.0, 40.0]),
+        )
+
+    def test_end_to_end_punished_rows_consistent(self):
+        kernel = small_kernel()
+        space = DesignSpace.from_kernel(kernel)
+        flow = HlsFlow.for_space(space, device=TINY_DEVICE)
+        optimizer = CorrelatedMFBO(
+            space, flow, quick_settings(n_iter=8, seed=3)
+        )
+        optimizer.run()
+        p = optimizer._punished_value()
+        rows_seen = 0
+        for fidelity in ALL_FIDELITIES:
+            data = optimizer._data[fidelity]
+            for row in data.punished_rows:
+                rows_seen += 1
+                assert np.allclose(data.values[row], p)
+        if optimizer._worst_seen is not None:
+            # The 1e6 bootstrap sentinel must never survive the run.
+            for fidelity in ALL_FIDELITIES:
+                for row in optimizer._data[fidelity].punished_rows:
+                    values = optimizer._data[fidelity].values[row]
+                    assert not np.allclose(values, 1e6)
+
+
+class TestFidelityDataIndexSet:
+    """ISSUE 1 satellite: contains() must be O(1), not a per-call set build."""
+
+    def test_contains_and_index_set_stay_in_sync(self):
+        from repro.core.optimizer import _FidelityData
+
+        data = _FidelityData()
+        assert not data.contains(3)
+        data.add(3, np.array([1.0, 2.0, 3.0]))
+        data.add(9, np.array([4.0, 5.0, 6.0]), punished=True)
+        assert data.contains(3)
+        assert data.contains(9)
+        assert not data.contains(4)
+        assert data.index_set == {3, 9}
+        assert data.punished_rows == [1]
+        assert data.matrix().shape == (2, 3)
+
+
+class TestHotPath:
+    """ISSUE 1 tentpole: cached sweep is exact; fast path stays sane."""
+
+    def _history_trace(self, result):
+        trace = []
+        for r in result.history:
+            acq = None if np.isnan(r.acquisition) else r.acquisition
+            trace.append(
+                (r.step, r.config_index, int(r.fidelity), acq,
+                 tuple(float(v) for v in r.objectives))
+            )
+        return trace
+
+    def test_cached_sweep_bitwise_identical_to_uncached(self, space, flow):
+        def run(cache):
+            settings = quick_settings(
+                n_iter=6, seed=11, cache_predictions=cache, warm_start=False,
+            )
+            return CorrelatedMFBO(space, flow, settings).run()
+
+        compat = run(False)
+        cached = run(True)
+        assert self._history_trace(cached) == self._history_trace(compat)
+
+    def test_cache_actually_hits(self, space, flow):
+        optimizer = CorrelatedMFBO(
+            space, flow,
+            quick_settings(cache_predictions=True, warm_start=False),
+        )
+        optimizer.run()
+        assert optimizer._stack.cache_hits > 0
+        assert optimizer.metrics.count("cache_hits") > 0
+
+    def test_warm_start_deterministic_and_produces_result(self, space, flow):
+        settings = dict(cache_predictions=True, warm_start=True, seed=13)
+        a = CorrelatedMFBO(space, flow, quick_settings(**settings)).run()
+        b = CorrelatedMFBO(space, flow, quick_settings(**settings)).run()
+        assert a.cs_indices == b.cs_indices
+        assert np.allclose(a.cs_values, b.cs_values)
+        assert len(a.pareto_indices()) >= 1
+
+    def test_metrics_attribute_step_time(self, space, flow):
+        optimizer = CorrelatedMFBO(space, flow, quick_settings())
+        optimizer.run()
+        snap = optimizer.metrics.snapshot()
+        assert snap.get("fit_s", 0.0) > 0.0
+        assert snap.get("eval_s", 0.0) > 0.0
+        assert snap.get("hvi_s", 0.0) > 0.0
