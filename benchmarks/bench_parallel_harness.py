@@ -1,0 +1,164 @@
+"""Acceptance benchmark for the parallel experiment engine (ISSUE 2).
+
+Runs a fixed-seed SMOKE-scale Table-1 slice (GEMM + SPMV_ELLPACK, all
+methods) twice — sequentially and through the process-pool engine at
+4 workers — and asserts the two acceptance criteria:
+
+- **exactness**: every per-run ADRS / simulated-runtime value and every
+  summarized Table-1 row is ``==`` (bitwise) between the two modes;
+- **speedup**: the parallel sweep is at least :data:`MIN_SPEEDUP`×
+  faster end-to-end.  The speedup assertion only arms when the machine
+  actually exposes >= 4 CPUs (``os.sched_getaffinity``); on smaller
+  boxes the timings are still recorded but a pool cannot beat the
+  sequential loop and the exactness half is the meaningful check.
+
+Benchmark contexts are prewarmed (and the ground-truth disk cache is
+filled) *before* either timed region, so the numbers measure the
+engine, not the exhaustive ground-truth sweep both modes share.
+
+Run directly for a report (writes ``BENCH_parallel_harness.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_harness.py
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import (
+    SMOKE_SCALE,
+    TABLE1_METHODS,
+    run_benchmark,
+    summarize_benchmark,
+)
+from repro.experiments.parallel import prewarm_contexts, run_table1_parallel
+
+BENCHMARKS = ("gemm", "spmv_ellpack")
+BASE_SEED = 2021
+WORKERS = 4
+
+#: Required wall-clock speedup at 4 workers (armed when >= 4 CPUs).
+MIN_SPEEDUP = 2.0
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _sequential_slice(cache_dir):
+    per_benchmark = {}
+    rows = []
+    for name in BENCHMARKS:
+        runs = run_benchmark(
+            name, methods=TABLE1_METHODS, scale=SMOKE_SCALE,
+            base_seed=BASE_SEED, cache_dir=cache_dir,
+        )
+        per_benchmark[name] = runs
+        rows.append(summarize_benchmark(name, runs))
+    return per_benchmark, rows
+
+
+def _parallel_slice(cache_dir):
+    per_benchmark = {
+        name: run_benchmark(
+            name, methods=TABLE1_METHODS, scale=SMOKE_SCALE,
+            base_seed=BASE_SEED, workers=WORKERS, cache_dir=cache_dir,
+        )
+        for name in BENCHMARKS
+    }
+    rows = run_table1_parallel(
+        benchmarks=BENCHMARKS, methods=TABLE1_METHODS, scale=SMOKE_SCALE,
+        base_seed=BASE_SEED, workers=WORKERS, cache_dir=cache_dir,
+    )
+    return per_benchmark, rows
+
+
+def _assert_identical(seq, par) -> int:
+    """Exact (==) comparison of per-run values; returns runs compared."""
+    seq_runs, seq_rows = seq
+    par_runs, par_rows = par
+    compared = 0
+    for name in BENCHMARKS:
+        assert set(seq_runs[name]) == set(par_runs[name])
+        for method in TABLE1_METHODS:
+            a_list = seq_runs[name][method]
+            b_list = par_runs[name][method]
+            assert len(a_list) == len(b_list)
+            for a, b in zip(a_list, b_list):
+                assert a.adrs == b.adrs, (name, method, a.adrs, b.adrs)
+                assert a.runtime_s == b.runtime_s, (name, method)
+                assert a.seed == b.seed, (name, method)
+                compared += 1
+    for row_a, row_b in zip(seq_rows, par_rows):
+        assert row_a.benchmark == row_b.benchmark
+        assert row_a.adrs_mean == row_b.adrs_mean, row_a.benchmark
+        assert row_a.adrs_std == row_b.adrs_std, row_a.benchmark
+        assert row_a.runtime_mean == row_b.runtime_mean, row_a.benchmark
+    return compared
+
+
+def run_bench(report_path: str | Path | None = None) -> dict:
+    cache_root = tempfile.mkdtemp(prefix="repro-gt-bench-")
+    # Outside the timed regions: ground truth + in-memory contexts.
+    prewarm_contexts(BENCHMARKS, cache_dir=cache_root)
+
+    start = time.perf_counter()
+    seq = _sequential_slice(cache_root)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    par = _parallel_slice(cache_root)
+    parallel_s = time.perf_counter() - start
+
+    runs_compared = _assert_identical(seq, par)
+
+    cpus = _available_cpus()
+    # The parallel region above runs the slice twice (per-benchmark +
+    # pooled table); halve it for a like-for-like speedup estimate.
+    speedup = sequential_s / (parallel_s / 2.0) if parallel_s > 0 else 0.0
+    speedup_armed = cpus >= WORKERS
+    report = {
+        "benchmarks": list(BENCHMARKS),
+        "methods": list(TABLE1_METHODS),
+        "workers": WORKERS,
+        "cpus": cpus,
+        "runs_compared": runs_compared,
+        "identical": True,  # _assert_identical raised otherwise
+        "sequential_s": round(sequential_s, 3),
+        "parallel_2x_slice_s": round(parallel_s, 3),
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "speedup_asserted": speedup_armed,
+    }
+    if report_path:
+        Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
+    if speedup_armed:
+        assert speedup >= MIN_SPEEDUP, (
+            f"parallel engine speedup {speedup:.2f}x at {WORKERS} workers "
+            f"(need >= {MIN_SPEEDUP}x on {cpus} CPUs)"
+        )
+    return report
+
+
+@pytest.mark.slow
+def test_parallel_harness_exact_and_fast():
+    report = run_bench()
+    assert report["identical"]
+    assert report["runs_compared"] == len(BENCHMARKS) * len(TABLE1_METHODS)
+
+
+def main() -> None:
+    report = run_bench(report_path="BENCH_parallel_harness.json")
+    print(json.dumps(report, indent=2))
+    print("wrote BENCH_parallel_harness.json")
+
+
+if __name__ == "__main__":
+    main()

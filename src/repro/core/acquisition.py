@@ -72,19 +72,30 @@ def nondominated_cells_2d(
     front = front[pareto_mask(front)]
     xs = np.concatenate([[-np.inf], np.unique(front[:, 0]), [ref[0]]])
     ys = np.concatenate([[-np.inf], np.unique(front[:, 1]), [ref[1]]])
-    cells = []
-    for i in range(len(xs) - 1):
-        for j in range(len(ys) - 1):
-            lo = np.array([xs[i], ys[j]])
-            hi = np.array([xs[i + 1], ys[j + 1]])
-            if hi[0] > ref[0] or hi[1] > ref[1]:
-                continue
-            if np.any(hi <= lo):
-                continue
-            dominated = bool(np.any(np.all(front <= lo[None, :], axis=1)))
-            if not dominated:
-                cells.append([lo, hi])
-    return np.array(cells) if cells else np.empty((0, 2, 2))
+    # All (i, j) grid cells at once; the i-major flattening order
+    # matches the historical double loop, so downstream per-cell float
+    # accumulation (ehvi_2d_independent) is bitwise unchanged.
+    lo_x, hi_x = xs[:-1, None], xs[1:, None]  # (nx, 1)
+    lo_y, hi_y = ys[None, :-1], ys[None, 1:]  # (1, ny)
+    inside = (hi_x <= ref[0]) & (hi_y <= ref[1])
+    proper = (hi_x > lo_x) & (hi_y > lo_y)
+    # dominated[i, j] <=> some front point p has p <= (lo_x[i], lo_y[j]).
+    covers_x = front[:, 0][:, None] <= lo_x[None, :, 0]  # (K, nx)
+    covers_y = front[:, 1][:, None] <= lo_y[None, 0, :]  # (K, ny)
+    dominated = np.einsum("ki,kj->ij", covers_x, covers_y) > 0
+    keep = inside & proper & ~dominated
+    if not keep.any():
+        return np.empty((0, 2, 2))
+    shape = keep.shape
+    lows = np.stack(
+        [np.broadcast_to(lo_x, shape)[keep], np.broadcast_to(lo_y, shape)[keep]],
+        axis=-1,
+    )
+    highs = np.stack(
+        [np.broadcast_to(hi_x, shape)[keep], np.broadcast_to(hi_y, shape)[keep]],
+        axis=-1,
+    )
+    return np.stack([lows, highs], axis=1)
 
 
 def _psi(a: np.ndarray, b: np.ndarray, mu: np.ndarray, sigma: np.ndarray) -> np.ndarray:
@@ -183,16 +194,26 @@ def eipv_mc(
 
 
 def _batched_cholesky(covs: np.ndarray) -> np.ndarray:
-    """Cholesky of a batch of covariance matrices, with jitter retry."""
+    """Cholesky of a batch of covariance matrices, with jitter retry.
+
+    The jitter is *scale-relative*: an absolute 1e-10 floor is a no-op
+    against covariances of magnitude 1e6+ (it vanishes in float64
+    rounding), so the retry ladder starts at ``1e-10 × mean diagonal``
+    and multiplies by 10 per attempt.
+    """
+    m = covs.shape[1]
+    mean_diag = float(
+        np.mean(np.clip(covs[:, np.arange(m), np.arange(m)], 0.0, None))
+    )
+    scale = mean_diag if mean_diag > 0.0 else 1.0
     jitter = 0.0
-    eye = np.eye(covs.shape[1])
+    eye = np.eye(m)
     for _ in range(6):
         try:
             return np.linalg.cholesky(covs + jitter * eye[None, :, :])
         except np.linalg.LinAlgError:
-            jitter = max(jitter * 10.0, 1e-10)
+            jitter = max(jitter * 10.0, 1e-10 * scale)
     # Last resort: use marginal std-devs only.
-    m = covs.shape[1]
     diag = np.sqrt(np.clip(covs[:, np.arange(m), np.arange(m)], 0.0, None))
     out = np.zeros_like(covs)
     out[:, np.arange(m), np.arange(m)] = diag

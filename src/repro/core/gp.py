@@ -17,9 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy.linalg import cho_solve, cholesky, solve_triangular
-from scipy.optimize import minimize
 
 from repro.core.kernels import Matern52, StationaryKernel
+from repro.core.restarts import minimize_multistart
 
 #: Bounds on the log observation-noise variance.
 LOG_NOISE_BOUNDS = (math.log(1e-8), math.log(1.0))
@@ -50,11 +50,15 @@ class GaussianProcess:
         n_restarts: int = 2,
         max_opt_iter: int = 80,
         rng: np.random.Generator | None = None,
+        restart_workers: int | None = None,
     ):
         self.kernel = kernel or Matern52()
         self.n_restarts = n_restarts
         self.max_opt_iter = max_opt_iter
         self.rng = rng or np.random.default_rng(0)
+        #: pool size for multi-start LML descents (None = env/off); the
+        #: selected optimum is identical at any worker count.
+        self.restart_workers = restart_workers
         self._state: _FitState | None = None
 
     # ------------------------------------------------------------------
@@ -181,20 +185,15 @@ class GaussianProcess:
                 )
             )
         diffs = self.kernel.pairwise_diffs(X)
-        best_theta, best_val = theta0, math.inf
-        for start in starts:
-            result = minimize(
-                self._neg_lml_and_grad,
-                start,
-                args=(X, z, diffs),
-                jac=True,
-                method="L-BFGS-B",
-                bounds=bounds,
-                options={"maxiter": self.max_opt_iter},
-            )
-            if result.fun < best_val:
-                best_val, best_theta = float(result.fun), result.x
-        return best_theta
+        return minimize_multistart(
+            self._neg_lml_and_grad,
+            starts,
+            args=(X, z, diffs),
+            bounds=bounds,
+            maxiter=self.max_opt_iter,
+            workers=self.restart_workers,
+            fallback=theta0,
+        )
 
     # ------------------------------------------------------------------
     # prediction

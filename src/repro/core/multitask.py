@@ -33,10 +33,10 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy.linalg import cho_solve, cholesky, solve_triangular
-from scipy.optimize import minimize
 
 from repro.core.gp import JITTER, LOG_NOISE_BOUNDS
 from repro.core.kernels import Matern52, StationaryKernel
+from repro.core.restarts import minimize_multistart
 
 #: Bounds on entries of the task-matrix Cholesky factor.
 TASK_CHOL_BOUNDS = (-5.0, 5.0)
@@ -94,6 +94,7 @@ class MultiTaskGP:
         max_opt_iter: int = 80,
         rng: np.random.Generator | None = None,
         private_processes: bool = True,
+        restart_workers: int | None = None,
     ):
         if n_tasks < 1:
             raise ValueError("need at least one task")
@@ -103,6 +104,9 @@ class MultiTaskGP:
         self.max_opt_iter = max_opt_iter
         self.rng = rng or np.random.default_rng(0)
         self.private_processes = private_processes
+        #: pool size for multi-start LML descents (None = env/off); the
+        #: selected optimum is identical at any worker count.
+        self.restart_workers = restart_workers
         self._state: _MTState | None = None
 
     # ------------------------------------------------------------------
@@ -374,20 +378,15 @@ class MultiTaskGP:
             jitter = self.rng.normal(0.0, 0.4, size=params0.shape)
             starts.append(np.clip(params0 + jitter, lo, hi))
         diffs = self.kernel.pairwise_diffs(X)
-        best, best_val = starts[0], math.inf
-        for start in starts:
-            result = minimize(
-                self._neg_lml_and_grad,
-                start,
-                args=(X, Z, diffs),
-                jac=True,
-                method="L-BFGS-B",
-                bounds=bounds,
-                options={"maxiter": self.max_opt_iter},
-            )
-            if result.fun < best_val:
-                best_val, best = float(result.fun), result.x
-        return best
+        return minimize_multistart(
+            self._neg_lml_and_grad,
+            starts,
+            args=(X, Z, diffs),
+            bounds=bounds,
+            maxiter=self.max_opt_iter,
+            workers=self.restart_workers,
+            fallback=starts[0],
+        )
 
     # ------------------------------------------------------------------
     # prediction
@@ -506,6 +505,7 @@ class IndependentMultiObjectiveGP:
         n_restarts: int = 1,
         max_opt_iter: int = 80,
         rng: np.random.Generator | None = None,
+        restart_workers: int | None = None,
     ):
         from repro.core.gp import GaussianProcess
 
@@ -518,6 +518,7 @@ class IndependentMultiObjectiveGP:
                 n_restarts=n_restarts,
                 max_opt_iter=max_opt_iter,
                 rng=rng or np.random.default_rng(0),
+                restart_workers=restart_workers,
             )
             for _ in range(n_tasks)
         ]
@@ -533,9 +534,41 @@ class IndependentMultiObjectiveGP:
         Y = np.atleast_2d(np.asarray(Y, dtype=float))
         if Y.shape[1] != self.n_tasks:
             raise ValueError(f"expected {self.n_tasks} objectives")
+        per_task = self._split_init_params(init_params)
         for t, model in enumerate(self.models):
-            model.fit(X, Y[:, t], optimize=optimize, warm_start=warm_start)
+            model.fit(
+                X,
+                Y[:, t],
+                optimize=optimize,
+                init_theta=per_task[t],
+                warm_start=warm_start,
+            )
         return self
+
+    def _split_init_params(
+        self, init_params: np.ndarray | None
+    ) -> list[np.ndarray | None]:
+        """One per-task hyperparameter row from the stacked ``init_params``.
+
+        Accepts shape ``(n_tasks, n_theta)`` or the flat concatenation of
+        the rows; ``None`` yields per-task defaults.
+        """
+        if init_params is None:
+            return [None] * self.n_tasks
+        params = np.asarray(init_params, dtype=float)
+        if params.ndim == 1:
+            if params.size % self.n_tasks != 0:
+                raise ValueError(
+                    f"flat init_params of size {params.size} does not split "
+                    f"into {self.n_tasks} equal per-task blocks"
+                )
+            params = params.reshape(self.n_tasks, -1)
+        if params.ndim != 2 or params.shape[0] != self.n_tasks:
+            raise ValueError(
+                f"init_params must have shape ({self.n_tasks}, n_theta) or "
+                f"flat ({self.n_tasks} * n_theta,), got {params.shape}"
+            )
+        return [params[t] for t in range(self.n_tasks)]
 
     @property
     def is_fitted(self) -> bool:

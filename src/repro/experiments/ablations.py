@@ -6,7 +6,7 @@ objective correlation (Sec. IV-B), non-linear fidelity chaining
 verification pass — and reports mean ADRS and simulated tool time.
 
 Usage: ``python -m repro.experiments.ablations [--benchmark NAME]
-[--repeats N] [--iters N]``
+[--repeats N] [--iters N] [--workers N] [--cache-dir DIR]``
 """
 
 from __future__ import annotations
@@ -28,6 +28,34 @@ ABLATIONS: dict[str, dict] = {
 }
 
 
+def ablation_job(
+    benchmark: str,
+    label: str,
+    n_iter: int,
+    candidate_pool: int,
+    n_mc_samples: int,
+    seed: int,
+    cache_dir: str | None = None,
+) -> tuple[float, float]:
+    """One (ablation, repeat) cell: ``(adrs, runtime_s)``.
+
+    Module-level (picklable); the overrides are resolved from the label
+    so the job payload stays plain data.
+    """
+    ctx = BenchmarkContext.get(benchmark, cache_dir=cache_dir)
+    settings = MFBOSettings(
+        n_iter=n_iter,
+        candidate_pool=candidate_pool,
+        n_mc_samples=n_mc_samples,
+        seed=seed,
+        **ABLATIONS[label],
+    )
+    result = CorrelatedMFBO(
+        ctx.space, ctx.flow, settings, method_name=label
+    ).run()
+    return ctx.score(result), result.total_runtime_s
+
+
 def run(
     benchmark: str = "spmv_ellpack",
     repeats: int = 3,
@@ -36,24 +64,39 @@ def run(
     n_mc_samples: int = 64,
     base_seed: int = 77,
     verbose: bool = True,
+    workers: int = 1,
+    cache_dir: str | None = None,
 ) -> dict[str, dict]:
-    ctx = BenchmarkContext.get(benchmark)
+    cells: dict[tuple[str, int], tuple[float, float]] = {}
+    if workers > 1:
+        from repro.experiments.parallel import Job, raise_failures, run_jobs
+
+        jobs = [
+            Job(benchmark=benchmark, method=label, repeat=repeat,
+                fn=ablation_job,
+                kwargs=dict(benchmark=benchmark, label=label, n_iter=n_iter,
+                            candidate_pool=candidate_pool,
+                            n_mc_samples=n_mc_samples,
+                            seed=method_seed(base_seed, label, repeat),
+                            cache_dir=cache_dir))
+            for label in ABLATIONS
+            for repeat in range(repeats)
+        ]
+        outcomes = run_jobs(jobs, workers=workers, cache_dir=cache_dir)
+        raise_failures(outcomes)
+        cells = {(o.job.method, o.job.repeat): o.value for o in outcomes}
+    else:
+        for label in ABLATIONS:
+            for repeat in range(repeats):
+                cells[(label, repeat)] = ablation_job(
+                    benchmark, label, n_iter, candidate_pool, n_mc_samples,
+                    seed=method_seed(base_seed, label, repeat),
+                    cache_dir=cache_dir,
+                )
     results: dict[str, dict] = {}
-    for label, overrides in ABLATIONS.items():
-        scores, times = [], []
-        for repeat in range(repeats):
-            settings = MFBOSettings(
-                n_iter=n_iter,
-                candidate_pool=candidate_pool,
-                n_mc_samples=n_mc_samples,
-                seed=method_seed(base_seed, label, repeat),
-                **overrides,
-            )
-            result = CorrelatedMFBO(
-                ctx.space, ctx.flow, settings, method_name=label
-            ).run()
-            scores.append(ctx.score(result))
-            times.append(result.total_runtime_s)
+    for label in ABLATIONS:
+        scores = [cells[(label, r)][0] for r in range(repeats)]
+        times = [cells[(label, r)][1] for r in range(repeats)]
         results[label] = {
             "adrs_mean": float(np.mean(scores)),
             "adrs_std": float(np.std(scores)),
@@ -75,12 +118,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--iters", type=int, default=30)
     parser.add_argument("--seed", type=int, default=77)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = sequential)")
+    parser.add_argument("--cache-dir", default="",
+                        help="persistent ground-truth cache directory")
     args = parser.parse_args(argv)
     run(
         benchmark=args.benchmark,
         repeats=args.repeats,
         n_iter=args.iters,
         base_seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
     )
     return 0
 

@@ -5,7 +5,8 @@ three fidelities and report how strongly the normalized delay values
 diverge: GEMM's fidelities nearly overlap, SPMV_ELLPACK's diverge —
 the motivation for the *non-linear* multi-fidelity model (Sec. IV-A).
 
-Usage: ``python -m repro.experiments.fig5 [--benchmarks gemm,...]``
+Usage: ``python -m repro.experiments.fig5 [--benchmarks gemm,...]
+[--workers N] [--cache-dir DIR]``
 """
 
 from __future__ import annotations
@@ -22,10 +23,12 @@ from repro.hlsim.reports import ALL_FIDELITIES
 DEFAULT_BENCHMARKS = ("gemm", "spmv_ellpack")
 
 
-def normalized_delays(name: str, normalize: bool = False) -> dict[str, np.ndarray]:
+def normalized_delays(
+    name: str, normalize: bool = False, cache_dir: str | None = None
+) -> dict[str, np.ndarray]:
     """Delay per fidelity; optionally min-max normalized for plotting
     (the paper's Fig. 5 axes are normalized)."""
-    ctx = BenchmarkContext.get(name)
+    ctx = BenchmarkContext.get(name, cache_dir=cache_dir)
     sweeps = fidelity_sweep(ctx.space, ctx.flow)
     delays = {f.short_name: sweeps[f][:, 1] for f in ALL_FIDELITIES}
     if not normalize:
@@ -48,29 +51,50 @@ def divergence_score(delays: dict[str, np.ndarray]) -> float:
     return float(np.mean(np.abs(delays["hls"] - impl) / scale))
 
 
+def sweep_job(name: str, cache_dir: str | None = None) -> dict:
+    """One benchmark's Fig. 5 entry (module-level: picklable worker body)."""
+    delays = normalized_delays(name, cache_dir=cache_dir)
+    rank_corr = float(
+        np.corrcoef(
+            np.argsort(np.argsort(delays["hls"])),
+            np.argsort(np.argsort(delays["impl"])),
+        )[0, 1]
+    )
+    return {
+        "delays": delays,
+        "divergence": divergence_score(delays),
+        "rank_correlation": rank_corr,
+        "n_configs": len(delays["hls"]),
+    }
+
+
 def run(
-    benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS, verbose: bool = True
+    benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
+    verbose: bool = True,
+    workers: int = 1,
+    cache_dir: str | None = None,
 ) -> dict[str, dict]:
     results = {}
+    if workers > 1:
+        from repro.experiments.parallel import Job, raise_failures, run_jobs
+
+        jobs = [
+            Job(benchmark=name, method="fig5-sweep", repeat=0,
+                fn=sweep_job, kwargs=dict(name=name, cache_dir=cache_dir))
+            for name in benchmarks
+        ]
+        outcomes = run_jobs(jobs, workers=workers, cache_dir=cache_dir)
+        raise_failures(outcomes)
+        results = {o.job.benchmark: o.value for o in outcomes}
+    else:
+        for name in benchmarks:
+            results[name] = sweep_job(name, cache_dir=cache_dir)
     for name in benchmarks:
-        delays = normalized_delays(name)
-        rank_corr = float(
-            np.corrcoef(
-                np.argsort(np.argsort(delays["hls"])),
-                np.argsort(np.argsort(delays["impl"])),
-            )[0, 1]
-        )
-        results[name] = {
-            "delays": delays,
-            "divergence": divergence_score(delays),
-            "rank_correlation": rank_corr,
-            "n_configs": len(delays["hls"]),
-        }
         if verbose:
             print(
                 f"{name:<14} configs={results[name]['n_configs']:>6} "
                 f"|hls-impl| divergence={results[name]['divergence']:.4f} "
-                f"rank corr={rank_corr:.3f}"
+                f"rank corr={results[name]['rank_correlation']:.3f}"
             )
     if verbose and {"gemm", "spmv_ellpack"} <= set(results):
         gemm = results["gemm"]["divergence"]
@@ -88,8 +112,16 @@ def main(argv: list[str] | None = None) -> int:
         "--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
         help="comma-separated benchmark names",
     )
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = sequential)")
+    parser.add_argument("--cache-dir", default="",
+                        help="persistent ground-truth cache directory")
     args = parser.parse_args(argv)
-    run(tuple(b for b in args.benchmarks.split(",") if b))
+    run(
+        tuple(b for b in args.benchmarks.split(",") if b),
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
+    )
     return 0
 
 

@@ -8,7 +8,8 @@ statistic is each method's ADRS; the paper's qualitative claim is that
 "our learned Pareto points are much more closer to the reference
 points".
 
-Usage: ``python -m repro.experiments.fig8 [--scale smoke|small|paper]``
+Usage: ``python -m repro.experiments.fig8 [--scale smoke|small|paper]
+[--workers N] [--cache-dir DIR]``
 """
 
 from __future__ import annotations
@@ -41,20 +42,23 @@ def run(
     scale_name: str = "small",
     base_seed: int = 2021,
     verbose: bool = True,
+    workers: int = 1,
+    cache_dir: str | None = None,
 ) -> dict[str, dict]:
     scale = SCALES[scale_name]
+    method_runs = _collect_method_runs(
+        benchmarks, scale, base_seed, workers=workers, cache_dir=cache_dir
+    )
     results: dict[str, dict] = {}
     for name in benchmarks:
-        ctx = BenchmarkContext.get(name)
+        ctx = BenchmarkContext.get(name, cache_dir=cache_dir)
         entry: dict = {
             "true_front": ctx.true_front,
             "all_values": ctx.Y_true[ctx.valid],
             "methods": {},
         }
         for method in TABLE1_METHODS:
-            run_result = run_method(
-                ctx, method, scale, seed=method_seed(base_seed, method, 0)
-            )
+            run_result = method_runs[(name, method)]
             learned_idx = run_result.result.pareto_indices()
             entry["methods"][method] = {
                 "learned_indices": learned_idx,
@@ -71,6 +75,46 @@ def run(
         if verbose:
             print()
     return results
+
+
+def _collect_method_runs(
+    benchmarks: tuple[str, ...],
+    scale,
+    base_seed: int,
+    workers: int = 1,
+    cache_dir: str | None = None,
+) -> dict:
+    """One MethodRun per (benchmark, method) cell, parallel when asked."""
+    if workers > 1:
+        from repro.experiments.parallel import (
+            Job,
+            raise_failures,
+            run_jobs,
+            run_method_job,
+        )
+
+        jobs = [
+            Job(benchmark=name, method=method, repeat=0,
+                fn=run_method_job,
+                kwargs=dict(benchmark=name, method=method, scale=scale,
+                            seed=method_seed(base_seed, method, 0),
+                            cache_dir=cache_dir))
+            for name in benchmarks
+            for method in TABLE1_METHODS
+        ]
+        outcomes = run_jobs(jobs, workers=workers, cache_dir=cache_dir)
+        raise_failures(outcomes)
+        return {
+            (o.job.benchmark, o.job.method): o.value for o in outcomes
+        }
+    runs = {}
+    for name in benchmarks:
+        ctx = BenchmarkContext.get(name, cache_dir=cache_dir)
+        for method in TABLE1_METHODS:
+            runs[(name, method)] = run_method(
+                ctx, method, scale, seed=method_seed(base_seed, method, 0)
+            )
+    return runs
 
 
 def scatter_series(entry: dict, projection: str) -> dict[str, np.ndarray]:
@@ -92,11 +136,17 @@ def main(argv: list[str] | None = None) -> int:
         "--benchmarks", default=",".join(DEFAULT_BENCHMARKS)
     )
     parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = sequential)")
+    parser.add_argument("--cache-dir", default="",
+                        help="persistent ground-truth cache directory")
     args = parser.parse_args(argv)
     run(
         tuple(b for b in args.benchmarks.split(",") if b),
         scale_name=args.scale,
         base_seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
     )
     return 0
 

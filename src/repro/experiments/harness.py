@@ -38,7 +38,8 @@ from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
 from repro.core.pareto import pareto_front
 from repro.core.result import OptimizationResult
 from repro.dse.space import DesignSpace
-from repro.hlsim.flow import HlsFlow, ground_truth
+from repro.hlsim.flow import HlsFlow
+from repro.hlsim.gtcache import load_or_compute_ground_truth
 from repro.metrics.adrs import adrs
 from repro.obs.trace import JsonlTraceWriter
 
@@ -102,22 +103,44 @@ SMOKE_SCALE = ExperimentScale(
 
 
 class BenchmarkContext:
-    """A benchmark's space, flow and exhaustive ground truth (cached)."""
+    """A benchmark's space, flow and exhaustive ground truth (cached).
+
+    Two cache layers keep the exhaustive sweep rare: a per-process
+    memo (``_cache``) and, when ``cache_dir`` is given, the persistent
+    on-disk store of :mod:`repro.hlsim.gtcache` shared across processes
+    and invocations.  ``gt_source`` records where this context's ground
+    truth came from (``"computed"`` or ``"disk-hit"``) — surfaced in
+    the parallel engine's per-job trace records.
+    """
 
     _cache: dict[str, "BenchmarkContext"] = {}
 
-    def __init__(self, name: str, space: DesignSpace):
+    def __init__(
+        self,
+        name: str,
+        space: DesignSpace,
+        cache_dir: str | Path | None = None,
+    ):
         self.name = name
         self.space = space
         self.flow = HlsFlow.for_space(space)
-        self.Y_true, self.valid = ground_truth(space, self.flow)
+        self.Y_true, self.valid, self.gt_source = (
+            load_or_compute_ground_truth(space, self.flow, cache_dir)
+        )
         self.true_front = pareto_front(self.Y_true[self.valid])
 
     @classmethod
-    def get(cls, name: str) -> "BenchmarkContext":
+    def get(
+        cls, name: str, cache_dir: str | Path | None = None
+    ) -> "BenchmarkContext":
         if name not in cls._cache:
-            cls._cache[name] = cls(name, get_space(name))
+            cls._cache[name] = cls(name, get_space(name), cache_dir=cache_dir)
         return cls._cache[name]
+
+    @classmethod
+    def peek(cls, name: str) -> "BenchmarkContext | None":
+        """The already-built context for a benchmark, if any."""
+        return cls._cache.get(name)
 
     @classmethod
     def clear_cache(cls) -> None:
@@ -306,9 +329,25 @@ def run_benchmark(
     base_seed: int = 2021,
     verbose: bool = False,
     trace_dir: str | Path | None = None,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> dict[str, list[MethodRun]]:
-    """All repeats of all methods on one benchmark."""
-    ctx = BenchmarkContext.get(name)
+    """All repeats of all methods on one benchmark.
+
+    ``workers > 1`` fans the (method, repeat) cells out over a process
+    pool (:mod:`repro.experiments.parallel`); results are bitwise
+    identical to the sequential path.  ``cache_dir`` enables the
+    persistent ground-truth cache.
+    """
+    if workers > 1:
+        from repro.experiments.parallel import run_benchmark_parallel
+
+        return run_benchmark_parallel(
+            name, methods=methods, scale=scale, base_seed=base_seed,
+            workers=workers, verbose=verbose, trace_dir=trace_dir,
+            cache_dir=cache_dir,
+        )
+    ctx = BenchmarkContext.get(name, cache_dir=cache_dir)
     runs: dict[str, list[MethodRun]] = {m: [] for m in methods}
     for method in methods:
         for repeat in range(scale.n_repeats):
@@ -353,8 +392,23 @@ def run_table1(
     base_seed: int = 2021,
     verbose: bool = False,
     trace_dir: str | Path | None = None,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> list[Table1Row]:
-    """Reproduce Table I: every method on every benchmark."""
+    """Reproduce Table I: every method on every benchmark.
+
+    ``workers > 1`` pools *all* (benchmark, method, repeat) cells for
+    the best load balance; aggregation order — and therefore every
+    ADRS/runtime number — matches the sequential path exactly.
+    """
+    if workers > 1:
+        from repro.experiments.parallel import run_table1_parallel
+
+        return run_table1_parallel(
+            benchmarks, methods=methods, scale=scale, base_seed=base_seed,
+            workers=workers, verbose=verbose, trace_dir=trace_dir,
+            cache_dir=cache_dir,
+        )
     names = tuple(benchmarks) if benchmarks else tuple(benchmark_names())
     rows = []
     for name in names:
@@ -362,7 +416,7 @@ def run_table1(
             print(f"benchmark {name}:")
         runs = run_benchmark(
             name, methods=methods, scale=scale, base_seed=base_seed,
-            verbose=verbose, trace_dir=trace_dir,
+            verbose=verbose, trace_dir=trace_dir, cache_dir=cache_dir,
         )
         rows.append(summarize_benchmark(name, runs))
     return rows

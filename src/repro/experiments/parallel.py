@@ -1,0 +1,369 @@
+"""Process-pool fan-out for the experiment layer.
+
+The paper's evaluation protocol (Sec. V, Table I) is embarrassingly
+parallel: every (benchmark × method × repeat) cell is an independent
+run with its own deterministic seed (:func:`repro.experiments.harness.
+method_seed`).  This module fans those cells out over a
+``ProcessPoolExecutor`` while keeping the results **bitwise identical**
+to the sequential path:
+
+- every job carries the same seed the sequential loop would have used;
+- each job's ADRS/runtime are computed inside the worker with the same
+  code (:func:`repro.experiments.harness.run_method`);
+- aggregation is ordered by job *submission* index, never completion
+  order, so summary statistics see runs in the sequential order;
+- per-job trace files keep the sequential naming scheme (one file per
+  (benchmark, method, seed)), so concurrent writers never collide.
+
+A worker exception does not abort the sweep: the failing job's identity
+and traceback are captured in its :class:`JobOutcome` and the remaining
+jobs run to completion; :func:`raise_failures` turns failures into one
+``RuntimeError`` listing every failed job.
+
+Worker-level timing (queue wait, execution time, worker pid, ground-
+truth cache hit/miss) is recorded as ``event == "job"`` lines of the
+:mod:`repro.obs.trace` schema (:data:`repro.obs.trace.JOB_TRACE_FIELDS`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import multiprocessing
+
+from repro.benchsuite.registry import benchmark_names
+from repro.experiments.harness import (
+    TABLE1_METHODS,
+    BenchmarkContext,
+    ExperimentScale,
+    MethodRun,
+    Table1Row,
+    method_seed,
+    run_method,
+    summarize_benchmark,
+)
+from repro.obs.trace import (
+    JOB_TRACE_FIELDS,
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceWriter,
+)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of parallel work, identified by (benchmark, method, repeat).
+
+    ``fn`` must be a module-level callable (picklable under every
+    multiprocessing start method); ``kwargs`` are its keyword arguments.
+    """
+
+    benchmark: str
+    method: str
+    repeat: int
+    fn: Callable[..., Any] = field(compare=False)
+    kwargs: Mapping[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.benchmark, self.method, self.repeat)
+
+
+@dataclass
+class JobOutcome:
+    """What one job produced, plus its worker-level timing."""
+
+    job: Job
+    value: Any = None
+    error: str | None = None
+    queue_wait_s: float = 0.0
+    exec_s: float = 0.0
+    worker: int = 0  # worker process id
+    gt_cache: str = "unknown"  # "computed" | "disk-hit" | "unknown"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _invoke(job: Job, submitted_at: float) -> JobOutcome:
+    """Run one job in the current process (worker-side wrapper).
+
+    Exceptions are captured as a formatted traceback so a crashing job
+    surfaces its identity without poisoning the pool.
+    """
+    queue_wait = max(0.0, time.time() - submitted_at)
+    started = time.perf_counter()
+    value: Any = None
+    error: str | None = None
+    try:
+        value = job.fn(**job.kwargs)
+    except Exception:
+        error = traceback.format_exc()
+    exec_s = time.perf_counter() - started
+    ctx = BenchmarkContext.peek(job.benchmark)
+    return JobOutcome(
+        job=job,
+        value=value,
+        error=error,
+        queue_wait_s=queue_wait,
+        exec_s=exec_s,
+        worker=os.getpid(),
+        gt_cache=getattr(ctx, "gt_source", "unknown"),
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap workers that inherit warm caches),
+    spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def prewarm_contexts(
+    names: tuple[str, ...] | list[str],
+    cache_dir: str | Path | None,
+) -> None:
+    """Build benchmark contexts (ground truth) once, in this process.
+
+    Called before the pool starts: with ``fork`` the workers inherit
+    the warm in-memory contexts for free; with ``spawn`` (or across
+    invocations) they load the persisted ground truth from
+    ``cache_dir`` instead of recomputing the exhaustive sweep.
+    """
+    for name in dict.fromkeys(names):  # de-dup, keep order
+        BenchmarkContext.get(name, cache_dir=cache_dir)
+
+
+def run_jobs(
+    jobs: list[Job],
+    workers: int = 1,
+    trace_path: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+    prewarm: bool = True,
+) -> list[JobOutcome]:
+    """Execute jobs, possibly in parallel; outcomes in submission order.
+
+    ``workers <= 1`` runs everything inline (the engine's sequential
+    mode — same wrapper, same outcome records).  Failures never abort
+    the sweep; inspect ``outcome.error`` or call :func:`raise_failures`.
+    """
+    if prewarm:
+        prewarm_contexts([job.benchmark for job in jobs], cache_dir)
+    outcomes: list[JobOutcome]
+    if workers <= 1 or len(jobs) <= 1:
+        outcomes = [_invoke(job, time.time()) for job in jobs]
+    else:
+        outcomes = [None] * len(jobs)  # type: ignore[list-item]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(jobs)),
+            mp_context=_pool_context(),
+        ) as pool:
+            futures = {
+                pool.submit(_invoke, job, time.time()): index
+                for index, job in enumerate(jobs)
+            }
+            for future, index in futures.items():
+                try:
+                    outcomes[index] = future.result()
+                except Exception as exc:  # pool-level crash (e.g. OOM kill)
+                    outcomes[index] = JobOutcome(
+                        job=jobs[index],
+                        error=f"worker process failed: {exc!r}",
+                    )
+    if trace_path is not None:
+        _write_job_trace(trace_path, outcomes, workers)
+    return outcomes
+
+
+def raise_failures(outcomes: list[JobOutcome]) -> None:
+    """Raise one ``RuntimeError`` naming every failed job (if any)."""
+    failed = [o for o in outcomes if not o.ok]
+    if not failed:
+        return
+    summary = "; ".join(
+        "/".join(map(str, o.job.key)) for o in failed
+    )
+    details = "\n\n".join(
+        f"--- {'/'.join(map(str, o.job.key))} ---\n{o.error}" for o in failed
+    )
+    raise RuntimeError(
+        f"{len(failed)} of {len(outcomes)} jobs failed: {summary}\n{details}"
+    )
+
+
+def _write_job_trace(
+    path: str | Path, outcomes: list[JobOutcome], workers: int
+) -> None:
+    """One ``event == "job"`` line per job, in submission order."""
+    with JsonlTraceWriter(path) as writer:
+        for outcome in outcomes:
+            record = {
+                "v": TRACE_SCHEMA_VERSION,
+                "event": "job",
+                "benchmark": outcome.job.benchmark,
+                "method": outcome.job.method,
+                "repeat": outcome.job.repeat,
+                "workers": workers,
+                "worker": outcome.worker,
+                "queue_wait_s": outcome.queue_wait_s,
+                "exec_s": outcome.exec_s,
+                "gt_cache": outcome.gt_cache,
+                "ok": outcome.ok,
+                "error": (
+                    outcome.error.strip().splitlines()[-1]
+                    if outcome.error
+                    else None
+                ),
+            }
+            assert set(record) == set(JOB_TRACE_FIELDS)
+            writer.write(record)
+
+
+# ----------------------------------------------------------------------
+# harness job functions (module-level: picklable under spawn)
+# ----------------------------------------------------------------------
+
+
+def run_method_job(
+    benchmark: str,
+    method: str,
+    scale: ExperimentScale,
+    seed: int,
+    trace_dir: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+) -> MethodRun:
+    """Worker body for one (benchmark, method, seed) experiment cell."""
+    ctx = BenchmarkContext.get(benchmark, cache_dir=cache_dir)
+    return run_method(ctx, method, scale, seed, trace_dir=trace_dir)
+
+
+def method_jobs(
+    benchmarks: tuple[str, ...],
+    methods: tuple[str, ...],
+    scale: ExperimentScale,
+    base_seed: int,
+    trace_dir: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+) -> list[Job]:
+    """The full job list of a Table-1-style sweep, in sequential order."""
+    jobs = []
+    for benchmark in benchmarks:
+        for method in methods:
+            for repeat in range(scale.n_repeats):
+                jobs.append(
+                    Job(
+                        benchmark=benchmark,
+                        method=method,
+                        repeat=repeat,
+                        fn=run_method_job,
+                        kwargs=dict(
+                            benchmark=benchmark,
+                            method=method,
+                            scale=scale,
+                            seed=method_seed(base_seed, method, repeat),
+                            trace_dir=trace_dir,
+                            cache_dir=cache_dir,
+                        ),
+                    )
+                )
+    return jobs
+
+
+def _group_method_runs(
+    benchmarks: tuple[str, ...],
+    methods: tuple[str, ...],
+    outcomes: list[JobOutcome],
+    verbose: bool = False,
+) -> dict[str, dict[str, list[MethodRun]]]:
+    """Outcomes -> {benchmark: {method: [runs in repeat order]}}."""
+    grouped: dict[str, dict[str, list[MethodRun]]] = {
+        b: {m: [] for m in methods} for b in benchmarks
+    }
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        run: MethodRun = outcome.value
+        grouped[outcome.job.benchmark][outcome.job.method].append(run)
+        if verbose:
+            print(
+                f"  {outcome.job.benchmark}/{outcome.job.method} "
+                f"repeat {outcome.job.repeat}: ADRS={run.adrs:.4f} "
+                f"time={run.runtime_s / 3600:.2f}h "
+                f"[worker {outcome.worker}, wait {outcome.queue_wait_s:.2f}s, "
+                f"gt {outcome.gt_cache}]"
+            )
+    return grouped
+
+
+def run_benchmark_parallel(
+    name: str,
+    methods: tuple[str, ...] = TABLE1_METHODS,
+    scale: ExperimentScale | None = None,
+    base_seed: int = 2021,
+    workers: int = 1,
+    verbose: bool = False,
+    trace_dir: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+) -> dict[str, list[MethodRun]]:
+    """Parallel drop-in for :func:`repro.experiments.harness.run_benchmark`.
+
+    Same seeds, same scoring, same aggregation order — ADRS/runtime
+    numbers are bitwise identical to the sequential path at any worker
+    count.
+    """
+    from repro.experiments.harness import SMALL_SCALE
+
+    scale = scale or SMALL_SCALE
+    jobs = method_jobs(
+        (name,), methods, scale, base_seed,
+        trace_dir=trace_dir, cache_dir=cache_dir,
+    )
+    trace_path = (
+        Path(trace_dir) / f"{name}.jobs.jsonl" if trace_dir else None
+    )
+    outcomes = run_jobs(
+        jobs, workers=workers, trace_path=trace_path, cache_dir=cache_dir
+    )
+    raise_failures(outcomes)
+    return _group_method_runs((name,), methods, outcomes, verbose)[name]
+
+
+def run_table1_parallel(
+    benchmarks: tuple[str, ...] | None = None,
+    methods: tuple[str, ...] = TABLE1_METHODS,
+    scale: ExperimentScale | None = None,
+    base_seed: int = 2021,
+    workers: int = 1,
+    verbose: bool = False,
+    trace_dir: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+) -> list[Table1Row]:
+    """Parallel drop-in for :func:`repro.experiments.harness.run_table1`.
+
+    Fans out every (benchmark, method, repeat) cell of the whole table
+    into one pool (best load balance), then aggregates rows in the
+    sequential order.
+    """
+    from repro.experiments.harness import SMALL_SCALE
+
+    scale = scale or SMALL_SCALE
+    names = tuple(benchmarks) if benchmarks else tuple(benchmark_names())
+    jobs = method_jobs(
+        names, methods, scale, base_seed,
+        trace_dir=trace_dir, cache_dir=cache_dir,
+    )
+    trace_path = Path(trace_dir) / "table1.jobs.jsonl" if trace_dir else None
+    outcomes = run_jobs(
+        jobs, workers=workers, trace_path=trace_path, cache_dir=cache_dir
+    )
+    raise_failures(outcomes)
+    grouped = _group_method_runs(names, methods, outcomes, verbose)
+    return [summarize_benchmark(name, grouped[name]) for name in names]

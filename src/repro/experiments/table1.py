@@ -5,6 +5,12 @@ Usage::
     python -m repro.experiments.table1 [--scale smoke|small|paper]
                                        [--benchmarks gemm,sort_radix,...]
                                        [--seed N] [--json out.json]
+                                       [--workers N] [--cache-dir DIR]
+
+``--workers N`` fans the (benchmark, method, repeat) cells out over a
+process pool (results are bitwise identical to the sequential run);
+``--cache-dir`` persists exhaustive ground-truth sweeps across
+invocations (see :mod:`repro.hlsim.gtcache` for the invalidation rule).
 
 All three metrics are normalized to the ANN baseline, exactly as the
 paper reports them ("expressed as ratios to the results of ANN").
@@ -99,17 +105,28 @@ def run(
     methods: tuple[str, ...] = TABLE1_METHODS,
     base_seed: int = 2021,
     verbose: bool = True,
+    workers: int = 1,
+    cache_dir: str | None = None,
 ) -> tuple[list[Table1Row], list[dict]]:
     """Run the full Table I experiment and return raw + normalized rows."""
     scale = SCALES[scale_name]
     names = tuple(benchmarks) if benchmarks else tuple(benchmark_names())
+    if workers > 1:
+        from repro.experiments.parallel import run_table1_parallel
+
+        rows = run_table1_parallel(
+            benchmarks=names, methods=methods, scale=scale,
+            base_seed=base_seed, workers=workers, verbose=verbose,
+            cache_dir=cache_dir,
+        )
+        return rows, normalized_rows(rows)
     rows: list[Table1Row] = []
     for name in names:
         if verbose:
             print(f"benchmark {name}:", flush=True)
         runs = run_benchmark(
             name, methods=methods, scale=scale, base_seed=base_seed,
-            verbose=verbose,
+            verbose=verbose, cache_dir=cache_dir,
         )
         rows.append(summarize_benchmark(name, runs))
     return rows, normalized_rows(rows)
@@ -123,6 +140,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--json", default="", help="write results as JSON")
     parser.add_argument("--quiet", action="store_true")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = sequential)")
+    parser.add_argument("--cache-dir", default="",
+                        help="persistent ground-truth cache directory")
     args = parser.parse_args(argv)
 
     benchmarks = (
@@ -135,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
         benchmarks=benchmarks,
         base_seed=args.seed,
         verbose=not args.quiet,
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
     )
     print(format_table(normalized, TABLE1_METHODS))
     if args.json:

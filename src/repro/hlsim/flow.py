@@ -44,6 +44,13 @@ from repro.hlsim.resources import ResourceEstimate, estimate_resources
 from repro.hlsim.scheduler import ScheduleResult, schedule
 from repro.hlsim.timing import congestion_factor, logic_clock_ns
 
+#: Version of the analytic flow model itself.  Bump whenever any stage
+#: equation, jitter seed, ripple term or the ground-truth punishment
+#: rule changes — it is folded into the persistent ground-truth cache
+#: fingerprint (:mod:`repro.hlsim.gtcache`), so stale cache entries are
+#: never served after a model change.
+FLOW_MODEL_VERSION = 1
+
 #: Relative jitter scale per stage (HLS reports are deterministic).
 _STAGE_NOISE_SCALE = {Fidelity.HLS: 0.0, Fidelity.SYN: 1.0, Fidelity.IMPL: 1.6}
 

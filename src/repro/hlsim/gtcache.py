@@ -1,0 +1,131 @@
+"""Persistent on-disk cache for exhaustive ground-truth sweeps.
+
+The evaluation protocol needs the post-implementation objective matrix
+of the *entire* pruned design space (:func:`repro.hlsim.flow.ground_truth`)
+— 10k–23k flow evaluations per benchmark, several seconds of pure
+recomputation that every fresh process used to repeat.  This module
+stores the ``(Y_true, valid)`` pair in an ``.npz`` file keyed by a
+fingerprint of everything the sweep depends on:
+
+- :data:`repro.hlsim.flow.FLOW_MODEL_VERSION` (the analytic model),
+- the kernel definition (loops, arrays, ops, fidelity profile),
+- the device (resource counts, utilization/clock limits),
+- the directive schema (sites and their value domains),
+- the exact pruned configuration set, and
+- the invalid-design punishment factor.
+
+Invalidation rule: the fingerprint *is* the invalidation — any change
+to the kernel, schema, pruning, device or punishment produces a new
+digest and therefore a cache miss; changes to the flow equations must
+bump ``FLOW_MODEL_VERSION`` (they do not alter the inputs above, only
+the outputs).  Stale files are never read, only orphaned; ``*.npz``
+files under the cache directory can be deleted at any time.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+racing to fill the same entry are safe — last writer wins with
+identical bytes, since the sweep is deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.dse.space import DesignSpace
+from repro.hlsim.flow import FLOW_MODEL_VERSION, HlsFlow, ground_truth
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_GT_CACHE_DIR"
+
+#: Ground-truth source labels recorded in per-job trace records.
+GT_COMPUTED = "computed"  # exhaustive sweep ran (cache disabled or miss)
+GT_DISK_HIT = "disk-hit"  # loaded from the persistent cache
+
+
+def default_cache_dir() -> Path:
+    """Per-machine cache root: ``$REPRO_GT_CACHE_DIR`` or XDG default."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-hls" / "ground-truth"
+
+
+def ground_truth_fingerprint(
+    space: DesignSpace, flow: HlsFlow, penalty: float = 10.0
+) -> str:
+    """Hex digest of every input the exhaustive sweep depends on."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"flow-model-v{FLOW_MODEL_VERSION}".encode())
+    h.update(repr(space.kernel).encode())
+    h.update(repr(flow.device).encode())
+    h.update(
+        repr([(s.key, tuple(s.values)) for s in space.schema.sites]).encode()
+    )
+    h.update(str(len(space)).encode())
+    h.update(np.ascontiguousarray(space.features).tobytes())
+    h.update(repr(float(penalty)).encode())
+    return h.hexdigest()
+
+
+def cache_path(
+    cache_dir: str | Path, space: DesignSpace, flow: HlsFlow,
+    penalty: float = 10.0,
+) -> Path:
+    digest = ground_truth_fingerprint(space, flow, penalty)
+    return Path(cache_dir) / f"{space.kernel.name}-{digest}.npz"
+
+
+def load_or_compute_ground_truth(
+    space: DesignSpace,
+    flow: HlsFlow,
+    cache_dir: str | Path | None,
+    penalty: float = 10.0,
+) -> tuple[np.ndarray, np.ndarray, str]:
+    """Ground truth with persistence: ``(Y_true, valid, source)``.
+
+    ``source`` is :data:`GT_DISK_HIT` when the arrays were loaded from
+    the cache, :data:`GT_COMPUTED` when the exhaustive sweep ran (the
+    result is then persisted, unless ``cache_dir`` is ``None``).
+    Cached arrays are bitwise identical to recomputation — ``.npz``
+    stores exact float64 — so downstream ADRS numbers do not depend on
+    the cache state.
+    """
+    if cache_dir is None:
+        y, valid = ground_truth(space, flow, penalty=penalty)
+        return y, valid, GT_COMPUTED
+    path = cache_path(cache_dir, space, flow, penalty)
+    if path.is_file():
+        try:
+            with np.load(path) as data:
+                y, valid = data["Y"], data["valid"]
+            if y.shape == (len(space), 3) and valid.shape == (len(space),):
+                return y, valid, GT_DISK_HIT
+        except (OSError, ValueError, KeyError):
+            pass  # unreadable/truncated entry: fall through and rebuild
+    y, valid = ground_truth(space, flow, penalty=penalty)
+    _atomic_savez(path, Y=y, valid=valid)
+    return y, valid, GT_COMPUTED
+
+
+def _atomic_savez(path: Path, **arrays: np.ndarray) -> None:
+    """Write an ``.npz`` atomically so readers never see partial files."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -17,6 +17,7 @@ Three small, dependency-free layers:
 from repro.obs.profiling import maybe_profile
 from repro.obs.timing import Metrics, Timer
 from repro.obs.trace import (
+    JOB_TRACE_FIELDS,
     STEP_TRACE_FIELDS,
     TRACE_SCHEMA_VERSION,
     JsonlTraceWriter,
@@ -29,6 +30,7 @@ __all__ = [
     "JsonlTraceWriter",
     "read_trace",
     "maybe_profile",
+    "JOB_TRACE_FIELDS",
     "STEP_TRACE_FIELDS",
     "TRACE_SCHEMA_VERSION",
 ]

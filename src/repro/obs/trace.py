@@ -2,12 +2,19 @@
 
 One JSON object per line.  Every line carries ``"v"`` (schema version)
 and ``"event"``; the optimizer emits one ``"step"`` line per Bayesian-
-optimization iteration plus a single ``"run_start"`` header.  Non-finite
+optimization iteration plus a single ``"run_start"`` header, and the
+parallel experiment engine (:mod:`repro.experiments.parallel`) emits
+one ``"job"`` line per (benchmark, method, repeat) cell.  Non-finite
 floats are serialized as ``null`` so the output stays strict JSON.
 
-The step schema (:data:`STEP_TRACE_FIELDS`) is covered by a regression
-test — tools that consume traces (dashboards, diffing, the hot-path
-benchmark) can rely on the field set per version.
+The step and job schemas (:data:`STEP_TRACE_FIELDS`,
+:data:`JOB_TRACE_FIELDS`) are covered by regression tests — tools that
+consume traces (dashboards, diffing, the benchmarks) can rely on the
+field set per version.
+
+Schema history: v1 defined the ``run_start``/``step`` events; v2 added
+the ``job`` event (worker-level timing of parallel sweeps) without
+changing the step fields.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from pathlib import Path
 from typing import IO, Any, Mapping
 
 #: Bump when a field is added, removed or changes meaning.
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
 
 #: Fields guaranteed on every ``event == "step"`` line (schema v1).
 STEP_TRACE_FIELDS: tuple[str, ...] = (
@@ -38,6 +45,27 @@ STEP_TRACE_FIELDS: tuple[str, ...] = (
     "step_s",
     "cache_hits",
     "cache_misses",
+)
+
+#: Fields guaranteed on every ``event == "job"`` line (schema v2):
+#: job identity, pool shape, queue wait / execution wall time, the
+#: worker process id and whether the worker's ground truth came from
+#: the persistent cache ("disk-hit") or an exhaustive sweep
+#: ("computed").  ``error`` is the final traceback line of a failed
+#: job, ``null`` on success.
+JOB_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "benchmark",
+    "method",
+    "repeat",
+    "workers",
+    "worker",
+    "queue_wait_s",
+    "exec_s",
+    "gt_cache",
+    "ok",
+    "error",
 )
 
 

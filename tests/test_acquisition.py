@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.acquisition import (
+    _batched_cholesky,
     ehvi_2d_independent,
     eipv_mc,
     expected_improvement,
@@ -73,6 +74,33 @@ class TestCells:
         lo = front.min(axis=0)
         box = np.prod(ref - lo)
         assert cell_vol + hypervolume(front, ref) == pytest.approx(box)
+
+
+class TestBatchedCholesky:
+    def test_well_conditioned_exact(self):
+        covs = np.array([[[2.0, 0.5], [0.5, 1.0]]])
+        chol = _batched_cholesky(covs)
+        assert np.allclose(chol @ chol.transpose(0, 2, 1), covs)
+
+    def test_near_singular_large_scale_keeps_correlation(self):
+        # Rank-1 covariance at magnitude 1e16: an *absolute* 1e-10
+        # jitter vanishes in float64 rounding (1e16 + 1e-10 == 1e16),
+        # which used to push this into the diagonal-only fallback and
+        # silently drop the cross-objective correlation.  The scale-
+        # relative ladder regularizes it properly.
+        covs = np.array([[[1.0, 1.0], [1.0, 1.0]]]) * 1e16
+        chol = _batched_cholesky(covs)
+        assert np.all(np.isfinite(chol))
+        assert chol[0, 1, 0] != 0.0  # off-diagonal survived
+        rebuilt = chol @ chol.transpose(0, 2, 1)
+        assert np.allclose(rebuilt, covs, rtol=1e-5)
+
+    def test_all_zero_covariance(self):
+        # Degenerate input regularizes at the absolute floor (1e-10),
+        # i.e. ~1e-5 on the Cholesky diagonal — not a hard failure.
+        chol = _batched_cholesky(np.zeros((2, 3, 3)))
+        assert np.all(np.isfinite(chol))
+        assert np.allclose(chol, 0.0, atol=1e-4)
 
 
 class TestEIPV:

@@ -142,3 +142,30 @@ class TestIndependentMultiObjectiveGP:
         assert not model.is_fitted
         model.fit(X, Y)
         assert model.is_fitted
+
+    def test_init_params_propagate_to_tasks(self, correlated_data):
+        X, Y = correlated_data
+        ref = IndependentMultiObjectiveGP(3, rng=np.random.default_rng(0))
+        ref.fit(X, Y)
+        fitted = np.stack([m.theta for m in ref.models])
+
+        # optimize=False must *recondition at* the supplied params, not
+        # silently fall back to each task's defaults.
+        model = IndependentMultiObjectiveGP(3, rng=np.random.default_rng(1))
+        model.fit(X, Y, optimize=False, init_params=fitted)
+        for t, task_model in enumerate(model.models):
+            assert np.array_equal(task_model.theta, fitted[t])
+
+        # The flat concatenation of the per-task rows is accepted too.
+        flat = IndependentMultiObjectiveGP(3, rng=np.random.default_rng(2))
+        flat.fit(X, Y, optimize=False, init_params=fitted.ravel())
+        for t, task_model in enumerate(flat.models):
+            assert np.array_equal(task_model.theta, fitted[t])
+
+    def test_init_params_bad_shape_raises(self, correlated_data):
+        X, Y = correlated_data
+        model = IndependentMultiObjectiveGP(3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="init_params"):
+            model.fit(X, Y, init_params=np.zeros((2, 5)))
+        with pytest.raises(ValueError, match="per-task"):
+            model.fit(X, Y, init_params=np.zeros(7))

@@ -1,0 +1,208 @@
+"""Tests for the parallel experiment engine, GT cache and restart pool."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.gp import GaussianProcess
+from repro.core.restarts import minimize_multistart, resolve_workers
+from repro.experiments.harness import (
+    SMOKE_SCALE,
+    BenchmarkContext,
+    method_seed,
+    run_benchmark,
+)
+from repro.experiments.parallel import (
+    Job,
+    prewarm_contexts,
+    raise_failures,
+    run_jobs,
+)
+from repro.hlsim.gtcache import (
+    GT_COMPUTED,
+    GT_DISK_HIT,
+    ground_truth_fingerprint,
+    load_or_compute_ground_truth,
+)
+from repro.obs.trace import JOB_TRACE_FIELDS, TRACE_SCHEMA_VERSION, read_trace
+
+BENCH = "spmv_ellpack"
+METHODS = ("fpl18", "dac19")
+
+
+def _boom_job(message: str) -> None:
+    raise ValueError(message)
+
+
+def _ok_job(value: int) -> int:
+    return value * 2
+
+
+class TestParallelEngine:
+    def test_parallel_matches_sequential_bitwise(self, tmp_path):
+        seq = run_benchmark(
+            BENCH, methods=METHODS, scale=SMOKE_SCALE, cache_dir=tmp_path
+        )
+        par = run_benchmark(
+            BENCH, methods=METHODS, scale=SMOKE_SCALE, workers=2,
+            cache_dir=tmp_path,
+        )
+        assert set(seq) == set(par)
+        for method in METHODS:
+            assert len(seq[method]) == len(par[method])
+            for a, b in zip(seq[method], par[method]):
+                assert a.adrs == b.adrs  # exact, not approx
+                assert a.runtime_s == b.runtime_s
+                assert a.seed == b.seed
+
+    def test_outcomes_in_submission_order(self):
+        jobs = [
+            Job(benchmark="none", method="ok", repeat=i,
+                fn=_ok_job, kwargs={"value": i})
+            for i in range(5)
+        ]
+        outcomes = run_jobs(jobs, workers=2, prewarm=False)
+        assert [o.job.repeat for o in outcomes] == list(range(5))
+        assert [o.value for o in outcomes] == [0, 2, 4, 6, 8]
+
+    def test_crash_surfaces_identity_without_aborting(self):
+        jobs = [
+            Job(benchmark="b", method="ok", repeat=0,
+                fn=_ok_job, kwargs={"value": 1}),
+            Job(benchmark="b", method="bad", repeat=3,
+                fn=_boom_job, kwargs={"message": "kaboom"}),
+            Job(benchmark="b", method="ok", repeat=1,
+                fn=_ok_job, kwargs={"value": 2}),
+        ]
+        outcomes = run_jobs(jobs, workers=2, prewarm=False)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].value == 2 and outcomes[2].value == 4
+        assert "kaboom" in outcomes[1].error
+        with pytest.raises(RuntimeError, match=r"b/bad/3"):
+            raise_failures(outcomes)
+
+    def test_job_trace_schema(self, tmp_path):
+        jobs = [
+            Job(benchmark="b", method="ok", repeat=0,
+                fn=_ok_job, kwargs={"value": 1}),
+            Job(benchmark="b", method="bad", repeat=1,
+                fn=_boom_job, kwargs={"message": "nope"}),
+        ]
+        trace = tmp_path / "jobs.jsonl"
+        run_jobs(jobs, workers=1, trace_path=trace, prewarm=False)
+        records = read_trace(trace, event="job")
+        assert len(records) == 2
+        for record in records:
+            assert set(record) == set(JOB_TRACE_FIELDS)
+            assert record["v"] == TRACE_SCHEMA_VERSION
+        assert records[0]["ok"] is True and records[0]["error"] is None
+        assert records[1]["ok"] is False and "nope" in records[1]["error"]
+        assert records[1]["method"] == "bad" and records[1]["repeat"] == 1
+
+    def test_prewarm_dedups(self, tmp_path):
+        prewarm_contexts([BENCH, BENCH], cache_dir=tmp_path)
+        assert BenchmarkContext.peek(BENCH) is not None
+
+
+class TestGroundTruthCache:
+    def test_disk_roundtrip_bitwise(self, tmp_path):
+        ctx = BenchmarkContext.get(BENCH)
+        y1, v1, src1 = load_or_compute_ground_truth(
+            ctx.space, ctx.flow, tmp_path
+        )
+        assert src1 == GT_COMPUTED
+        y2, v2, src2 = load_or_compute_ground_truth(
+            ctx.space, ctx.flow, tmp_path
+        )
+        assert src2 == GT_DISK_HIT
+        assert np.array_equal(y1, y2) and np.array_equal(v1, v2)
+        assert np.array_equal(y1, ctx.Y_true)
+
+    def test_fingerprint_sensitive_to_penalty(self):
+        ctx = BenchmarkContext.get(BENCH)
+        a = ground_truth_fingerprint(ctx.space, ctx.flow, penalty=10.0)
+        b = ground_truth_fingerprint(ctx.space, ctx.flow, penalty=20.0)
+        assert a != b
+        assert a == ground_truth_fingerprint(ctx.space, ctx.flow, penalty=10.0)
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        ctx = BenchmarkContext.get(BENCH)
+        _, _, _ = load_or_compute_ground_truth(ctx.space, ctx.flow, tmp_path)
+        (entry,) = tmp_path.glob("*.npz")
+        entry.write_bytes(b"garbage")
+        y, valid, src = load_or_compute_ground_truth(
+            ctx.space, ctx.flow, tmp_path
+        )
+        assert src == GT_COMPUTED
+        assert np.array_equal(y, ctx.Y_true)
+
+    def test_disabled_cache_computes(self):
+        ctx = BenchmarkContext.get(BENCH)
+        _, _, src = load_or_compute_ground_truth(ctx.space, ctx.flow, None)
+        assert src == GT_COMPUTED
+
+
+class TestMethodSeedCrossProcess:
+    def test_seed_matches_fresh_interpreter(self):
+        cases = [(2021, "ours", 0), (2021, "fpl18", 3), (7, "ann", 1)]
+        expected = [method_seed(*case) for case in cases]
+        code = (
+            "from repro.experiments.harness import method_seed;"
+            f"print([method_seed(*c) for c in {cases!r}])"
+        )
+        src_root = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        # -S must not be used: numpy needs site; fresh process => fresh
+        # PYTHONHASHSEED, which is the regression this guards against.
+        env.pop("PYTHONHASHSEED", None)
+        output = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert output == repr(expected)
+
+
+class TestRestartPool:
+    def test_resolve_workers(self, monkeypatch):
+        assert resolve_workers(4) == 4
+        assert resolve_workers(0) == 1
+        monkeypatch.delenv("REPRO_RESTART_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        monkeypatch.setenv("REPRO_RESTART_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv("REPRO_RESTART_WORKERS", "junk")
+        assert resolve_workers(None) == 1
+
+    def test_parallel_restarts_match_sequential(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(25, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2 + 0.05 * rng.normal(size=25)
+
+        seq = GaussianProcess(
+            n_restarts=3, rng=np.random.default_rng(9)
+        ).fit(X, y)
+        par = GaussianProcess(
+            n_restarts=3, rng=np.random.default_rng(9), restart_workers=2
+        ).fit(X, y)
+        assert np.array_equal(seq.theta, par.theta)
+
+    def test_unpicklable_objective_falls_back(self):
+        captured = []
+
+        def fun(theta, offset):  # closure: not picklable across processes
+            captured.append(1)
+            value = float(np.sum((theta - offset) ** 2))
+            return value, 2.0 * (theta - offset)
+
+        starts = [np.array([0.0]), np.array([3.0])]
+        best = minimize_multistart(
+            fun, starts, args=(np.array([1.5]),),
+            bounds=[(-10.0, 10.0)], maxiter=50, workers=2,
+        )
+        assert np.allclose(best, [1.5], atol=1e-6)
+        assert captured  # objective actually ran in this process
