@@ -1,0 +1,34 @@
+"""Batch Bayesian optimization: qPEIPV acquisition + async evaluation.
+
+The subsystem generalizes the sequential Algorithm-2 loop
+(:class:`repro.core.optimizer.CorrelatedMFBO`) to propose a batch of
+``q`` candidates per round (greedy Kriging-believer fantasization,
+:mod:`repro.core.batch.qeipv`) and evaluate them concurrently on a
+pool of flow workers (:mod:`repro.core.batch.engine`), with results
+committed in proposal order so fixed-seed runs are reproducible
+regardless of worker timing.  ``batch_size=1, eval_workers=1`` reduces
+bitwise to the sequential optimizer.
+"""
+
+from repro.core.batch.engine import (
+    EvalEngine,
+    EvalJob,
+    EvalOutcome,
+    FlowEvalError,
+    parallel_fidelity_sweep,
+    run_batch_loop,
+)
+from repro.core.batch.qeipv import BatchProposal, select_batch
+from repro.core.batch.workers import resolve_worker_count
+
+__all__ = [
+    "BatchProposal",
+    "EvalEngine",
+    "EvalJob",
+    "EvalOutcome",
+    "FlowEvalError",
+    "parallel_fidelity_sweep",
+    "resolve_worker_count",
+    "run_batch_loop",
+    "select_batch",
+]

@@ -1,0 +1,415 @@
+"""Async flow-evaluation engine and the batched BO loop.
+
+The engine evaluates a round's proposals concurrently on a pool of
+flow workers while keeping the optimizer deterministic:
+
+- **Per-worker flow clones.**  ``HlsFlow``'s LRU report cache is a
+  plain ``OrderedDict`` (not thread-safe), so each worker thread lazily
+  builds its own flow via ``type(flow)(kernel, schema, device)`` —
+  value-identical because reports are deterministic per configuration.
+  Tests can inject a ``flow_factory`` instead.
+- **Completion-order-independent folding.**  :meth:`EvalEngine.evaluate`
+  returns outcomes in *proposal* order no matter which worker finishes
+  first, and :func:`run_batch_loop` commits them to the GP datasets in
+  that order — so the committed datasets, traces and final Pareto set
+  for a fixed seed do not depend on worker timing.
+- **Crash surfacing and timeouts.**  A worker exception is captured as
+  a traceback on the outcome and re-raised as :class:`FlowEvalError`
+  at commit time (in proposal order).  A per-evaluation ``timeout_s``
+  resubmits the job once (threads cannot be killed, so the first
+  attempt is abandoned, not interrupted); a second timeout becomes an
+  error outcome.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+from repro.core.batch.qeipv import select_batch
+from repro.core.batch.workers import resolve_worker_count
+from repro.hlsim.reports import ALL_FIDELITIES, Fidelity, FlowResult
+from repro.obs.timing import Metrics
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "EvalJob",
+    "EvalOutcome",
+    "FlowEvalError",
+    "EvalEngine",
+    "run_batch_loop",
+    "parallel_fidelity_sweep",
+]
+
+
+class FlowEvalError(RuntimeError):
+    """A flow evaluation crashed (or timed out twice) on a worker."""
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    """One pending flow evaluation, identified by its proposal slot."""
+
+    order: int
+    step: int
+    config_index: int
+    fidelity: Fidelity
+
+
+@dataclass
+class EvalOutcome:
+    """The realized (or failed) evaluation of one :class:`EvalJob`."""
+
+    job: EvalJob
+    result: FlowResult | None
+    error: str | None
+    queue_wait_s: float
+    exec_s: float
+    worker: str
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class EvalEngine:
+    """A pool of flow workers with per-fidelity in-flight bookkeeping.
+
+    ``workers`` is clamped to the visible CPUs with a warning (pass
+    ``clamp=False`` to take the count literally — tests use this to
+    exercise real thread interleaving on small machines).  With one
+    worker and no timeout, evaluations run inline on the calling thread
+    against the *original* flow object, so the single-worker path
+    shares the sequential optimizer's report cache exactly.
+    """
+
+    def __init__(
+        self,
+        space,
+        flow,
+        workers: int = 1,
+        timeout_s: float | None = None,
+        flow_factory=None,
+        clamp: bool = True,
+    ):
+        if clamp:
+            workers = resolve_worker_count(workers, label="eval_workers")
+        self.workers = max(1, int(workers))
+        self.timeout_s = timeout_s
+        self._space = space
+        self._flow = flow
+        self._flow_factory = flow_factory or (
+            lambda: type(flow)(flow.kernel, flow.schema, flow.device)
+        )
+        self._executor: ThreadPoolExecutor | None = None
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._in_flight = {f: 0 for f in ALL_FIDELITIES}
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def in_flight_snapshot(self) -> dict[str, int]:
+        """Per-fidelity count of evaluations currently on the pool."""
+        with self._lock:
+            return {f.short_name: self._in_flight[f] for f in ALL_FIDELITIES}
+
+    def _track(self, fidelity: Fidelity, by: int) -> None:
+        with self._lock:
+            self._in_flight[fidelity] += by
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _worker_flow(self):
+        flow = getattr(self._local, "flow", None)
+        if flow is None:
+            flow = self._flow_factory()
+            self._local.flow = flow
+        return flow
+
+    def _run_one(self, job: EvalJob, submitted_at: float):
+        queue_wait = time.perf_counter() - submitted_at
+        flow = self._worker_flow()
+        start = time.perf_counter()
+        try:
+            config = self._space[job.config_index]
+            result = flow.run(config, upto=job.fidelity)
+            error = None
+        except Exception:
+            result = None
+            error = traceback.format_exc()
+        finally:
+            self._track(job.fidelity, -1)
+        exec_s = time.perf_counter() - start
+        return result, error, queue_wait, exec_s, threading.current_thread().name
+
+    def _submit(self, job: EvalJob) -> Future:
+        self._track(job.fidelity, +1)
+        return self._executor.submit(self._run_one, job, time.perf_counter())
+
+    def evaluate(self, jobs: list[EvalJob]) -> list[EvalOutcome]:
+        """Run ``jobs``; outcomes come back in proposal (``jobs``) order."""
+        if not jobs:
+            return []
+        if self.workers == 1 and self.timeout_s is None:
+            return [self._evaluate_inline(job) for job in jobs]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="eval"
+            )
+        futures = [self._submit(job) for job in jobs]
+        return [
+            self._collect(job, future) for job, future in zip(jobs, futures)
+        ]
+
+    def _evaluate_inline(self, job: EvalJob) -> EvalOutcome:
+        start = time.perf_counter()
+        try:
+            result = self._flow.run(
+                self._space[job.config_index], upto=job.fidelity
+            )
+            error = None
+        except Exception:
+            result = None
+            error = traceback.format_exc()
+        return EvalOutcome(
+            job=job,
+            result=result,
+            error=error,
+            queue_wait_s=0.0,
+            exec_s=time.perf_counter() - start,
+            worker=threading.current_thread().name,
+            attempts=1,
+        )
+
+    def _collect(self, job: EvalJob, future: Future) -> EvalOutcome:
+        attempts = 1
+        while True:
+            try:
+                result, error, queue_wait, exec_s, worker = future.result(
+                    timeout=self.timeout_s
+                )
+            except FutureTimeoutError:
+                future.cancel()  # no-op if already running; keeps queues tidy
+                if attempts >= 2:
+                    return EvalOutcome(
+                        job=job,
+                        result=None,
+                        error=(
+                            f"flow evaluation timed out twice "
+                            f"(timeout_s={self.timeout_s})"
+                        ),
+                        queue_wait_s=0.0,
+                        exec_s=2.0 * float(self.timeout_s or 0.0),
+                        worker="",
+                        attempts=attempts,
+                    )
+                attempts += 1
+                future = self._submit(job)
+                continue
+            return EvalOutcome(
+                job=job,
+                result=result,
+                error=error,
+                queue_wait_s=queue_wait,
+                exec_s=exec_s,
+                worker=worker,
+                attempts=attempts,
+            )
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "EvalEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# the batched BO loop
+# ----------------------------------------------------------------------
+
+
+def run_batch_loop(opt) -> None:
+    """Rounds of (fit → qPEIPV batch → concurrent evaluate → commit).
+
+    Drives a :class:`repro.core.optimizer.CorrelatedMFBO` whose initial
+    design is already evaluated.  ``n_iter`` counts total evaluations
+    (the last round shrinks to fit); the refit cadence keys off each
+    round's *first* step index, so at ``batch_size=1`` the fit schedule
+    matches the sequential loop exactly.
+    """
+    settings = opt.settings
+    tracer = opt.tracer
+    engine = EvalEngine(
+        opt.space,
+        opt.flow,
+        workers=settings.eval_workers,
+        timeout_s=settings.eval_timeout_s,
+    )
+    try:
+        t = 0
+        rnd = 0
+        while t < settings.n_iter:
+            q = min(settings.batch_size, settings.n_iter - t)
+            before = opt.metrics.snapshot()
+            select_start = time.perf_counter()
+            optimize = (t % settings.refit_every) == 0
+            with opt.metrics.timed("fit_s"):
+                opt._fit_stack(optimize=optimize)
+            proposals = select_batch(opt, q, step0=t)
+            select_s = time.perf_counter() - select_start
+            if not proposals:
+                break  # design space exhausted
+            if tracer is not None:
+                _trace_proposals(opt, rnd, proposals, select_s, before)
+            jobs = [
+                EvalJob(
+                    order=p.slot,
+                    step=p.step,
+                    config_index=p.config_index,
+                    fidelity=p.fidelity,
+                )
+                for p in proposals
+            ]
+            outcomes = engine.evaluate(jobs)
+            for proposal, outcome in zip(proposals, outcomes):
+                if not outcome.ok:
+                    raise FlowEvalError(
+                        f"evaluation of config {proposal.config_index} at "
+                        f"{proposal.fidelity.short_name} (step "
+                        f"{proposal.step}) failed on worker "
+                        f"{outcome.worker or '?'}:\n{outcome.error}"
+                    )
+                opt.metrics.add_time("eval_s", outcome.exec_s)
+                opt._commit(
+                    proposal.config_index,
+                    proposal.fidelity,
+                    outcome.result,
+                    acquisition=proposal.acquisition,
+                    step=proposal.step,
+                )
+                if tracer is not None:
+                    _trace_commit(opt, rnd, proposal, outcome)
+            t += len(proposals)
+            rnd += 1
+            if len(proposals) < q:
+                break  # pool ran dry mid-round
+    finally:
+        engine.close()
+
+
+def _trace_proposals(opt, rnd, proposals, select_s, before) -> None:
+    for p in proposals:
+        opt.tracer.write(
+            {
+                "v": TRACE_SCHEMA_VERSION,
+                "event": "proposal",
+                "round": rnd,
+                "slot": p.slot,
+                "step": p.step,
+                "config_index": p.config_index,
+                "fidelity": p.fidelity.short_name,
+                "acquisition": p.acquisition,
+                "fantasy": [float(v) for v in p.fantasy],
+                "pool_size": p.pool_size,
+            }
+        )
+    delta = Metrics.delta(before, opt.metrics.snapshot())
+    in_flight = {f.short_name: 0 for f in ALL_FIDELITIES}
+    for p in proposals:
+        in_flight[p.fidelity.short_name] += 1
+    opt.tracer.write(
+        {
+            "v": TRACE_SCHEMA_VERSION,
+            "event": "pending",
+            "round": rnd,
+            "n_pending": len(proposals),
+            "in_flight": in_flight,
+            "fit_s": delta.get("fit_s", 0.0),
+            "select_s": select_s,
+        }
+    )
+
+
+def _trace_commit(opt, rnd, proposal, outcome) -> None:
+    record = opt._history[-1]
+    opt.tracer.write(
+        {
+            "v": TRACE_SCHEMA_VERSION,
+            "event": "commit",
+            "round": rnd,
+            "slot": proposal.slot,
+            "step": proposal.step,
+            "config_index": proposal.config_index,
+            "fidelity": proposal.fidelity.short_name,
+            "valid": record.valid,
+            "objectives": [float(v) for v in record.objectives],
+            "fantasy": [float(v) for v in proposal.fantasy],
+            "flow_runtime_s": record.runtime_s,
+            "queue_wait_s": outcome.queue_wait_s,
+            "exec_s": outcome.exec_s,
+            "worker": outcome.worker,
+            "attempts": outcome.attempts,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone sweep helper (fig. 5 driver)
+# ----------------------------------------------------------------------
+
+
+def parallel_fidelity_sweep(space, flow=None, workers: int = 1):
+    """Chunked, order-preserving parallel version of ``fidelity_sweep``.
+
+    Reports are deterministic per configuration, so splitting the space
+    across per-thread flow clones returns matrices ``==`` the
+    sequential sweep's.  Falls back to the sequential sweep at one
+    worker (or for tiny spaces where threads cannot pay for themselves).
+    """
+    import numpy as np
+
+    from repro.hlsim.flow import HlsFlow, fidelity_sweep
+
+    flow = flow or HlsFlow.for_space(space)
+    workers = resolve_worker_count(workers, label="eval_workers")
+    n = len(space)
+    if workers == 1 or n < 2 * workers:
+        return fidelity_sweep(space, flow)
+
+    configs = space.configs
+
+    def sweep_chunk(lo: int, hi: int):
+        local = type(flow)(flow.kernel, flow.schema, flow.device)
+        chunk = {f: [] for f in ALL_FIDELITIES}
+        for config in configs[lo:hi]:
+            reports = local.reports(config)
+            for fidelity in ALL_FIDELITIES:
+                chunk[fidelity].append(reports[int(fidelity)].objectives())
+        return chunk
+
+    bounds = [
+        (i * n // workers, (i + 1) * n // workers) for i in range(workers)
+    ]
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="sweep"
+    ) as pool:
+        chunks = list(pool.map(lambda b: sweep_chunk(*b), bounds))
+    rows = {f: [] for f in ALL_FIDELITIES}
+    for chunk in chunks:
+        for fidelity in ALL_FIDELITIES:
+            rows[fidelity].extend(chunk[fidelity])
+    return {f: np.vstack(rows[f]) for f in ALL_FIDELITIES}

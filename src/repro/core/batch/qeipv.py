@@ -1,0 +1,148 @@
+"""Greedy q-point PEIPV batch acquisition via Kriging-believer fantasies.
+
+The sequential optimizer picks the single (configuration, fidelity)
+pair maximizing cost-penalized EIPV.  To propose *q* candidates per
+round without re-running the flow in between, :func:`select_batch`
+iterates the same scan greedily: after each pick it pretends the
+candidate's outcome is already known — the surrogate stack's posterior
+mean at every fidelity level up to the chosen one (the Kriging
+believer) — conditions the stack on those fantasy observations
+(``fit(..., optimize=False)``: pure linear algebra, hyperparameters
+untouched, so the warm-start trajectory is unaffected), and extends the
+working Pareto front with the fantasy point so the next pick's EIPV
+decomposition (:func:`repro.core.pareto.dominated_boxes`) sees the
+pending candidate's believed contribution.
+
+Slot 0 consumes the rng exactly like the sequential
+:meth:`CorrelatedMFBO._select` (same candidate-pool subsample, same
+common random numbers in ``eipv_mc``), so ``q=1`` reduces bitwise to
+the sequential selection — regression-tested in ``tests/test_batch.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pareto import dominated_boxes, pareto_front
+from repro.hlsim.reports import ALL_FIDELITIES, Fidelity
+
+__all__ = ["BatchProposal", "select_batch"]
+
+
+@dataclass(frozen=True)
+class BatchProposal:
+    """One slot of a batch round, before evaluation."""
+
+    slot: int
+    step: int
+    config_index: int
+    fidelity: Fidelity
+    acquisition: float
+    #: Kriging-believer posterior mean at the chosen fidelity — the
+    #: objectives the stack was conditioned on while the candidate was
+    #: pending.  Traced next to the realized objectives at commit time.
+    fantasy: np.ndarray
+    pool_size: int
+
+
+def select_batch(opt, q: int, step0: int) -> list[BatchProposal]:
+    """Greedily propose up to ``q`` distinct candidates for one round.
+
+    ``opt`` is a :class:`repro.core.optimizer.CorrelatedMFBO` whose
+    stack has just been fit on the real datasets.  Candidates already
+    proposed in this round are excluded from later slots' pools (one
+    flow evaluation per configuration per round).  Returns fewer than
+    ``q`` proposals when the design space runs dry.
+
+    Side effect: when more than one slot is filled, the stack is left
+    conditioned on the round's fantasies.  The caller's next real
+    ``_fit_stack`` replaces them (fantasy fits overwrite the stack's
+    fitted-data snapshot, so the refit is never skipped).
+    """
+    settings = opt.settings
+    front, ref = opt._front_and_reference()
+    fantasy_front = front
+    exclude: set[int] = set()
+    fantasy_X = {f: [] for f in ALL_FIDELITIES}
+    fantasy_Y = {f: [] for f in ALL_FIDELITIES}
+    proposals: list[BatchProposal] = []
+    for slot in range(q):
+        with opt.metrics.timed("hvi_s"):
+            boxes = dominated_boxes(fantasy_front, ref)
+        pool = opt._candidate_pool(exclude=exclude)
+        opt._last_pool_size = int(pool.size)
+        if pool.size == 0:
+            break
+        choice = opt._scan_best(pool, fantasy_front, ref, boxes)
+        if choice is None:
+            break
+        index, fidelity, score = choice
+        x = opt.space.features[index : index + 1]
+        means, _covs = opt._stack.predict(int(fidelity), x)
+        fantasy = np.asarray(means[0], dtype=float)
+        proposals.append(
+            BatchProposal(
+                slot=slot,
+                step=step0 + slot,
+                config_index=index,
+                fidelity=fidelity,
+                acquisition=score,
+                fantasy=fantasy,
+                pool_size=int(pool.size),
+            )
+        )
+        exclude.add(index)
+        if slot + 1 >= q:
+            break
+        _condition_on_fantasy(opt, index, fidelity, x, fantasy_X, fantasy_Y)
+        with opt.metrics.timed("fit_s"):
+            opt._stack.fit(
+                _fantasized_datasets(opt, fantasy_X, fantasy_Y),
+                optimize=False,
+                warm_start=settings.warm_start,
+            )
+        fantasy_front = pareto_front(
+            np.vstack([fantasy_front, fantasy[None, :]])
+        )
+    return proposals
+
+
+def _condition_on_fantasy(
+    opt, index: int, fidelity: Fidelity, x: np.ndarray, fantasy_X, fantasy_Y
+) -> None:
+    """Record fantasy observations for every level the flow would fill.
+
+    Evaluating ``index`` up to ``fidelity`` adds reports at every level
+    the configuration is missing up to that fidelity (nested sets), so
+    the believer mirrors that: posterior means at each such level,
+    predicted with the stack as currently conditioned.
+    """
+    for level in ALL_FIDELITIES:
+        if level > fidelity:
+            break
+        if opt._data[level].contains(index):
+            continue
+        means, _covs = opt._stack.predict(int(level), x)
+        fantasy_X[level].append(np.asarray(x[0], dtype=float))
+        fantasy_Y[level].append(np.asarray(means[0], dtype=float))
+
+
+def _fantasized_datasets(opt, fantasy_X, fantasy_Y):
+    """Real observations plus every fantasy recorded so far, per level."""
+    datasets = []
+    for level in ALL_FIDELITIES:
+        data = opt._data[level]
+        parts_X = []
+        parts_Y = []
+        if data.indices:
+            parts_X.append(opt.space.features[data.indices])
+            parts_Y.append(data.matrix())
+        if fantasy_X[level]:
+            parts_X.append(np.vstack(fantasy_X[level]))
+            parts_Y.append(np.vstack(fantasy_Y[level]))
+        X = np.vstack(parts_X) if parts_X else opt.space.features[:0]
+        Y = np.vstack(parts_Y) if parts_Y else np.empty((0, 3))
+        datasets.append((X, Y))
+    return datasets

@@ -1,0 +1,49 @@
+"""Worker-count resolution shared by the evaluation pools.
+
+Both the batch evaluation engine (:mod:`repro.core.batch.engine`) and
+the cross-run experiment engine (:mod:`repro.experiments.parallel`)
+accept a user-supplied worker count from a CLI flag.  A bad value
+(``--workers 0``, a negative number, or more workers than the machine
+has CPUs) should degrade with a warning, not crash a sweep that may
+have hours of cached ground truth behind it.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+__all__ = ["resolve_worker_count"]
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_worker_count(workers: int, label: str = "workers") -> int:
+    """Clamp ``workers`` to ``[1, visible CPUs]``, warning on adjustment.
+
+    ``label`` names the offending flag in the warning message (e.g.
+    ``"--eval-workers"``).
+    """
+    workers = int(workers)
+    if workers < 1:
+        warnings.warn(
+            f"{label}={workers} is not positive; running with 1 worker",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    cpus = _cpu_count()
+    if workers > cpus:
+        warnings.warn(
+            f"{label}={workers} exceeds the {cpus} visible CPU(s); "
+            f"clamping to {cpus}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cpus
+    return workers

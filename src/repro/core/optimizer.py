@@ -30,6 +30,12 @@ optimization trajectory slightly but cuts refit time severalfold
 (``benchmarks/bench_optimizer_hotpath.py`` regression-tests both the
 speedup and the cached sweep's exactness).  Pass a ``tracer`` to stream
 a structured per-step JSONL trace (:mod:`repro.obs.trace`).
+
+Batch mode.  ``batch_size``/``eval_workers`` switch the same optimizer
+onto the qPEIPV + async-evaluation engine in :mod:`repro.core.batch`:
+a greedy Kriging-believer batch of candidates per round, evaluated
+concurrently and committed in proposal order.  ``batch_size=1,
+eval_workers=1`` reduces bitwise to the sequential loop.
 """
 
 from __future__ import annotations
@@ -85,6 +91,19 @@ class MFBOSettings:
     # restarts (different but equally valid hyperparameter trajectory).
     cache_predictions: bool = True
     warm_start: bool = True
+    # Batch mode (qPEIPV + async evaluation, :mod:`repro.core.batch`).
+    # ``batch_size`` candidates are proposed per round via greedy
+    # Kriging-believer fantasization and evaluated on ``eval_workers``
+    # flow workers; results are committed in proposal order so traces
+    # stay reproducible for a fixed seed regardless of worker timing.
+    # ``batch_engine=None`` auto-enables the batch loop iff either knob
+    # exceeds 1; set it to True to force the batch code path even at
+    # ``batch_size=1, eval_workers=1`` (bitwise-identical to the
+    # sequential loop — regression-tested).
+    batch_size: int = 1
+    eval_workers: int = 1
+    eval_timeout_s: float | None = None
+    batch_engine: bool | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -102,6 +121,16 @@ class MFBOSettings:
             raise ValueError("n_iter must be non-negative")
         if self.invalid_penalty <= 1.0:
             raise ValueError("invalid_penalty must exceed 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.eval_timeout_s is not None and self.eval_timeout_s <= 0:
+            raise ValueError("eval_timeout_s must be positive")
+
+    @property
+    def use_batch_engine(self) -> bool:
+        if self.batch_engine is not None:
+            return self.batch_engine
+        return self.batch_size > 1 or self.eval_workers > 1
 
 
 @dataclass
@@ -225,6 +254,17 @@ class CorrelatedMFBO:
         """Run the flow up to ``fidelity`` and fold the reports in."""
         with self.metrics.timed("eval_s"):
             result = self.flow.run(self.space[index], upto=fidelity)
+        self._commit(index, fidelity, result, acquisition, step)
+
+    def _commit(
+        self, index: int, fidelity, result, acquisition: float, step: int
+    ) -> None:
+        """Fold an already-computed :class:`FlowResult` into the datasets.
+
+        Split out of :meth:`_evaluate` so the batch engine can run flows
+        on worker threads and still commit results on the main thread in
+        proposal order (completion-order independence).
+        """
         self._runtime += result.total_runtime_s
         top_report = result.highest
         valid = top_report.valid
@@ -303,19 +343,32 @@ class CorrelatedMFBO:
 
     def run(self) -> OptimizationResult:
         if self.tracer is not None:
-            self.tracer.write(
-                {
-                    "v": TRACE_SCHEMA_VERSION,
-                    "event": "run_start",
-                    "kernel": self.space.kernel.name,
-                    "method": self.method_name,
-                    "n_iter": self.settings.n_iter,
-                    "seed": self.settings.seed,
-                    "cache_predictions": self.settings.cache_predictions,
-                    "warm_start": self.settings.warm_start,
-                }
-            )
+            record = {
+                "v": TRACE_SCHEMA_VERSION,
+                "event": "run_start",
+                "kernel": self.space.kernel.name,
+                "method": self.method_name,
+                "n_iter": self.settings.n_iter,
+                "seed": self.settings.seed,
+                "cache_predictions": self.settings.cache_predictions,
+                "warm_start": self.settings.warm_start,
+            }
+            if self.settings.use_batch_engine:
+                record["batch_size"] = self.settings.batch_size
+                record["eval_workers"] = self.settings.eval_workers
+            self.tracer.write(record)
         self._initial_design()
+        if self.settings.use_batch_engine:
+            from repro.core.batch.engine import run_batch_loop
+
+            run_batch_loop(self)
+        else:
+            self._run_sequential_loop()
+        if self.settings.final_verification:
+            self._verify_pareto_candidates()
+        return self._result()
+
+    def _run_sequential_loop(self) -> None:
         for t in range(self.settings.n_iter):
             step_start = time.perf_counter()
             before = self.metrics.snapshot()
@@ -329,9 +382,6 @@ class CorrelatedMFBO:
             self._evaluate(index, fidelity, acquisition=score, step=t)
             if self.tracer is not None:
                 self._trace_step(step_start, before)
-        if self.settings.final_verification:
-            self._verify_pareto_candidates()
-        return self._result()
 
     def _trace_step(self, step_start: float, before: dict) -> None:
         record = self._history[-1]
@@ -408,45 +458,59 @@ class CorrelatedMFBO:
         ref = default_reference(Y, margin=self.settings.reference_margin)
         return front, ref
 
-    def _candidate_pool(self) -> np.ndarray:
+    def _candidate_pool(
+        self, exclude: set[int] | None = None
+    ) -> np.ndarray:
         """Shared candidate pool: configs not yet exhausted at IMPL.
 
         One subsample serves every fidelity's scan (the IMPL-eligible
         set is the superset of all of them under the nesting invariant),
         so the per-fidelity PEIPV comparison runs on common candidates
-        and common random numbers.
+        and common random numbers.  ``exclude`` additionally masks out
+        configurations pending in the current batch round; when empty or
+        None the rng consumption is identical to the unparameterized
+        call (q=1 parity depends on this).
         """
-        pool = np.flatnonzero(~self._eval_mask[Fidelity.IMPL])
+        mask = ~self._eval_mask[Fidelity.IMPL]
+        if exclude:
+            mask = mask.copy()
+            mask[list(exclude)] = False
+        pool = np.flatnonzero(mask)
         limit = self.settings.candidate_pool
         if limit is not None and pool.size > limit:
             pool = self.rng.choice(pool, size=limit, replace=False)
         return pool
 
-    def _select(self, step: int) -> tuple[int, Fidelity, float] | None:
-        """Lines 7–11: per-fidelity argmax of PEIPV, then the global max.
+    def _scan_best(
+        self,
+        pool: np.ndarray,
+        front: np.ndarray,
+        ref: np.ndarray,
+        boxes,
+        exclude: set[int] | None = None,
+    ) -> tuple[int, Fidelity, float] | None:
+        """Per-fidelity argmax of PEIPV over ``pool``, then the global max.
 
         All fidelities are scored over one shared candidate matrix, so
         the stack's per-step prediction cache turns the scan into a
         single upward sweep (each level predicted exactly once); a
         fidelity's already-evaluated configurations are masked out of
-        its argmax rather than re-pooled.
+        its argmax rather than re-pooled.  ``exclude`` masks batch-round
+        pending configurations out of every fidelity's argmax.
         """
         metrics = self.metrics
-        front, ref = self._front_and_reference()
-        with metrics.timed("hvi_s"):
-            boxes = dominated_boxes(front, ref)
-        pool = self._candidate_pool()
-        self._last_pool_size = int(pool.size)
-        if pool.size == 0:
-            return None
         X = self.space.features[pool]
         stack = self._stack
         stack.begin_step()
         hits0, misses0 = stack.cache_hits, stack.cache_misses
         t_impl = self.flow.stage_time(Fidelity.IMPL)
+        pending = (
+            np.isin(pool, list(exclude)) if exclude else
+            np.zeros(pool.size, dtype=bool)
+        )
         best: tuple[int, Fidelity, float] | None = None
         for fidelity in ALL_FIDELITIES:
-            eligible = ~self._eval_mask[fidelity][pool]
+            eligible = ~self._eval_mask[fidelity][pool] & ~pending
             if not eligible.any():
                 continue
             with metrics.timed("predict_s"):
@@ -473,6 +537,17 @@ class CorrelatedMFBO:
         metrics.incr("cache_hits", stack.cache_hits - hits0)
         metrics.incr("cache_misses", stack.cache_misses - misses0)
         return best
+
+    def _select(self, step: int) -> tuple[int, Fidelity, float] | None:
+        """Lines 7–11: pool + Pareto decomposition, then the PEIPV scan."""
+        front, ref = self._front_and_reference()
+        with self.metrics.timed("hvi_s"):
+            boxes = dominated_boxes(front, ref)
+        pool = self._candidate_pool()
+        self._last_pool_size = int(pool.size)
+        if pool.size == 0:
+            return None
+        return self._scan_best(pool, front, ref, boxes)
 
     # ------------------------------------------------------------------
     # output

@@ -19,13 +19,24 @@ single descents where a pool would only add overhead).  If the pool
 cannot be used (unpicklable objective, broken worker), the dispatch
 silently falls back to the sequential loop — results are identical
 either way.
+
+Pool reuse: a fit-heavy run calls :func:`minimize_multistart` hundreds
+of times, and building a fresh ``ProcessPoolExecutor`` per call costs
+more than the descents it runs.  Pools are therefore created lazily,
+one per requested worker count, and reused across calls; they are torn
+down at interpreter exit (``atexit``) or explicitly via
+:func:`shutdown_restart_pools`.  A pool that raises is discarded (its
+replacement is rebuilt on the next call) and the affected dispatch
+falls back to the sequential loop.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
@@ -110,6 +121,47 @@ def minimize_multistart(
     return best_x
 
 
+#: Lazily-created shared pools, one per requested worker count.
+_SHARED_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The reusable pool for ``workers``, created on first use."""
+    global _ATEXIT_REGISTERED
+    with _POOLS_LOCK:
+        pool = _SHARED_POOLS.get(workers)
+        if pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+            _SHARED_POOLS[workers] = pool
+            if not _ATEXIT_REGISTERED:
+                atexit.register(shutdown_restart_pools)
+                _ATEXIT_REGISTERED = True
+        return pool
+
+
+def _discard_pool(workers: int) -> None:
+    """Drop (and shut down) a pool that raised; rebuilt on next use."""
+    with _POOLS_LOCK:
+        pool = _SHARED_POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_restart_pools() -> None:
+    """Shut down every shared restart pool (idempotent; atexit hook)."""
+    with _POOLS_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def _descend_parallel(
     fun: Callable[..., tuple[float, np.ndarray]],
     starts: list[np.ndarray],
@@ -118,25 +170,22 @@ def _descend_parallel(
     maxiter: int,
     workers: int,
 ) -> list[tuple[float, np.ndarray]] | None:
-    """All descents through a process pool, results in start order.
+    """All descents through the shared pool, results in start order.
 
     Returns ``None`` when the pool cannot run the objective (e.g. an
-    unpicklable closure) so the caller falls back to sequential.
+    unpicklable closure) so the caller falls back to sequential; the
+    pool itself is discarded on failure, so a transient breakage never
+    wedges later calls.
     """
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(starts)), mp_context=ctx
-        ) as pool:
-            futures = [
-                pool.submit(_descend, fun, start, args, bounds, maxiter)
-                for start in starts
-            ]
-            return [future.result() for future in futures]
+        pool = _shared_pool(workers)
+        futures = [
+            pool.submit(_descend, fun, start, args, bounds, maxiter)
+            for start in starts
+        ]
+        return [future.result() for future in futures]
     except Exception:
+        _discard_pool(workers)
         return None
 
 
@@ -144,4 +193,5 @@ __all__ = [
     "RESTART_WORKERS_ENV",
     "minimize_multistart",
     "resolve_workers",
+    "shutdown_restart_pools",
 ]

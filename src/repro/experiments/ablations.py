@@ -6,7 +6,8 @@ objective correlation (Sec. IV-B), non-linear fidelity chaining
 verification pass — and reports mean ADRS and simulated tool time.
 
 Usage: ``python -m repro.experiments.ablations [--benchmark NAME]
-[--repeats N] [--iters N] [--workers N] [--cache-dir DIR]``
+[--repeats N] [--iters N] [--workers N] [--batch-size Q]
+[--eval-workers N] [--cache-dir DIR]``
 """
 
 from __future__ import annotations
@@ -36,6 +37,8 @@ def ablation_job(
     n_mc_samples: int,
     seed: int,
     cache_dir: str | None = None,
+    batch_size: int = 1,
+    eval_workers: int = 1,
 ) -> tuple[float, float]:
     """One (ablation, repeat) cell: ``(adrs, runtime_s)``.
 
@@ -47,6 +50,8 @@ def ablation_job(
         n_iter=n_iter,
         candidate_pool=candidate_pool,
         n_mc_samples=n_mc_samples,
+        batch_size=batch_size,
+        eval_workers=eval_workers,
         seed=seed,
         **ABLATIONS[label],
     )
@@ -66,6 +71,8 @@ def run(
     verbose: bool = True,
     workers: int = 1,
     cache_dir: str | None = None,
+    batch_size: int = 1,
+    eval_workers: int = 1,
 ) -> dict[str, dict]:
     cells: dict[tuple[str, int], tuple[float, float]] = {}
     if workers > 1:
@@ -78,7 +85,9 @@ def run(
                             candidate_pool=candidate_pool,
                             n_mc_samples=n_mc_samples,
                             seed=method_seed(base_seed, label, repeat),
-                            cache_dir=cache_dir))
+                            cache_dir=cache_dir,
+                            batch_size=batch_size,
+                            eval_workers=eval_workers))
             for label in ABLATIONS
             for repeat in range(repeats)
         ]
@@ -92,6 +101,8 @@ def run(
                     benchmark, label, n_iter, candidate_pool, n_mc_samples,
                     seed=method_seed(base_seed, label, repeat),
                     cache_dir=cache_dir,
+                    batch_size=batch_size,
+                    eval_workers=eval_workers,
                 )
     results: dict[str, dict] = {}
     for label in ABLATIONS:
@@ -120,6 +131,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=77)
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool size (1 = sequential)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="BO candidates proposed per round (qPEIPV)")
+    parser.add_argument("--eval-workers", type=int, default=1,
+                        help="in-run flow-evaluation workers per BO loop")
     parser.add_argument("--cache-dir", default="",
                         help="persistent ground-truth cache directory")
     args = parser.parse_args(argv)
@@ -130,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
         base_seed=args.seed,
         workers=args.workers,
         cache_dir=args.cache_dir or None,
+        batch_size=args.batch_size,
+        eval_workers=args.eval_workers,
     )
     return 0
 

@@ -6,7 +6,12 @@ diverge: GEMM's fidelities nearly overlap, SPMV_ELLPACK's diverge —
 the motivation for the *non-linear* multi-fidelity model (Sec. IV-A).
 
 Usage: ``python -m repro.experiments.fig5 [--benchmarks gemm,...]
-[--workers N] [--cache-dir DIR]``
+[--workers N] [--eval-workers N] [--cache-dir DIR]``
+
+``--workers`` pools whole benchmarks across processes;
+``--eval-workers`` additionally splits each benchmark's whole-space
+sweep over flow-worker threads (order-preserving, ``==`` the
+sequential sweep — reports are deterministic per configuration).
 """
 
 from __future__ import annotations
@@ -24,12 +29,22 @@ DEFAULT_BENCHMARKS = ("gemm", "spmv_ellpack")
 
 
 def normalized_delays(
-    name: str, normalize: bool = False, cache_dir: str | None = None
+    name: str,
+    normalize: bool = False,
+    cache_dir: str | None = None,
+    eval_workers: int = 1,
 ) -> dict[str, np.ndarray]:
     """Delay per fidelity; optionally min-max normalized for plotting
     (the paper's Fig. 5 axes are normalized)."""
     ctx = BenchmarkContext.get(name, cache_dir=cache_dir)
-    sweeps = fidelity_sweep(ctx.space, ctx.flow)
+    if eval_workers > 1:
+        from repro.core.batch.engine import parallel_fidelity_sweep
+
+        sweeps = parallel_fidelity_sweep(
+            ctx.space, ctx.flow, workers=eval_workers
+        )
+    else:
+        sweeps = fidelity_sweep(ctx.space, ctx.flow)
     delays = {f.short_name: sweeps[f][:, 1] for f in ALL_FIDELITIES}
     if not normalize:
         return delays
@@ -51,9 +66,13 @@ def divergence_score(delays: dict[str, np.ndarray]) -> float:
     return float(np.mean(np.abs(delays["hls"] - impl) / scale))
 
 
-def sweep_job(name: str, cache_dir: str | None = None) -> dict:
+def sweep_job(
+    name: str, cache_dir: str | None = None, eval_workers: int = 1
+) -> dict:
     """One benchmark's Fig. 5 entry (module-level: picklable worker body)."""
-    delays = normalized_delays(name, cache_dir=cache_dir)
+    delays = normalized_delays(
+        name, cache_dir=cache_dir, eval_workers=eval_workers
+    )
     rank_corr = float(
         np.corrcoef(
             np.argsort(np.argsort(delays["hls"])),
@@ -73,6 +92,7 @@ def run(
     verbose: bool = True,
     workers: int = 1,
     cache_dir: str | None = None,
+    eval_workers: int = 1,
 ) -> dict[str, dict]:
     results = {}
     if workers > 1:
@@ -80,7 +100,9 @@ def run(
 
         jobs = [
             Job(benchmark=name, method="fig5-sweep", repeat=0,
-                fn=sweep_job, kwargs=dict(name=name, cache_dir=cache_dir))
+                fn=sweep_job,
+                kwargs=dict(name=name, cache_dir=cache_dir,
+                            eval_workers=eval_workers))
             for name in benchmarks
         ]
         outcomes = run_jobs(jobs, workers=workers, cache_dir=cache_dir)
@@ -88,7 +110,9 @@ def run(
         results = {o.job.benchmark: o.value for o in outcomes}
     else:
         for name in benchmarks:
-            results[name] = sweep_job(name, cache_dir=cache_dir)
+            results[name] = sweep_job(
+                name, cache_dir=cache_dir, eval_workers=eval_workers
+            )
     for name in benchmarks:
         if verbose:
             print(
@@ -114,6 +138,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool size (1 = sequential)")
+    parser.add_argument("--eval-workers", type=int, default=1,
+                        help="flow-worker threads per whole-space sweep")
     parser.add_argument("--cache-dir", default="",
                         help="persistent ground-truth cache directory")
     args = parser.parse_args(argv)
@@ -121,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
         tuple(b for b in args.benchmarks.split(",") if b),
         workers=args.workers,
         cache_dir=args.cache_dir or None,
+        eval_workers=args.eval_workers,
     )
     return 0
 

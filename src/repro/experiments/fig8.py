@@ -9,13 +9,14 @@ statistic is each method's ADRS; the paper's qualitative claim is that
 points".
 
 Usage: ``python -m repro.experiments.fig8 [--scale smoke|small|paper]
-[--workers N] [--cache-dir DIR]``
+[--workers N] [--batch-size Q] [--eval-workers N] [--cache-dir DIR]``
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 import numpy as np
 
@@ -44,8 +45,14 @@ def run(
     verbose: bool = True,
     workers: int = 1,
     cache_dir: str | None = None,
+    batch_size: int = 1,
+    eval_workers: int = 1,
 ) -> dict[str, dict]:
     scale = SCALES[scale_name]
+    if batch_size != 1 or eval_workers != 1:
+        scale = replace(
+            scale, batch_size=batch_size, eval_workers=eval_workers
+        )
     method_runs = _collect_method_runs(
         benchmarks, scale, base_seed, workers=workers, cache_dir=cache_dir
     )
@@ -138,6 +145,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool size (1 = sequential)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="BO candidates proposed per round (qPEIPV)")
+    parser.add_argument("--eval-workers", type=int, default=1,
+                        help="in-run flow-evaluation workers per BO loop")
     parser.add_argument("--cache-dir", default="",
                         help="persistent ground-truth cache directory")
     args = parser.parse_args(argv)
@@ -147,6 +158,8 @@ def main(argv: list[str] | None = None) -> int:
         base_seed=args.seed,
         workers=args.workers,
         cache_dir=args.cache_dir or None,
+        batch_size=args.batch_size,
+        eval_workers=args.eval_workers,
     )
     return 0
 

@@ -60,6 +60,11 @@ class ExperimentScale:
     bt_estimators: int = 120
     bt_depth: int = 3
     bt_learning_rate: float = 0.2
+    # In-run batch mode (repro.core.batch): candidates proposed per BO
+    # round and flow workers evaluating them.  1/1 keeps the sequential
+    # loop (bitwise-identical results).
+    batch_size: int = 1
+    eval_workers: int = 1
 
     def bo_settings(self, seed: int) -> MFBOSettings:
         return MFBOSettings(
@@ -68,6 +73,8 @@ class ExperimentScale:
             n_mc_samples=self.n_mc_samples,
             candidate_pool=self.candidate_pool,
             refit_every=self.refit_every,
+            batch_size=self.batch_size,
+            eval_workers=self.eval_workers,
             seed=seed,
         )
 

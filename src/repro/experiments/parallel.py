@@ -38,6 +38,7 @@ from typing import Any, Callable, Mapping
 import multiprocessing
 
 from repro.benchsuite.registry import benchmark_names
+from repro.core.batch.workers import resolve_worker_count
 from repro.experiments.harness import (
     TABLE1_METHODS,
     BenchmarkContext,
@@ -151,10 +152,14 @@ def run_jobs(
 ) -> list[JobOutcome]:
     """Execute jobs, possibly in parallel; outcomes in submission order.
 
-    ``workers <= 1`` runs everything inline (the engine's sequential
-    mode — same wrapper, same outcome records).  Failures never abort
-    the sweep; inspect ``outcome.error`` or call :func:`raise_failures`.
+    ``workers`` is clamped to ``[1, visible CPUs]`` with a warning
+    (``--workers 0`` or an oversubscribed count degrades, never
+    crashes); one worker runs everything inline (the engine's
+    sequential mode — same wrapper, same outcome records).  Failures
+    never abort the sweep; inspect ``outcome.error`` or call
+    :func:`raise_failures`.
     """
+    workers = resolve_worker_count(workers, label="workers")
     if prewarm:
         prewarm_contexts([job.benchmark for job in jobs], cache_dir)
     outcomes: list[JobOutcome]

@@ -6,11 +6,15 @@ Usage::
                                        [--benchmarks gemm,sort_radix,...]
                                        [--seed N] [--json out.json]
                                        [--workers N] [--cache-dir DIR]
+                                       [--batch-size Q] [--eval-workers N]
 
 ``--workers N`` fans the (benchmark, method, repeat) cells out over a
 process pool (results are bitwise identical to the sequential run);
-``--cache-dir`` persists exhaustive ground-truth sweeps across
-invocations (see :mod:`repro.hlsim.gtcache` for the invalidation rule).
+``--batch-size``/``--eval-workers`` switch the BO methods onto the
+in-run batch engine (qPEIPV + async flow workers, composable with
+``--workers``); ``--cache-dir`` persists exhaustive ground-truth sweeps
+across invocations (see :mod:`repro.hlsim.gtcache` for the
+invalidation rule).
 
 All three metrics are normalized to the ANN baseline, exactly as the
 paper reports them ("expressed as ratios to the results of ANN").
@@ -21,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 
 import numpy as np
 
@@ -107,9 +112,15 @@ def run(
     verbose: bool = True,
     workers: int = 1,
     cache_dir: str | None = None,
+    batch_size: int = 1,
+    eval_workers: int = 1,
 ) -> tuple[list[Table1Row], list[dict]]:
     """Run the full Table I experiment and return raw + normalized rows."""
     scale = SCALES[scale_name]
+    if batch_size != 1 or eval_workers != 1:
+        scale = replace(
+            scale, batch_size=batch_size, eval_workers=eval_workers
+        )
     names = tuple(benchmarks) if benchmarks else tuple(benchmark_names())
     if workers > 1:
         from repro.experiments.parallel import run_table1_parallel
@@ -142,6 +153,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quiet", action="store_true")
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool size (1 = sequential)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="BO candidates proposed per round (qPEIPV)")
+    parser.add_argument("--eval-workers", type=int, default=1,
+                        help="in-run flow-evaluation workers per BO loop")
     parser.add_argument("--cache-dir", default="",
                         help="persistent ground-truth cache directory")
     args = parser.parse_args(argv)
@@ -158,6 +173,8 @@ def main(argv: list[str] | None = None) -> int:
         verbose=not args.quiet,
         workers=args.workers,
         cache_dir=args.cache_dir or None,
+        batch_size=args.batch_size,
+        eval_workers=args.eval_workers,
     )
     print(format_table(normalized, TABLE1_METHODS))
     if args.json:

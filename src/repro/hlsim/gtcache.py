@@ -24,13 +24,28 @@ files under the cache directory can be deleted at any time.
 Writes are atomic (temp file + ``os.replace``), so concurrent workers
 racing to fill the same entry are safe — last writer wins with
 identical bytes, since the sweep is deterministic.
+
+The module doubles as the cache's inspection/eviction CLI::
+
+    python -m repro.hlsim.gtcache --ls    [--cache-dir DIR]
+    python -m repro.hlsim.gtcache --prune [--cache-dir DIR]
+
+``--ls`` lists every entry (fingerprint, benchmark, size, mtime) and
+whether it matches a *live* fingerprint of the registered benchmark
+suite; ``--prune`` deletes orphaned entries (digests no current
+benchmark produces — stale by the invalidation rule above) and any
+leftover ``.tmp`` files from interrupted writes.
 """
 
 from __future__ import annotations
 
+import argparse
 import hashlib
 import os
+import sys
 import tempfile
+from dataclasses import dataclass
+from datetime import datetime
 from pathlib import Path
 
 import numpy as np
@@ -129,3 +144,161 @@ def _atomic_savez(path: Path, **arrays: np.ndarray) -> None:
         except OSError:
             pass
         raise
+
+
+# ----------------------------------------------------------------------
+# inspection / eviction CLI
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One ``.npz`` file under the cache directory."""
+
+    path: Path
+    benchmark: str
+    fingerprint: str
+    size_bytes: int
+    mtime: float
+    live: bool
+
+
+def live_fingerprints(penalty: float = 10.0) -> dict[str, str]:
+    """``{digest: benchmark}`` for every registered benchmark.
+
+    Builds spaces and flows only (no ground-truth sweep) — fingerprints
+    hash the sweep's *inputs*, so this is cheap relative to the cache
+    it audits.
+    """
+    from repro.benchsuite.registry import benchmark_names, get_space
+
+    digests: dict[str, str] = {}
+    for name in benchmark_names():
+        space = get_space(name)
+        flow = HlsFlow.for_space(space)
+        digests[ground_truth_fingerprint(space, flow, penalty)] = name
+    return digests
+
+
+def scan_cache(
+    cache_dir: str | Path, live: dict[str, str] | None = None
+) -> list[CacheEntry]:
+    """All ``.npz`` entries under ``cache_dir``, newest first."""
+    root = Path(cache_dir)
+    if live is None:
+        live = live_fingerprints()
+    entries = []
+    for path in sorted(root.glob("*.npz")):
+        benchmark, _, fingerprint = path.stem.rpartition("-")
+        stat = path.stat()
+        entries.append(
+            CacheEntry(
+                path=path,
+                benchmark=benchmark or "?",
+                fingerprint=fingerprint,
+                size_bytes=stat.st_size,
+                mtime=stat.st_mtime,
+                live=fingerprint in live,
+            )
+        )
+    entries.sort(key=lambda e: e.mtime, reverse=True)
+    return entries
+
+
+def prune_cache(
+    cache_dir: str | Path, live: dict[str, str] | None = None
+) -> tuple[list[Path], list[Path]]:
+    """Delete orphaned ``.npz`` entries and leftover ``.tmp`` files.
+
+    Returns ``(removed_npz, removed_tmp)``.  Live entries are never
+    touched; a ``.tmp`` file is debris from an interrupted atomic write
+    (a concurrent writer's in-flight temp file would be re-created by
+    its ``os.replace`` loser anyway, so removing it is safe).
+    """
+    root = Path(cache_dir)
+    removed_npz: list[Path] = []
+    removed_tmp: list[Path] = []
+    for entry in scan_cache(root, live=live):
+        if not entry.live:
+            entry.path.unlink(missing_ok=True)
+            removed_npz.append(entry.path)
+    for tmp in sorted(root.glob("*.tmp")):
+        tmp.unlink(missing_ok=True)
+        removed_tmp.append(tmp)
+    return removed_npz, removed_tmp
+
+
+def _format_size(size: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return (
+                f"{size:d}{unit}" if unit == "B" else f"{size:.1f}{unit}"
+            )
+        size /= 1024
+    return f"{size:.1f}GiB"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.hlsim.gtcache",
+        description="Inspect or prune the persistent ground-truth cache.",
+    )
+    action = parser.add_mutually_exclusive_group()
+    action.add_argument(
+        "--ls", action="store_true",
+        help="list cache entries (default action)",
+    )
+    action.add_argument(
+        "--prune", action="store_true",
+        help="delete orphaned .npz entries and leftover .tmp files",
+    )
+    parser.add_argument(
+        "--cache-dir", default="",
+        help=f"cache directory (default: ${CACHE_DIR_ENV} or XDG cache)",
+    )
+    args = parser.parse_args(argv)
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    if not cache_dir.is_dir():
+        print(f"cache directory {cache_dir} does not exist (nothing cached)")
+        return 0
+    live = live_fingerprints()
+
+    if args.prune:
+        removed_npz, removed_tmp = prune_cache(cache_dir, live=live)
+        for path in removed_npz:
+            print(f"removed orphan {path.name}")
+        for path in removed_tmp:
+            print(f"removed temp   {path.name}")
+        kept = len(scan_cache(cache_dir, live=live))
+        print(
+            f"pruned {len(removed_npz)} orphaned entr"
+            f"{'y' if len(removed_npz) == 1 else 'ies'} and "
+            f"{len(removed_tmp)} temp file(s); {kept} live entr"
+            f"{'y' if kept == 1 else 'ies'} kept in {cache_dir}"
+        )
+        return 0
+
+    entries = scan_cache(cache_dir, live=live)
+    if not entries:
+        print(f"no cache entries in {cache_dir}")
+        return 0
+    print(f"{'FINGERPRINT':<34}{'BENCHMARK':<16}{'SIZE':>10}  "
+          f"{'MTIME':<17}STATUS")
+    for entry in entries:
+        mtime = datetime.fromtimestamp(entry.mtime).strftime("%Y-%m-%d %H:%M")
+        status = "live" if entry.live else "orphan"
+        print(
+            f"{entry.fingerprint:<34}{entry.benchmark:<16}"
+            f"{_format_size(entry.size_bytes):>10}  {mtime:<17}{status}"
+        )
+    orphans = sum(1 for e in entries if not e.live)
+    print(
+        f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+        f"{orphans} orphaned (run --prune to delete) in {cache_dir}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,29 @@
 """Structured JSONL step traces for optimization runs.
 
 One JSON object per line.  Every line carries ``"v"`` (schema version)
-and ``"event"``; the optimizer emits one ``"step"`` line per Bayesian-
-optimization iteration plus a single ``"run_start"`` header, and the
-parallel experiment engine (:mod:`repro.experiments.parallel`) emits
-one ``"job"`` line per (benchmark, method, repeat) cell.  Non-finite
-floats are serialized as ``null`` so the output stays strict JSON.
+and ``"event"``; the sequential optimizer emits one ``"step"`` line per
+Bayesian-optimization iteration plus a single ``"run_start"`` header,
+the parallel experiment engine (:mod:`repro.experiments.parallel`)
+emits one ``"job"`` line per (benchmark, method, repeat) cell, and the
+batch engine (:mod:`repro.core.batch`) emits ``"proposal"`` /
+``"pending"`` / ``"commit"`` lines per batched round instead of
+``"step"`` lines.  Non-finite floats are serialized as ``null`` so the
+output stays strict JSON.
 
-The step and job schemas (:data:`STEP_TRACE_FIELDS`,
-:data:`JOB_TRACE_FIELDS`) are covered by regression tests — tools that
-consume traces (dashboards, diffing, the benchmarks) can rely on the
-field set per version.
+The event schemas (:data:`STEP_TRACE_FIELDS`, :data:`JOB_TRACE_FIELDS`,
+:data:`PROPOSAL_TRACE_FIELDS`, :data:`PENDING_TRACE_FIELDS`,
+:data:`COMMIT_TRACE_FIELDS`) are covered by regression tests — tools
+that consume traces (dashboards, diffing, the benchmarks) can rely on
+the field set per version.
 
 Schema history: v1 defined the ``run_start``/``step`` events; v2 added
 the ``job`` event (worker-level timing of parallel sweeps) without
-changing the step fields.
+changing the step fields; v3 added the batch-engine events —
+``proposal`` (what qPEIPV selected and its fantasy objectives),
+``pending`` (the submitted batch's per-fidelity in-flight counts and
+round timing) and ``commit`` (realized objectives vs. the proposal's
+fantasy, plus per-candidate queue/exec timing) — again without
+changing the step or job fields.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from pathlib import Path
 from typing import IO, Any, Mapping
 
 #: Bump when a field is added, removed or changes meaning.
-TRACE_SCHEMA_VERSION = 2
+TRACE_SCHEMA_VERSION = 3
 
 #: Fields guaranteed on every ``event == "step"`` line (schema v1).
 STEP_TRACE_FIELDS: tuple[str, ...] = (
@@ -66,6 +75,65 @@ JOB_TRACE_FIELDS: tuple[str, ...] = (
     "gt_cache",
     "ok",
     "error",
+)
+
+#: Fields guaranteed on every ``event == "proposal"`` line (schema v3):
+#: one line per candidate the batch acquisition picked — its slot
+#: within the round, its global step index, the chosen configuration /
+#: fidelity / penalized-EIPV score, the Kriging-believer *fantasy*
+#: objectives the stack was conditioned on while picking the remaining
+#: slots, and the candidate-pool size the scan saw.
+PROPOSAL_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "round",
+    "slot",
+    "step",
+    "config_index",
+    "fidelity",
+    "acquisition",
+    "fantasy",
+    "pool_size",
+)
+
+#: Fields guaranteed on every ``event == "pending"`` line (schema v3):
+#: one line per round, emitted when the batch is handed to the worker
+#: pool — the pending-set size and the per-fidelity in-flight counts of
+#: the *submitted* batch (deterministic, unlike a racy mid-flight
+#: snapshot), plus the round's fit/selection timing.
+PENDING_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "round",
+    "n_pending",
+    "in_flight",
+    "fit_s",
+    "select_s",
+)
+
+#: Fields guaranteed on every ``event == "commit"`` line (schema v3):
+#: one line per candidate as its realized flow result is folded into
+#: the GP dataset (always in proposal order, regardless of worker
+#: completion order) — realized objectives next to the proposal's
+#: fantasy, plus per-candidate queue-wait / execution timing, the
+#: worker that ran it and how many attempts it took (2 == retried
+#: once after a timeout).
+COMMIT_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "round",
+    "slot",
+    "step",
+    "config_index",
+    "fidelity",
+    "valid",
+    "objectives",
+    "fantasy",
+    "flow_runtime_s",
+    "queue_wait_s",
+    "exec_s",
+    "worker",
+    "attempts",
 )
 
 

@@ -8,8 +8,13 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.core import restarts as restarts_mod
 from repro.core.gp import GaussianProcess
-from repro.core.restarts import minimize_multistart, resolve_workers
+from repro.core.restarts import (
+    minimize_multistart,
+    resolve_workers,
+    shutdown_restart_pools,
+)
 from repro.experiments.harness import (
     SMOKE_SCALE,
     BenchmarkContext,
@@ -26,8 +31,12 @@ from repro.hlsim.gtcache import (
     GT_COMPUTED,
     GT_DISK_HIT,
     ground_truth_fingerprint,
+    live_fingerprints,
     load_or_compute_ground_truth,
+    prune_cache,
+    scan_cache,
 )
+from repro.hlsim.gtcache import main as gtcache_main
 from repro.obs.trace import JOB_TRACE_FIELDS, TRACE_SCHEMA_VERSION, read_trace
 
 BENCH = "spmv_ellpack"
@@ -40,6 +49,12 @@ def _boom_job(message: str) -> None:
 
 def _ok_job(value: int) -> int:
     return value * 2
+
+
+def _quad(theta, offset):
+    """Picklable quadratic objective for restart-pool tests."""
+    delta = theta - offset
+    return float(np.dot(delta, delta)), 2.0 * delta
 
 
 class TestParallelEngine:
@@ -106,6 +121,16 @@ class TestParallelEngine:
     def test_prewarm_dedups(self, tmp_path):
         prewarm_contexts([BENCH, BENCH], cache_dir=tmp_path)
         assert BenchmarkContext.peek(BENCH) is not None
+
+    def test_zero_workers_clamped_with_warning(self):
+        jobs = [
+            Job(benchmark="none", method="ok", repeat=i,
+                fn=_ok_job, kwargs={"value": i})
+            for i in range(3)
+        ]
+        with pytest.warns(RuntimeWarning, match="not positive"):
+            outcomes = run_jobs(jobs, workers=0, prewarm=False)
+        assert [o.value for o in outcomes] == [0, 2, 4]
 
 
 class TestGroundTruthCache:
@@ -206,3 +231,70 @@ class TestRestartPool:
         )
         assert np.allclose(best, [1.5], atol=1e-6)
         assert captured  # objective actually ran in this process
+
+    def test_shared_pool_reused_across_calls(self):
+        shutdown_restart_pools()
+        starts = [np.array([0.0]), np.array([4.0])]
+        first = minimize_multistart(
+            _quad, starts, args=(np.array([2.0]),),
+            bounds=[(-10.0, 10.0)], maxiter=50, workers=2,
+        )
+        pool = restarts_mod._SHARED_POOLS.get(2)
+        assert pool is not None
+        second = minimize_multistart(
+            _quad, starts, args=(np.array([-1.0]),),
+            bounds=[(-10.0, 10.0)], maxiter=50, workers=2,
+        )
+        assert restarts_mod._SHARED_POOLS.get(2) is pool  # reused, not rebuilt
+        assert np.allclose(first, [2.0], atol=1e-6)
+        assert np.allclose(second, [-1.0], atol=1e-6)
+        shutdown_restart_pools()
+        assert restarts_mod._SHARED_POOLS == {}
+        shutdown_restart_pools()  # idempotent
+
+
+class TestGtcacheCli:
+    def _seed_cache(self, tmp_path):
+        ctx = BenchmarkContext.get(BENCH)
+        load_or_compute_ground_truth(ctx.space, ctx.flow, tmp_path)
+        orphan = tmp_path / ("stale-" + "ab" * 16 + ".npz")
+        orphan.write_bytes(b"not a real entry")
+        (tmp_path / "interrupted-write.tmp").write_bytes(b"debris")
+        return ctx
+
+    def test_scan_marks_live_and_orphaned(self, tmp_path):
+        ctx = self._seed_cache(tmp_path)
+        live = live_fingerprints()
+        assert ground_truth_fingerprint(ctx.space, ctx.flow) in live
+        entries = scan_cache(tmp_path, live=live)
+        assert len(entries) == 2
+        assert sorted(e.live for e in entries) == [False, True]
+        (orphan,) = [e for e in entries if not e.live]
+        assert orphan.benchmark == "stale"
+
+    def test_prune_removes_orphans_keeps_live(self, tmp_path):
+        ctx = self._seed_cache(tmp_path)
+        live = live_fingerprints()
+        removed_npz, removed_tmp = prune_cache(tmp_path, live=live)
+        assert len(removed_npz) == 1 and removed_npz[0].name.startswith("stale")
+        assert len(removed_tmp) == 1
+        assert not list(tmp_path.glob("*.tmp"))
+        # The surviving entry still round-trips as a disk hit.
+        _, _, src = load_or_compute_ground_truth(ctx.space, ctx.flow, tmp_path)
+        assert src == GT_DISK_HIT
+
+    def test_cli_ls_then_prune(self, tmp_path, capsys):
+        self._seed_cache(tmp_path)
+        assert gtcache_main(["--ls", "--cache-dir", str(tmp_path)]) == 0
+        listing = capsys.readouterr().out
+        assert "live" in listing and "orphan" in listing
+        assert "1 orphaned" in listing
+        assert gtcache_main(["--prune", "--cache-dir", str(tmp_path)]) == 0
+        pruned = capsys.readouterr().out
+        assert "removed orphan" in pruned and "removed temp" in pruned
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+    def test_cli_missing_dir_is_graceful(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert gtcache_main(["--ls", "--cache-dir", str(missing)]) == 0
+        assert "does not exist" in capsys.readouterr().out
