@@ -13,12 +13,17 @@ flow workers while keeping the optimizer deterministic:
   first, and :func:`run_batch_loop` commits them to the GP datasets in
   that order — so the committed datasets, traces and final Pareto set
   for a fixed seed do not depend on worker timing.
-- **Crash surfacing and timeouts.**  A worker exception is captured as
-  a traceback on the outcome and re-raised as :class:`FlowEvalError`
-  at commit time (in proposal order).  A per-evaluation ``timeout_s``
-  resubmits the job once (threads cannot be killed, so the first
-  attempt is abandoned, not interrupted); a second timeout becomes an
-  error outcome.
+- **Resilience.**  Worker-side evaluations run under the optimizer's
+  :class:`repro.core.resilience.retry.RetryPolicy` — crashes are
+  retried with backoff, retry exhaustion degrades the request down the
+  fidelity ladder, and a total failure either commits through the
+  punishment path or (``punish_on_failure=False``) re-raises as
+  :class:`FlowEvalError` at commit time, in proposal order.  A
+  per-evaluation ``timeout_s`` resubmits the job under the same
+  attempt budget (threads cannot be killed, so a timed-out attempt is
+  abandoned, not interrupted) and degrades fidelity when the budget
+  runs out.  Exceptions outside the policy's ``retry_on`` classes stay
+  fatal and carry their traceback to the commit site.
 """
 
 from __future__ import annotations
@@ -30,8 +35,17 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.batch.qeipv import select_batch
 from repro.core.batch.workers import resolve_worker_count
+from repro.core.resilience.retry import (
+    AttemptFailure,
+    ResilientOutcome,
+    RetryPolicy,
+    evaluate_with_policy,
+)
+from repro.hlsim.flow import _stable_seed
 from repro.hlsim.reports import ALL_FIDELITIES, Fidelity, FlowResult
 from repro.obs.timing import Metrics
 from repro.obs.trace import TRACE_SCHEMA_VERSION
@@ -47,7 +61,7 @@ __all__ = [
 
 
 class FlowEvalError(RuntimeError):
-    """A flow evaluation crashed (or timed out twice) on a worker."""
+    """A flow evaluation failed beyond what the retry policy absorbs."""
 
 
 @dataclass(frozen=True)
@@ -62,19 +76,34 @@ class EvalJob:
 
 @dataclass
 class EvalOutcome:
-    """The realized (or failed) evaluation of one :class:`EvalJob`."""
+    """The realized (or failed) evaluation of one :class:`EvalJob`.
+
+    ``outcome`` is the worker's :class:`ResilientOutcome` (retry and
+    degradation accounting included); ``error`` is the traceback of a
+    *fatal* exception — one the retry policy does not cover — and
+    implies ``outcome is None``.
+    """
 
     job: EvalJob
-    result: FlowResult | None
+    outcome: ResilientOutcome | None
     error: str | None
     queue_wait_s: float
     exec_s: float
     worker: str
-    attempts: int
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.error is None and not (
+            self.outcome is not None and self.outcome.failed
+        )
+
+    @property
+    def result(self) -> FlowResult | None:
+        return self.outcome.result if self.outcome is not None else None
+
+    @property
+    def attempts(self) -> int:
+        return self.outcome.attempts if self.outcome is not None else 1
 
 
 class EvalEngine:
@@ -96,16 +125,26 @@ class EvalEngine:
         timeout_s: float | None = None,
         flow_factory=None,
         clamp: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        seed: int = 0,
     ):
         if clamp:
             workers = resolve_worker_count(workers, label="eval_workers")
         self.workers = max(1, int(workers))
         self.timeout_s = timeout_s
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.seed = seed
         self._space = space
         self._flow = flow
-        self._flow_factory = flow_factory or (
-            lambda: type(flow)(flow.kernel, flow.schema, flow.device)
-        )
+        if flow_factory is None:
+            # Prefer the flow's own clone hook — wrapper flows (fault
+            # injection, instrumentation) reconstruct themselves through
+            # it; the legacy constructor call only fits bare HlsFlows.
+            clone = getattr(flow, "clone", None)
+            flow_factory = clone if callable(clone) else (
+                lambda: type(flow)(flow.kernel, flow.schema, flow.device)
+            )
+        self._flow_factory = flow_factory
         self._executor: ThreadPoolExecutor | None = None
         self._local = threading.local()
         self._lock = threading.Lock()
@@ -135,25 +174,46 @@ class EvalEngine:
             self._local.flow = flow
         return flow
 
-    def _run_one(self, job: EvalJob, submitted_at: float):
+    def _job_rng(self, job: EvalJob) -> np.random.Generator:
+        """Deterministic per-job backoff-jitter stream.
+
+        Keyed by (seed, step, config) — not by worker — so retry timing
+        draws are identical no matter which thread picks the job up.
+        """
+        return np.random.default_rng(
+            _stable_seed("retry", self.seed, job.step, job.config_index)
+        )
+
+    def _run_one(self, job: EvalJob, submitted_at: float, fidelity: Fidelity):
         queue_wait = time.perf_counter() - submitted_at
         flow = self._worker_flow()
         start = time.perf_counter()
         try:
-            config = self._space[job.config_index]
-            result = flow.run(config, upto=job.fidelity)
+            outcome = evaluate_with_policy(
+                flow,
+                self._space[job.config_index],
+                fidelity,
+                self.retry_policy,
+                rng=self._job_rng(job),
+            )
             error = None
         except Exception:
-            result = None
+            outcome = None
             error = traceback.format_exc()
         finally:
-            self._track(job.fidelity, -1)
+            self._track(fidelity, -1)
         exec_s = time.perf_counter() - start
-        return result, error, queue_wait, exec_s, threading.current_thread().name
+        return (
+            outcome, error, queue_wait, exec_s,
+            threading.current_thread().name,
+        )
 
-    def _submit(self, job: EvalJob) -> Future:
-        self._track(job.fidelity, +1)
-        return self._executor.submit(self._run_one, job, time.perf_counter())
+    def _submit(self, job: EvalJob, fidelity: Fidelity | None = None) -> Future:
+        fidelity = job.fidelity if fidelity is None else fidelity
+        self._track(fidelity, +1)
+        return self._executor.submit(
+            self._run_one, job, time.perf_counter(), fidelity
+        )
 
     def evaluate(self, jobs: list[EvalJob]) -> list[EvalOutcome]:
         """Run ``jobs``; outcomes come back in proposal (``jobs``) order."""
@@ -173,56 +233,109 @@ class EvalEngine:
     def _evaluate_inline(self, job: EvalJob) -> EvalOutcome:
         start = time.perf_counter()
         try:
-            result = self._flow.run(
-                self._space[job.config_index], upto=job.fidelity
+            outcome = evaluate_with_policy(
+                self._flow,
+                self._space[job.config_index],
+                job.fidelity,
+                self.retry_policy,
+                rng=self._job_rng(job),
             )
             error = None
         except Exception:
-            result = None
+            outcome = None
             error = traceback.format_exc()
         return EvalOutcome(
             job=job,
-            result=result,
+            outcome=outcome,
             error=error,
             queue_wait_s=0.0,
             exec_s=time.perf_counter() - start,
             worker=threading.current_thread().name,
-            attempts=1,
         )
 
     def _collect(self, job: EvalJob, future: Future) -> EvalOutcome:
-        attempts = 1
+        """Await one job, resubmitting on timeout under the retry policy.
+
+        A timed-out attempt is charged the fidelity's nominal stage
+        time (the abandoned worker really did burn it); the attempt
+        budget and the fidelity-degradation ladder are shared with
+        worker-side crash handling, so a hang and a crash cost the same
+        number of retries.
+        """
+        policy = self.retry_policy
+        fidelity = job.fidelity
+        timeouts = 0
+        level_timeouts = 0
+        wasted = 0.0
+        failures: list[AttemptFailure] = []
         while True:
             try:
-                result, error, queue_wait, exec_s, worker = future.result(
+                outcome, error, queue_wait, exec_s, worker = future.result(
                     timeout=self.timeout_s
                 )
             except FutureTimeoutError:
                 future.cancel()  # no-op if already running; keeps queues tidy
-                if attempts >= 2:
-                    return EvalOutcome(
-                        job=job,
-                        result=None,
+                timeouts += 1
+                level_timeouts += 1
+                wasted += float(self._flow.stage_time(fidelity))
+                failures.append(
+                    AttemptFailure(
+                        fidelity=fidelity,
+                        attempt=timeouts,
                         error=(
-                            f"flow evaluation timed out twice "
+                            f"flow evaluation timed out "
                             f"(timeout_s={self.timeout_s})"
                         ),
-                        queue_wait_s=0.0,
-                        exec_s=2.0 * float(self.timeout_s or 0.0),
-                        worker="",
-                        attempts=attempts,
+                        backoff_s=0.0,
                     )
-                attempts += 1
-                future = self._submit(job)
-                continue
+                )
+                if level_timeouts < policy.max_attempts:
+                    future = self._submit(job, fidelity)
+                    continue
+                if policy.degrade_fidelity and fidelity > Fidelity.HLS:
+                    fidelity = Fidelity(int(fidelity) - 1)
+                    level_timeouts = 0
+                    future = self._submit(job, fidelity)
+                    continue
+                return EvalOutcome(
+                    job=job,
+                    outcome=ResilientOutcome(
+                        result=None,
+                        requested=job.fidelity,
+                        fidelity=job.fidelity,
+                        attempts=timeouts,
+                        degraded=False,
+                        failed=True,
+                        wasted_runtime_s=wasted,
+                        failures=failures,
+                    ),
+                    error=None,
+                    queue_wait_s=0.0,
+                    exec_s=float(self.timeout_s or 0.0) * timeouts,
+                    worker="",
+                )
+            if outcome is not None and timeouts:
+                # Merge timeout-side accounting into the worker's view;
+                # ``requested`` stays the job's original fidelity even
+                # though resubmissions may have asked for less.
+                outcome = ResilientOutcome(
+                    result=outcome.result,
+                    requested=job.fidelity,
+                    fidelity=outcome.fidelity,
+                    attempts=outcome.attempts + timeouts,
+                    degraded=outcome.failed is False
+                    and outcome.fidelity != job.fidelity,
+                    failed=outcome.failed,
+                    wasted_runtime_s=outcome.wasted_runtime_s + wasted,
+                    failures=failures + outcome.failures,
+                )
             return EvalOutcome(
                 job=job,
-                result=result,
+                outcome=outcome,
                 error=error,
                 queue_wait_s=queue_wait,
                 exec_s=exec_s,
                 worker=worker,
-                attempts=attempts,
             )
 
     def close(self) -> None:
@@ -242,14 +355,16 @@ class EvalEngine:
 # ----------------------------------------------------------------------
 
 
-def run_batch_loop(opt) -> None:
+def run_batch_loop(opt, start_step: int = 0, start_round: int = 0) -> None:
     """Rounds of (fit → qPEIPV batch → concurrent evaluate → commit).
 
     Drives a :class:`repro.core.optimizer.CorrelatedMFBO` whose initial
     design is already evaluated.  ``n_iter`` counts total evaluations
     (the last round shrinks to fit); the refit cadence keys off each
     round's *first* step index, so at ``batch_size=1`` the fit schedule
-    matches the sequential loop exactly.
+    matches the sequential loop exactly.  ``start_step``/``start_round``
+    let a journal-resumed run (see :mod:`repro.core.resilience.journal`)
+    pick up mid-trajectory.
     """
     settings = opt.settings
     tracer = opt.tracer
@@ -258,10 +373,12 @@ def run_batch_loop(opt) -> None:
         opt.flow,
         workers=settings.eval_workers,
         timeout_s=settings.eval_timeout_s,
+        retry_policy=opt._retry_policy,
+        seed=settings.seed,
     )
     try:
-        t = 0
-        rnd = 0
+        t = start_step
+        rnd = start_round
         while t < settings.n_iter:
             q = min(settings.batch_size, settings.n_iter - t)
             before = opt.metrics.snapshot()
@@ -286,7 +403,7 @@ def run_batch_loop(opt) -> None:
             ]
             outcomes = engine.evaluate(jobs)
             for proposal, outcome in zip(proposals, outcomes):
-                if not outcome.ok:
+                if outcome.error is not None:
                     raise FlowEvalError(
                         f"evaluation of config {proposal.config_index} at "
                         f"{proposal.fidelity.short_name} (step "
@@ -294,10 +411,10 @@ def run_batch_loop(opt) -> None:
                         f"{outcome.worker or '?'}:\n{outcome.error}"
                     )
                 opt.metrics.add_time("eval_s", outcome.exec_s)
-                opt._commit(
+                opt._fold_outcome(
                     proposal.config_index,
                     proposal.fidelity,
-                    outcome.result,
+                    outcome.outcome,
                     acquisition=proposal.acquisition,
                     step=proposal.step,
                 )
@@ -354,7 +471,7 @@ def _trace_commit(opt, rnd, proposal, outcome) -> None:
             "slot": proposal.slot,
             "step": proposal.step,
             "config_index": proposal.config_index,
-            "fidelity": proposal.fidelity.short_name,
+            "fidelity": record.fidelity.short_name,
             "valid": record.valid,
             "objectives": [float(v) for v in record.objectives],
             "fantasy": [float(v) for v in proposal.fantasy],
@@ -362,7 +479,13 @@ def _trace_commit(opt, rnd, proposal, outcome) -> None:
             "queue_wait_s": outcome.queue_wait_s,
             "exec_s": outcome.exec_s,
             "worker": outcome.worker,
-            "attempts": outcome.attempts,
+            "attempts": record.attempts,
+            "requested_fidelity": proposal.fidelity.short_name,
+            "degraded": record.degraded,
+            "failed": record.failed,
+            "wasted_runtime_s": outcome.outcome.wasted_runtime_s
+            if outcome.outcome is not None
+            else 0.0,
         }
     )
 

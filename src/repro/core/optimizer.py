@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -56,9 +57,15 @@ from repro.core.pareto import (
     pareto_front,
     pareto_mask,
 )
+from repro.core.resilience import journal as run_journal
+from repro.core.resilience.retry import (
+    RetryPolicy,
+    evaluate_with_policy,
+    failed_flow_result,
+)
 from repro.core.result import OptimizationResult, StepRecord
 from repro.dse.space import DesignSpace
-from repro.hlsim.flow import HlsFlow
+from repro.hlsim.flow import HlsFlow, _stable_seed
 from repro.hlsim.reports import ALL_FIDELITIES, NUM_OBJECTIVES, Fidelity
 from repro.obs.timing import Metrics
 from repro.obs.trace import TRACE_SCHEMA_VERSION, JsonlTraceWriter
@@ -104,6 +111,26 @@ class MFBOSettings:
     eval_workers: int = 1
     eval_timeout_s: float | None = None
     batch_engine: bool | None = None
+    # Resilience (:mod:`repro.core.resilience`).  Flow evaluations are
+    # retried up to ``retry_max_attempts`` times with exponential
+    # backoff (``retry_backoff_s`` base, deterministic jitter from a
+    # dedicated run-seeded stream — the acquisition RNG is untouched);
+    # on exhaustion the request degrades to the next-lower fidelity
+    # (``degrade_on_failure``) and, failing even HLS, commits through
+    # the invalid-design punishment path (``punish_on_failure``)
+    # instead of aborting the run.  ``journal_path`` appends every
+    # commit to a crash-safe JSONL journal; ``resume_from`` replays one
+    # for a bitwise-identical continuation of a killed run (when set
+    # and ``journal_path`` is not, the journal continues in place).
+    retry_max_attempts: int = 3
+    retry_backoff_s: float = 0.0
+    retry_backoff_mult: float = 2.0
+    retry_max_backoff_s: float = 30.0
+    retry_jitter: float = 0.25
+    degrade_on_failure: bool = True
+    punish_on_failure: bool = True
+    journal_path: str | None = None
+    resume_from: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -125,6 +152,22 @@ class MFBOSettings:
             raise ValueError("batch_size must be at least 1")
         if self.eval_timeout_s is not None and self.eval_timeout_s <= 0:
             raise ValueError("eval_timeout_s must be positive")
+        if self.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be at least 1")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
+
+    def retry_policy(self) -> RetryPolicy:
+        """The evaluation-side :class:`RetryPolicy` these settings imply."""
+        return RetryPolicy(
+            max_attempts=self.retry_max_attempts,
+            base_backoff_s=self.retry_backoff_s,
+            backoff_multiplier=self.retry_backoff_mult,
+            max_backoff_s=self.retry_max_backoff_s,
+            jitter=self.retry_jitter,
+            degrade_fidelity=self.degrade_on_failure,
+            punish_on_failure=self.punish_on_failure,
+        )
 
     @property
     def use_batch_engine(self) -> bool:
@@ -192,6 +235,17 @@ class CorrelatedMFBO:
         self._worst_seen: np.ndarray | None = None
         self._last_pool_size = 0
         self._stack = self._build_stack()
+        self._retry_policy = self.settings.retry_policy()
+        # Backoff jitter draws come from a dedicated run-seeded stream:
+        # using ``self.rng`` would perturb the acquisition trajectory of
+        # any run that hits a retry, breaking clean-vs-faulty parity.
+        self._retry_rng = np.random.default_rng(
+            _stable_seed("retry", self.settings.seed)
+        )
+        self._journal: run_journal.RunJournal | None = None
+        self._journal_phase = "init"
+        self._replaying = False
+        self._verify_attempted: set[int] = set()
 
     # ------------------------------------------------------------------
     # setup
@@ -251,33 +305,105 @@ class CorrelatedMFBO:
     def _evaluate(
         self, index: int, fidelity: Fidelity, acquisition: float, step: int
     ) -> None:
-        """Run the flow up to ``fidelity`` and fold the reports in."""
+        """Run the flow up to ``fidelity`` under the retry policy and
+        fold whatever it yields (possibly degraded or punished) in."""
         with self.metrics.timed("eval_s"):
-            result = self.flow.run(self.space[index], upto=fidelity)
-        self._commit(index, fidelity, result, acquisition, step)
+            outcome = evaluate_with_policy(
+                self.flow,
+                self.space[index],
+                fidelity,
+                self._retry_policy,
+                rng=self._retry_rng,
+            )
+        self._fold_outcome(index, fidelity, outcome, acquisition, step)
+
+    def _fold_outcome(
+        self, index: int, requested: Fidelity, outcome, acquisition: float,
+        step: int,
+    ) -> None:
+        """Commit a :class:`ResilientOutcome` (shared with the engine)."""
+        self._trace_faults(step, index, outcome.failures)
+        if outcome.failed:
+            if not self._retry_policy.punish_on_failure:
+                from repro.core.batch.engine import FlowEvalError
+
+                last = outcome.failures[-1].error if outcome.failures else "?"
+                raise FlowEvalError(
+                    f"evaluation of config {index} at "
+                    f"{requested.short_name} (step {step}) exhausted "
+                    f"{outcome.attempts} attempts: {last}"
+                )
+            self._trace_degrade(step, index, requested, None, outcome.attempts)
+            self._commit(
+                index,
+                requested,
+                failed_flow_result(requested),
+                acquisition,
+                step,
+                requested=requested,
+                failed=True,
+                attempts=outcome.attempts,
+                wasted_runtime_s=outcome.wasted_runtime_s,
+            )
+            return
+        if outcome.degraded:
+            self._trace_degrade(
+                step, index, requested, outcome.fidelity, outcome.attempts
+            )
+        self._commit(
+            index,
+            outcome.fidelity,
+            outcome.result,
+            acquisition,
+            step,
+            requested=requested,
+            degraded=outcome.degraded,
+            attempts=outcome.attempts,
+            wasted_runtime_s=outcome.wasted_runtime_s,
+        )
 
     def _commit(
-        self, index: int, fidelity, result, acquisition: float, step: int
+        self,
+        index: int,
+        fidelity,
+        result,
+        acquisition: float,
+        step: int,
+        *,
+        requested: Fidelity | None = None,
+        degraded: bool = False,
+        failed: bool = False,
+        attempts: int = 1,
+        wasted_runtime_s: float = 0.0,
     ) -> None:
         """Fold an already-computed :class:`FlowResult` into the datasets.
 
         Split out of :meth:`_evaluate` so the batch engine can run flows
         on worker threads and still commit results on the main thread in
-        proposal order (completion-order independence).
+        proposal order (completion-order independence).  Non-finite
+        objectives in an otherwise-valid report are treated as invalid
+        (the punishment path) — a garbage tool report must never reach
+        a GP fit or the Pareto front.  Every commit is appended to the
+        run journal (when enabled) with the RNG state captured *now*,
+        which is what makes kill-and-resume bitwise.
         """
-        self._runtime += result.total_runtime_s
+        requested = Fidelity(requested if requested is not None else fidelity)
+        self._runtime += result.total_runtime_s + wasted_runtime_s
         top_report = result.highest
-        valid = top_report.valid
+        valid = top_report.valid and bool(
+            np.all(np.isfinite(top_report.objectives()))
+        )
         for report in result.reports:
             if self._data[report.stage].contains(index):
                 continue
             y = report.objectives()
-            punished = not report.valid
+            finite = bool(np.all(np.isfinite(y)))
+            punished = not (report.valid and finite)
             if punished:
                 y = self._punished_value()
             self._data[report.stage].add(index, y, punished=punished)
             self._eval_mask[report.stage][index] = True
-            if report.valid:
+            if not punished:
                 self._track_worst(y)
         y_top = (
             top_report.objectives() if valid else self._punished_value()
@@ -289,16 +415,88 @@ class CorrelatedMFBO:
             self._punished_cs.add(index)
         if fidelity == Fidelity.IMPL:
             self._exhausted.add(index)
+        if failed:
+            # Every fidelity (down to HLS) is exhausted for this config:
+            # retire it from the candidate pool so the acquisition never
+            # proposes the known-broken evaluation again.
+            self._exhausted.add(index)
+            self._eval_mask[Fidelity.IMPL][index] = True
         self._history.append(
             StepRecord(
                 step=step,
                 config_index=index,
                 fidelity=fidelity,
                 acquisition=acquisition,
-                runtime_s=result.total_runtime_s,
+                runtime_s=result.total_runtime_s + wasted_runtime_s,
                 objectives=y_top,
                 valid=valid,
+                requested_fidelity=requested,
+                degraded=degraded,
+                failed=failed,
+                attempts=attempts,
             )
+        )
+        if self._journal is not None and not self._replaying:
+            self._journal.write(
+                run_journal.commit_record(
+                    phase=self._journal_phase,
+                    step=step,
+                    round_index=(
+                        step // self.settings.batch_size
+                        if self._journal_phase == "loop"
+                        else -1
+                    ),
+                    config_index=index,
+                    fidelity=fidelity,
+                    requested_fidelity=requested,
+                    acquisition=acquisition,
+                    result=result,
+                    rng_state=self.rng.bit_generator.state,
+                    degraded=degraded,
+                    failed=failed,
+                    attempts=attempts,
+                    wasted_runtime_s=wasted_runtime_s,
+                )
+            )
+
+    def _trace_faults(self, step: int, index: int, failures) -> None:
+        if self.tracer is None or not failures:
+            return
+        for f in failures:
+            self.tracer.write(
+                {
+                    "v": TRACE_SCHEMA_VERSION,
+                    "event": "fault",
+                    "step": step,
+                    "config_index": index,
+                    "fidelity": f.fidelity.short_name,
+                    "attempt": f.attempt,
+                    "error": f.error,
+                    "backoff_s": f.backoff_s,
+                }
+            )
+
+    def _trace_degrade(
+        self,
+        step: int,
+        index: int,
+        requested: Fidelity,
+        fidelity: Fidelity | None,
+        attempts: int,
+    ) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.write(
+            {
+                "v": TRACE_SCHEMA_VERSION,
+                "event": "degrade",
+                "step": step,
+                "config_index": index,
+                "requested_fidelity": requested.short_name,
+                "fidelity": fidelity.short_name if fidelity else None,
+                "action": "degrade" if fidelity is not None else "punish",
+                "attempts": attempts,
+            }
         )
 
     def _track_worst(self, y: np.ndarray) -> None:
@@ -342,6 +540,7 @@ class CorrelatedMFBO:
     # ------------------------------------------------------------------
 
     def run(self) -> OptimizationResult:
+        plan = self._prepare_journal()
         if self.tracer is not None:
             record = {
                 "v": TRACE_SCHEMA_VERSION,
@@ -356,20 +555,137 @@ class CorrelatedMFBO:
             if self.settings.use_batch_engine:
                 record["batch_size"] = self.settings.batch_size
                 record["eval_workers"] = self.settings.eval_workers
+            if plan is not None:
+                record["resumed"] = True
             self.tracer.write(record)
-        self._initial_design()
-        if self.settings.use_batch_engine:
-            from repro.core.batch.engine import run_batch_loop
+        try:
+            if plan is not None:
+                self._replay(plan)
+                start_step, start_round = plan.next_step, plan.next_round
+                loop_done = plan.loop_done
+            else:
+                self._journal_phase = "init"
+                self._initial_design()
+                start_step, start_round, loop_done = 0, 0, False
+            self._journal_phase = "loop"
+            if not loop_done:
+                if self.settings.use_batch_engine:
+                    from repro.core.batch.engine import run_batch_loop
 
-            run_batch_loop(self)
-        else:
-            self._run_sequential_loop()
-        if self.settings.final_verification:
-            self._verify_pareto_candidates()
+                    run_batch_loop(
+                        self, start_step=start_step, start_round=start_round
+                    )
+                else:
+                    self._run_sequential_loop(start=start_step)
+            if self.settings.final_verification:
+                self._journal_phase = "verify"
+                self._verify_pareto_candidates()
+        finally:
+            if self._journal is not None:
+                self._journal.close()
         return self._result()
 
-    def _run_sequential_loop(self) -> None:
-        for t in range(self.settings.n_iter):
+    # ------------------------------------------------------------------
+    # journal / resume
+    # ------------------------------------------------------------------
+
+    def _expected_init(self) -> int:
+        """Commits a complete initial design writes (space-clamped)."""
+        return min(self.settings.n_init[0], len(self.space))
+
+    def _prepare_journal(self) -> run_journal.ReplayPlan | None:
+        """Open the run journal, building a replay plan when resuming.
+
+        ``resume_from`` without an existing journal file (or with one
+        whose initial design never completed) degrades to a fresh run —
+        the natural first launch of a resumable command.
+        """
+        s = self.settings
+        resume_from = Path(s.resume_from) if s.resume_from else None
+        journal_path = Path(s.journal_path) if s.journal_path else resume_from
+        plan = None
+        if resume_from is not None and resume_from.is_file():
+            records = run_journal.read_journal(resume_from)
+            if records:
+                plan = run_journal.build_replay_plan(
+                    records, s, expected_init=self._expected_init()
+                )
+                if not plan.segments:
+                    plan = None
+        if journal_path is None:
+            return None
+        if plan is not None:
+            records = plan.kept_records + [
+                {
+                    "v": run_journal.JOURNAL_SCHEMA_VERSION,
+                    "event": "resume",
+                    "replayed": plan.replayed,
+                    "dropped": plan.dropped,
+                    "next_step": plan.next_step,
+                }
+            ]
+            self._journal = run_journal.RunJournal.continue_from(
+                journal_path, records
+            )
+        else:
+            self._journal = run_journal.RunJournal.create(
+                journal_path,
+                {
+                    "v": run_journal.JOURNAL_SCHEMA_VERSION,
+                    "event": "header",
+                    "kernel": self.space.kernel.name,
+                    "method": self.method_name,
+                    "seed": s.seed,
+                    "fingerprint": run_journal.settings_fingerprint(s),
+                },
+            )
+        return plan
+
+    def _replay(self, plan: run_journal.ReplayPlan) -> None:
+        """Re-derive the journaled run state, bitwise.
+
+        Commits replay through the ordinary :meth:`_commit` path (no
+        journal writes, no flow runs).  Each journaled loop round
+        re-runs its GP *fit* first — warm-started hyperparameter
+        trajectories are path-dependent and restart jitter consumes the
+        RNG — then hard-restores the round's captured post-selection
+        RNG state, so the first live selection sees exactly the
+        generator an uninterrupted run would have.
+        """
+        self._replaying = True
+        try:
+            for segment in plan.segments:
+                self._journal_phase = segment.phase
+                if segment.phase == "loop":
+                    optimize = (
+                        segment.step0 % self.settings.refit_every
+                    ) == 0
+                    with self.metrics.timed("fit_s"):
+                        self._fit_stack(optimize=optimize)
+                for record in segment.records:
+                    self._commit(**run_journal.commit_kwargs(record))
+                self.rng.bit_generator.state = segment.records[-1][
+                    "rng_state"
+                ]
+        finally:
+            self._replaying = False
+        self._verify_attempted = set(plan.verify_attempted)
+        if self.tracer is not None:
+            self.tracer.write(
+                {
+                    "v": TRACE_SCHEMA_VERSION,
+                    "event": "resume",
+                    "journal": str(self._journal.path)
+                    if self._journal
+                    else None,
+                    "replayed": plan.replayed,
+                    "dropped": plan.dropped,
+                    "next_step": plan.next_step,
+                }
+            )
+
+    def _run_sequential_loop(self, start: int = 0) -> None:
+        for t in range(start, self.settings.n_iter):
             step_start = time.perf_counter()
             before = self.metrics.snapshot()
             optimize = (t % self.settings.refit_every) == 0
@@ -404,6 +720,8 @@ class CorrelatedMFBO:
                 "step_s": time.perf_counter() - step_start,
                 "cache_hits": int(delta.get("cache_hits", 0)),
                 "cache_misses": int(delta.get("cache_misses", 0)),
+                "attempts": record.attempts,
+                "degraded": record.degraded or record.failed,
             }
         )
 
@@ -420,8 +738,14 @@ class CorrelatedMFBO:
         dominated, still-unverified configuration into the front, so a
         single sweep over the initial Pareto mask is not enough.  Each
         round implements at least one new candidate, so the loop
-        terminates.
+        terminates.  ``_verify_attempted`` guards the same guarantee
+        under fidelity degradation: a candidate whose IMPL verification
+        degraded to a lower fidelity stays below IMPL forever, and
+        without the guard the fixed point would re-request it every
+        round (the set is seeded from the journal on resume so the
+        guard itself resumes bitwise).
         """
+        attempted = self._verify_attempted
         while True:
             values = np.vstack([y for (y, _f, _v) in self._cs.values()])
             indices = list(self._cs)
@@ -429,11 +753,14 @@ class CorrelatedMFBO:
             pending = [
                 idx
                 for idx, keep in zip(indices, mask)
-                if keep and self._cs[idx][1] != Fidelity.IMPL
+                if keep
+                and self._cs[idx][1] != Fidelity.IMPL
+                and idx not in attempted
             ]
             if not pending:
                 return
             for idx in pending:
+                attempted.add(idx)
                 self._evaluate(
                     idx, Fidelity.IMPL, acquisition=float("nan"),
                     step=self.settings.n_iter,
@@ -441,10 +768,25 @@ class CorrelatedMFBO:
 
     def _fit_stack(self, optimize: bool) -> None:
         datasets = []
+        fallback = None
         for fidelity in ALL_FIDELITIES:
             data = self._data[fidelity]
+            if len(data.indices) < 2:
+                # Persistent tool faults can starve a fidelity below
+                # the stack's 2-point fit minimum (degradation walks
+                # its requests down the ladder; outright failures
+                # punish only the requested level).  Chain a starved
+                # level on the nearest lower level's dataset — the
+                # level GP then learns (roughly) the identity
+                # correction, the best unbiased guess with next to no
+                # evidence — instead of crashing the fit.  Clean runs
+                # always hold >= 2 points per level (``n_init``
+                # validation), so this never fires for them.
+                datasets.append(fallback)
+                continue
             X = self.space.features[data.indices]
-            datasets.append((X, data.matrix()))
+            fallback = (X, data.matrix())
+            datasets.append(fallback)
         self._stack.fit(
             datasets, optimize=optimize, warm_start=self.settings.warm_start
         )

@@ -1,0 +1,47 @@
+"""Fault tolerance for the BO runtime.
+
+Three pillars (DESIGN.md Sec. 10):
+
+- :mod:`repro.core.resilience.retry` — configurable retry/backoff with
+  graceful fidelity degradation and punished total failures.
+- :mod:`repro.core.resilience.journal` — crash-safe JSONL run journal
+  with bitwise-identical resume (RNG state captured per commit).
+- :mod:`repro.core.resilience.faults` — deterministic fault injection
+  (:class:`FaultyFlow`) for chaos tests and ``bench_resilience``.
+"""
+
+from repro.core.resilience.faults import FaultSpec, FaultyFlow, InjectedFlowCrash
+from repro.core.resilience.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalError,
+    ReplayPlan,
+    RunJournal,
+    build_replay_plan,
+    read_journal,
+)
+from repro.core.resilience.retry import (
+    AttemptFailure,
+    ResilientOutcome,
+    RetryPolicy,
+    evaluate_with_policy,
+    failed_flow_result,
+)
+from repro.core.resilience.signals import terminate_on_signals
+
+__all__ = [
+    "AttemptFailure",
+    "FaultSpec",
+    "FaultyFlow",
+    "InjectedFlowCrash",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "ReplayPlan",
+    "ResilientOutcome",
+    "RetryPolicy",
+    "RunJournal",
+    "build_replay_plan",
+    "evaluate_with_policy",
+    "failed_flow_result",
+    "read_journal",
+    "terminate_on_signals",
+]

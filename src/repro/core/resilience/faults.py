@@ -1,0 +1,215 @@
+"""Deterministic fault injection for chaos testing the BO runtime.
+
+:class:`FaultyFlow` wraps any :class:`repro.hlsim.flow.HlsFlow` and
+injects a *seeded schedule* of tool failures — crashes (exceptions),
+hangs (sleeps), and garbage reports (NaN metrics) — with per-fidelity
+rates.  The schedule is a pure function of ``(seed, kernel, config,
+stage)``, so two runs with the same spec hit the exact same faults
+regardless of worker count or completion order, and the chaos tests /
+``benchmarks/bench_resilience.py`` can assert convergence and resume
+determinism under a known fault load.
+
+Fault persistence is controlled by ``transient_attempts``: each faulty
+stage fails the first *k* times it is executed for a given
+configuration (counted across worker clones via a shared, lock-guarded
+table), then succeeds — so with ``k < RetryPolicy.max_attempts`` the
+retried run commits the exact same results as a clean run.
+``persistent=True`` makes faults permanent, exercising fidelity
+degradation and the punishment path instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hlsim.flow import _stable_seed
+from repro.hlsim.reports import ALL_FIDELITIES, Fidelity, FlowResult
+
+__all__ = ["FaultSpec", "FaultyFlow", "InjectedFlowCrash"]
+
+
+class InjectedFlowCrash(RuntimeError):
+    """A deterministic, injected tool crash (chaos testing only)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded fault schedule of one chaos scenario.
+
+    Rates are either a scalar (same at every fidelity) or a
+    ``{Fidelity: rate}`` mapping; per (config, stage) a single uniform
+    draw decides crash vs. hang vs. garbage vs. nothing, so the total
+    fault rate is the sum of the three.
+    """
+
+    seed: int = 0
+    crash_rate: float | dict = 0.0
+    hang_rate: float | dict = 0.0
+    garbage_rate: float | dict = 0.0
+    #: A faulty stage fails its first N executions, then succeeds.
+    transient_attempts: int = 1
+    #: Never recover (overrides ``transient_attempts``).
+    persistent: bool = False
+    #: Wall-clock sleep of an injected hang (before running normally).
+    hang_s: float = 0.05
+
+    def rate(self, kind: str, stage: Fidelity) -> float:
+        raw = getattr(self, f"{kind}_rate")
+        if isinstance(raw, dict):
+            return float(raw.get(stage, raw.get(int(stage), 0.0)))
+        return float(raw)
+
+
+@dataclass
+class _SharedState:
+    """Execution counters shared across worker clones of one flow."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    executions: dict[tuple, int] = field(default_factory=dict)
+    injected: int = 0
+
+    def next_execution(self, key: tuple) -> int:
+        with self.lock:
+            count = self.executions.get(key, 0) + 1
+            self.executions[key] = count
+            return count
+
+    def record_injection(self) -> None:
+        with self.lock:
+            self.injected += 1
+
+
+class FaultyFlow:
+    """A fault-injecting proxy around a real flow.
+
+    Delegates everything to the wrapped flow; ``run`` first walks the
+    stage prefix and fires any scheduled fault for each stage, in
+    order — a crash at SYN aborts the whole invocation exactly like a
+    real tool chain would.  Garbage faults corrupt the affected stage's
+    report (NaN metrics, ``valid`` untouched), which is what a truncated
+    or mis-parsed tool report looks like downstream.
+    """
+
+    def __init__(self, inner, spec: FaultSpec, _shared=None):
+        self._inner = inner
+        self.spec = spec
+        self._shared = _shared or _SharedState()
+
+    # -- delegation ----------------------------------------------------
+
+    @property
+    def kernel(self):
+        return self._inner.kernel
+
+    @property
+    def schema(self):
+        return self._inner.schema
+
+    @property
+    def device(self):
+        return self._inner.device
+
+    @property
+    def injected_faults(self) -> int:
+        """Total faults fired so far (all clones)."""
+        return self._shared.injected
+
+    def stage_time(self, upto: Fidelity) -> float:
+        return self._inner.stage_time(upto)
+
+    def reports(self, config):
+        return self._inner.reports(config)
+
+    def objectives(self, config, fidelity: Fidelity):
+        return self._inner.objectives(config, fidelity)
+
+    def sweep(self, configs, fidelity: Fidelity):
+        return self._inner.sweep(configs, fidelity)
+
+    def validity(self, configs):
+        return self._inner.validity(configs)
+
+    def clone(self) -> "FaultyFlow":
+        """Worker clone sharing the fault schedule *and* counters."""
+        return FaultyFlow(self._inner.clone(), self.spec, self._shared)
+
+    # -- fault schedule ------------------------------------------------
+
+    def _scheduled_fault(self, config, stage: Fidelity) -> str | None:
+        spec = self.spec
+        u = self._uniform(config, stage)
+        edge = 0.0
+        for kind in ("crash", "hang", "garbage"):
+            edge += spec.rate(kind, stage)
+            if u < edge:
+                return kind
+        return None
+
+    def _uniform(self, config, stage: Fidelity) -> float:
+        seed = _stable_seed(
+            "fault", self.spec.seed, self.kernel.name, config.values,
+            int(stage),
+        )
+        return float(np.random.default_rng(seed).uniform())
+
+    def _fires(self, config, stage: Fidelity, kind: str) -> bool:
+        if kind is None:
+            return False
+        if self.spec.persistent:
+            self._shared.record_injection()
+            return True
+        key = (config.values, int(stage))
+        count = self._shared.next_execution(key)
+        if count <= self.spec.transient_attempts:
+            self._shared.record_injection()
+            return True
+        return False
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, config, upto: Fidelity = Fidelity.IMPL) -> FlowResult:
+        garbage_stages = []
+        for stage in ALL_FIDELITIES:
+            if stage > upto:
+                break
+            kind = self._scheduled_fault(config, stage)
+            if kind is None or not self._fires(config, stage, kind):
+                continue
+            if kind == "crash":
+                raise InjectedFlowCrash(
+                    f"injected crash at {stage.short_name} for config "
+                    f"{config.values}"
+                )
+            if kind == "hang":
+                time.sleep(self.spec.hang_s)
+            elif kind == "garbage":
+                garbage_stages.append(stage)
+        result = self._inner.run(config, upto=upto)
+        if not garbage_stages:
+            return result
+        return _corrupt(result, garbage_stages)
+
+
+def _corrupt(result: FlowResult, stages: list[Fidelity]) -> FlowResult:
+    """NaN out the objective-bearing metrics of the chosen stages."""
+    import dataclasses
+
+    nan = float("nan")
+    reports = []
+    for report in result.reports:
+        if report.stage in stages:
+            report = dataclasses.replace(
+                report,
+                latency_cycles=nan,
+                clock_ns=nan,
+                power_w=nan,
+                lut_util=nan,
+            )
+        reports.append(report)
+    return FlowResult(
+        reports=tuple(reports), total_runtime_s=result.total_runtime_s
+    )

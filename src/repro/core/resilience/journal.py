@@ -1,0 +1,499 @@
+"""Append-only, crash-safe run journal with bitwise replay.
+
+Every commit of a BO run — initial design, loop rounds, final
+verification — is appended to a JSONL journal (atomic line writes,
+``fsync`` per line, schema-versioned alongside the trace schema).  A
+killed run resumes by *replaying* the journaled commits through the
+optimizer's ordinary ``_commit`` path and restoring the captured RNG
+state, so the resumed run is **bitwise identical** to an uninterrupted
+one:
+
+- Floats survive exactly (``json`` emits the shortest round-tripping
+  repr; non-finite values use explicit ``"NaN"``/``"Infinity"``
+  sentinels so the file stays strict JSON).
+- The generator state of the optimizer's ``numpy`` RNG (PCG64) is
+  captured at every commit.  Replay re-runs each journaled round's GP
+  *fit* (warm-started hyperparameter trajectories are path-dependent,
+  and restart jitter consumes the RNG), skips the selection and flow
+  evaluation, then hard-restores the journaled post-selection state —
+  cheaper than the run, yet state-identical to it.
+- A crash can only truncate the final line; :func:`read_journal`
+  tolerates a torn tail.  A batch round interrupted mid-commit is
+  dropped whole and re-selected on resume (selection is deterministic
+  from the restored state, so the re-run is bitwise too).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any
+
+from repro.hlsim.reports import Fidelity, FlowResult, StageReport
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "RunJournal",
+    "ReplayPlan",
+    "ReplaySegment",
+    "build_replay_plan",
+    "commit_record",
+    "read_journal",
+    "serialize_result",
+    "deserialize_result",
+    "settings_fingerprint",
+]
+
+#: Bump when a journal field is added, removed or changes meaning.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Settings that shape the optimization *trajectory* — a resumed run
+#: must share all of them with the journaled run or bitwise identity is
+#: off the table.  Wall-clock-only knobs (worker counts, timeouts,
+#: backoff delays) are deliberately absent.
+_FINGERPRINT_FIELDS = (
+    "n_init",
+    "n_iter",
+    "n_mc_samples",
+    "candidate_pool",
+    "refit_every",
+    "invalid_penalty",
+    "reference_margin",
+    "correlated",
+    "nonlinear",
+    "cost_aware",
+    "final_verification",
+    "n_restarts",
+    "max_opt_iter",
+    "cache_predictions",
+    "warm_start",
+    "batch_size",
+    "seed",
+    "retry_max_attempts",
+    "degrade_on_failure",
+    "punish_on_failure",
+)
+
+_REPORT_FIELDS = (
+    "stage",
+    "latency_cycles",
+    "clock_ns",
+    "lut",
+    "ff",
+    "dsp",
+    "bram18",
+    "power_w",
+    "lut_util",
+    "valid",
+    "runtime_s",
+)
+
+
+class JournalError(ValueError):
+    """The journal cannot seed a resume (missing/corrupt/mismatched)."""
+
+
+# ----------------------------------------------------------------------
+# exact-float JSON
+# ----------------------------------------------------------------------
+
+
+def _encode_float(value: float) -> float | str:
+    if math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "Infinity"
+    if value == -math.inf:
+        return "-Infinity"
+    return float(value)
+
+
+def _decode_float(value: Any) -> float:
+    if isinstance(value, str):
+        return float(value)  # "NaN" / "Infinity" / "-Infinity"
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# record builders
+# ----------------------------------------------------------------------
+
+
+def settings_fingerprint(settings) -> dict[str, Any]:
+    """Trajectory-shaping settings as a JSON-able dict."""
+    out: dict[str, Any] = {}
+    for name in _FINGERPRINT_FIELDS:
+        value = getattr(settings, name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[name] = value
+    return out
+
+
+def serialize_result(result: FlowResult) -> dict[str, Any]:
+    reports = []
+    for report in result.reports:
+        row: dict[str, Any] = {}
+        for name in _REPORT_FIELDS:
+            value = getattr(report, name)
+            if name == "stage":
+                row[name] = int(value)
+            elif name == "valid":
+                row[name] = bool(value)
+            else:
+                row[name] = _encode_float(value)
+        reports.append(row)
+    return {
+        "reports": reports,
+        "total_runtime_s": _encode_float(result.total_runtime_s),
+    }
+
+
+def deserialize_result(payload: dict[str, Any]) -> FlowResult:
+    reports = []
+    for row in payload["reports"]:
+        kwargs: dict[str, Any] = {}
+        for name in _REPORT_FIELDS:
+            value = row[name]
+            if name == "stage":
+                kwargs[name] = Fidelity(int(value))
+            elif name == "valid":
+                kwargs[name] = bool(value)
+            else:
+                kwargs[name] = _decode_float(value)
+        reports.append(StageReport(**kwargs))
+    return FlowResult(
+        reports=tuple(reports),
+        total_runtime_s=_decode_float(payload["total_runtime_s"]),
+    )
+
+
+def commit_record(
+    *,
+    phase: str,
+    step: int,
+    round_index: int,
+    config_index: int,
+    fidelity: Fidelity,
+    requested_fidelity: Fidelity,
+    acquisition: float,
+    result: FlowResult,
+    rng_state: dict,
+    degraded: bool = False,
+    failed: bool = False,
+    attempts: int = 1,
+    wasted_runtime_s: float = 0.0,
+) -> dict[str, Any]:
+    record = {
+        "v": JOURNAL_SCHEMA_VERSION,
+        "event": "commit",
+        "phase": phase,
+        "step": int(step),
+        "round": int(round_index),
+        "config_index": int(config_index),
+        "fidelity": int(fidelity),
+        "requested_fidelity": int(requested_fidelity),
+        "acquisition": _encode_float(float(acquisition)),
+        "degraded": bool(degraded),
+        "failed": bool(failed),
+        "attempts": int(attempts),
+        "wasted_runtime_s": _encode_float(float(wasted_runtime_s)),
+        "rng_state": rng_state,
+    }
+    record.update(serialize_result(result))
+    return record
+
+
+def commit_kwargs(record: dict[str, Any]) -> dict[str, Any]:
+    """A journaled commit as keyword arguments for ``CorrelatedMFBO._commit``."""
+    return {
+        "index": int(record["config_index"]),
+        "fidelity": Fidelity(int(record["fidelity"])),
+        "result": deserialize_result(record),
+        "acquisition": _decode_float(record["acquisition"]),
+        "step": int(record["step"]),
+        "requested": Fidelity(int(record["requested_fidelity"])),
+        "degraded": bool(record["degraded"]),
+        "failed": bool(record["failed"]),
+        "attempts": int(record["attempts"]),
+        "wasted_runtime_s": _decode_float(record["wasted_runtime_s"]),
+    }
+
+
+# ----------------------------------------------------------------------
+# the journal file
+# ----------------------------------------------------------------------
+
+
+class RunJournal:
+    """Append-only JSONL journal with per-line flush + fsync."""
+
+    def __init__(self, path: str | Path, _handle: IO[str] | None = None):
+        self.path = Path(path)
+        if _handle is not None:
+            self._handle = _handle
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self.records_written = 0
+
+    @classmethod
+    def create(cls, path: str | Path, header: dict[str, Any]) -> "RunJournal":
+        """Start a fresh journal (truncating any existing file)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        journal = cls(path, _handle=path.open("w"))
+        journal.write(header)
+        return journal
+
+    @classmethod
+    def continue_from(
+        cls,
+        path: str | Path,
+        records: list[dict[str, Any]],
+    ) -> "RunJournal":
+        """Materialize ``records`` (header + kept prefix + resume marker)
+        atomically, then open the file for appending.
+
+        Used on resume: the kept prefix is rewritten verbatim into a
+        temp file which replaces ``path``, so a crash during resume
+        never leaves a half-rewritten journal behind.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                for record in records:
+                    handle.write(_dumps(record) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        journal = cls(path)
+        journal.records_written = len(records)
+        return journal
+
+    def write(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            raise RuntimeError(f"journal {self.path} is closed")
+        self._handle.write(_dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _dumps(record: dict[str, Any]) -> str:
+    # allow_nan=False: every float field must already be sentinel-encoded
+    # — a raw NaN slipping through would otherwise produce non-JSON.
+    return json.dumps(record, sort_keys=True, allow_nan=False)
+
+
+def read_journal(path: str | Path) -> list[dict[str, Any]]:
+    """All parseable records; a torn trailing line is silently dropped.
+
+    A crash mid-``write`` can only corrupt the final line (each write is
+    one flushed+fsync'd append); garbage *before* the last line means
+    the file was damaged by something else, and is an error.
+    """
+    records: list[dict[str, Any]] = []
+    path = Path(path)
+    with path.open() as handle:
+        lines = handle.readlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail from a mid-write crash
+            raise JournalError(
+                f"{path}: corrupt journal line {i + 1} (not last — the "
+                f"file was damaged outside a normal crash)"
+            ) from None
+    return records
+
+
+# ----------------------------------------------------------------------
+# replay planning
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplaySegment:
+    """A replayable unit: the initial design, one loop round, or the
+    verification epilogue."""
+
+    phase: str  # "init" | "loop" | "verify"
+    round_index: int  # -1 for init/verify
+    step0: int  # refit-cadence key of a loop round
+    records: tuple[dict, ...]
+
+
+@dataclass
+class ReplayPlan:
+    """What to replay and where the live run picks up."""
+
+    header: dict
+    segments: list[ReplaySegment]
+    kept_records: list[dict]  # header + kept commits, verbatim
+    next_step: int
+    next_round: int
+    replayed: int
+    dropped: int
+    verify_attempted: frozenset[int]
+    #: True when the journal shows the BO loop finished (verification
+    #: commits exist or ``next_step`` reached ``n_iter``) — the resumed
+    #: run must then skip the loop entirely: an early pool-dry break is
+    #: not re-derivable once the round's evaluations have been folded
+    #: in, so re-entering the loop could overshoot the original run.
+    loop_done: bool = False
+
+
+def build_replay_plan(
+    records: list[dict[str, Any]],
+    settings,
+    expected_init: int,
+) -> ReplayPlan:
+    """Partition journal records into bitwise-replayable segments.
+
+    ``expected_init`` is the number of initial-design commits a
+    complete initial phase writes (the optimizer knows the space size).
+    An incomplete initial design is dropped entirely (the resume is
+    then a fresh run); a trailing under-sized loop round is dropped and
+    re-selected *unless* verification commits follow it (then the pool
+    simply ran dry and the round is complete).
+    """
+    if not records or records[0].get("event") != "header":
+        raise JournalError("journal has no header record")
+    header = records[0]
+    if header.get("v") != JOURNAL_SCHEMA_VERSION:
+        raise JournalError(
+            f"journal schema v{header.get('v')} != "
+            f"v{JOURNAL_SCHEMA_VERSION} (cannot resume across versions)"
+        )
+    fingerprint = settings_fingerprint(settings)
+    if header.get("fingerprint") != fingerprint:
+        theirs = header.get("fingerprint") or {}
+        diff = sorted(
+            k
+            for k in set(theirs) | set(fingerprint)
+            if theirs.get(k) != fingerprint.get(k)
+        )
+        raise JournalError(
+            "journal settings differ from the resuming run's "
+            f"(bitwise resume impossible); mismatched: {', '.join(diff)}"
+        )
+
+    commits = [r for r in records if r.get("event") == "commit"]
+    init = [r for r in commits if r["phase"] == "init"]
+    loop = [r for r in commits if r["phase"] == "loop"]
+    verify = [r for r in commits if r["phase"] == "verify"]
+    total = len(commits)
+
+    segments: list[ReplaySegment] = []
+    kept: list[dict] = []
+    if len(init) < expected_init:
+        # Crash during the initial design: nothing replayable (the init
+        # sampling is one RNG transaction; partial prefixes are not
+        # restart points).
+        return ReplayPlan(
+            header=header,
+            segments=[],
+            kept_records=[header],
+            next_step=0,
+            next_round=0,
+            replayed=0,
+            dropped=total,
+            verify_attempted=frozenset(),
+        )
+    segments.append(
+        ReplaySegment(phase="init", round_index=-1, step0=-1,
+                      records=tuple(init))
+    )
+    kept.extend(init)
+
+    # Loop rounds must be contiguous in step and grouped by round.
+    rounds: list[list[dict]] = []
+    for record in loop:
+        if rounds and record["round"] == rounds[-1][0]["round"]:
+            rounds[-1].append(record)
+        else:
+            rounds.append([record])
+    step = 0
+    kept_rounds: list[list[dict]] = []
+    dropped = 0
+    for i, group in enumerate(rounds):
+        steps = [r["step"] for r in group]
+        if steps != list(range(step, step + len(group))):
+            raise JournalError(
+                f"journal loop steps are not contiguous at round "
+                f"{group[0]['round']} (got {steps}, expected from {step})"
+            )
+        expected_q = min(settings.batch_size, settings.n_iter - step)
+        is_last = i == len(rounds) - 1
+        if len(group) < expected_q and is_last and not verify:
+            # Torn final round (or a dry pool with no way to tell the
+            # difference) — drop and re-select deterministically.
+            dropped += len(group)
+            break
+        step += len(group)
+        kept_rounds.append(group)
+    for i, group in enumerate(kept_rounds):
+        segments.append(
+            ReplaySegment(
+                phase="loop",
+                round_index=i,
+                step0=group[0]["step"],
+                records=tuple(group),
+            )
+        )
+        kept.extend(group)
+
+    attempted: frozenset[int] = frozenset()
+    if verify:
+        segments.append(
+            ReplaySegment(
+                phase="verify", round_index=-1, step0=-1,
+                records=tuple(verify),
+            )
+        )
+        kept.extend(verify)
+        attempted = frozenset(r["config_index"] for r in verify)
+
+    return ReplayPlan(
+        header=header,
+        segments=segments,
+        kept_records=[header] + kept,
+        next_step=step,
+        next_round=len(kept_rounds),
+        replayed=len(kept),
+        dropped=dropped,
+        verify_attempted=attempted,
+        loop_done=bool(verify) or step >= settings.n_iter,
+    )

@@ -1,0 +1,269 @@
+"""Retry policy and resilient flow evaluation.
+
+Real HLS/implementation tool invocations crash, hang and emit garbage
+reports routinely; a multi-hour sweep must survive them.  This module
+replaces the batch engine's hard-coded retry-once with a configurable
+:class:`RetryPolicy` (max attempts, exponential backoff with
+deterministic jitter, per-exception-class rules) and adds **graceful
+fidelity degradation**: when a high-fidelity evaluation exhausts its
+retries, :func:`evaluate_with_policy` falls back to the next-lower
+fidelity instead of killing the run.  A degraded or outright-failed
+evaluation is reported distinctly (:class:`ResilientOutcome`) so the
+optimizer can apply the paper's punishment accounting and ADRS
+reporting can flag the affected points.
+
+Determinism: the policy itself consumes no randomness.  Backoff jitter
+comes from an *optional* caller-provided RNG that is only drawn from
+when a retry actually sleeps — a clean (fault-free) run takes the exact
+code path it always did, which the q=1/w=1 parity benchmarks pin down.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hlsim.reports import Fidelity, FlowResult, StageReport
+
+__all__ = [
+    "AttemptFailure",
+    "RetryPolicy",
+    "ResilientOutcome",
+    "evaluate_with_policy",
+    "failed_flow_result",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What gets retried, how often, and what happens on exhaustion.
+
+    ``retry_on`` / ``give_up_on`` classify worker exceptions: a
+    ``give_up_on`` match stops retrying at the current fidelity
+    immediately (e.g. a deterministic tool-input error that will never
+    succeed), a ``retry_on`` match is retried up to ``max_attempts``
+    with exponential backoff, and anything matching neither is a
+    programming error that propagates unchanged.  On exhaustion,
+    ``degrade_fidelity`` walks the request down the fidelity ladder
+    (IMPL → SYN → HLS) with a fresh attempt budget per level; when even
+    HLS is exhausted the evaluation is *failed* and — under
+    ``punish_on_failure`` — committed through the paper's
+    invalid-design punishment path instead of aborting the run.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: float = 0.25
+    degrade_fidelity: bool = True
+    punish_on_failure: bool = True
+    #: Treat a report with non-finite objectives as a failed attempt
+    #: (tool wrote a truncated/garbage report) instead of returning it.
+    retry_garbage: bool = True
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+    give_up_on: tuple[type[BaseException], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_backoff_s < 0:
+            raise ValueError("base_backoff_s must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    def classify(self, exc: BaseException) -> str:
+        """``"give_up"`` | ``"retry"`` | ``"fatal"`` for one exception."""
+        if self.give_up_on and isinstance(exc, self.give_up_on):
+            return "give_up"
+        if isinstance(exc, self.retry_on):
+            return "retry"
+        return "fatal"
+
+    def backoff_s(self, attempt: int, rng: np.random.Generator | None) -> float:
+        """Sleep before retry number ``attempt`` (2 = first retry).
+
+        Exponential in the attempt index, capped, with multiplicative
+        jitter in ``[1, 1 + jitter]`` drawn from ``rng``.  The RNG is
+        only touched when the delay is non-zero, so zero-backoff
+        configurations stay draw-free.
+        """
+        if self.base_backoff_s <= 0.0:
+            return 0.0
+        delay = self.base_backoff_s * self.backoff_multiplier ** max(
+            0, attempt - 2
+        )
+        delay = min(delay, self.max_backoff_s)
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * float(rng.uniform(0.0, 1.0))
+        return delay
+
+
+@dataclass(frozen=True)
+class AttemptFailure:
+    """One failed flow attempt (for trace ``fault`` events)."""
+
+    fidelity: Fidelity
+    attempt: int
+    error: str
+    backoff_s: float
+
+
+@dataclass
+class ResilientOutcome:
+    """What :func:`evaluate_with_policy` actually obtained.
+
+    ``fidelity`` is the fidelity of ``result`` (may be lower than
+    ``requested`` when degradation kicked in); ``failed`` means every
+    level down to HLS was exhausted and ``result`` is ``None``.
+    ``wasted_runtime_s`` charges each failed attempt the *nominal*
+    stage time of the fidelity it ran at — crashes of a real tool still
+    burn its wall clock, and Table-1-style runtime accounting must see
+    that cost.
+    """
+
+    result: FlowResult | None
+    requested: Fidelity
+    fidelity: Fidelity
+    attempts: int
+    degraded: bool
+    failed: bool
+    wasted_runtime_s: float
+    failures: list[AttemptFailure] = field(default_factory=list)
+
+
+def evaluate_with_policy(
+    flow,
+    config,
+    fidelity: Fidelity,
+    policy: RetryPolicy,
+    rng: np.random.Generator | None = None,
+    sleep=time.sleep,
+) -> ResilientOutcome:
+    """Run ``flow`` under ``policy``, degrading fidelity on exhaustion.
+
+    Fault-free evaluations return after a single ``flow.run`` with no
+    extra work (the resilience layer is a no-op on the happy path).
+    Exceptions the policy does not cover propagate unchanged.
+    """
+    requested = Fidelity(fidelity)
+    level = requested
+    attempts = 0
+    wasted = 0.0
+    failures: list[AttemptFailure] = []
+    while True:
+        level_attempts = 0
+        while level_attempts < policy.max_attempts:
+            level_attempts += 1
+            attempts += 1
+            try:
+                result = flow.run(config, upto=level)
+                if policy.retry_garbage:
+                    garbage = _garbage_stage(result)
+                    if garbage is not None:
+                        raise _GarbageReport(
+                            f"non-finite objectives in "
+                            f"{garbage.short_name} report"
+                        )
+            except Exception as exc:
+                kind = (
+                    "retry"
+                    if isinstance(exc, _GarbageReport)
+                    else policy.classify(exc)
+                )
+                if kind == "fatal":
+                    raise
+                wasted += float(flow.stage_time(level))
+                delay = 0.0
+                retriable = (
+                    kind == "retry"
+                    and level_attempts < policy.max_attempts
+                )
+                if retriable:
+                    delay = policy.backoff_s(level_attempts + 1, rng)
+                failures.append(
+                    AttemptFailure(
+                        fidelity=level,
+                        attempt=attempts,
+                        error=_last_line(exc),
+                        backoff_s=delay,
+                    )
+                )
+                if not retriable:
+                    break
+                if delay > 0.0:
+                    sleep(delay)
+                continue
+            return ResilientOutcome(
+                result=result,
+                requested=requested,
+                fidelity=level,
+                attempts=attempts,
+                degraded=level != requested,
+                failed=False,
+                wasted_runtime_s=wasted,
+                failures=failures,
+            )
+        if policy.degrade_fidelity and level > Fidelity.HLS:
+            level = Fidelity(int(level) - 1)
+            continue
+        return ResilientOutcome(
+            result=None,
+            requested=requested,
+            fidelity=requested,
+            attempts=attempts,
+            degraded=False,
+            failed=True,
+            wasted_runtime_s=wasted,
+            failures=failures,
+        )
+
+
+class _GarbageReport(RuntimeError):
+    """Internal marker: a report came back with non-finite objectives."""
+
+
+def _garbage_stage(result: FlowResult) -> Fidelity | None:
+    """First stage whose *valid* report carries non-finite objectives."""
+    for report in result.reports:
+        if report.valid and not np.all(np.isfinite(report.objectives())):
+            return report.stage
+    return None
+
+
+def failed_flow_result(fidelity: Fidelity) -> FlowResult:
+    """Synthetic invalid :class:`FlowResult` for an exhausted evaluation.
+
+    A single ``valid=False`` report at ``fidelity`` with NaN metrics:
+    committing it routes the configuration through the optimizer's
+    existing invalid-design punishment path (and the NaN guard), so a
+    permanently-broken evaluation costs one punished observation, not
+    the run.  The wasted tool time of the failed attempts is accounted
+    separately (:attr:`ResilientOutcome.wasted_runtime_s`), so the
+    report itself carries none.
+    """
+    nan = float("nan")
+    report = StageReport(
+        stage=Fidelity(fidelity),
+        latency_cycles=nan,
+        clock_ns=nan,
+        lut=nan,
+        ff=nan,
+        dsp=nan,
+        bram18=nan,
+        power_w=nan,
+        lut_util=nan,
+        valid=False,
+        runtime_s=0.0,
+    )
+    return FlowResult(reports=(report,), total_runtime_s=0.0)
+
+
+def _last_line(exc: BaseException) -> str:
+    lines = traceback.format_exception_only(type(exc), exc)
+    return lines[-1].strip() if lines else repr(exc)

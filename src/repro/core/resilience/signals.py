@@ -1,0 +1,47 @@
+"""Graceful termination on SIGTERM/SIGINT.
+
+``SIGTERM``'s default disposition kills the process without unwinding
+the stack — ``finally`` blocks, ``atexit`` hooks and context managers
+never run, so worker pools linger and atomic-write temp files leak.
+:func:`terminate_on_signals` converts the signal into a raised
+``SystemExit`` so normal cleanup (journal close, pool shutdown, temp
+unlink) happens on the way out; the sweep's journal makes the
+interrupted run resumable afterwards.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+
+__all__ = ["terminate_on_signals"]
+
+
+@contextlib.contextmanager
+def terminate_on_signals(signals=(signal.SIGTERM,)):
+    """Raise ``SystemExit(128 + signum)`` inside the block on delivery.
+
+    Only the main thread may install handlers; anywhere else (worker
+    threads, nested pools) this is a no-op passthrough.  Previous
+    handlers are restored on exit.
+    """
+
+    def _handler(signum, frame):
+        raise SystemExit(128 + signum)
+
+    previous = {}
+    try:
+        for sig in signals:
+            previous[sig] = signal.signal(sig, _handler)
+    except ValueError:  # not the main thread
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        previous = {}
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            try:
+                signal.signal(sig, old)
+            except ValueError:
+                pass

@@ -12,7 +12,16 @@ from repro.hlsim.reports import Fidelity
 
 @dataclass(frozen=True)
 class StepRecord:
-    """One iteration of Algorithm 2: which point, which fidelity, cost."""
+    """One iteration of Algorithm 2: which point, which fidelity, cost.
+
+    ``requested_fidelity``/``degraded``/``failed`` record the
+    resilience layer's interventions: a degraded step committed its
+    result at a *lower* fidelity than the acquisition requested (retry
+    exhaustion — see :mod:`repro.core.resilience.retry`), a failed step
+    exhausted every fidelity and carries punished objectives.
+    ``runtime_s`` includes the nominal tool time wasted on failed
+    attempts.
+    """
 
     step: int
     config_index: int
@@ -21,6 +30,10 @@ class StepRecord:
     runtime_s: float
     objectives: np.ndarray
     valid: bool
+    requested_fidelity: Fidelity | None = None
+    degraded: bool = False
+    failed: bool = False
+    attempts: int = 1
 
 
 @dataclass
@@ -63,3 +76,20 @@ class OptimizationResult:
         for record in self.history:
             counts[record.fidelity.short_name] += 1
         return counts
+
+    def degraded_indices(self) -> list[int]:
+        """Configs whose *reported* value came from a degraded or failed
+        evaluation — ADRS reporting should flag these points.
+
+        A later clean commit (e.g. the final verification re-running the
+        config at IMPL) supersedes an earlier degraded one, so only the
+        last record per configuration counts.
+        """
+        last: dict[int, bool] = {}
+        for r in self.history:
+            last[r.config_index] = r.degraded or r.failed
+        return [idx for idx in self.cs_indices if last.get(idx, False)]
+
+    def degraded_steps(self) -> list[StepRecord]:
+        """History records the resilience layer intervened on."""
+        return [r for r in self.history if r.degraded or r.failed]

@@ -7,13 +7,16 @@ verification pass — and reports mean ADRS and simulated tool time.
 
 Usage: ``python -m repro.experiments.ablations [--benchmark NAME]
 [--repeats N] [--iters N] [--workers N] [--batch-size Q]
-[--eval-workers N] [--cache-dir DIR]``
+[--eval-workers N] [--cache-dir DIR] [--journal-dir DIR] [--resume]
+[--retry-max-attempts N] [--retry-backoff-s S] [--no-degrade]``
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -29,6 +32,11 @@ ABLATIONS: dict[str, dict] = {
 }
 
 
+def _label_slug(label: str) -> str:
+    """Filesystem-safe ablation label for journal file names."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-")
+
+
 def ablation_job(
     benchmark: str,
     label: str,
@@ -39,6 +47,11 @@ def ablation_job(
     cache_dir: str | None = None,
     batch_size: int = 1,
     eval_workers: int = 1,
+    retry_max_attempts: int = 3,
+    retry_backoff_s: float = 0.0,
+    degrade_on_failure: bool = True,
+    journal_dir: str | None = None,
+    resume: bool = False,
 ) -> tuple[float, float]:
     """One (ablation, repeat) cell: ``(adrs, runtime_s)``.
 
@@ -46,12 +59,24 @@ def ablation_job(
     so the job payload stays plain data.
     """
     ctx = BenchmarkContext.get(benchmark, cache_dir=cache_dir)
+    journal_path = None
+    if journal_dir is not None:
+        Path(journal_dir).mkdir(parents=True, exist_ok=True)
+        journal_path = str(
+            Path(journal_dir)
+            / f"{benchmark}.{_label_slug(label)}.seed{seed}.journal.jsonl"
+        )
     settings = MFBOSettings(
         n_iter=n_iter,
         candidate_pool=candidate_pool,
         n_mc_samples=n_mc_samples,
         batch_size=batch_size,
         eval_workers=eval_workers,
+        retry_max_attempts=retry_max_attempts,
+        retry_backoff_s=retry_backoff_s,
+        degrade_on_failure=degrade_on_failure,
+        journal_path=journal_path,
+        resume_from=journal_path if resume else None,
         seed=seed,
         **ABLATIONS[label],
     )
@@ -73,9 +98,21 @@ def run(
     cache_dir: str | None = None,
     batch_size: int = 1,
     eval_workers: int = 1,
+    journal_dir: str | None = None,
+    resume: bool = False,
+    retry_max_attempts: int = 3,
+    retry_backoff_s: float = 0.0,
+    degrade_on_failure: bool = True,
 ) -> dict[str, dict]:
     cells: dict[tuple[str, int], tuple[float, float]] = {}
-    if workers > 1:
+    resilience_kwargs = dict(
+        retry_max_attempts=retry_max_attempts,
+        retry_backoff_s=retry_backoff_s,
+        degrade_on_failure=degrade_on_failure,
+        journal_dir=journal_dir,
+        resume=resume,
+    )
+    if workers > 1 or (journal_dir is not None and resume):
         from repro.experiments.parallel import Job, raise_failures, run_jobs
 
         jobs = [
@@ -87,11 +124,15 @@ def run(
                             seed=method_seed(base_seed, label, repeat),
                             cache_dir=cache_dir,
                             batch_size=batch_size,
-                            eval_workers=eval_workers))
+                            eval_workers=eval_workers,
+                            **resilience_kwargs))
             for label in ABLATIONS
             for repeat in range(repeats)
         ]
-        outcomes = run_jobs(jobs, workers=workers, cache_dir=cache_dir)
+        outcomes = run_jobs(
+            jobs, workers=workers, cache_dir=cache_dir,
+            snapshot_dir=journal_dir, resume=resume,
+        )
         raise_failures(outcomes)
         cells = {(o.job.method, o.job.repeat): o.value for o in outcomes}
     else:
@@ -103,6 +144,7 @@ def run(
                     cache_dir=cache_dir,
                     batch_size=batch_size,
                     eval_workers=eval_workers,
+                    **resilience_kwargs,
                 )
     results: dict[str, dict] = {}
     for label in ABLATIONS:
@@ -137,7 +179,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="in-run flow-evaluation workers per BO loop")
     parser.add_argument("--cache-dir", default="",
                         help="persistent ground-truth cache directory")
+    parser.add_argument("--journal-dir", default="",
+                        help="checkpoint BO runs (and snapshot cells) here")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from journals/snapshots in --journal-dir")
+    parser.add_argument("--retry-max-attempts", type=int, default=3,
+                        help="flow-crash retry budget per fidelity")
+    parser.add_argument("--retry-backoff-s", type=float, default=0.0,
+                        help="base backoff between retry attempts (seconds)")
+    parser.add_argument("--no-degrade", action="store_true",
+                        help="fail instead of degrading fidelity on "
+                             "retry exhaustion")
     args = parser.parse_args(argv)
+    if args.resume and not args.journal_dir:
+        parser.error("--resume requires --journal-dir")
     run(
         benchmark=args.benchmark,
         repeats=args.repeats,
@@ -147,6 +202,11 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir or None,
         batch_size=args.batch_size,
         eval_workers=args.eval_workers,
+        journal_dir=args.journal_dir or None,
+        resume=args.resume,
+        retry_max_attempts=args.retry_max_attempts,
+        retry_backoff_s=args.retry_backoff_s,
+        degrade_on_failure=not args.no_degrade,
     )
     return 0
 

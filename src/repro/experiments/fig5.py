@@ -6,12 +6,17 @@ diverge: GEMM's fidelities nearly overlap, SPMV_ELLPACK's diverge —
 the motivation for the *non-linear* multi-fidelity model (Sec. IV-A).
 
 Usage: ``python -m repro.experiments.fig5 [--benchmarks gemm,...]
-[--workers N] [--eval-workers N] [--cache-dir DIR]``
+[--workers N] [--eval-workers N] [--cache-dir DIR]
+[--journal-dir DIR] [--resume]``
 
 ``--workers`` pools whole benchmarks across processes;
 ``--eval-workers`` additionally splits each benchmark's whole-space
 sweep over flow-worker threads (order-preserving, ``==`` the
 sequential sweep — reports are deterministic per configuration).
+``--journal-dir``/``--resume`` snapshot each benchmark's finished
+sweep so an interrupted run restores completed benchmarks instead of
+recomputing them (sweeps are deterministic, so the figures are
+identical either way).
 """
 
 from __future__ import annotations
@@ -93,9 +98,11 @@ def run(
     workers: int = 1,
     cache_dir: str | None = None,
     eval_workers: int = 1,
+    journal_dir: str | None = None,
+    resume: bool = False,
 ) -> dict[str, dict]:
     results = {}
-    if workers > 1:
+    if workers > 1 or journal_dir is not None:
         from repro.experiments.parallel import Job, raise_failures, run_jobs
 
         jobs = [
@@ -105,7 +112,10 @@ def run(
                             eval_workers=eval_workers))
             for name in benchmarks
         ]
-        outcomes = run_jobs(jobs, workers=workers, cache_dir=cache_dir)
+        outcomes = run_jobs(
+            jobs, workers=workers, cache_dir=cache_dir,
+            snapshot_dir=journal_dir, resume=resume,
+        )
         raise_failures(outcomes)
         results = {o.job.benchmark: o.value for o in outcomes}
     else:
@@ -142,12 +152,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="flow-worker threads per whole-space sweep")
     parser.add_argument("--cache-dir", default="",
                         help="persistent ground-truth cache directory")
+    parser.add_argument("--journal-dir", default="",
+                        help="snapshot finished per-benchmark sweeps here")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore finished sweeps from --journal-dir")
     args = parser.parse_args(argv)
+    if args.resume and not args.journal_dir:
+        parser.error("--resume requires --journal-dir")
     run(
         tuple(b for b in args.benchmarks.split(",") if b),
         workers=args.workers,
         cache_dir=args.cache_dir or None,
         eval_workers=args.eval_workers,
+        journal_dir=args.journal_dir or None,
+        resume=args.resume,
     )
     return 0
 

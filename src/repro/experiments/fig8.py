@@ -9,14 +9,19 @@ statistic is each method's ADRS; the paper's qualitative claim is that
 points".
 
 Usage: ``python -m repro.experiments.fig8 [--scale smoke|small|paper]
-[--workers N] [--batch-size Q] [--eval-workers N] [--cache-dir DIR]``
+[--workers N] [--batch-size Q] [--eval-workers N] [--cache-dir DIR]
+[--journal-dir DIR] [--resume] [--retry-max-attempts N]
+[--retry-backoff-s S] [--no-degrade]``
+
+``--journal-dir``/``--resume`` checkpoint and resume the BO cells
+(bitwise identical to an uninterrupted run); the retry flags tune the
+resilience policy (:mod:`repro.core.resilience`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 
 import numpy as np
 
@@ -47,14 +52,23 @@ def run(
     cache_dir: str | None = None,
     batch_size: int = 1,
     eval_workers: int = 1,
+    journal_dir: str | None = None,
+    resume: bool = False,
+    retry_max_attempts: int = 3,
+    retry_backoff_s: float = 0.0,
+    degrade_on_failure: bool = True,
 ) -> dict[str, dict]:
-    scale = SCALES[scale_name]
-    if batch_size != 1 or eval_workers != 1:
-        scale = replace(
-            scale, batch_size=batch_size, eval_workers=eval_workers
-        )
+    from repro.experiments.table1 import apply_overrides
+
+    scale = apply_overrides(
+        SCALES[scale_name], batch_size=batch_size, eval_workers=eval_workers,
+        retry_max_attempts=retry_max_attempts,
+        retry_backoff_s=retry_backoff_s,
+        degrade_on_failure=degrade_on_failure,
+    )
     method_runs = _collect_method_runs(
-        benchmarks, scale, base_seed, workers=workers, cache_dir=cache_dir
+        benchmarks, scale, base_seed, workers=workers, cache_dir=cache_dir,
+        journal_dir=journal_dir, resume=resume,
     )
     results: dict[str, dict] = {}
     for name in benchmarks:
@@ -90,9 +104,11 @@ def _collect_method_runs(
     base_seed: int,
     workers: int = 1,
     cache_dir: str | None = None,
+    journal_dir: str | None = None,
+    resume: bool = False,
 ) -> dict:
     """One MethodRun per (benchmark, method) cell, parallel when asked."""
-    if workers > 1:
+    if workers > 1 or (journal_dir is not None and resume):
         from repro.experiments.parallel import (
             Job,
             raise_failures,
@@ -105,11 +121,15 @@ def _collect_method_runs(
                 fn=run_method_job,
                 kwargs=dict(benchmark=name, method=method, scale=scale,
                             seed=method_seed(base_seed, method, 0),
-                            cache_dir=cache_dir))
+                            cache_dir=cache_dir, journal_dir=journal_dir,
+                            resume=resume))
             for name in benchmarks
             for method in TABLE1_METHODS
         ]
-        outcomes = run_jobs(jobs, workers=workers, cache_dir=cache_dir)
+        outcomes = run_jobs(
+            jobs, workers=workers, cache_dir=cache_dir,
+            snapshot_dir=journal_dir, resume=resume,
+        )
         raise_failures(outcomes)
         return {
             (o.job.benchmark, o.job.method): o.value for o in outcomes
@@ -119,7 +139,8 @@ def _collect_method_runs(
         ctx = BenchmarkContext.get(name, cache_dir=cache_dir)
         for method in TABLE1_METHODS:
             runs[(name, method)] = run_method(
-                ctx, method, scale, seed=method_seed(base_seed, method, 0)
+                ctx, method, scale, seed=method_seed(base_seed, method, 0),
+                journal_dir=journal_dir, resume=resume,
             )
     return runs
 
@@ -151,7 +172,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="in-run flow-evaluation workers per BO loop")
     parser.add_argument("--cache-dir", default="",
                         help="persistent ground-truth cache directory")
+    parser.add_argument("--journal-dir", default="",
+                        help="checkpoint BO runs (and snapshot cells) here")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from journals/snapshots in --journal-dir")
+    parser.add_argument("--retry-max-attempts", type=int, default=3,
+                        help="flow-crash retry budget per fidelity")
+    parser.add_argument("--retry-backoff-s", type=float, default=0.0,
+                        help="base backoff between retry attempts (seconds)")
+    parser.add_argument("--no-degrade", action="store_true",
+                        help="fail instead of degrading fidelity on "
+                             "retry exhaustion")
     args = parser.parse_args(argv)
+    if args.resume and not args.journal_dir:
+        parser.error("--resume requires --journal-dir")
     run(
         tuple(b for b in args.benchmarks.split(",") if b),
         scale_name=args.scale,
@@ -160,6 +194,11 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir or None,
         batch_size=args.batch_size,
         eval_workers=args.eval_workers,
+        journal_dir=args.journal_dir or None,
+        resume=args.resume,
+        retry_max_attempts=args.retry_max_attempts,
+        retry_backoff_s=args.retry_backoff_s,
+        degrade_on_failure=not args.no_degrade,
     )
     return 0
 

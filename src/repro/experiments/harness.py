@@ -65,8 +65,21 @@ class ExperimentScale:
     # loop (bitwise-identical results).
     batch_size: int = 1
     eval_workers: int = 1
+    # Resilience knobs (repro.core.resilience): flow-crash retry budget
+    # per fidelity, base backoff between attempts, and whether retry
+    # exhaustion degrades down the fidelity ladder instead of failing.
+    retry_max_attempts: int = 3
+    retry_backoff_s: float = 0.0
+    degrade_on_failure: bool = True
 
-    def bo_settings(self, seed: int) -> MFBOSettings:
+    def bo_settings(
+        self,
+        seed: int,
+        journal_path: str | Path | None = None,
+        resume: bool = False,
+    ) -> MFBOSettings:
+        """Settings for one BO run; ``journal_path`` enables crash-safe
+        checkpointing and ``resume=True`` replays an existing journal."""
         return MFBOSettings(
             n_init=self.n_init,
             n_iter=self.n_iter,
@@ -75,6 +88,13 @@ class ExperimentScale:
             refit_every=self.refit_every,
             batch_size=self.batch_size,
             eval_workers=self.eval_workers,
+            retry_max_attempts=self.retry_max_attempts,
+            retry_backoff_s=self.retry_backoff_s,
+            degrade_on_failure=self.degrade_on_failure,
+            journal_path=str(journal_path) if journal_path else None,
+            resume_from=(
+                str(journal_path) if journal_path and resume else None
+            ),
             seed=seed,
         )
 
@@ -173,18 +193,22 @@ class MethodRun:
     result: OptimizationResult
 
 
-#: Runners take (context, scale, seed) plus an optional keyword-only
-#: ``tracer`` (a :class:`JsonlTraceWriter`); runners without a per-step
-#: loop simply ignore it.
+#: Runners take (context, scale, seed) plus optional keyword-only
+#: ``tracer`` (a :class:`JsonlTraceWriter`), ``journal_path`` and
+#: ``resume``; runners without a per-step loop (or without a journal)
+#: simply ignore them.
 MethodRunner = Callable[..., OptimizationResult]
 
 
 def _run_ours(
     ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
     tracer: JsonlTraceWriter | None = None,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
 ) -> OptimizationResult:
     optimizer = CorrelatedMFBO(
-        ctx.space, ctx.flow, settings=scale.bo_settings(seed),
+        ctx.space, ctx.flow,
+        settings=scale.bo_settings(seed, journal_path, resume),
         method_name="ours", tracer=tracer,
     )
     return optimizer.run()
@@ -193,8 +217,10 @@ def _run_ours(
 def _run_fpl18(
     ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
     tracer: JsonlTraceWriter | None = None,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
 ) -> OptimizationResult:
-    settings = fpl18_settings(scale.bo_settings(seed))
+    settings = fpl18_settings(scale.bo_settings(seed, journal_path, resume))
     optimizer = CorrelatedMFBO(
         ctx.space, ctx.flow, settings=settings, method_name="fpl18",
         tracer=tracer,
@@ -205,6 +231,8 @@ def _run_fpl18(
 def _run_ann(
     ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
     tracer: JsonlTraceWriter | None = None,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
 ) -> OptimizationResult:
     rng = np.random.default_rng(seed)
     return run_offline_regression(
@@ -224,6 +252,8 @@ def _run_ann(
 def _run_bt(
     ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
     tracer: JsonlTraceWriter | None = None,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
 ) -> OptimizationResult:
     rng = np.random.default_rng(seed)
     return run_offline_regression(
@@ -244,6 +274,8 @@ def _run_bt(
 def _run_dac19(
     ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
     tracer: JsonlTraceWriter | None = None,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
 ) -> OptimizationResult:
     return run_dac19(
         ctx.space,
@@ -257,6 +289,8 @@ def _run_dac19(
 def _run_random(
     ctx: BenchmarkContext, scale: ExperimentScale, seed: int,
     tracer: JsonlTraceWriter | None = None,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
 ) -> OptimizationResult:
     return run_random_search(
         ctx.space, ctx.flow, rng=np.random.default_rng(seed),
@@ -291,18 +325,31 @@ def method_seed(base_seed: int, method: str, repeat: int) -> int:
     return int(ss.generate_state(1)[0])
 
 
+def journal_path_for(
+    journal_dir: str | Path, benchmark: str, method: str, seed: int
+) -> Path:
+    """Canonical per-cell journal file name (one BO run, one journal)."""
+    return Path(journal_dir) / f"{benchmark}.{method}.seed{seed}.journal.jsonl"
+
+
 def run_method(
     ctx: BenchmarkContext,
     method: str,
     scale: ExperimentScale,
     seed: int,
     trace_dir: str | Path | None = None,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> MethodRun:
     """Run one method once and score it.
 
     With ``trace_dir`` set, per-step JSONL traces are written to
     ``{trace_dir}/{benchmark}.{method}.seed{seed}.jsonl`` (methods
-    without a per-step loop produce no trace file).
+    without a per-step loop produce no trace file).  With
+    ``journal_dir`` set, BO methods checkpoint every committed
+    evaluation to ``{benchmark}.{method}.seed{seed}.journal.jsonl``;
+    ``resume=True`` replays an existing journal instead of restarting —
+    bitwise identical to an uninterrupted run.
     """
     try:
         runner = METHOD_RUNNERS[method]
@@ -310,14 +357,24 @@ def run_method(
         raise KeyError(
             f"unknown method {method!r}; available: {sorted(METHOD_RUNNERS)}"
         ) from None
+    journal_path = None
+    if journal_dir is not None:
+        journal_dir = Path(journal_dir)
+        journal_dir.mkdir(parents=True, exist_ok=True)
+        journal_path = journal_path_for(journal_dir, ctx.name, method, seed)
     if trace_dir is None:
-        result = runner(ctx, scale, seed)
+        result = runner(
+            ctx, scale, seed, journal_path=journal_path, resume=resume
+        )
     else:
         trace_dir = Path(trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
         path = trace_dir / f"{ctx.name}.{method}.seed{seed}.jsonl"
         with JsonlTraceWriter(path) as tracer:
-            result = runner(ctx, scale, seed, tracer=tracer)
+            result = runner(
+                ctx, scale, seed, tracer=tracer,
+                journal_path=journal_path, resume=resume,
+            )
         if tracer.lines_written == 0:
             path.unlink(missing_ok=True)  # method does not trace
     return MethodRun(
@@ -338,13 +395,17 @@ def run_benchmark(
     trace_dir: str | Path | None = None,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> dict[str, list[MethodRun]]:
     """All repeats of all methods on one benchmark.
 
     ``workers > 1`` fans the (method, repeat) cells out over a process
     pool (:mod:`repro.experiments.parallel`); results are bitwise
     identical to the sequential path.  ``cache_dir`` enables the
-    persistent ground-truth cache.
+    persistent ground-truth cache; ``journal_dir``/``resume`` enable
+    per-cell run journals (BO methods) and cell snapshots so an
+    interrupted sweep picks up where it stopped.
     """
     if workers > 1:
         from repro.experiments.parallel import run_benchmark_parallel
@@ -352,14 +413,18 @@ def run_benchmark(
         return run_benchmark_parallel(
             name, methods=methods, scale=scale, base_seed=base_seed,
             workers=workers, verbose=verbose, trace_dir=trace_dir,
-            cache_dir=cache_dir,
+            cache_dir=cache_dir, journal_dir=journal_dir,
+            snapshot_dir=journal_dir, resume=resume,
         )
     ctx = BenchmarkContext.get(name, cache_dir=cache_dir)
     runs: dict[str, list[MethodRun]] = {m: [] for m in methods}
     for method in methods:
         for repeat in range(scale.n_repeats):
             seed = method_seed(base_seed, method, repeat)
-            run = run_method(ctx, method, scale, seed, trace_dir=trace_dir)
+            run = run_method(
+                ctx, method, scale, seed, trace_dir=trace_dir,
+                journal_dir=journal_dir, resume=resume,
+            )
             runs[method].append(run)
             if verbose:
                 print(
@@ -401,6 +466,8 @@ def run_table1(
     trace_dir: str | Path | None = None,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> list[Table1Row]:
     """Reproduce Table I: every method on every benchmark.
 
@@ -414,7 +481,8 @@ def run_table1(
         return run_table1_parallel(
             benchmarks, methods=methods, scale=scale, base_seed=base_seed,
             workers=workers, verbose=verbose, trace_dir=trace_dir,
-            cache_dir=cache_dir,
+            cache_dir=cache_dir, journal_dir=journal_dir,
+            snapshot_dir=journal_dir, resume=resume,
         )
     names = tuple(benchmarks) if benchmarks else tuple(benchmark_names())
     rows = []
@@ -424,6 +492,7 @@ def run_table1(
         runs = run_benchmark(
             name, methods=methods, scale=scale, base_seed=base_seed,
             verbose=verbose, trace_dir=trace_dir, cache_dir=cache_dir,
+            journal_dir=journal_dir, resume=resume,
         )
         rows.append(summarize_benchmark(name, runs))
     return rows

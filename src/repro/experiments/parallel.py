@@ -20,6 +20,16 @@ and traceback are captured in its :class:`JobOutcome` and the remaining
 jobs run to completion; :func:`raise_failures` turns failures into one
 ``RuntimeError`` listing every failed job.
 
+Sweeps are interruptible and resumable: with a ``snapshot_dir``, every
+completed cell's value is pickled atomically as it lands, and a
+``resume=True`` rerun restores finished cells from their snapshots
+(``gt_cache == "snapshot"`` in the job trace) instead of recomputing —
+so ``SIGTERM``-ing a 100-cell sweep at cell 60 costs 60 cells, not 100.
+``SIGTERM`` is converted to a clean ``SystemExit`` via
+:func:`repro.core.resilience.signals.terminate_on_signals`, worker
+processes are terminated promptly (no orphan pool), and atomic snapshot
+writes never leave ``.tmp`` debris behind.
+
 Worker-level timing (queue wait, execution time, worker pid, ground-
 truth cache hit/miss) is recorded as ``event == "job"`` lines of the
 :mod:`repro.obs.trace` schema (:data:`repro.obs.trace.JOB_TRACE_FIELDS`).
@@ -28,6 +38,8 @@ truth cache hit/miss) is recorded as ``event == "job"`` lines of the
 from __future__ import annotations
 
 import os
+import pickle
+import tempfile
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -39,6 +51,8 @@ import multiprocessing
 
 from repro.benchsuite.registry import benchmark_names
 from repro.core.batch.workers import resolve_worker_count
+from repro.core.resilience.signals import terminate_on_signals
+from repro.hlsim.gtcache import GT_SNAPSHOT
 from repro.experiments.harness import (
     TABLE1_METHODS,
     BenchmarkContext,
@@ -143,12 +157,52 @@ def prewarm_contexts(
         BenchmarkContext.get(name, cache_dir=cache_dir)
 
 
+def snapshot_path(snapshot_dir: str | Path, job: Job) -> Path:
+    """Where one cell's completed value is persisted."""
+    return (
+        Path(snapshot_dir)
+        / f"{job.benchmark}.{job.method}.r{job.repeat}.snapshot.pkl"
+    )
+
+
+def _load_snapshot(path: Path) -> Any:
+    """Unpickle a cell snapshot; a corrupt one is deleted, not trusted."""
+    try:
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+    except Exception:
+        path.unlink(missing_ok=True)
+        return None
+
+
+def _save_snapshot(path: Path, value: Any) -> None:
+    """Atomic, fsync'd pickle write (same discipline as the gt cache)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(value, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def run_jobs(
     jobs: list[Job],
     workers: int = 1,
     trace_path: str | Path | None = None,
     cache_dir: str | Path | None = None,
     prewarm: bool = True,
+    snapshot_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> list[JobOutcome]:
     """Execute jobs, possibly in parallel; outcomes in submission order.
 
@@ -158,31 +212,74 @@ def run_jobs(
     sequential mode — same wrapper, same outcome records).  Failures
     never abort the sweep; inspect ``outcome.error`` or call
     :func:`raise_failures`.
+
+    With ``snapshot_dir``, each successful cell is pickled as it
+    completes; ``resume=True`` restores previously snapshotted cells
+    (``gt_cache == "snapshot"``) and only runs the remainder.  Cell
+    values are deterministic per (benchmark, method, seed), so a
+    resumed sweep aggregates to the same numbers as an uninterrupted
+    one.  ``SIGTERM`` during the sweep raises ``SystemExit`` at the
+    next bookkeeping point and terminates worker processes promptly.
     """
     workers = resolve_worker_count(workers, label="workers")
-    if prewarm:
-        prewarm_contexts([job.benchmark for job in jobs], cache_dir)
-    outcomes: list[JobOutcome]
-    if workers <= 1 or len(jobs) <= 1:
-        outcomes = [_invoke(job, time.time()) for job in jobs]
-    else:
-        outcomes = [None] * len(jobs)  # type: ignore[list-item]
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(jobs)),
-            mp_context=_pool_context(),
-        ) as pool:
-            futures = {
-                pool.submit(_invoke, job, time.time()): index
-                for index, job in enumerate(jobs)
-            }
-            for future, index in futures.items():
-                try:
-                    outcomes[index] = future.result()
-                except Exception as exc:  # pool-level crash (e.g. OOM kill)
+    outcomes: list[JobOutcome | None] = [None] * len(jobs)
+    if snapshot_dir is not None and resume:
+        for index, job in enumerate(jobs):
+            path = snapshot_path(snapshot_dir, job)
+            if path.is_file():
+                value = _load_snapshot(path)
+                if value is not None:
                     outcomes[index] = JobOutcome(
-                        job=jobs[index],
-                        error=f"worker process failed: {exc!r}",
+                        job=job, value=value, gt_cache=GT_SNAPSHOT
                     )
+    pending = [
+        (index, job)
+        for index, job in enumerate(jobs)
+        if outcomes[index] is None
+    ]
+    if prewarm and pending:
+        prewarm_contexts([job.benchmark for _, job in pending], cache_dir)
+
+    def land(index: int, outcome: JobOutcome) -> None:
+        outcomes[index] = outcome
+        if snapshot_dir is not None and outcome.ok:
+            _save_snapshot(snapshot_path(snapshot_dir, outcome.job),
+                           outcome.value)
+
+    if workers <= 1 or len(pending) <= 1:
+        with terminate_on_signals():
+            for index, job in pending:
+                land(index, _invoke(job, time.time()))
+    elif pending:
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            mp_context=_pool_context(),
+        )
+        try:
+            with terminate_on_signals():
+                futures = {
+                    pool.submit(_invoke, job, time.time()): index
+                    for index, job in pending
+                }
+                for future, index in futures.items():
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:  # pool crash (e.g. OOM kill)
+                        outcome = JobOutcome(
+                            job=jobs[index],
+                            error=f"worker process failed: {exc!r}",
+                        )
+                    land(index, outcome)
+        except BaseException:
+            # Interrupted (signal / KeyboardInterrupt) or broken:
+            # drop queued work and kill workers now rather than
+            # waiting out their current cells.
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in list((pool._processes or {}).values()):
+                proc.terminate()
+            raise
+        else:
+            pool.shutdown(wait=True)
     if trace_path is not None:
         _write_job_trace(trace_path, outcomes, workers)
     return outcomes
@@ -244,10 +341,15 @@ def run_method_job(
     seed: int,
     trace_dir: str | Path | None = None,
     cache_dir: str | Path | None = None,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> MethodRun:
     """Worker body for one (benchmark, method, seed) experiment cell."""
     ctx = BenchmarkContext.get(benchmark, cache_dir=cache_dir)
-    return run_method(ctx, method, scale, seed, trace_dir=trace_dir)
+    return run_method(
+        ctx, method, scale, seed, trace_dir=trace_dir,
+        journal_dir=journal_dir, resume=resume,
+    )
 
 
 def method_jobs(
@@ -257,6 +359,8 @@ def method_jobs(
     base_seed: int,
     trace_dir: str | Path | None = None,
     cache_dir: str | Path | None = None,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> list[Job]:
     """The full job list of a Table-1-style sweep, in sequential order."""
     jobs = []
@@ -276,6 +380,8 @@ def method_jobs(
                             seed=method_seed(base_seed, method, repeat),
                             trace_dir=trace_dir,
                             cache_dir=cache_dir,
+                            journal_dir=journal_dir,
+                            resume=resume,
                         ),
                     )
                 )
@@ -317,6 +423,9 @@ def run_benchmark_parallel(
     verbose: bool = False,
     trace_dir: str | Path | None = None,
     cache_dir: str | Path | None = None,
+    snapshot_dir: str | Path | None = None,
+    resume: bool = False,
+    journal_dir: str | Path | None = None,
 ) -> dict[str, list[MethodRun]]:
     """Parallel drop-in for :func:`repro.experiments.harness.run_benchmark`.
 
@@ -330,12 +439,14 @@ def run_benchmark_parallel(
     jobs = method_jobs(
         (name,), methods, scale, base_seed,
         trace_dir=trace_dir, cache_dir=cache_dir,
+        journal_dir=journal_dir, resume=resume,
     )
     trace_path = (
         Path(trace_dir) / f"{name}.jobs.jsonl" if trace_dir else None
     )
     outcomes = run_jobs(
-        jobs, workers=workers, trace_path=trace_path, cache_dir=cache_dir
+        jobs, workers=workers, trace_path=trace_path, cache_dir=cache_dir,
+        snapshot_dir=snapshot_dir, resume=resume,
     )
     raise_failures(outcomes)
     return _group_method_runs((name,), methods, outcomes, verbose)[name]
@@ -350,6 +461,9 @@ def run_table1_parallel(
     verbose: bool = False,
     trace_dir: str | Path | None = None,
     cache_dir: str | Path | None = None,
+    snapshot_dir: str | Path | None = None,
+    resume: bool = False,
+    journal_dir: str | Path | None = None,
 ) -> list[Table1Row]:
     """Parallel drop-in for :func:`repro.experiments.harness.run_table1`.
 
@@ -364,10 +478,12 @@ def run_table1_parallel(
     jobs = method_jobs(
         names, methods, scale, base_seed,
         trace_dir=trace_dir, cache_dir=cache_dir,
+        journal_dir=journal_dir, resume=resume,
     )
     trace_path = Path(trace_dir) / "table1.jobs.jsonl" if trace_dir else None
     outcomes = run_jobs(
-        jobs, workers=workers, trace_path=trace_path, cache_dir=cache_dir
+        jobs, workers=workers, trace_path=trace_path, cache_dir=cache_dir,
+        snapshot_dir=snapshot_dir, resume=resume,
     )
     raise_failures(outcomes)
     grouped = _group_method_runs(names, methods, outcomes, verbose)

@@ -7,6 +7,9 @@ Usage::
                                        [--seed N] [--json out.json]
                                        [--workers N] [--cache-dir DIR]
                                        [--batch-size Q] [--eval-workers N]
+                                       [--journal-dir DIR] [--resume]
+                                       [--retry-max-attempts N]
+                                       [--retry-backoff-s S] [--no-degrade]
 
 ``--workers N`` fans the (benchmark, method, repeat) cells out over a
 process pool (results are bitwise identical to the sequential run);
@@ -15,6 +18,13 @@ in-run batch engine (qPEIPV + async flow workers, composable with
 ``--workers``); ``--cache-dir`` persists exhaustive ground-truth sweeps
 across invocations (see :mod:`repro.hlsim.gtcache` for the
 invalidation rule).
+
+``--journal-dir DIR`` checkpoints every BO evaluation to a per-cell
+run journal (and, with ``--workers``, snapshots completed cells);
+``--resume`` replays those journals/snapshots after a crash or kill —
+the finished table is bitwise identical to an uninterrupted run.  The
+retry flags tune the fault-handling policy of the flow-evaluation
+layer (:mod:`repro.core.resilience`).
 
 All three metrics are normalized to the ANN baseline, exactly as the
 paper reports them ("expressed as ratios to the results of ANN").
@@ -104,6 +114,29 @@ def format_table(
     return "\n".join(lines)
 
 
+def apply_overrides(
+    scale: ExperimentScale,
+    batch_size: int = 1,
+    eval_workers: int = 1,
+    retry_max_attempts: int = 3,
+    retry_backoff_s: float = 0.0,
+    degrade_on_failure: bool = True,
+) -> ExperimentScale:
+    """Fold non-default batch/resilience CLI knobs into a scale."""
+    overrides = {}
+    if batch_size != 1:
+        overrides["batch_size"] = batch_size
+    if eval_workers != 1:
+        overrides["eval_workers"] = eval_workers
+    if retry_max_attempts != 3:
+        overrides["retry_max_attempts"] = retry_max_attempts
+    if retry_backoff_s != 0.0:
+        overrides["retry_backoff_s"] = retry_backoff_s
+    if not degrade_on_failure:
+        overrides["degrade_on_failure"] = False
+    return replace(scale, **overrides) if overrides else scale
+
+
 def run(
     scale_name: str = "small",
     benchmarks: tuple[str, ...] | None = None,
@@ -114,13 +147,19 @@ def run(
     cache_dir: str | None = None,
     batch_size: int = 1,
     eval_workers: int = 1,
+    journal_dir: str | None = None,
+    resume: bool = False,
+    retry_max_attempts: int = 3,
+    retry_backoff_s: float = 0.0,
+    degrade_on_failure: bool = True,
 ) -> tuple[list[Table1Row], list[dict]]:
     """Run the full Table I experiment and return raw + normalized rows."""
-    scale = SCALES[scale_name]
-    if batch_size != 1 or eval_workers != 1:
-        scale = replace(
-            scale, batch_size=batch_size, eval_workers=eval_workers
-        )
+    scale = apply_overrides(
+        SCALES[scale_name], batch_size=batch_size, eval_workers=eval_workers,
+        retry_max_attempts=retry_max_attempts,
+        retry_backoff_s=retry_backoff_s,
+        degrade_on_failure=degrade_on_failure,
+    )
     names = tuple(benchmarks) if benchmarks else tuple(benchmark_names())
     if workers > 1:
         from repro.experiments.parallel import run_table1_parallel
@@ -128,7 +167,8 @@ def run(
         rows = run_table1_parallel(
             benchmarks=names, methods=methods, scale=scale,
             base_seed=base_seed, workers=workers, verbose=verbose,
-            cache_dir=cache_dir,
+            cache_dir=cache_dir, journal_dir=journal_dir,
+            snapshot_dir=journal_dir, resume=resume,
         )
         return rows, normalized_rows(rows)
     rows: list[Table1Row] = []
@@ -138,6 +178,7 @@ def run(
         runs = run_benchmark(
             name, methods=methods, scale=scale, base_seed=base_seed,
             verbose=verbose, cache_dir=cache_dir,
+            journal_dir=journal_dir, resume=resume,
         )
         rows.append(summarize_benchmark(name, runs))
     return rows, normalized_rows(rows)
@@ -159,8 +200,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="in-run flow-evaluation workers per BO loop")
     parser.add_argument("--cache-dir", default="",
                         help="persistent ground-truth cache directory")
+    parser.add_argument("--journal-dir", default="",
+                        help="checkpoint BO runs (and snapshot cells) here")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from journals/snapshots in --journal-dir")
+    parser.add_argument("--retry-max-attempts", type=int, default=3,
+                        help="flow-crash retry budget per fidelity")
+    parser.add_argument("--retry-backoff-s", type=float, default=0.0,
+                        help="base backoff between retry attempts (seconds)")
+    parser.add_argument("--no-degrade", action="store_true",
+                        help="fail instead of degrading fidelity on "
+                             "retry exhaustion")
     args = parser.parse_args(argv)
 
+    if args.resume and not args.journal_dir:
+        parser.error("--resume requires --journal-dir")
     benchmarks = (
         tuple(b for b in args.benchmarks.split(",") if b)
         if args.benchmarks
@@ -175,6 +229,11 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir or None,
         batch_size=args.batch_size,
         eval_workers=args.eval_workers,
+        journal_dir=args.journal_dir or None,
+        resume=args.resume,
+        retry_max_attempts=args.retry_max_attempts,
+        retry_backoff_s=args.retry_backoff_s,
+        degrade_on_failure=not args.no_degrade,
     )
     print(format_table(normalized, TABLE1_METHODS))
     if args.json:

@@ -124,6 +124,22 @@ class HlsFlow:
             space.kernel, space.schema, device, cache_capacity=cache_capacity
         )
 
+    def clone(self) -> "HlsFlow":
+        """A fresh flow over the same kernel/schema/device (empty cache).
+
+        Worker pools build per-thread clones through this hook instead
+        of ``type(flow)(kernel, schema, device)`` so wrappers like
+        :class:`repro.core.resilience.faults.FaultyFlow` — whose
+        constructors take different arguments — can clone themselves
+        (sharing whatever cross-worker state they need).
+        """
+        return type(self)(
+            self.kernel,
+            self.schema,
+            self.device,
+            cache_capacity=self._cache_capacity,
+        )
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------

@@ -25,16 +25,27 @@ Writes are atomic (temp file + ``os.replace``), so concurrent workers
 racing to fill the same entry are safe — last writer wins with
 identical bytes, since the sweep is deterministic.
 
+Every entry also stores a content checksum (blake2b over the raw
+``Y``/``valid`` bytes) that is verified on load.  An entry that fails
+verification — or cannot be parsed at all, e.g. a torn write from a
+killed process on a filesystem without atomic replace — is *quarantined*
+(renamed to ``<name>.npz.corrupt``) rather than silently rebuilt in
+place, so operators can inspect what went wrong; the sweep then
+recomputes and writes a fresh entry.  Legacy entries written before
+checksums existed are verified by shape only and transparently
+rewritten with a checksum on first load.
+
 The module doubles as the cache's inspection/eviction CLI::
 
     python -m repro.hlsim.gtcache --ls    [--cache-dir DIR]
     python -m repro.hlsim.gtcache --prune [--cache-dir DIR]
 
-``--ls`` lists every entry (fingerprint, benchmark, size, mtime) and
+``--ls`` lists every entry (fingerprint, benchmark, size, mtime),
 whether it matches a *live* fingerprint of the registered benchmark
-suite; ``--prune`` deletes orphaned entries (digests no current
-benchmark produces — stale by the invalidation rule above) and any
-leftover ``.tmp`` files from interrupted writes.
+suite, and any quarantined ``.corrupt`` files; ``--prune`` deletes
+orphaned entries (digests no current benchmark produces — stale by the
+invalidation rule above), leftover ``.tmp`` files from interrupted
+writes, and quarantined ``.corrupt`` files.
 """
 
 from __future__ import annotations
@@ -59,6 +70,7 @@ CACHE_DIR_ENV = "REPRO_GT_CACHE_DIR"
 #: Ground-truth source labels recorded in per-job trace records.
 GT_COMPUTED = "computed"  # exhaustive sweep ran (cache disabled or miss)
 GT_DISK_HIT = "disk-hit"  # loaded from the persistent cache
+GT_SNAPSHOT = "snapshot"  # whole cell restored from a sweep snapshot
 
 
 def default_cache_dir() -> Path:
@@ -110,22 +122,78 @@ def load_or_compute_ground_truth(
     Cached arrays are bitwise identical to recomputation — ``.npz``
     stores exact float64 — so downstream ADRS numbers do not depend on
     the cache state.
+
+    An entry that fails checksum/shape verification or cannot be read
+    is quarantined to ``<name>.npz.corrupt`` and recomputed; a legacy
+    pre-checksum entry is rewritten with its checksum in place.
     """
     if cache_dir is None:
         y, valid = ground_truth(space, flow, penalty=penalty)
         return y, valid, GT_COMPUTED
     path = cache_path(cache_dir, space, flow, penalty)
     if path.is_file():
-        try:
-            with np.load(path) as data:
-                y, valid = data["Y"], data["valid"]
-            if y.shape == (len(space), 3) and valid.shape == (len(space),):
-                return y, valid, GT_DISK_HIT
-        except (OSError, ValueError, KeyError):
-            pass  # unreadable/truncated entry: fall through and rebuild
+        entry = _read_verified(path, len(space))
+        if entry is not None:
+            y, valid, had_checksum = entry
+            if not had_checksum:  # legacy entry: upgrade in place
+                _atomic_savez(
+                    path, Y=y, valid=valid,
+                    checksum=np.array(content_checksum(y, valid)),
+                )
+            return y, valid, GT_DISK_HIT
+        quarantine_entry(path)
     y, valid = ground_truth(space, flow, penalty=penalty)
-    _atomic_savez(path, Y=y, valid=valid)
+    _atomic_savez(
+        path, Y=y, valid=valid, checksum=np.array(content_checksum(y, valid))
+    )
     return y, valid, GT_COMPUTED
+
+
+def content_checksum(y: np.ndarray, valid: np.ndarray) -> str:
+    """Blake2b digest of the raw array bytes stored in an entry."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(y).tobytes())
+    h.update(np.ascontiguousarray(valid).tobytes())
+    return h.hexdigest()
+
+
+def _read_verified(
+    path: Path, n_configs: int
+) -> tuple[np.ndarray, np.ndarray, bool] | None:
+    """``(Y, valid, had_checksum)`` if the entry verifies, else ``None``.
+
+    ``None`` means the file is corrupt in some way: unparseable, wrong
+    shapes for the space that fingerprints to it, or a checksum
+    mismatch (bit rot, torn write).
+    """
+    try:
+        with np.load(path) as data:
+            y, valid = data["Y"], data["valid"]
+            stored = (
+                str(data["checksum"].item()) if "checksum" in data else None
+            )
+    except Exception:
+        # A corrupt zip member surfaces arbitrary errors from numpy's
+        # header parser (tokenize.TokenError, SyntaxError, ...), not
+        # just OSError/BadZipFile — any read failure means corrupt.
+        return None
+    if y.shape != (n_configs, 3) or valid.shape != (n_configs,):
+        return None
+    if stored is not None and stored != content_checksum(y, valid):
+        return None
+    return y, valid, stored is not None
+
+
+def quarantine_entry(path: Path) -> Path:
+    """Move a corrupt entry aside as ``<name>.npz.corrupt``.
+
+    ``os.replace`` keeps this atomic; an older quarantined copy of the
+    same entry is overwritten (the newest corpse is the interesting
+    one).
+    """
+    target = path.with_name(path.name + ".corrupt")
+    os.replace(path, target)
+    return target
 
 
 def _atomic_savez(path: Path, **arrays: np.ndarray) -> None:
@@ -205,19 +273,27 @@ def scan_cache(
     return entries
 
 
+def corrupt_entries(cache_dir: str | Path) -> list[Path]:
+    """Quarantined ``.corrupt`` files under ``cache_dir``, sorted."""
+    return sorted(Path(cache_dir).glob("*.corrupt"))
+
+
 def prune_cache(
     cache_dir: str | Path, live: dict[str, str] | None = None
-) -> tuple[list[Path], list[Path]]:
-    """Delete orphaned ``.npz`` entries and leftover ``.tmp`` files.
+) -> tuple[list[Path], list[Path], list[Path]]:
+    """Delete orphaned ``.npz`` entries, ``.tmp`` and ``.corrupt`` files.
 
-    Returns ``(removed_npz, removed_tmp)``.  Live entries are never
-    touched; a ``.tmp`` file is debris from an interrupted atomic write
-    (a concurrent writer's in-flight temp file would be re-created by
-    its ``os.replace`` loser anyway, so removing it is safe).
+    Returns ``(removed_npz, removed_tmp, removed_corrupt)``.  Live
+    entries are never touched; a ``.tmp`` file is debris from an
+    interrupted atomic write (a concurrent writer's in-flight temp file
+    would be re-created by its ``os.replace`` loser anyway, so removing
+    it is safe); a ``.corrupt`` file is a quarantined entry that failed
+    checksum verification and has already been recomputed.
     """
     root = Path(cache_dir)
     removed_npz: list[Path] = []
     removed_tmp: list[Path] = []
+    removed_corrupt: list[Path] = []
     for entry in scan_cache(root, live=live):
         if not entry.live:
             entry.path.unlink(missing_ok=True)
@@ -225,7 +301,10 @@ def prune_cache(
     for tmp in sorted(root.glob("*.tmp")):
         tmp.unlink(missing_ok=True)
         removed_tmp.append(tmp)
-    return removed_npz, removed_tmp
+    for corpse in corrupt_entries(root):
+        corpse.unlink(missing_ok=True)
+        removed_corrupt.append(corpse)
+    return removed_npz, removed_tmp, removed_corrupt
 
 
 def _format_size(size: int) -> str:
@@ -250,7 +329,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     action.add_argument(
         "--prune", action="store_true",
-        help="delete orphaned .npz entries and leftover .tmp files",
+        help="delete orphaned .npz entries, leftover .tmp files and "
+             "quarantined .corrupt files",
     )
     parser.add_argument(
         "--cache-dir", default="",
@@ -265,22 +345,28 @@ def main(argv: list[str] | None = None) -> int:
     live = live_fingerprints()
 
     if args.prune:
-        removed_npz, removed_tmp = prune_cache(cache_dir, live=live)
+        removed_npz, removed_tmp, removed_corrupt = prune_cache(
+            cache_dir, live=live
+        )
         for path in removed_npz:
-            print(f"removed orphan {path.name}")
+            print(f"removed orphan  {path.name}")
         for path in removed_tmp:
-            print(f"removed temp   {path.name}")
+            print(f"removed temp    {path.name}")
+        for path in removed_corrupt:
+            print(f"removed corrupt {path.name}")
         kept = len(scan_cache(cache_dir, live=live))
         print(
             f"pruned {len(removed_npz)} orphaned entr"
-            f"{'y' if len(removed_npz) == 1 else 'ies'} and "
-            f"{len(removed_tmp)} temp file(s); {kept} live entr"
+            f"{'y' if len(removed_npz) == 1 else 'ies'}, "
+            f"{len(removed_tmp)} temp file(s) and "
+            f"{len(removed_corrupt)} corrupt file(s); {kept} live entr"
             f"{'y' if kept == 1 else 'ies'} kept in {cache_dir}"
         )
         return 0
 
     entries = scan_cache(cache_dir, live=live)
-    if not entries:
+    corpses = corrupt_entries(cache_dir)
+    if not entries and not corpses:
         print(f"no cache entries in {cache_dir}")
         return 0
     print(f"{'FINGERPRINT':<34}{'BENCHMARK':<16}{'SIZE':>10}  "
@@ -292,10 +378,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{entry.fingerprint:<34}{entry.benchmark:<16}"
             f"{_format_size(entry.size_bytes):>10}  {mtime:<17}{status}"
         )
+    for corpse in corpses:
+        print(f"{'-':<34}{'?':<16}{_format_size(corpse.stat().st_size):>10}"
+              f"  {'':<17}corrupt ({corpse.name})")
     orphans = sum(1 for e in entries if not e.live)
     print(
         f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
-        f"{orphans} orphaned (run --prune to delete) in {cache_dir}"
+        f"{orphans} orphaned, {len(corpses)} quarantined "
+        f"(run --prune to delete) in {cache_dir}"
     )
     return 0
 

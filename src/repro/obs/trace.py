@@ -12,7 +12,9 @@ output stays strict JSON.
 
 The event schemas (:data:`STEP_TRACE_FIELDS`, :data:`JOB_TRACE_FIELDS`,
 :data:`PROPOSAL_TRACE_FIELDS`, :data:`PENDING_TRACE_FIELDS`,
-:data:`COMMIT_TRACE_FIELDS`) are covered by regression tests — tools
+:data:`COMMIT_TRACE_FIELDS`, :data:`FAULT_TRACE_FIELDS`,
+:data:`DEGRADE_TRACE_FIELDS`, :data:`RESUME_TRACE_FIELDS`) are covered
+by regression tests — tools
 that consume traces (dashboards, diffing, the benchmarks) can rely on
 the field set per version.
 
@@ -22,8 +24,15 @@ changing the step fields; v3 added the batch-engine events —
 ``proposal`` (what qPEIPV selected and its fantasy objectives),
 ``pending`` (the submitted batch's per-fidelity in-flight counts and
 round timing) and ``commit`` (realized objectives vs. the proposal's
-fantasy, plus per-candidate queue/exec timing) — again without
-changing the step or job fields.
+fantasy, plus per-candidate queue/exec timing); v4 added the
+resilience events (:mod:`repro.core.resilience`) — ``fault`` (one line
+per failed flow attempt), ``degrade`` (an evaluation fell back to a
+lower fidelity, or exhausted every fidelity and was punished) and
+``resume`` (a run picked up from a journal: how many commits were
+replayed/dropped) — and extended ``step``/``commit`` lines with the
+retry accounting fields (``attempts``/``degraded`` on steps;
+``requested_fidelity``/``degraded``/``failed``/``wasted_runtime_s`` on
+commits).
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from pathlib import Path
 from typing import IO, Any, Mapping
 
 #: Bump when a field is added, removed or changes meaning.
-TRACE_SCHEMA_VERSION = 3
+TRACE_SCHEMA_VERSION = 4
 
 #: Fields guaranteed on every ``event == "step"`` line (schema v1).
 STEP_TRACE_FIELDS: tuple[str, ...] = (
@@ -54,6 +63,8 @@ STEP_TRACE_FIELDS: tuple[str, ...] = (
     "step_s",
     "cache_hits",
     "cache_misses",
+    "attempts",
+    "degraded",
 )
 
 #: Fields guaranteed on every ``event == "job"`` line (schema v2):
@@ -134,6 +145,54 @@ COMMIT_TRACE_FIELDS: tuple[str, ...] = (
     "exec_s",
     "worker",
     "attempts",
+    "requested_fidelity",
+    "degraded",
+    "failed",
+    "wasted_runtime_s",
+)
+
+#: Fields guaranteed on every ``event == "fault"`` line (schema v4):
+#: one line per *failed flow attempt* — the step/config it belonged to,
+#: the fidelity the attempt ran at, the attempt number within its
+#: evaluation, the exception's final line and the backoff slept before
+#: the next attempt (0 when none followed).
+FAULT_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "step",
+    "config_index",
+    "fidelity",
+    "attempt",
+    "error",
+    "backoff_s",
+)
+
+#: Fields guaranteed on every ``event == "degrade"`` line (schema v4):
+#: emitted when retry exhaustion forced an evaluation below its
+#: requested fidelity (``action == "degrade"``) or through the
+#: punishment path after every fidelity failed (``action == "punish"``).
+DEGRADE_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "step",
+    "config_index",
+    "requested_fidelity",
+    "fidelity",
+    "action",
+    "attempts",
+)
+
+#: Fields guaranteed on every ``event == "resume"`` line (schema v4):
+#: one line at the top of a resumed run — the journal it replayed, how
+#: many commits were replayed / dropped (torn trailing round) and the
+#: first live step.
+RESUME_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "journal",
+    "replayed",
+    "dropped",
+    "next_step",
 )
 
 

@@ -21,6 +21,7 @@ from repro.core.batch.qeipv import (
 )
 from repro.core.batch.workers import resolve_worker_count
 from repro.core.optimizer import CorrelatedMFBO, MFBOSettings, _FidelityData
+from repro.core.resilience.retry import RetryPolicy
 from repro.dse.space import DesignSpace
 from repro.hlsim.flow import HlsFlow, fidelity_sweep
 from repro.hlsim.ir import (
@@ -335,6 +336,7 @@ class TestEvalEngine:
         assert space[4].values in flow._cache  # ran on the original flow
 
     def test_crash_surfaced_with_traceback(self, space, monkeypatch):
+        """Exceptions outside ``retry_on`` stay fatal with a traceback."""
         _bypass_clamp(monkeypatch)
         boom = _BoomFlow.for_space(space)
         boom.boom_index = 1
@@ -344,12 +346,37 @@ class TestEvalEngine:
             for i in range(3)
         ]
         with EvalEngine(
-            space, boom, workers=2, clamp=False, flow_factory=lambda: boom
+            space, boom, workers=2, clamp=False, flow_factory=lambda: boom,
+            retry_policy=RetryPolicy(retry_on=()),
         ) as engine:
             outcomes = engine.evaluate(jobs)
         assert [o.ok for o in outcomes] == [True, False, True]
         assert "flow exploded" in outcomes[1].error
         assert "Traceback" in outcomes[1].error
+
+    def test_crash_retried_then_exhausted_under_policy(
+        self, space, monkeypatch
+    ):
+        """Covered crashes burn the attempt budget, then fail cleanly."""
+        _bypass_clamp(monkeypatch)
+        boom = _BoomFlow.for_space(space)
+        boom.boom_index = 1
+        boom._space_ref = space
+        with EvalEngine(
+            space, boom, workers=2, clamp=False, flow_factory=lambda: boom,
+            retry_policy=RetryPolicy(max_attempts=2),
+        ) as engine:
+            (outcome,) = engine.evaluate(
+                [EvalJob(order=0, step=0, config_index=1,
+                         fidelity=Fidelity.HLS)]
+            )
+        assert outcome.error is None  # absorbed, not fatal
+        assert not outcome.ok
+        assert outcome.outcome.failed
+        assert outcome.attempts == 2
+        assert all(
+            "flow exploded" in f.error for f in outcome.outcome.failures
+        )
 
     def test_timeout_retries_once_then_succeeds(self, space, monkeypatch):
         _bypass_clamp(monkeypatch)
@@ -377,25 +404,35 @@ class TestEvalEngine:
         assert outcome.ok
         assert outcome.attempts == 2
 
-    def test_timeout_twice_is_an_error(self, space, monkeypatch):
+    def test_timeout_budget_exhaustion_fails_the_job(
+        self, space, monkeypatch
+    ):
         _bypass_clamp(monkeypatch)
         sleepy = _SleepyFlow.for_space(space).bind(space, {5: 10.0})
         with EvalEngine(
             space, sleepy, workers=2, timeout_s=0.1, clamp=False,
             flow_factory=lambda: sleepy,
+            retry_policy=RetryPolicy(max_attempts=2, degrade_fidelity=False),
         ) as engine:
             (outcome,) = engine.evaluate(
                 [EvalJob(order=0, step=0, config_index=5,
                          fidelity=Fidelity.HLS)]
             )
         assert not outcome.ok
+        assert outcome.error is None  # timeouts are policy territory
+        assert outcome.outcome.failed
         assert outcome.attempts == 2
-        assert "timed out" in outcome.error
+        assert all(
+            "timed out" in f.error for f in outcome.outcome.failures
+        )
 
     def test_crash_raises_at_commit_in_batch_loop(self, space):
         boom = _BoomFlow.for_space(space)
         boom._space_ref = space
-        settings = quick_settings(batch_engine=True, n_iter=3)
+        settings = quick_settings(
+            batch_engine=True, n_iter=3,
+            retry_max_attempts=1, punish_on_failure=False,
+        )
         opt = CorrelatedMFBO(space, boom, settings)
         opt._initial_design()  # boom_index unset: initial design succeeds
         # Whatever the loop proposes first will explode.
@@ -503,7 +540,7 @@ class TestTraceSchemaV3:
                 tracer=tracer,
             ).run()
         (start,) = read_trace(path, "run_start")
-        assert start["v"] == TRACE_SCHEMA_VERSION == 3
+        assert start["v"] == TRACE_SCHEMA_VERSION == 4
         assert start["batch_size"] == 2 and start["eval_workers"] == 1
 
         proposals = read_trace(path, "proposal")
@@ -525,6 +562,9 @@ class TestTraceSchemaV3:
             assert record["fantasy"] == proposal["fantasy"]
             assert len(record["objectives"]) == 3
             assert record["attempts"] == 1
+            assert record["requested_fidelity"] == record["fidelity"]
+            assert not record["degraded"] and not record["failed"]
+            assert record["wasted_runtime_s"] == 0.0
         assert read_trace(path, "step") == []  # batch mode replaces steps
 
     def test_sequential_trace_unchanged(self, space, tmp_path):

@@ -154,7 +154,7 @@ class TestGroundTruthCache:
         assert a != b
         assert a == ground_truth_fingerprint(ctx.space, ctx.flow, penalty=10.0)
 
-    def test_corrupt_entry_recomputed(self, tmp_path):
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
         ctx = BenchmarkContext.get(BENCH)
         _, _, _ = load_or_compute_ground_truth(ctx.space, ctx.flow, tmp_path)
         (entry,) = tmp_path.glob("*.npz")
@@ -164,6 +164,53 @@ class TestGroundTruthCache:
         )
         assert src == GT_COMPUTED
         assert np.array_equal(y, ctx.Y_true)
+        # The corpse was moved aside for inspection, not overwritten.
+        (corpse,) = tmp_path.glob("*.corrupt")
+        assert corpse.name == entry.name + ".corrupt"
+        assert corpse.read_bytes() == b"garbage"
+        # The rebuilt entry is a clean disk hit again.
+        _, _, src = load_or_compute_ground_truth(ctx.space, ctx.flow, tmp_path)
+        assert src == GT_DISK_HIT
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        """Bit rot inside a parseable .npz is caught by the checksum."""
+        ctx = BenchmarkContext.get(BENCH)
+        y, valid, _ = load_or_compute_ground_truth(
+            ctx.space, ctx.flow, tmp_path
+        )
+        (entry,) = tmp_path.glob("*.npz")
+        from repro.hlsim.gtcache import _atomic_savez
+
+        rotten = y.copy()
+        rotten[0, 0] += 1.0  # flip a value, keep the stale checksum
+        with np.load(entry) as data:
+            stale = str(data["checksum"].item())
+        _atomic_savez(entry, Y=rotten, valid=valid,
+                      checksum=np.array(stale))
+        y2, _, src = load_or_compute_ground_truth(
+            ctx.space, ctx.flow, tmp_path
+        )
+        assert src == GT_COMPUTED
+        assert np.array_equal(y2, ctx.Y_true)
+        assert list(tmp_path.glob("*.corrupt"))
+
+    def test_legacy_entry_upgraded_with_checksum(self, tmp_path):
+        """Pre-checksum entries are trusted by shape and rewritten."""
+        ctx = BenchmarkContext.get(BENCH)
+        y, valid, _ = load_or_compute_ground_truth(
+            ctx.space, ctx.flow, tmp_path
+        )
+        (entry,) = tmp_path.glob("*.npz")
+        from repro.hlsim.gtcache import _atomic_savez
+
+        _atomic_savez(entry, Y=y, valid=valid)  # strip the checksum
+        y2, _, src = load_or_compute_ground_truth(
+            ctx.space, ctx.flow, tmp_path
+        )
+        assert src == GT_DISK_HIT
+        assert np.array_equal(y2, y)
+        with np.load(entry) as data:
+            assert "checksum" in data  # upgraded in place
 
     def test_disabled_cache_computes(self):
         ctx = BenchmarkContext.get(BENCH)
@@ -274,25 +321,35 @@ class TestGtcacheCli:
 
     def test_prune_removes_orphans_keeps_live(self, tmp_path):
         ctx = self._seed_cache(tmp_path)
+        (tmp_path / "dead-entry.npz.corrupt").write_bytes(b"corpse")
         live = live_fingerprints()
-        removed_npz, removed_tmp = prune_cache(tmp_path, live=live)
+        removed_npz, removed_tmp, removed_corrupt = prune_cache(
+            tmp_path, live=live
+        )
         assert len(removed_npz) == 1 and removed_npz[0].name.startswith("stale")
         assert len(removed_tmp) == 1
+        assert len(removed_corrupt) == 1
         assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.glob("*.corrupt"))
         # The surviving entry still round-trips as a disk hit.
         _, _, src = load_or_compute_ground_truth(ctx.space, ctx.flow, tmp_path)
         assert src == GT_DISK_HIT
 
     def test_cli_ls_then_prune(self, tmp_path, capsys):
         self._seed_cache(tmp_path)
+        (tmp_path / "dead-entry.npz.corrupt").write_bytes(b"corpse")
         assert gtcache_main(["--ls", "--cache-dir", str(tmp_path)]) == 0
         listing = capsys.readouterr().out
         assert "live" in listing and "orphan" in listing
         assert "1 orphaned" in listing
+        assert "1 quarantined" in listing
+        assert "dead-entry.npz.corrupt" in listing
         assert gtcache_main(["--prune", "--cache-dir", str(tmp_path)]) == 0
         pruned = capsys.readouterr().out
         assert "removed orphan" in pruned and "removed temp" in pruned
+        assert "removed corrupt" in pruned
         assert len(list(tmp_path.glob("*.npz"))) == 1
+        assert not list(tmp_path.glob("*.corrupt"))
 
     def test_cli_missing_dir_is_graceful(self, tmp_path, capsys):
         missing = tmp_path / "never-created"
