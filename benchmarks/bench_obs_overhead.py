@@ -1,0 +1,150 @@
+"""Span-telemetry overhead gate (ISSUE 5 tentpole).
+
+Runs the fixed-seed 40-iteration GEMM optimization three times with a
+step tracer attached — spans off, spans on, spans off again — and
+asserts the ISSUE 5 acceptance criteria:
+
+- **neutrality**: the spans-on run reproduces the spans-off run's
+  ``StepRecord`` trace *bit-for-bit* (same selected configurations,
+  fidelities, acquisition values and observations) — span recording
+  reads clocks, never RNG;
+- **overhead**: spans-on wall time is at most 5% over the best
+  spans-off wall (the off/on/off pattern absorbs machine drift).
+
+Run directly for a report (writes ``BENCH_obs_overhead.json`` plus the
+CI artifacts: a sample Perfetto export ``obs_sample.trace.json`` and
+the run-report text ``obs_report.txt``)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+Compare two report files with the regression gate::
+
+    python -m repro.obs.report --compare BENCH_a.json BENCH_b.json
+"""
+
+import json
+import math
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.benchsuite.registry import get_space
+from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
+from repro.obs import JsonlTraceWriter, export_chrome_trace, read_trace
+from repro.obs.report import format_run_summary, summarize_run
+
+SEED = 2021
+N_ITER = 40
+
+#: Maximum allowed wall-clock overhead of span recording, in percent.
+MAX_OVERHEAD_PCT = 5.0
+
+
+def _selection_trace(result):
+    """The per-step selection sequence, exact-equality comparable."""
+    return [
+        (
+            r.step,
+            r.config_index,
+            int(r.fidelity),
+            None if math.isnan(r.acquisition) else r.acquisition,
+            tuple(float(v) for v in r.objectives),
+        )
+        for r in result.history
+    ]
+
+
+def _timed_run(space, trace_path, trace_spans):
+    from repro.hlsim.flow import HlsFlow
+
+    flow = HlsFlow.for_space(space)
+    settings = MFBOSettings(
+        n_iter=N_ITER, seed=SEED, trace_spans=trace_spans
+    )
+    with JsonlTraceWriter(trace_path) as tracer:
+        optimizer = CorrelatedMFBO(
+            space, flow, settings=settings, tracer=tracer
+        )
+        start = time.perf_counter()
+        result = optimizer.run()
+        wall = time.perf_counter() - start
+    return wall, result
+
+
+def run_bench(report_path=None, artifact_dir=None):
+    space = get_space("gemm")
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        wall_off_1, res_off = _timed_run(
+            space, tmp / "off1.jsonl", trace_spans=False
+        )
+        wall_on, res_on = _timed_run(
+            space, tmp / "on.jsonl", trace_spans=True
+        )
+        wall_off_2, _ = _timed_run(
+            space, tmp / "off2.jsonl", trace_spans=False
+        )
+        n_spans = len(read_trace(tmp / "on.jsonl", "span"))
+        if artifact_dir is not None:
+            artifact_dir = Path(artifact_dir)
+            export_chrome_trace(
+                [tmp / "on.jsonl"], artifact_dir / "obs_sample.trace.json"
+            )
+            summary = summarize_run([tmp / "on.jsonl"])
+            (artifact_dir / "obs_report.txt").write_text(
+                format_run_summary(summary) + "\n"
+            )
+    off_s = min(wall_off_1, wall_off_2)
+    overhead_pct = 100.0 * (wall_on / off_s - 1.0)
+    report = {
+        "benchmark": "gemm",
+        "seed": SEED,
+        "n_iter": N_ITER,
+        "off_s": off_s,
+        "off_runs_s": [wall_off_1, wall_off_2],
+        "on_s": wall_on,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "n_span_events": n_spans,
+        "bitwise_identical": (
+            _selection_trace(res_on) == _selection_trace(res_off)
+        ),
+        "history_records_compared": len(res_on.history),
+    }
+    if report_path is not None:
+        Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+@pytest.mark.slow
+def test_span_overhead_and_neutrality():
+    report = run_bench()
+    assert report["bitwise_identical"], (
+        "enabling span tracing changed the optimizer's selections"
+    )
+    assert report["n_span_events"] > 0
+    assert report["overhead_pct"] <= MAX_OVERHEAD_PCT, (
+        f"span telemetry costs {report['overhead_pct']:.1f}% wall "
+        f"({report['on_s']:.1f}s vs {report['off_s']:.1f}s); "
+        f"budget is {MAX_OVERHEAD_PCT}%"
+    )
+
+
+def main() -> None:
+    report = run_bench(
+        report_path="BENCH_obs_overhead.json", artifact_dir="."
+    )
+    print(json.dumps(report, indent=2))
+    print("wrote BENCH_obs_overhead.json, obs_sample.trace.json, "
+          "obs_report.txt")
+    assert report["bitwise_identical"]
+    assert report["overhead_pct"] <= MAX_OVERHEAD_PCT, (
+        f"span overhead {report['overhead_pct']:.1f}% exceeds "
+        f"{MAX_OVERHEAD_PCT}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -27,9 +27,6 @@ Quickstart
 True
 """
 
-from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
-from repro.core.result import OptimizationResult
-
 __version__ = "1.0.0"
 
 __all__ = [
@@ -40,20 +37,44 @@ __all__ = [
     "__version__",
 ]
 
+# Lazy re-exports (PEP 562): importing the package must NOT pull in the
+# optimizer stack (numpy/scipy) — the observability CLIs
+# (``python -m repro.obs.monitor`` / ``.report`` / ``.spans``) live
+# under this package but are stdlib-only by design, so they can tail a
+# sweep from any shell without the heavyweight imports.
+_LAZY_EXPORTS = {
+    "CorrelatedMFBO": ("repro.core.optimizer", "CorrelatedMFBO"),
+    "MFBOSettings": ("repro.core.optimizer", "MFBOSettings"),
+    "OptimizationResult": ("repro.core.result", "OptimizationResult"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module, attr = _LAZY_EXPORTS[name]
+        value = getattr(importlib.import_module(module), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 def optimize_kernel(
     kernel,
     n_iter: int = 40,
     seed: int = 0,
-    settings: MFBOSettings | None = None,
+    settings=None,
     device=None,
-) -> OptimizationResult:
+):
     """One-call convenience wrapper: kernel in, Pareto set out.
 
     Builds the pruned design space (Algorithm 1), the simulated flow,
     and runs the correlated multi-fidelity BO loop (Algorithm 2) with
-    the paper's defaults.
+    the paper's defaults.  Returns an
+    :class:`~repro.core.result.OptimizationResult`.
     """
+    from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
     from repro.dse.space import DesignSpace
     from repro.hlsim.device import VC707
     from repro.hlsim.flow import HlsFlow

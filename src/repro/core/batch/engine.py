@@ -47,6 +47,7 @@ from repro.core.resilience.retry import (
 )
 from repro.hlsim.flow import _stable_seed
 from repro.hlsim.reports import ALL_FIDELITIES, Fidelity, FlowResult
+from repro.obs.spans import NULL_SPANS
 from repro.obs.timing import Metrics
 from repro.obs.trace import TRACE_SCHEMA_VERSION
 
@@ -127,6 +128,7 @@ class EvalEngine:
         clamp: bool = True,
         retry_policy: RetryPolicy | None = None,
         seed: int = 0,
+        spans=NULL_SPANS,
     ):
         if clamp:
             workers = resolve_worker_count(workers, label="eval_workers")
@@ -134,6 +136,7 @@ class EvalEngine:
         self.timeout_s = timeout_s
         self.retry_policy = retry_policy or RetryPolicy()
         self.seed = seed
+        self.spans = spans
         self._space = space
         self._flow = flow
         if flow_factory is None:
@@ -189,13 +192,17 @@ class EvalEngine:
         flow = self._worker_flow()
         start = time.perf_counter()
         try:
-            outcome = evaluate_with_policy(
-                flow,
-                self._space[job.config_index],
-                fidelity,
-                self.retry_policy,
-                rng=self._job_rng(job),
-            )
+            with self.spans.span(
+                "flow_eval", cat="eval", step=job.step,
+                config_index=job.config_index, fidelity=fidelity.short_name,
+            ):
+                outcome = evaluate_with_policy(
+                    flow,
+                    self._space[job.config_index],
+                    fidelity,
+                    self.retry_policy,
+                    rng=self._job_rng(job),
+                )
             error = None
         except Exception:
             outcome = None
@@ -233,13 +240,18 @@ class EvalEngine:
     def _evaluate_inline(self, job: EvalJob) -> EvalOutcome:
         start = time.perf_counter()
         try:
-            outcome = evaluate_with_policy(
-                self._flow,
-                self._space[job.config_index],
-                job.fidelity,
-                self.retry_policy,
-                rng=self._job_rng(job),
-            )
+            with self.spans.span(
+                "flow_eval", cat="eval", step=job.step,
+                config_index=job.config_index,
+                fidelity=job.fidelity.short_name,
+            ):
+                outcome = evaluate_with_policy(
+                    self._flow,
+                    self._space[job.config_index],
+                    job.fidelity,
+                    self.retry_policy,
+                    rng=self._job_rng(job),
+                )
             error = None
         except Exception:
             outcome = None
@@ -375,33 +387,39 @@ def run_batch_loop(opt, start_step: int = 0, start_round: int = 0) -> None:
         timeout_s=settings.eval_timeout_s,
         retry_policy=opt._retry_policy,
         seed=settings.seed,
+        spans=opt.spans,
     )
+    spans = opt.spans
     try:
         t = start_step
         rnd = start_round
         while t < settings.n_iter:
             q = min(settings.batch_size, settings.n_iter - t)
-            before = opt.metrics.snapshot()
-            select_start = time.perf_counter()
-            optimize = (t % settings.refit_every) == 0
-            with opt.metrics.timed("fit_s"):
-                opt._fit_stack(optimize=optimize)
-            proposals = select_batch(opt, q, step0=t)
-            select_s = time.perf_counter() - select_start
-            if not proposals:
-                break  # design space exhausted
-            if tracer is not None:
-                _trace_proposals(opt, rnd, proposals, select_s, before)
-            jobs = [
-                EvalJob(
-                    order=p.slot,
-                    step=p.step,
-                    config_index=p.config_index,
-                    fidelity=p.fidelity,
-                )
-                for p in proposals
-            ]
-            outcomes = engine.evaluate(jobs)
+            with spans.span("round", cat="step", step=t, round=rnd, q=q):
+                before = opt.metrics.snapshot()
+                select_start = time.perf_counter()
+                optimize = (t % settings.refit_every) == 0
+                with opt.metrics.timed("fit_s"), spans.span(
+                    "fit", cat="fit", step=t, optimize=optimize
+                ):
+                    opt._fit_stack(optimize=optimize)
+                with spans.span("select", cat="acquire", step=t):
+                    proposals = select_batch(opt, q, step0=t)
+                select_s = time.perf_counter() - select_start
+                if not proposals:
+                    break  # design space exhausted
+                if tracer is not None:
+                    _trace_proposals(opt, rnd, proposals, select_s, before)
+                jobs = [
+                    EvalJob(
+                        order=p.slot,
+                        step=p.step,
+                        config_index=p.config_index,
+                        fidelity=p.fidelity,
+                    )
+                    for p in proposals
+                ]
+                outcomes = engine.evaluate(jobs)
             for proposal, outcome in zip(proposals, outcomes):
                 if outcome.error is not None:
                     raise FlowEvalError(

@@ -67,6 +67,7 @@ from repro.core.result import OptimizationResult, StepRecord
 from repro.dse.space import DesignSpace
 from repro.hlsim.flow import HlsFlow, _stable_seed
 from repro.hlsim.reports import ALL_FIDELITIES, NUM_OBJECTIVES, Fidelity
+from repro.obs.spans import NULL_SPANS, SpanRecorder
 from repro.obs.timing import Metrics
 from repro.obs.trace import TRACE_SCHEMA_VERSION, JsonlTraceWriter
 
@@ -131,6 +132,13 @@ class MFBOSettings:
     punish_on_failure: bool = True
     journal_path: str | None = None
     resume_from: str | None = None
+    # Telemetry (:mod:`repro.obs.spans`).  ``trace_spans`` additionally
+    # records nested wall-time spans (fit / predict / acquire /
+    # flow_eval per fidelity, with (pid, tid) attribution) into the
+    # run's JSONL trace for Perfetto export.  Spans read clocks only —
+    # never the RNG — so enabling them cannot change selections
+    # (regression-tested); they are a no-op without a ``tracer``.
+    trace_spans: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -221,6 +229,11 @@ class CorrelatedMFBO:
         self.settings = settings or MFBOSettings()
         self.method_name = method_name
         self.tracer = tracer
+        self.spans = (
+            SpanRecorder(tracer)
+            if (self.settings.trace_spans and tracer is not None)
+            else NULL_SPANS
+        )
         self.metrics = Metrics()
         self.rng = np.random.default_rng(self.settings.seed)
         self._data = {f: _FidelityData() for f in ALL_FIDELITIES}
@@ -307,7 +320,10 @@ class CorrelatedMFBO:
     ) -> None:
         """Run the flow up to ``fidelity`` under the retry policy and
         fold whatever it yields (possibly degraded or punished) in."""
-        with self.metrics.timed("eval_s"):
+        with self.metrics.timed("eval_s"), self.spans.span(
+            "flow_eval", cat="eval", step=step, config_index=index,
+            fidelity=fidelity.short_name,
+        ):
             outcome = evaluate_with_policy(
                 self.flow,
                 self.space[index],
@@ -559,27 +575,38 @@ class CorrelatedMFBO:
                 record["resumed"] = True
             self.tracer.write(record)
         try:
-            if plan is not None:
-                self._replay(plan)
-                start_step, start_round = plan.next_step, plan.next_round
-                loop_done = plan.loop_done
-            else:
-                self._journal_phase = "init"
-                self._initial_design()
-                start_step, start_round, loop_done = 0, 0, False
-            self._journal_phase = "loop"
-            if not loop_done:
-                if self.settings.use_batch_engine:
-                    from repro.core.batch.engine import run_batch_loop
-
-                    run_batch_loop(
-                        self, start_step=start_step, start_round=start_round
+            with self.spans.span(
+                "run", cat="run",
+                kernel=self.space.kernel.name, method=self.method_name,
+            ):
+                if plan is not None:
+                    with self.spans.span("replay", cat="phase"):
+                        self._replay(plan)
+                    start_step, start_round = (
+                        plan.next_step, plan.next_round
                     )
+                    loop_done = plan.loop_done
                 else:
-                    self._run_sequential_loop(start=start_step)
-            if self.settings.final_verification:
-                self._journal_phase = "verify"
-                self._verify_pareto_candidates()
+                    self._journal_phase = "init"
+                    with self.spans.span("init", cat="phase"):
+                        self._initial_design()
+                    start_step, start_round, loop_done = 0, 0, False
+                self._journal_phase = "loop"
+                if not loop_done:
+                    if self.settings.use_batch_engine:
+                        from repro.core.batch.engine import run_batch_loop
+
+                        run_batch_loop(
+                            self,
+                            start_step=start_step,
+                            start_round=start_round,
+                        )
+                    else:
+                        self._run_sequential_loop(start=start_step)
+                if self.settings.final_verification:
+                    self._journal_phase = "verify"
+                    with self.spans.span("verify", cat="phase"):
+                        self._verify_pareto_candidates()
         finally:
             if self._journal is not None:
                 self._journal.close()
@@ -686,18 +713,21 @@ class CorrelatedMFBO:
 
     def _run_sequential_loop(self, start: int = 0) -> None:
         for t in range(start, self.settings.n_iter):
-            step_start = time.perf_counter()
-            before = self.metrics.snapshot()
-            optimize = (t % self.settings.refit_every) == 0
-            with self.metrics.timed("fit_s"):
-                self._fit_stack(optimize=optimize)
-            choice = self._select(t)
-            if choice is None:
-                break  # design space exhausted
-            index, fidelity, score = choice
-            self._evaluate(index, fidelity, acquisition=score, step=t)
-            if self.tracer is not None:
-                self._trace_step(step_start, before)
+            with self.spans.span("step", cat="step", step=t):
+                step_start = time.perf_counter()
+                before = self.metrics.snapshot()
+                optimize = (t % self.settings.refit_every) == 0
+                with self.metrics.timed("fit_s"), self.spans.span(
+                    "fit", cat="fit", step=t, optimize=optimize
+                ):
+                    self._fit_stack(optimize=optimize)
+                choice = self._select(t)
+                if choice is None:
+                    break  # design space exhausted
+                index, fidelity, score = choice
+                self._evaluate(index, fidelity, acquisition=score, step=t)
+                if self.tracer is not None:
+                    self._trace_step(step_start, before)
 
     def _trace_step(self, step_start: float, before: dict) -> None:
         record = self._history[-1]
@@ -855,9 +885,13 @@ class CorrelatedMFBO:
             eligible = ~self._eval_mask[fidelity][pool] & ~pending
             if not eligible.any():
                 continue
-            with metrics.timed("predict_s"):
+            with metrics.timed("predict_s"), self.spans.span(
+                "predict", cat="predict", fidelity=fidelity.short_name
+            ):
                 means, covs = stack.predict(int(fidelity), X)
-            with metrics.timed("hvi_s"):
+            with metrics.timed("hvi_s"), self.spans.span(
+                "acquire", cat="acquire", fidelity=fidelity.short_name
+            ):
                 scores = eipv_mc(
                     means,
                     covs,

@@ -8,7 +8,8 @@ verification pass — and reports mean ADRS and simulated tool time.
 Usage: ``python -m repro.experiments.ablations [--benchmark NAME]
 [--repeats N] [--iters N] [--workers N] [--batch-size Q]
 [--eval-workers N] [--cache-dir DIR] [--journal-dir DIR] [--resume]
-[--retry-max-attempts N] [--retry-backoff-s S] [--no-degrade]``
+[--retry-max-attempts N] [--retry-backoff-s S] [--no-degrade]
+[--trace-dir DIR] [--trace-spans]``
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ import numpy as np
 
 from repro.core.optimizer import CorrelatedMFBO, MFBOSettings
 from repro.experiments.harness import BenchmarkContext, method_seed
+from repro.obs.trace import JsonlTraceWriter
 
 ABLATIONS: dict[str, dict] = {
     "full": {},
@@ -52,6 +54,8 @@ def ablation_job(
     degrade_on_failure: bool = True,
     journal_dir: str | None = None,
     resume: bool = False,
+    trace_dir: str | None = None,
+    trace_spans: bool = False,
 ) -> tuple[float, float]:
     """One (ablation, repeat) cell: ``(adrs, runtime_s)``.
 
@@ -77,12 +81,24 @@ def ablation_job(
         degrade_on_failure=degrade_on_failure,
         journal_path=journal_path,
         resume_from=journal_path if resume else None,
+        trace_spans=trace_spans,
         seed=seed,
         **ABLATIONS[label],
     )
-    result = CorrelatedMFBO(
-        ctx.space, ctx.flow, settings, method_name=label
-    ).run()
+    tracer = None
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+        tracer = JsonlTraceWriter(
+            Path(trace_dir)
+            / f"{benchmark}.{_label_slug(label)}.seed{seed}.jsonl"
+        )
+    try:
+        result = CorrelatedMFBO(
+            ctx.space, ctx.flow, settings, method_name=label, tracer=tracer
+        ).run()
+    finally:
+        if tracer is not None:
+            tracer.close()
     return ctx.score(result), result.total_runtime_s
 
 
@@ -103,6 +119,8 @@ def run(
     retry_max_attempts: int = 3,
     retry_backoff_s: float = 0.0,
     degrade_on_failure: bool = True,
+    trace_dir: str | None = None,
+    trace_spans: bool = False,
 ) -> dict[str, dict]:
     cells: dict[tuple[str, int], tuple[float, float]] = {}
     resilience_kwargs = dict(
@@ -111,6 +129,8 @@ def run(
         degrade_on_failure=degrade_on_failure,
         journal_dir=journal_dir,
         resume=resume,
+        trace_dir=trace_dir,
+        trace_spans=trace_spans,
     )
     if workers > 1 or (journal_dir is not None and resume):
         from repro.experiments.parallel import Job, raise_failures, run_jobs
@@ -190,9 +210,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-degrade", action="store_true",
                         help="fail instead of degrading fidelity on "
                              "retry exhaustion")
+    parser.add_argument("--trace-dir", default="",
+                        help="write per-cell JSONL traces here")
+    parser.add_argument("--trace-spans", action="store_true",
+                        help="record nested spans into the traces "
+                             "(requires --trace-dir)")
     args = parser.parse_args(argv)
     if args.resume and not args.journal_dir:
         parser.error("--resume requires --journal-dir")
+    if args.trace_spans and not args.trace_dir:
+        parser.error("--trace-spans requires --trace-dir")
     run(
         benchmark=args.benchmark,
         repeats=args.repeats,
@@ -207,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         retry_max_attempts=args.retry_max_attempts,
         retry_backoff_s=args.retry_backoff_s,
         degrade_on_failure=not args.no_degrade,
+        trace_dir=args.trace_dir or None,
+        trace_spans=args.trace_spans,
     )
     return 0
 

@@ -7,7 +7,7 @@ the motivation for the *non-linear* multi-fidelity model (Sec. IV-A).
 
 Usage: ``python -m repro.experiments.fig5 [--benchmarks gemm,...]
 [--workers N] [--eval-workers N] [--cache-dir DIR]
-[--journal-dir DIR] [--resume]``
+[--journal-dir DIR] [--resume] [--trace-dir DIR] [--trace-spans]``
 
 ``--workers`` pools whole benchmarks across processes;
 ``--eval-workers`` additionally splits each benchmark's whole-space
@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
 from repro.experiments.harness import BenchmarkContext
 from repro.hlsim.flow import fidelity_sweep
 from repro.hlsim.reports import ALL_FIDELITIES
+from repro.obs.spans import NULL_SPANS, SpanRecorder
+from repro.obs.trace import JsonlTraceWriter
 
 DEFAULT_BENCHMARKS = ("gemm", "spmv_ellpack")
 
@@ -72,12 +75,28 @@ def divergence_score(delays: dict[str, np.ndarray]) -> float:
 
 
 def sweep_job(
-    name: str, cache_dir: str | None = None, eval_workers: int = 1
+    name: str,
+    cache_dir: str | None = None,
+    eval_workers: int = 1,
+    trace_dir: str | None = None,
+    trace_spans: bool = False,
 ) -> dict:
     """One benchmark's Fig. 5 entry (module-level: picklable worker body)."""
-    delays = normalized_delays(
-        name, cache_dir=cache_dir, eval_workers=eval_workers
-    )
+    tracer = None
+    spans = NULL_SPANS
+    if trace_dir is not None and trace_spans:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+        tracer = JsonlTraceWriter(Path(trace_dir) / f"{name}.sweep.jsonl")
+        spans = SpanRecorder(tracer)
+    try:
+        with spans.span("sweep", cat="eval", kernel=name,
+                        eval_workers=eval_workers):
+            delays = normalized_delays(
+                name, cache_dir=cache_dir, eval_workers=eval_workers
+            )
+    finally:
+        if tracer is not None:
+            tracer.close()
     rank_corr = float(
         np.corrcoef(
             np.argsort(np.argsort(delays["hls"])),
@@ -100,6 +119,8 @@ def run(
     eval_workers: int = 1,
     journal_dir: str | None = None,
     resume: bool = False,
+    trace_dir: str | None = None,
+    trace_spans: bool = False,
 ) -> dict[str, dict]:
     results = {}
     if workers > 1 or journal_dir is not None:
@@ -109,19 +130,24 @@ def run(
             Job(benchmark=name, method="fig5-sweep", repeat=0,
                 fn=sweep_job,
                 kwargs=dict(name=name, cache_dir=cache_dir,
-                            eval_workers=eval_workers))
+                            eval_workers=eval_workers,
+                            trace_dir=trace_dir, trace_spans=trace_spans))
             for name in benchmarks
         ]
+        trace_path = (
+            Path(trace_dir) / "fig5.jobs.jsonl" if trace_dir else None
+        )
         outcomes = run_jobs(
-            jobs, workers=workers, cache_dir=cache_dir,
-            snapshot_dir=journal_dir, resume=resume,
+            jobs, workers=workers, trace_path=trace_path,
+            cache_dir=cache_dir, snapshot_dir=journal_dir, resume=resume,
         )
         raise_failures(outcomes)
         results = {o.job.benchmark: o.value for o in outcomes}
     else:
         for name in benchmarks:
             results[name] = sweep_job(
-                name, cache_dir=cache_dir, eval_workers=eval_workers
+                name, cache_dir=cache_dir, eval_workers=eval_workers,
+                trace_dir=trace_dir, trace_spans=trace_spans,
             )
     for name in benchmarks:
         if verbose:
@@ -156,9 +182,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="snapshot finished per-benchmark sweeps here")
     parser.add_argument("--resume", action="store_true",
                         help="restore finished sweeps from --journal-dir")
+    parser.add_argument("--trace-dir", default="",
+                        help="write sweep trace files here")
+    parser.add_argument("--trace-spans", action="store_true",
+                        help="record spans around each sweep "
+                             "(requires --trace-dir)")
     args = parser.parse_args(argv)
     if args.resume and not args.journal_dir:
         parser.error("--resume requires --journal-dir")
+    if args.trace_spans and not args.trace_dir:
+        parser.error("--trace-spans requires --trace-dir")
     run(
         tuple(b for b in args.benchmarks.split(",") if b),
         workers=args.workers,
@@ -166,6 +199,8 @@ def main(argv: list[str] | None = None) -> int:
         eval_workers=args.eval_workers,
         journal_dir=args.journal_dir or None,
         resume=args.resume,
+        trace_dir=args.trace_dir or None,
+        trace_spans=args.trace_spans,
     )
     return 0
 

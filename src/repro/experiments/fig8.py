@@ -11,7 +11,7 @@ points".
 Usage: ``python -m repro.experiments.fig8 [--scale smoke|small|paper]
 [--workers N] [--batch-size Q] [--eval-workers N] [--cache-dir DIR]
 [--journal-dir DIR] [--resume] [--retry-max-attempts N]
-[--retry-backoff-s S] [--no-degrade]``
+[--retry-backoff-s S] [--no-degrade] [--trace-dir DIR] [--trace-spans]``
 
 ``--journal-dir``/``--resume`` checkpoint and resume the BO cells
 (bitwise identical to an uninterrupted run); the retry flags tune the
@@ -57,6 +57,8 @@ def run(
     retry_max_attempts: int = 3,
     retry_backoff_s: float = 0.0,
     degrade_on_failure: bool = True,
+    trace_dir: str | None = None,
+    trace_spans: bool = False,
 ) -> dict[str, dict]:
     from repro.experiments.table1 import apply_overrides
 
@@ -65,10 +67,11 @@ def run(
         retry_max_attempts=retry_max_attempts,
         retry_backoff_s=retry_backoff_s,
         degrade_on_failure=degrade_on_failure,
+        trace_spans=trace_spans,
     )
     method_runs = _collect_method_runs(
         benchmarks, scale, base_seed, workers=workers, cache_dir=cache_dir,
-        journal_dir=journal_dir, resume=resume,
+        journal_dir=journal_dir, resume=resume, trace_dir=trace_dir,
     )
     results: dict[str, dict] = {}
     for name in benchmarks:
@@ -106,6 +109,7 @@ def _collect_method_runs(
     cache_dir: str | None = None,
     journal_dir: str | None = None,
     resume: bool = False,
+    trace_dir: str | None = None,
 ) -> dict:
     """One MethodRun per (benchmark, method) cell, parallel when asked."""
     if workers > 1 or (journal_dir is not None and resume):
@@ -121,8 +125,8 @@ def _collect_method_runs(
                 fn=run_method_job,
                 kwargs=dict(benchmark=name, method=method, scale=scale,
                             seed=method_seed(base_seed, method, 0),
-                            cache_dir=cache_dir, journal_dir=journal_dir,
-                            resume=resume))
+                            trace_dir=trace_dir, cache_dir=cache_dir,
+                            journal_dir=journal_dir, resume=resume))
             for name in benchmarks
             for method in TABLE1_METHODS
         ]
@@ -140,7 +144,7 @@ def _collect_method_runs(
         for method in TABLE1_METHODS:
             runs[(name, method)] = run_method(
                 ctx, method, scale, seed=method_seed(base_seed, method, 0),
-                journal_dir=journal_dir, resume=resume,
+                trace_dir=trace_dir, journal_dir=journal_dir, resume=resume,
             )
     return runs
 
@@ -183,9 +187,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-degrade", action="store_true",
                         help="fail instead of degrading fidelity on "
                              "retry exhaustion")
+    parser.add_argument("--trace-dir", default="",
+                        help="write per-cell JSONL traces here")
+    parser.add_argument("--trace-spans", action="store_true",
+                        help="record nested spans into the traces "
+                             "(requires --trace-dir)")
     args = parser.parse_args(argv)
     if args.resume and not args.journal_dir:
         parser.error("--resume requires --journal-dir")
+    if args.trace_spans and not args.trace_dir:
+        parser.error("--trace-spans requires --trace-dir")
     run(
         tuple(b for b in args.benchmarks.split(",") if b),
         scale_name=args.scale,
@@ -199,6 +210,8 @@ def main(argv: list[str] | None = None) -> int:
         retry_max_attempts=args.retry_max_attempts,
         retry_backoff_s=args.retry_backoff_s,
         degrade_on_failure=not args.no_degrade,
+        trace_dir=args.trace_dir or None,
+        trace_spans=args.trace_spans,
     )
     return 0
 

@@ -71,6 +71,10 @@ class ExperimentScale:
     retry_max_attempts: int = 3
     retry_backoff_s: float = 0.0
     degrade_on_failure: bool = True
+    # Telemetry (repro.obs.spans): record nested spans into the per-run
+    # trace file.  Off by default; spans only read clocks, so enabling
+    # them does not change selections.
+    trace_spans: bool = False
 
     def bo_settings(
         self,
@@ -91,6 +95,7 @@ class ExperimentScale:
             retry_max_attempts=self.retry_max_attempts,
             retry_backoff_s=self.retry_backoff_s,
             degrade_on_failure=self.degrade_on_failure,
+            trace_spans=self.trace_spans,
             journal_path=str(journal_path) if journal_path else None,
             resume_from=(
                 str(journal_path) if journal_path and resume else None

@@ -100,6 +100,7 @@ class JobOutcome:
     exec_s: float = 0.0
     worker: int = 0  # worker process id
     gt_cache: str = "unknown"  # "computed" | "disk-hit" | "unknown"
+    t_start: float | None = None  # epoch second the job began executing
 
     @property
     def ok(self) -> bool:
@@ -112,7 +113,8 @@ def _invoke(job: Job, submitted_at: float) -> JobOutcome:
     Exceptions are captured as a formatted traceback so a crashing job
     surfaces its identity without poisoning the pool.
     """
-    queue_wait = max(0.0, time.time() - submitted_at)
+    t_start = time.time()
+    queue_wait = max(0.0, t_start - submitted_at)
     started = time.perf_counter()
     value: Any = None
     error: str | None = None
@@ -130,6 +132,7 @@ def _invoke(job: Job, submitted_at: float) -> JobOutcome:
         exec_s=exec_s,
         worker=os.getpid(),
         gt_cache=getattr(ctx, "gt_source", "unknown"),
+        t_start=t_start,
     )
 
 
@@ -317,6 +320,7 @@ def _write_job_trace(
                 "worker": outcome.worker,
                 "queue_wait_s": outcome.queue_wait_s,
                 "exec_s": outcome.exec_s,
+                "t_start": outcome.t_start,
                 "gt_cache": outcome.gt_cache,
                 "ok": outcome.ok,
                 "error": (

@@ -10,6 +10,7 @@ Usage::
                                        [--journal-dir DIR] [--resume]
                                        [--retry-max-attempts N]
                                        [--retry-backoff-s S] [--no-degrade]
+                                       [--trace-dir DIR] [--trace-spans]
 
 ``--workers N`` fans the (benchmark, method, repeat) cells out over a
 process pool (results are bitwise identical to the sequential run);
@@ -25,6 +26,14 @@ run journal (and, with ``--workers``, snapshots completed cells);
 the finished table is bitwise identical to an uninterrupted run.  The
 retry flags tune the fault-handling policy of the flow-evaluation
 layer (:mod:`repro.core.resilience`).
+
+``--trace-dir DIR`` writes per-cell JSONL traces; adding
+``--trace-spans`` records nested spans (fit/predict/acquire/flow_eval)
+into those traces without changing any selection.  Merge and view a
+sweep's traces with ``python -m repro.obs.spans DIR -o run.trace.json``
+(opens in Perfetto), tail a running sweep with
+``python -m repro.obs.monitor DIR``, and summarize a finished one with
+``python -m repro.obs.report DIR``.
 
 All three metrics are normalized to the ANN baseline, exactly as the
 paper reports them ("expressed as ratios to the results of ANN").
@@ -121,8 +130,9 @@ def apply_overrides(
     retry_max_attempts: int = 3,
     retry_backoff_s: float = 0.0,
     degrade_on_failure: bool = True,
+    trace_spans: bool = False,
 ) -> ExperimentScale:
-    """Fold non-default batch/resilience CLI knobs into a scale."""
+    """Fold non-default batch/resilience/telemetry CLI knobs into a scale."""
     overrides = {}
     if batch_size != 1:
         overrides["batch_size"] = batch_size
@@ -134,6 +144,8 @@ def apply_overrides(
         overrides["retry_backoff_s"] = retry_backoff_s
     if not degrade_on_failure:
         overrides["degrade_on_failure"] = False
+    if trace_spans:
+        overrides["trace_spans"] = True
     return replace(scale, **overrides) if overrides else scale
 
 
@@ -152,6 +164,8 @@ def run(
     retry_max_attempts: int = 3,
     retry_backoff_s: float = 0.0,
     degrade_on_failure: bool = True,
+    trace_dir: str | None = None,
+    trace_spans: bool = False,
 ) -> tuple[list[Table1Row], list[dict]]:
     """Run the full Table I experiment and return raw + normalized rows."""
     scale = apply_overrides(
@@ -159,6 +173,7 @@ def run(
         retry_max_attempts=retry_max_attempts,
         retry_backoff_s=retry_backoff_s,
         degrade_on_failure=degrade_on_failure,
+        trace_spans=trace_spans,
     )
     names = tuple(benchmarks) if benchmarks else tuple(benchmark_names())
     if workers > 1:
@@ -167,8 +182,8 @@ def run(
         rows = run_table1_parallel(
             benchmarks=names, methods=methods, scale=scale,
             base_seed=base_seed, workers=workers, verbose=verbose,
-            cache_dir=cache_dir, journal_dir=journal_dir,
-            snapshot_dir=journal_dir, resume=resume,
+            trace_dir=trace_dir, cache_dir=cache_dir,
+            journal_dir=journal_dir, snapshot_dir=journal_dir, resume=resume,
         )
         return rows, normalized_rows(rows)
     rows: list[Table1Row] = []
@@ -177,7 +192,7 @@ def run(
             print(f"benchmark {name}:", flush=True)
         runs = run_benchmark(
             name, methods=methods, scale=scale, base_seed=base_seed,
-            verbose=verbose, cache_dir=cache_dir,
+            verbose=verbose, trace_dir=trace_dir, cache_dir=cache_dir,
             journal_dir=journal_dir, resume=resume,
         )
         rows.append(summarize_benchmark(name, runs))
@@ -211,10 +226,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-degrade", action="store_true",
                         help="fail instead of degrading fidelity on "
                              "retry exhaustion")
+    parser.add_argument("--trace-dir", default="",
+                        help="write per-cell JSONL traces here")
+    parser.add_argument("--trace-spans", action="store_true",
+                        help="record nested spans into the traces "
+                             "(requires --trace-dir; view with "
+                             "python -m repro.obs.spans)")
     args = parser.parse_args(argv)
 
     if args.resume and not args.journal_dir:
         parser.error("--resume requires --journal-dir")
+    if args.trace_spans and not args.trace_dir:
+        parser.error("--trace-spans requires --trace-dir")
     benchmarks = (
         tuple(b for b in args.benchmarks.split(",") if b)
         if args.benchmarks
@@ -234,6 +257,8 @@ def main(argv: list[str] | None = None) -> int:
         retry_max_attempts=args.retry_max_attempts,
         retry_backoff_s=args.retry_backoff_s,
         degrade_on_failure=not args.no_degrade,
+        trace_dir=args.trace_dir or None,
+        trace_spans=args.trace_spans,
     )
     print(format_table(normalized, TABLE1_METHODS))
     if args.json:

@@ -1,0 +1,415 @@
+"""Live sweep monitor: tail journals/traces of a running experiment.
+
+::
+
+    python -m repro.obs.monitor RUN_DIR [--interval 2] [--once]
+
+Point it at the directory a sweep is writing into (``--journal-dir``
+and/or ``--trace-dir`` of the experiment drivers).  Every refresh it
+tails the ``*.journal.jsonl`` run journals and ``*.jsonl`` trace files
+for *newly appended* lines and redraws in place:
+
+- per-cell progress (committed evaluations vs. the journaled budget,
+  current phase, retries/degradations) with the cell's **current Pareto
+  hypervolume** — computed from the valid committed objectives
+  ``[power_w, delay_us, lut_util]`` against a per-cell reference point
+  (componentwise worst seen + 10%), so the number is comparable across
+  refreshes of one cell, not across cells;
+- sweep-wide fault / retry / degrade / resume counters;
+- worker utilization (busy time per worker pid/thread from ``job``
+  lines and ``flow_eval`` spans, relative to the trace extent).
+
+The monitor deliberately imports **nothing from the hot path** — not
+even :mod:`repro.obs.trace` — only the standard library.  It re-parses
+raw JSONL itself (torn trailing lines of a live file are expected and
+skipped, and a journal rewritten by a resume is detected by shrinkage
+and re-read from the top), so it can run on any machine that sees the
+files, with zero risk of importing numpy/scipy into a login shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from collections import defaultdict
+from pathlib import Path
+
+__all__ = [
+    "TraceTail",
+    "SweepState",
+    "pareto_front",
+    "hypervolume",
+    "scan_files",
+    "render",
+    "main",
+]
+
+
+# ----------------------------------------------------------------------
+# pure-python Pareto / hypervolume (minimization)
+# ----------------------------------------------------------------------
+
+
+def pareto_front(points: list[tuple[float, ...]]) -> list[tuple[float, ...]]:
+    """Non-dominated subset (all objectives minimized); O(n^2), fine
+    for the tens-to-hundreds of committed points a cell accumulates."""
+    front: list[tuple[float, ...]] = []
+    for p in points:
+        if any(math.isnan(v) for v in p):
+            continue
+        dominated = False
+        for q in points:
+            if q is p:
+                continue
+            if all(a <= b for a, b in zip(q, p)) and any(
+                a < b for a, b in zip(q, p)
+            ):
+                dominated = True
+                break
+        if not dominated and p not in front:
+            front.append(p)
+    return front
+
+
+def _union_area_2d(
+    boxes: list[tuple[float, float]], rx: float, ry: float
+) -> float:
+    """Area of the union of [x, rx] x [y, ry] boxes (staircase sweep)."""
+    pts = sorted({(x, y) for x, y in boxes if x < rx and y < ry})
+    area = 0.0
+    best_y = ry
+    for x, y in pts:  # ascending x
+        if y < best_y:
+            area += (rx - x) * (best_y - y)
+            best_y = y
+    return area
+
+
+def hypervolume(
+    front: list[tuple[float, ...]], ref: tuple[float, ...]
+) -> float:
+    """Dominated hypervolume of a 3-objective front against ``ref``.
+
+    Slices along the third objective: between consecutive z levels the
+    dominated cross-section is a 2-D union of boxes, so the volume is
+    the sum of (slab height x union area).  Exact, stdlib-only, and
+    O(n^2 log n) — plenty for a monitor refresh.
+    """
+    pts = [p for p in front if all(a < b for a, b in zip(p, ref))]
+    if not pts:
+        return 0.0
+    if len(ref) == 2:
+        return _union_area_2d([(p[0], p[1]) for p in pts], ref[0], ref[1])
+    levels = sorted({p[2] for p in pts}) + [ref[2]]
+    volume = 0.0
+    for lo, hi in zip(levels, levels[1:]):
+        active = [(p[0], p[1]) for p in pts if p[2] <= lo]
+        if active:
+            volume += (hi - lo) * _union_area_2d(active, ref[0], ref[1])
+    return volume
+
+
+# ----------------------------------------------------------------------
+# incremental file tailing
+# ----------------------------------------------------------------------
+
+
+class TraceTail:
+    """Tail one JSONL file, yielding newly appended complete records.
+
+    Keeps a byte offset; a shrinking file (journal rewritten by a
+    resume) resets the offset to zero so the new contents are re-read.
+    A trailing partial line (live writer mid-append) stays unread until
+    its newline arrives.
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.offset = 0
+
+    def read_new(self) -> list[dict]:
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self.offset:
+            self.offset = 0  # rewritten (resume) — start over
+        if size == self.offset:
+            return []
+        with self.path.open("rb") as handle:
+            handle.seek(self.offset)
+            blob = handle.read(size - self.offset)
+        end = blob.rfind(b"\n")
+        if end < 0:
+            return []  # no complete line yet
+        self.offset += end + 1
+        records = []
+        for line in blob[: end + 1].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn or foreign line — a tail never crashes
+        return records
+
+
+def _float(value) -> float:
+    """Journal floats may be sentinel strings ("NaN"/"Infinity")."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return math.nan
+
+
+# ----------------------------------------------------------------------
+# sweep state
+# ----------------------------------------------------------------------
+
+
+class CellState:
+    """Progress of one (benchmark, method, seed) cell's journal."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.label = name
+        self.budget: int | None = None  # sum(n_init) + n_iter
+        self.phase = "-"
+        self.commits = 0
+        self.retries = 0
+        self.degrades = 0
+        self.failed = 0
+        self.points: list[tuple[float, float, float]] = []
+
+    def feed(self, record: dict) -> None:
+        event = record.get("event")
+        if event == "header":
+            self.label = (
+                f"{record.get('kernel', '?')}.{record.get('method', '?')} "
+                f"seed {record.get('seed', '?')}"
+            )
+            fp = record.get("fingerprint") or {}
+            n_init = fp.get("n_init") or []
+            if fp.get("n_iter") is not None:
+                self.budget = int(sum(n_init)) + int(fp["n_iter"])
+        elif event == "commit":
+            self.commits += 1
+            self.phase = record.get("phase", self.phase)
+            self.retries += max(0, int(record.get("attempts", 1)) - 1)
+            if record.get("degraded"):
+                self.degrades += 1
+            if record.get("failed"):
+                self.failed += 1
+            reports = record.get("reports") or []
+            if reports:
+                final = reports[-1]
+                if final.get("valid"):
+                    delay_us = (
+                        _float(final.get("latency_cycles"))
+                        * _float(final.get("clock_ns"))
+                        * 1e-3
+                    )
+                    self.points.append(
+                        (
+                            _float(final.get("power_w")),
+                            delay_us,
+                            _float(final.get("lut_util")),
+                        )
+                    )
+
+    @property
+    def progress(self) -> str:
+        if self.budget:
+            done = min(self.commits, self.budget)
+            width = 10
+            fill = round(width * done / self.budget)
+            bar = "#" * fill + "." * (width - fill)
+            return f"[{bar}] {self.commits:>3}/{self.budget}"
+        return f"{self.commits:>3} commits"
+
+    def hypervolume(self) -> float | None:
+        pts = [
+            p for p in self.points if not any(math.isnan(v) for v in p)
+        ]
+        if not pts:
+            return None
+        ref = tuple(
+            max(p[i] for p in pts) * 1.1 + 1e-12 for i in range(3)
+        )
+        return hypervolume(pareto_front(pts), ref)
+
+
+class SweepState:
+    """Everything the monitor knows, folded from all tailed files."""
+
+    def __init__(self) -> None:
+        self.cells: dict[str, CellState] = {}
+        self.tails: dict[Path, TraceTail] = {}
+        self.faults = 0
+        self.degrades = 0
+        self.resumes = 0
+        self.worker_busy: defaultdict[str, float] = defaultdict(float)
+        self.t_min = math.inf
+        self.t_max = -math.inf
+        self.trace_events = 0
+
+    def refresh(self, root: Path) -> None:
+        for path, kind in scan_files(root):
+            tail = self.tails.get(path)
+            if tail is None:
+                tail = self.tails[path] = TraceTail(path)
+            records = tail.read_new()
+            if kind == "journal":
+                if records and records[0].get("event") == "header":
+                    # Fresh journal, or one rewritten by a resume —
+                    # either way the cell restarts from this header.
+                    self.cells[path.name] = CellState(path.name)
+                cell = self.cells.setdefault(path.name, CellState(path.name))
+                for record in records:
+                    cell.feed(record)
+            else:
+                for record in records:
+                    self._feed_trace(record)
+
+    def _feed_trace(self, record: dict) -> None:
+        self.trace_events += 1
+        event = record.get("event")
+        if event == "fault":
+            self.faults += 1
+        elif event == "degrade":
+            self.degrades += 1
+        elif event == "resume":
+            self.resumes += 1
+        elif event == "span":
+            dur = _float(record.get("dur_s")) or 0.0
+            t0 = record.get("t0")
+            if t0 is not None and not math.isnan(_float(t0)):
+                self.t_min = min(self.t_min, _float(t0))
+                self.t_max = max(self.t_max, _float(t0) + dur)
+            if record.get("name") == "flow_eval":
+                worker = (
+                    f"pid {record.get('pid', '?')}/"
+                    f"{record.get('tname', '?')}"
+                )
+                self.worker_busy[worker] += dur
+        elif event == "job":
+            exec_s = _float(record.get("exec_s")) or 0.0
+            self.worker_busy[f"pid {record.get('worker', '?')}"] += exec_s
+            t_start = record.get("t_start")
+            if t_start is not None:
+                self.t_min = min(self.t_min, _float(t_start))
+                self.t_max = max(self.t_max, _float(t_start) + exec_s)
+
+
+def scan_files(root: Path) -> list[tuple[Path, str]]:
+    """All (path, kind) pairs under ``root``; kind is journal|trace."""
+    if root.is_file():
+        kind = "journal" if root.name.endswith(".journal.jsonl") else "trace"
+        return [(root, kind)]
+    out: list[tuple[Path, str]] = []
+    for path in sorted(root.rglob("*.jsonl")):
+        kind = "journal" if path.name.endswith(".journal.jsonl") else "trace"
+        out.append((path, kind))
+    return out
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+
+def render(state: SweepState, root: Path, tick: int) -> str:
+    lines = [f"sweep monitor — {root}  (refresh #{tick})"]
+    if state.cells:
+        lines.append(
+            f"  {'cell':<34}{'progress':<22}{'phase':<8}"
+            f"{'HV':>10}{'retry':>6}{'degr':>6}{'fail':>6}"
+        )
+        for name in sorted(state.cells):
+            cell = state.cells[name]
+            hv = cell.hypervolume()
+            lines.append(
+                f"  {cell.label:<34}{cell.progress:<22}{cell.phase:<8}"
+                f"{(f'{hv:.4f}' if hv is not None else '-'):>10}"
+                f"{cell.retries:>6}{cell.degrades:>6}{cell.failed:>6}"
+            )
+    else:
+        lines.append("  (no journals yet)")
+    lines.append(
+        f"  faults: {state.faults}  degrades: {state.degrades}  "
+        f"resumes: {state.resumes}  trace events: {state.trace_events}"
+    )
+    if state.worker_busy:
+        extent = (
+            state.t_max - state.t_min
+            if state.t_max > state.t_min
+            else 0.0
+        )
+        lines.append("  workers:")
+        for worker, busy in sorted(
+            state.worker_busy.items(), key=lambda kv: -kv[1]
+        ):
+            util = (
+                f"{100.0 * busy / extent:5.1f}%" if extent > 0 else "    -"
+            )
+            lines.append(f"    {worker:<24} busy {busy:>9.3f}s  {util}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.monitor", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "path", help="journal/trace directory (or a single file) to tail"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no screen control)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N refreshes (0 = until interrupted)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.path)
+    if not root.exists():
+        print(f"no such path: {root}", file=sys.stderr)
+        return 1
+    state = SweepState()
+    tick = 0
+    try:
+        while True:
+            tick += 1
+            state.refresh(root)
+            text = render(state, root, tick)
+            if args.once:
+                print(text)
+                return 0
+            # Redraw in place: home the cursor, clear to end of screen.
+            sys.stdout.write("\x1b[H\x1b[J" + text + "\n")
+            sys.stdout.flush()
+            if args.iterations and tick >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,8 @@ output stays strict JSON.
 The event schemas (:data:`STEP_TRACE_FIELDS`, :data:`JOB_TRACE_FIELDS`,
 :data:`PROPOSAL_TRACE_FIELDS`, :data:`PENDING_TRACE_FIELDS`,
 :data:`COMMIT_TRACE_FIELDS`, :data:`FAULT_TRACE_FIELDS`,
-:data:`DEGRADE_TRACE_FIELDS`, :data:`RESUME_TRACE_FIELDS`) are covered
+:data:`DEGRADE_TRACE_FIELDS`, :data:`RESUME_TRACE_FIELDS`,
+:data:`SPAN_TRACE_FIELDS`) are covered
 by regression tests — tools
 that consume traces (dashboards, diffing, the benchmarks) can rely on
 the field set per version.
@@ -32,18 +33,31 @@ lower fidelity, or exhausted every fidelity and was punished) and
 replayed/dropped) — and extended ``step``/``commit`` lines with the
 retry accounting fields (``attempts``/``degraded`` on steps;
 ``requested_fidelity``/``degraded``/``failed``/``wasted_runtime_s`` on
-commits).
+commits); v5 added the ``span`` event (:mod:`repro.obs.spans` — nested
+wall-time spans with explicit parent ids and ``(pid, tid)``
+attribution, exportable to Chrome trace-event JSON) and extended
+``job`` lines with ``t_start`` (the epoch second the job began
+executing on its worker, so cross-process job timelines merge into one
+trace).
+
+Mixed-version files: a file whose records disagree on ``"v"`` (e.g. a
+resumed run written by newer code appending to an old file) is refused
+by :func:`read_trace` with a :class:`TraceSchemaError` unless
+``upgrade=True``, which lifts every record to the current schema by
+filling the fields later versions added with their neutral defaults
+(see :func:`upgrade_record`).
 """
 
 from __future__ import annotations
 
 import json
 import math
+import threading
 from pathlib import Path
-from typing import IO, Any, Mapping
+from typing import IO, Any, Iterator, Mapping
 
 #: Bump when a field is added, removed or changes meaning.
-TRACE_SCHEMA_VERSION = 4
+TRACE_SCHEMA_VERSION = 5
 
 #: Fields guaranteed on every ``event == "step"`` line (schema v1).
 STEP_TRACE_FIELDS: tuple[str, ...] = (
@@ -72,7 +86,9 @@ STEP_TRACE_FIELDS: tuple[str, ...] = (
 #: worker process id and whether the worker's ground truth came from
 #: the persistent cache ("disk-hit") or an exhaustive sweep
 #: ("computed").  ``error`` is the final traceback line of a failed
-#: job, ``null`` on success.
+#: job, ``null`` on success.  ``t_start`` (v5) is the epoch second the
+#: job began executing on its worker — the anchor that places the job
+#: on a shared cross-process timeline (``null`` on pre-v5 records).
 JOB_TRACE_FIELDS: tuple[str, ...] = (
     "v",
     "event",
@@ -81,6 +97,7 @@ JOB_TRACE_FIELDS: tuple[str, ...] = (
     "repeat",
     "workers",
     "worker",
+    "t_start",
     "queue_wait_s",
     "exec_s",
     "gt_cache",
@@ -182,6 +199,32 @@ DEGRADE_TRACE_FIELDS: tuple[str, ...] = (
     "attempts",
 )
 
+#: Fields guaranteed on every ``event == "span"`` line (schema v5):
+#: one closed wall-time span — its name and category, the process /
+#: thread that ran it (``pid``/``tid``/``tname``), its epoch start
+#: second and duration (``t0``/``dur_s``; the wall clock is the shared
+#: cross-process time base, see :mod:`repro.obs.spans`), a per-process
+#: span ``id`` with the enclosing span's id as ``parent`` (``null`` at
+#: top level), the step/config/fidelity it belongs to when applicable,
+#: and a free-form ``args`` mapping.
+SPAN_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "name",
+    "cat",
+    "pid",
+    "tid",
+    "tname",
+    "t0",
+    "dur_s",
+    "id",
+    "parent",
+    "step",
+    "config_index",
+    "fidelity",
+    "args",
+)
+
 #: Fields guaranteed on every ``event == "resume"`` line (schema v4):
 #: one line at the top of a resumed run — the journal it replayed, how
 #: many commits were replayed / dropped (torn trailing round) and the
@@ -209,26 +252,35 @@ class JsonlTraceWriter:
     """Append-only JSONL writer with eager flushing.
 
     Eager flushing keeps the trace useful for *live* observability —
-    ``tail -f`` works while a long run is still going.
+    ``tail -f`` works while a long run is still going.  Writes are
+    serialized under a lock: the batch engine's eval threads emit span
+    records concurrently with the main thread's step/commit lines, and
+    interleaved partial lines would corrupt the file.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._handle: IO[str] | None = self.path.open("w")
+        self._lock = threading.Lock()
         self.lines_written = 0
 
     def write(self, record: Mapping[str, Any]) -> None:
-        if self._handle is None:
-            raise RuntimeError(f"trace writer for {self.path} is closed")
         payload = {k: _jsonable(v) for k, v in record.items()}
-        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
-        self._handle.flush()
-        self.lines_written += 1
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        with self._lock:
+            if self._handle is None:
+                raise RuntimeError(
+                    f"trace writer for {self.path} is closed"
+                )
+            self._handle.write(line)
+            self._handle.flush()
+            self.lines_written += 1
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "JsonlTraceWriter":
         return self
@@ -237,17 +289,97 @@ class JsonlTraceWriter:
         self.close()
 
 
-def read_trace(
-    path: str | Path, event: str | None = None
-) -> list[dict[str, Any]]:
-    """Parse a JSONL trace, optionally filtering by ``event`` type."""
-    records = []
+class TraceSchemaError(ValueError):
+    """A trace file mixes schema versions and cannot be read as-is."""
+
+
+#: Fields added to existing event types after their introduction, as
+#: ``{event: {field: neutral default}}`` — what :func:`upgrade_record`
+#: fills when lifting an old record to the current schema.  A callable
+#: default receives the record (``requested_fidelity`` of an
+#: un-degraded pre-v4 commit is simply the fidelity that ran).
+_UPGRADE_DEFAULTS: dict[str, dict[str, Any]] = {
+    "step": {"attempts": 1, "degraded": False},  # added in v4
+    "commit": {  # added in v4
+        "requested_fidelity": lambda r: r.get("fidelity"),
+        "degraded": False,
+        "failed": False,
+        "wasted_runtime_s": 0.0,
+    },
+    "job": {"t_start": None},  # added in v5
+}
+
+
+def upgrade_record(record: dict[str, Any]) -> dict[str, Any]:
+    """Lift one trace record to :data:`TRACE_SCHEMA_VERSION`.
+
+    Fields that later schema versions added to the record's event type
+    are filled with neutral defaults; fields already present are kept
+    verbatim.  Returns a new dict with ``"v"`` set to the current
+    version (the input is not mutated).
+    """
+    out = dict(record)
+    for field, default in _UPGRADE_DEFAULTS.get(
+        record.get("event", ""), {}
+    ).items():
+        if field not in out:
+            out[field] = default(record) if callable(default) else default
+    out["v"] = TRACE_SCHEMA_VERSION
+    return out
+
+
+def iter_trace(
+    path: str | Path, tolerant: bool = False
+) -> Iterator[dict[str, Any]]:
+    """Yield the records of a JSONL trace file, in order.
+
+    ``tolerant=True`` skips unparseable lines instead of raising — the
+    right mode for *live* files whose final line may be mid-write
+    (the monitor and the exporters tail running sweeps).
+    """
     with Path(path).open() as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            if event is None or record.get("event") == event:
-                records.append(record)
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                if not tolerant:
+                    raise
+
+
+def read_trace(
+    path: str | Path,
+    event: str | None = None,
+    *,
+    upgrade: bool = False,
+    tolerant: bool = False,
+) -> list[dict[str, Any]]:
+    """Parse a JSONL trace, optionally filtering by ``event`` type.
+
+    A single-version file older than the current schema reads fine
+    (consumers opt into per-version field sets); a file whose records
+    *disagree* on ``"v"`` — e.g. a resumed run written by newer code
+    appending v5 records to a v4 file — silently yields inconsistent
+    rows, so it raises :class:`TraceSchemaError` unless
+    ``upgrade=True``, which lifts every record to the current schema
+    via :func:`upgrade_record` (and also normalizes single-version old
+    files).  ``tolerant=True`` additionally skips torn lines of a
+    still-running trace.
+    """
+    records = []
+    versions: set[Any] = set()
+    for record in iter_trace(path, tolerant=tolerant):
+        versions.add(record.get("v"))
+        if event is None or record.get("event") == event:
+            records.append(record)
+    if len(versions) > 1 and not upgrade:
+        raise TraceSchemaError(
+            f"{path}: records span schema versions "
+            f"{sorted(versions, key=str)} — pass upgrade=True to lift "
+            f"them all to v{TRACE_SCHEMA_VERSION}, or re-record the run"
+        )
+    if upgrade:
+        records = [upgrade_record(r) for r in records]
     return records

@@ -1,76 +1,31 @@
 #!/usr/bin/env python
-"""Summarize a (possibly partial) table1 run log into Table-I blocks.
+"""DEPRECATED shim — use ``python -m repro.obs.report --log FILE``.
 
-``python -m repro.experiments.table1`` prints one line per
-(benchmark, method, repeat); this helper aggregates whatever lines exist
-in a log file into per-benchmark mean ADRS / std / time, normalized to
-ANN where ANN is available.  Useful for peeking at long runs and for
-assembling EXPERIMENTS.md from an interrupted run.
+The table1 console-log aggregation moved into :mod:`repro.obs.report`
+(which also summarizes trace directories and gates regressions between
+runs).  This entry point keeps the old invocation working::
 
-Usage: python tools/summarize_table1_log.py table1_run.log
+    python tools/summarize_table1_log.py table1_run.log
 """
 
-import re
 import sys
-from collections import defaultdict
+from pathlib import Path
 
-import numpy as np
-
-LINE = re.compile(
-    r"^\s*(\w+)/(\w+) repeat (\d+): ADRS=([0-9.]+) time=([0-9.]+)h"
-)
-METHODS = ("ours", "fpl18", "ann", "bt", "dac19")
-
-
-def parse(path: str):
-    data: dict[str, dict[str, list[tuple[float, float]]]] = defaultdict(
-        lambda: defaultdict(list)
-    )
-    with open(path) as handle:
-        for line in handle:
-            match = LINE.match(line)
-            if match:
-                bench, method, _rep, adrs, time_h = match.groups()
-                data[bench][method].append((float(adrs), float(time_h)))
-    return data
+try:
+    from repro.obs import report
+except ImportError:  # invoked without PYTHONPATH=src: fix up and retry
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.obs import report
 
 
 def main() -> int:
+    print(
+        "DEPRECATED: tools/summarize_table1_log.py is now "
+        "`python -m repro.obs.report --log FILE`",
+        file=sys.stderr,
+    )
     path = sys.argv[1] if len(sys.argv) > 1 else "table1_run.log"
-    data = parse(path)
-    if not data:
-        print(f"no result lines found in {path}")
-        return 1
-
-    header = f"{'benchmark':<14}" + "".join(f"{m:>9}" for m in METHODS)
-    for metric, pick in (
-        ("ADRS (mean)", lambda rows: np.mean([a for a, _ in rows])),
-        ("ADRS (std)", lambda rows: np.std([a for a, _ in rows])),
-        ("time (h)", lambda rows: np.mean([t for _, t in rows])),
-    ):
-        print(metric)
-        print("  " + header)
-        for bench, per_method in data.items():
-            cells = []
-            for m in METHODS:
-                rows = per_method.get(m)
-                cells.append(f"{pick(rows):>9.3f}" if rows else f"{'-':>9}")
-            print("  " + f"{bench:<14}" + "".join(cells))
-        print()
-
-    print("normalized to ANN (where available)")
-    print("  " + header)
-    for bench, per_method in data.items():
-        if "ann" not in per_method:
-            continue
-        anchor = np.mean([a for a, _ in per_method["ann"]])
-        cells = []
-        for m in METHODS:
-            rows = per_method.get(m)
-            value = np.mean([a for a, _ in rows]) / anchor if rows else None
-            cells.append(f"{value:>9.2f}" if value is not None else f"{'-':>9}")
-        print("  " + f"{bench:<14}" + "".join(cells))
-    return 0
+    return report.main(["--log", path])
 
 
 if __name__ == "__main__":
