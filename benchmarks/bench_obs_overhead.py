@@ -112,6 +112,13 @@ def run_bench(report_path=None, artifact_dir=None):
             _selection_trace(res_on) == _selection_trace(res_off)
         ),
         "history_records_compared": len(res_on.history),
+        "speedup_asserted": True,
+        "speedup_asserted_reason": (
+            "gates arm on the bitwise neutrality comparison (always "
+            "deterministic) and the overhead ratio of interleaved "
+            "off/on/off single-threaded runs on the same machine — "
+            "both meaningful at any core count"
+        ),
     }
     if report_path is not None:
         Path(report_path).write_text(json.dumps(report, indent=2) + "\n")

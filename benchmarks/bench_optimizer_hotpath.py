@@ -14,14 +14,34 @@ Runs the full fixed-seed 40-iteration GEMM optimization three times:
   different (equally valid) hyperparameter trajectory that must be at
   least 2× faster end-to-end than compat.
 
-Both properties are asserted, so this doubles as the regression test
-for the ISSUE 1 acceptance criteria.  Run directly for a report:
+Then the **commit-path** comparison: at ``refit_every=4`` the steps
+between hyperparameter refits condition the stack with
+``fit(optimize=False)``; with ``incremental=True`` those commits extend
+the existing Cholesky factors (block update, :mod:`repro.core.linalg`)
+instead of refactorizing.  The gate is a deterministic *work proxy* —
+counted factorization flops, independent of core count and clock
+resolution, so it arms even on a 1-CPU CI runner where wall-clock
+gates are meaningless: the incremental run must spend at least
+:data:`MIN_COMMIT_FLOP_RATIO`× fewer commit-bucket flops than the
+full-refit reference while evaluating the *identical* trajectory (same
+configurations, fidelities, objectives and validity at every step;
+acquisition values equal to :data:`ACQ_REL_TOL` — the extended factor
+sums the same quantities in a different order, so the last ulps may
+differ).  The full-refit reference path itself is untouched.
+
+All properties are asserted, so this doubles as the regression test
+for the ISSUE 1 acceptance criteria.  Run directly for a report
+(writes ``BENCH_optimizer_hotpath.json``)::
 
     PYTHONPATH=src python benchmarks/bench_optimizer_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_optimizer_hotpath.py --commit-only
 """
 
+import json
 import math
+import sys
 import time
+from pathlib import Path
 
 import pytest
 
@@ -34,6 +54,26 @@ N_ITER = 40
 
 #: Required end-to-end speedup of the full fast path over compat mode.
 MIN_SPEEDUP = 2.0
+
+#: Commit-path comparison: refit cadence and length of the short runs.
+REFIT_EVERY = 4
+N_ITER_COMMIT = 16
+
+#: Required reduction in commit-bucket factorization flops (reference
+#: full refits vs incremental factor extensions between true refits).
+MIN_COMMIT_FLOP_RATIO = 2.0
+
+#: Acquisition parity tolerance between the incremental and reference
+#: runs — same math, different float summation order in the extended
+#: factor's new rows.
+ACQ_REL_TOL = 1e-9
+
+SPEEDUP_ASSERTED_REASON = (
+    "gate arms on the counted-flop work proxy (commit-bucket "
+    "factorization/extension flops from repro.core.linalg.FLOPS), which "
+    "is deterministic and independent of core count — asserted on every "
+    "run, including 1-CPU CI runners"
+)
 
 
 def _settings(cache: bool, warm: bool) -> MFBOSettings:
@@ -70,6 +110,108 @@ def _run(space, cache: bool, warm: bool):
     return wall, result, optimizer
 
 
+def _commit_run(space, incremental: bool):
+    """One short run at a commit-heavy refit cadence."""
+    flow = HlsFlow.for_space(space)
+    settings = MFBOSettings(
+        n_iter=N_ITER_COMMIT,
+        refit_every=REFIT_EVERY,
+        cache_predictions=True,
+        warm_start=True,
+        seed=SEED,
+        incremental=incremental,
+    )
+    optimizer = CorrelatedMFBO(space, flow, settings=settings)
+    start = time.perf_counter()
+    result = optimizer.run()
+    wall = time.perf_counter() - start
+    return wall, result, optimizer
+
+
+def _evaluated_trace(result):
+    """Everything the flow actually did — exact-equality comparable."""
+    return [
+        (
+            r.step,
+            r.config_index,
+            int(r.fidelity),
+            tuple(float(v) for v in r.objectives),
+            r.valid,
+        )
+        for r in result.history
+    ]
+
+
+def _assert_commit_parity(res_ref, res_inc) -> None:
+    """Incremental run must walk the reference trajectory exactly."""
+    assert _evaluated_trace(res_inc) == _evaluated_trace(res_ref), (
+        "incremental conditioning changed the evaluated trajectory"
+    )
+    for r_ref, r_inc in zip(res_ref.history, res_inc.history):
+        a, b = r_ref.acquisition, r_inc.acquisition
+        if math.isnan(a) or math.isnan(b):
+            assert math.isnan(a) and math.isnan(b), (a, b)
+        else:
+            assert math.isclose(a, b, rel_tol=ACQ_REL_TOL, abs_tol=1e-12), (
+                f"step {r_ref.step}: acquisition {a!r} vs {b!r} beyond "
+                f"rel_tol {ACQ_REL_TOL}"
+            )
+
+
+def run_commit_bench(report_path: str | Path | None = None) -> dict:
+    """Gated incremental-vs-reference commit-path comparison."""
+    space = get_space("gemm")
+    wall_ref, res_ref, opt_ref = _commit_run(space, incremental=False)
+    wall_inc, res_inc, opt_inc = _commit_run(space, incremental=True)
+    _assert_commit_parity(res_ref, res_inc)
+
+    snap_ref = opt_ref.metrics.snapshot()
+    snap_inc = opt_inc.metrics.snapshot()
+    ref_commit_flops = int(snap_ref.get("commit_factor_flops", 0))
+    inc_commit_flops = int(
+        snap_inc.get("commit_factor_flops", 0)
+        + snap_inc.get("commit_extend_flops", 0)
+    )
+    ratio = ref_commit_flops / inc_commit_flops if inc_commit_flops else 0.0
+    report = {
+        "benchmark": "gemm",
+        "seed": SEED,
+        "n_iter": N_ITER_COMMIT,
+        "refit_every": REFIT_EVERY,
+        "trajectory_identical": True,  # _assert_commit_parity raised if not
+        "acq_rel_tol": ACQ_REL_TOL,
+        "ref_commit_s": round(wall_ref, 3),
+        "inc_commit_s": round(wall_inc, 3),
+        "ref_commit_flops": ref_commit_flops,
+        "inc_commit_flops": inc_commit_flops,
+        "ref_commit_factorizations": int(
+            snap_ref.get("commit_factorizations", 0)
+        ),
+        "inc_commit_factorizations": int(
+            snap_inc.get("commit_factorizations", 0)
+        ),
+        "inc_commit_extensions": int(snap_inc.get("commit_extensions", 0)),
+        "commit_flop_ratio": round(ratio, 2),
+        "min_commit_flop_ratio": MIN_COMMIT_FLOP_RATIO,
+        "speedup_asserted": True,
+        "speedup_asserted_reason": SPEEDUP_ASSERTED_REASON,
+    }
+    if report_path:
+        Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
+    # Asserted after the artifact is written so a failing run still
+    # leaves its numbers behind for debugging.
+    assert ref_commit_flops > 0, "reference run recorded no commit flops"
+    assert report["inc_commit_extensions"] > 0, (
+        "incremental run never extended a factor"
+    )
+    assert ratio >= MIN_COMMIT_FLOP_RATIO, (
+        f"commit-path flop reduction only {ratio:.2f}x "
+        f"({ref_commit_flops} reference vs {inc_commit_flops} incremental "
+        f"flops); need >= {MIN_COMMIT_FLOP_RATIO}x"
+    )
+    return report
+
+
 @pytest.mark.slow
 def test_hotpath_cached_exactness_and_fast_speedup():
     space = get_space("gemm")
@@ -93,7 +235,25 @@ def test_hotpath_cached_exactness_and_fast_speedup():
     assert len(res_fast.cs_indices) >= 0.5 * len(res_compat.cs_indices)
 
 
-def main() -> None:
+@pytest.mark.slow
+def test_commit_path_flop_proxy_gate():
+    report = run_commit_bench()
+    assert report["trajectory_identical"]
+    assert report["speedup_asserted"] is True
+    assert report["commit_flop_ratio"] >= MIN_COMMIT_FLOP_RATIO
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    commit_only = "--commit-only" in argv
+    if not commit_only:
+        _full_report()
+    report = run_commit_bench(report_path="BENCH_optimizer_hotpath.json")
+    print(json.dumps(report, indent=2))
+    print("wrote BENCH_optimizer_hotpath.json")
+
+
+def _full_report() -> None:
     space = get_space("gemm")
     print(f"gemm space: {len(space)} configurations, {N_ITER} BO steps, "
           f"seed {SEED}")

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import linalg
 from repro.core.pareto import dominated_boxes, pareto_front
 from repro.hlsim.reports import ALL_FIDELITIES, Fidelity
 
@@ -97,11 +98,18 @@ def select_batch(opt, q: int, step0: int) -> list[BatchProposal]:
         if slot + 1 >= q:
             break
         _condition_on_fantasy(opt, index, fidelity, x, fantasy_X, fantasy_Y)
-        with opt.metrics.timed("fit_s"):
+        # Ephemeral conditioning: each slot's factor extends the
+        # previous slot's (pure block extension when ``incremental``),
+        # and the round's next *real* fit extends from the last durable
+        # state, untouched by the fantasy detour.
+        with opt.metrics.timed("fit_s"), linalg.metered(
+            opt.metrics, "fantasy"
+        ):
             opt._stack.fit(
                 _fantasized_datasets(opt, fantasy_X, fantasy_Y),
                 optimize=False,
                 warm_start=settings.warm_start,
+                ephemeral=True,
             )
         fantasy_front = pareto_front(
             np.vstack([fantasy_front, fantasy[None, :]])

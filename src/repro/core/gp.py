@@ -8,6 +8,21 @@ in the original units.
 
 Sized for the paper's regime: tens to a few hundred training points,
 refitted at every Bayesian-optimization step.
+
+Incremental conditioning.  ``fit(optimize=False)`` on a dataset whose
+inputs extend the previous fit's inputs (same hyperparameters, old
+``X`` an exact row prefix of the new one) extends the existing Cholesky
+factor by the new rows (:func:`repro.core.linalg.chol_extend`,
+``O(n^2 k)``) instead of refactorizing (``O(n^3)``).  The kernel matrix
+depends only on ``X`` and the hyperparameters, so the targets may
+change arbitrarily between such fits (re-standardization, punished-row
+rescaling, fantasy values): ``alpha`` is recomputed from the factor in
+``O(n^2)`` either way.  ``fit(..., ephemeral=True)`` marks a fantasy
+conditioning (Kriging-believer batches): the fitted state serves
+predictions as usual, but the next non-ephemeral fit extends from the
+last *durable* state, so a fantasy detour never changes what a real
+refit computes.  ``incremental=False`` (or ``optimize=True``) always
+takes the full factorization path, which remains the bitwise reference.
 """
 
 from __future__ import annotations
@@ -16,8 +31,9 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.linalg import cho_solve, cholesky, solve_triangular
+from scipy.linalg import solve_triangular
 
+from repro.core import linalg
 from repro.core.kernels import Matern52, StationaryKernel
 from repro.core.restarts import minimize_multistart
 
@@ -51,6 +67,7 @@ class GaussianProcess:
         max_opt_iter: int = 80,
         rng: np.random.Generator | None = None,
         restart_workers: int | None = None,
+        incremental: bool = True,
     ):
         self.kernel = kernel or Matern52()
         self.n_restarts = n_restarts
@@ -59,7 +76,13 @@ class GaussianProcess:
         #: pool size for multi-start LML descents (None = env/off); the
         #: selected optimum is identical at any worker count.
         self.restart_workers = restart_workers
+        #: allow fixed-hyperparameter refits on superset data to extend
+        #: the previous Cholesky factor instead of refactorizing.
+        self.incremental = incremental
         self._state: _FitState | None = None
+        #: last durable (non-ephemeral) state — the extension base for
+        #: real refits while fantasy conditionings are active.
+        self._base_state: _FitState | None = None
 
     # ------------------------------------------------------------------
     # fitting
@@ -72,6 +95,7 @@ class GaussianProcess:
         optimize: bool = True,
         init_theta: np.ndarray | None = None,
         warm_start: bool = False,
+        ephemeral: bool = False,
     ) -> "GaussianProcess":
         """Fit to data; with ``optimize=False`` reuses ``init_theta``
         (or the previous fit's hyperparameters) and only reconditions.
@@ -81,6 +105,11 @@ class GaussianProcess:
         hyperparameters and runs a *single* L-BFGS-B descent — no random
         restarts — which converges in a handful of iterations when the
         training set changed by one point (the BO refit pattern).
+
+        ``ephemeral=True`` marks a fantasy conditioning: the state is
+        active for predictions, but the next non-ephemeral fit extends
+        from the last durable state, so fantasy detours never change
+        the factor a real refit produces (module docstring).
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
@@ -116,12 +145,59 @@ class GaussianProcess:
         if optimize:
             theta = self._optimize(X, z, theta, n_restarts=0 if warm else None)
 
-        chol, alpha = self._condition(X, z, theta)
-        self._state = _FitState(
+        chol = None
+        if not optimize and self.incremental:
+            base = self._state if ephemeral else self._durable_state()
+            chol = self._extended_chol(base, X, theta)
+        if chol is None:
+            chol, alpha = self._condition(X, z, theta)
+        else:
+            alpha = linalg.counted_cho_solve(chol, z)
+        state = _FitState(
             X=X, y_raw=y, y_mean=y_mean, y_std=y_std,
             theta=theta, chol=chol, alpha=alpha,
         )
+        if ephemeral:
+            if self._base_state is None:
+                self._base_state = self._state
+        else:
+            self._base_state = None
+        self._state = state
         return self
+
+    def _durable_state(self) -> _FitState | None:
+        return self._base_state if self._base_state is not None else self._state
+
+    def _extended_chol(
+        self, base: _FitState | None, X: np.ndarray, theta: np.ndarray
+    ) -> np.ndarray | None:
+        """The previous factor extended to ``X``, or ``None``.
+
+        Valid only when the hyperparameters are unchanged and the old
+        inputs are an exact row prefix of the new ones — then the old
+        covariance block is bitwise the leading block of the new one.
+        """
+        if base is None:
+            return None
+        n_old = base.X.shape[0]
+        if (
+            base.X.shape[1] != X.shape[1]
+            or X.shape[0] < n_old
+            or not np.array_equal(base.theta, theta)
+            or not np.array_equal(base.X, X[:n_old])
+        ):
+            return None
+        if X.shape[0] == n_old:
+            return base.chol
+        X_new = X[n_old:]
+        theta_k = theta[:-1]
+        B = self.kernel(base.X, X_new, theta_k)
+        D = self.kernel(X_new, X_new, theta_k)
+        D[np.diag_indices_from(D)] += math.exp(theta[-1]) + JITTER
+        try:
+            return linalg.chol_extend(base.chol, B, D)
+        except np.linalg.LinAlgError:
+            return None
 
     def _condition(
         self, X: np.ndarray, z: np.ndarray, theta: np.ndarray
@@ -129,8 +205,8 @@ class GaussianProcess:
         K = self.kernel(X, X, theta[:-1])
         noise = math.exp(theta[-1])
         K[np.diag_indices_from(K)] += noise + JITTER
-        L = cholesky(K, lower=True)
-        alpha = cho_solve((L, True), z)
+        L = linalg.chol_factor(K)
+        alpha = linalg.counted_cho_solve(L, z)
         return L, alpha
 
     def _neg_lml_and_grad(
@@ -146,17 +222,17 @@ class GaussianProcess:
         Kn = K.copy()
         Kn[np.diag_indices_from(Kn)] += noise + JITTER
         try:
-            L = cholesky(Kn, lower=True)
+            L = linalg.chol_factor(Kn)
         except np.linalg.LinAlgError:
             return 1e10, np.zeros_like(theta)
-        alpha = cho_solve((L, True), z)
+        alpha = linalg.counted_cho_solve(L, z)
         lml = (
             -0.5 * float(z @ alpha)
             - float(np.sum(np.log(np.diag(L))))
             - 0.5 * n * math.log(2.0 * math.pi)
         )
         # dLML/dtheta = 0.5 tr((alpha alpha^T - K^-1) dK/dtheta)
-        Kinv = cho_solve((L, True), np.eye(n))
+        Kinv = linalg.counted_cho_solve(L, np.eye(n))
         W = np.outer(alpha, alpha) - Kinv
         grad = np.empty_like(theta)
         for k, dK in enumerate(kernel_grads):
@@ -218,8 +294,11 @@ class GaussianProcess:
         Ks = self.kernel(state.X, Xs, theta_k)
         mean_z = Ks.T @ state.alpha
         v = solve_triangular(state.chol, Ks, lower=True)
-        var_z = self.kernel.diag(Xs, theta_k) - np.sum(v * v, axis=0)
-        var_z = np.maximum(var_z, 1e-12)
+        prior_diag = self.kernel.diag(Xs, theta_k)
+        var_z = prior_diag - np.sum(v * v, axis=0)
+        # Scale-relative floor: an absolute clamp in standardized space
+        # is unit-dependent after the y_std**2 rescale below.
+        var_z = np.maximum(var_z, 1e-12 * prior_diag)
         if include_noise:
             var_z = var_z + math.exp(state.theta[-1])
         mean = state.y_mean + state.y_std * mean_z

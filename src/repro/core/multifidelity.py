@@ -172,6 +172,7 @@ class NonlinearMultiFidelityStack(_StackCachingMixin):
         rng: np.random.Generator | None = None,
         correlated: bool = True,
         cache_predictions: bool = False,
+        incremental: bool = True,
     ):
         if n_fidelities < 1:
             raise ValueError("need at least one fidelity")
@@ -186,6 +187,7 @@ class NonlinearMultiFidelityStack(_StackCachingMixin):
                 n_restarts=n_restarts,
                 max_opt_iter=max_opt_iter,
                 rng=self.rng,
+                incremental=incremental,
             )
             for _ in range(n_fidelities)
         ]
@@ -198,12 +200,17 @@ class NonlinearMultiFidelityStack(_StackCachingMixin):
         datasets: list[Dataset],
         optimize: bool = True,
         warm_start: bool = False,
+        ephemeral: bool = False,
     ) -> "NonlinearMultiFidelityStack":
         """Fit the stack bottom-up.
 
         ``datasets[i] = (X_i, Y_i)`` holds the points evaluated at
         fidelity ``i``; the paper's nesting ``X_impl ⊆ X_syn ⊆ X_hls``
         is not required by the model, only recommended by the flow.
+
+        ``ephemeral=True`` marks a fantasy conditioning (see
+        :meth:`MultiTaskGP.fit`): the next non-ephemeral fixed-parameter
+        fit extends each level's factor from its last durable state.
         """
         if len(datasets) != self.n_fidelities:
             raise ValueError(
@@ -226,7 +233,8 @@ class NonlinearMultiFidelityStack(_StackCachingMixin):
                 continue
             inputs = self._augment(level, X, fit_scaler=True)
             self.models[level].fit(
-                Y=Y, X=inputs, optimize=optimize, warm_start=warm_start
+                Y=Y, X=inputs, optimize=optimize, warm_start=warm_start,
+                ephemeral=ephemeral,
             )
             self._fit_data[level] = (X, Y)
             self.last_refit_levels.append(level)
@@ -272,6 +280,44 @@ class NonlinearMultiFidelityStack(_StackCachingMixin):
             self._cache.put(level, Xs, out)
         return out
 
+    def predict_levels(
+        self, levels: list[int], Xs: np.ndarray
+    ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Posterior at several fidelities in one bottom-up sweep.
+
+        Each level of the chain is evaluated exactly once regardless of
+        how many requested levels sit above it, and each requested
+        level's result is bitwise identical to :meth:`predict` on it.
+        With the prediction cache enabled the sweep routes through
+        :meth:`predict` (the cache already collapses shared lower
+        levels); with it disabled the lower means are threaded forward
+        explicitly.
+        """
+        wanted = sorted(set(int(lv) for lv in levels))
+        if not wanted:
+            return {}
+        if wanted[0] < 0 or wanted[-1] >= self.n_fidelities:
+            bad = wanted[0] if wanted[0] < 0 else wanted[-1]
+            raise ValueError(f"no fidelity {bad}")
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        if self._cache_enabled:
+            return {lv: self.predict(lv, Xs) for lv in wanted}
+        out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        lower_mean: np.ndarray | None = None
+        for lv in range(wanted[-1] + 1):
+            if lv == 0:
+                inputs = Xs
+            else:
+                scaler = self._scalers[lv]
+                if scaler is None:
+                    raise RuntimeError(f"fidelity {lv} used before fitting")
+                inputs = np.hstack([Xs, scaler.transform(lower_mean)])
+            mean, cov = self.models[lv].predict(inputs)
+            lower_mean = mean
+            if lv in wanted:
+                out[lv] = (mean, cov)
+        return out
+
     def predict_marginals(
         self, level: int, Xs: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -296,6 +342,7 @@ class LinearMultiFidelityStack(_StackCachingMixin):
         max_opt_iter: int = 80,
         rng: np.random.Generator | None = None,
         cache_predictions: bool = False,
+        incremental: bool = True,
     ):
         if n_fidelities < 1:
             raise ValueError("need at least one fidelity")
@@ -305,6 +352,7 @@ class LinearMultiFidelityStack(_StackCachingMixin):
         self._kernel = kernel
         self._n_restarts = n_restarts
         self._max_opt_iter = max_opt_iter
+        self._incremental = incremental
         # models[level][task]; rhos[level][task] (level 0 has no rho).
         self.models: list[list[GaussianProcess]] = []
         self.rhos: list[np.ndarray] = []
@@ -316,6 +364,7 @@ class LinearMultiFidelityStack(_StackCachingMixin):
         datasets: list[Dataset],
         optimize: bool = True,
         warm_start: bool = False,
+        ephemeral: bool = False,
     ) -> "LinearMultiFidelityStack":
         if len(datasets) != self.n_fidelities:
             raise ValueError(
@@ -342,7 +391,8 @@ class LinearMultiFidelityStack(_StackCachingMixin):
         else:
             for t in range(self.n_tasks):
                 self.models[0][t].fit(
-                    X0, Y0[:, t], optimize=optimize, warm_start=warm_start
+                    X0, Y0[:, t], optimize=optimize, warm_start=warm_start,
+                    ephemeral=ephemeral,
                 )
             self._fit_data[0] = (X0, Y0)
             self.last_refit_levels.append(0)
@@ -370,7 +420,8 @@ class LinearMultiFidelityStack(_StackCachingMixin):
                     rho[t] = float(coef[0])
                 residual = Y[:, t] - rho[t] * mu
                 self.models[level][t].fit(
-                    X, residual, optimize=optimize, warm_start=warm_start
+                    X, residual, optimize=optimize, warm_start=warm_start,
+                    ephemeral=ephemeral,
                 )
             self.rhos.append(rho)
             self._fit_data[level] = (X, Y)
@@ -385,6 +436,7 @@ class LinearMultiFidelityStack(_StackCachingMixin):
             n_restarts=self._n_restarts,
             max_opt_iter=self._max_opt_iter,
             rng=self.rng,
+            incremental=self._incremental,
         )
 
     def predict_marginals(
@@ -440,3 +492,48 @@ class LinearMultiFidelityStack(_StackCachingMixin):
         cov = np.zeros((mean.shape[0], m, m))
         cov[:, np.arange(m), np.arange(m)] = var
         return mean, cov
+
+    def predict_levels(
+        self, levels: list[int], Xs: np.ndarray
+    ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Posterior at several fidelities in one bottom-up sweep.
+
+        Same contract as
+        :meth:`NonlinearMultiFidelityStack.predict_levels`: each chain
+        level is evaluated once, and every requested level's result is
+        bitwise identical to :meth:`predict` on it.
+        """
+        if not self.models:
+            raise RuntimeError("LinearMultiFidelityStack is not fitted")
+        wanted = sorted(set(int(lv) for lv in levels))
+        if not wanted:
+            return {}
+        if wanted[0] < 0 or wanted[-1] >= self.n_fidelities:
+            bad = wanted[0] if wanted[0] < 0 else wanted[-1]
+            raise ValueError(f"no fidelity {bad}")
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        if self._cache_enabled:
+            return {lv: self.predict(lv, Xs) for lv in wanted}
+        m = self.n_tasks
+        means = np.empty((Xs.shape[0], m))
+        variances = np.empty_like(means)
+        for t in range(m):
+            means[:, t], variances[:, t] = self.models[0][t].predict(Xs)
+        out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+        def emit(lv: int) -> None:
+            cov = np.zeros((means.shape[0], m, m))
+            cov[:, np.arange(m), np.arange(m)] = np.maximum(variances, 1e-12)
+            out[lv] = (means.copy(), cov)
+
+        if 0 in wanted:
+            emit(0)
+        for lv in range(1, wanted[-1] + 1):
+            rho = self.rhos[lv]
+            for t in range(m):
+                mu_d, var_d = self.models[lv][t].predict(Xs)
+                means[:, t] = rho[t] * means[:, t] + mu_d
+                variances[:, t] = rho[t] ** 2 * variances[:, t] + var_d
+            if lv in wanted:
+                emit(lv)
+        return out

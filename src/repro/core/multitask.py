@@ -24,16 +24,27 @@ at a new configuration is still a correlated M-variate Gaussian
 
 All objectives are observed at every training input — true in the HLS
 setting, where one tool run reports power, delay and LUT together.
+
+Incremental conditioning (see :mod:`repro.core.gp`): fixed-parameter
+refits on superset data extend the previous ``nM x nM`` Cholesky factor
+by block rows instead of refactorizing.  Because the reference stacking
+is task-major (row ``t*n + i`` interleaves new points into every task
+block), extended factors keep their rows in *arrival-block* order and
+carry explicit ``row_task``/``row_point`` maps; targets and
+cross-covariance rows are permuted to match.  The full-factorization
+path keeps ``row_task is None`` (identity order) and stays the bitwise
+reference.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.linalg import cho_solve, cholesky, solve_triangular
+from scipy.linalg import cholesky, solve_triangular
 
+from repro.core import linalg
 from repro.core.gp import JITTER, LOG_NOISE_BOUNDS
 from repro.core.kernels import Matern52, StationaryKernel
 from repro.core.restarts import minimize_multistart
@@ -56,7 +67,11 @@ class _MTState:
     task_chol: np.ndarray  # L with B = L L^T
     log_noise: np.ndarray  # per task
     chol: np.ndarray  # Cholesky of the full nM x nM covariance
-    alpha: np.ndarray  # K^-1 z (task-major stacking)
+    alpha: np.ndarray  # K^-1 z (in the factor's row order)
+    #: factor-row -> (task, point) maps for extended factors whose rows
+    #: are in arrival-block order; ``None`` = task-major (row t*n + i).
+    row_task: np.ndarray | None = field(default=None)
+    row_point: np.ndarray | None = field(default=None)
 
 
 _TRIL_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -95,6 +110,7 @@ class MultiTaskGP:
         rng: np.random.Generator | None = None,
         private_processes: bool = True,
         restart_workers: int | None = None,
+        incremental: bool = True,
     ):
         if n_tasks < 1:
             raise ValueError("need at least one task")
@@ -107,7 +123,13 @@ class MultiTaskGP:
         #: pool size for multi-start LML descents (None = env/off); the
         #: selected optimum is identical at any worker count.
         self.restart_workers = restart_workers
+        #: allow fixed-parameter refits on superset data to extend the
+        #: previous Cholesky factor instead of refactorizing.
+        self.incremental = incremental
         self._state: _MTState | None = None
+        #: last durable (non-ephemeral) state — the extension base for
+        #: real refits while fantasy conditionings are active.
+        self._base_state: _MTState | None = None
 
     # ------------------------------------------------------------------
     # parameter packing
@@ -171,6 +193,7 @@ class MultiTaskGP:
         optimize: bool = True,
         init_params: np.ndarray | None = None,
         warm_start: bool = False,
+        ephemeral: bool = False,
     ) -> "MultiTaskGP":
         """Fit the multi-task GP.
 
@@ -179,6 +202,10 @@ class MultiTaskGP:
         and skips the random restarts — the standard BO refit pattern
         where the training set grew by one point and the old optimum is
         an excellent initial guess.
+
+        ``ephemeral=True`` marks a fantasy conditioning: the state
+        serves predictions, but the next non-ephemeral fit extends from
+        the last durable state (see :mod:`repro.core.gp`).
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         Y = np.asarray(Y, dtype=float)
@@ -223,14 +250,98 @@ class MultiTaskGP:
             )
 
         theta_s, L, theta_p, log_noise = self._unpack(params, dim)
-        chol, alpha = self._condition(X, Z, theta_s, L, theta_p, log_noise)
-        self._state = _MTState(
+        ext = None
+        if not optimize and self.incremental:
+            base = self._state if ephemeral else self._durable_state()
+            ext = self._extended_chol(base, X, params, dim)
+        if ext is None:
+            chol, alpha = self._condition(X, Z, theta_s, L, theta_p, log_noise)
+            row_task = row_point = None
+        else:
+            chol, row_task, row_point = ext
+            z = Z.T.ravel()
+            if row_task is not None:
+                z = z[row_task * n + row_point]
+            alpha = linalg.counted_cho_solve(chol, z)
+        state = _MTState(
             X=X, Y_raw=Y, y_mean=y_mean, y_std=y_std,
             theta_shared=theta_s, theta_private=theta_p,
             task_chol=L, log_noise=log_noise,
             chol=chol, alpha=alpha,
+            row_task=row_task, row_point=row_point,
         )
+        if ephemeral:
+            if self._base_state is None:
+                self._base_state = self._state
+        else:
+            self._base_state = None
+        self._state = state
         return self
+
+    def _durable_state(self) -> _MTState | None:
+        return self._base_state if self._base_state is not None else self._state
+
+    def _extended_chol(
+        self, base: _MTState | None, X: np.ndarray, params: np.ndarray, dim: int
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None] | None:
+        """``(chol, row_task, row_point)`` extending ``base`` to ``X``.
+
+        Returns ``None`` unless the packed hyperparameters are bitwise
+        unchanged and the base inputs are an exact row prefix of ``X``.
+        The new rows are appended in task-major order *within their
+        arrival block*, which is why extended factors need the explicit
+        row maps (module docstring).
+        """
+        if base is None:
+            return None
+        n_old = base.X.shape[0]
+        if (
+            base.X.shape[1] != dim
+            or X.shape[0] < n_old
+            or not np.array_equal(
+                self._pack(
+                    base.theta_shared, base.task_chol,
+                    base.theta_private, base.log_noise,
+                ),
+                params,
+            )
+            or not np.array_equal(base.X, X[:n_old])
+        ):
+            return None
+        m = self.n_tasks
+        if X.shape[0] == n_old:
+            return base.chol, base.row_task, base.row_point
+        X_new = X[n_old:]
+        k = X_new.shape[0]
+        B = base.task_chol @ base.task_chol.T
+        cross = _kron2(B, self.kernel(base.X, X_new, base.theta_shared))
+        D = _kron2(B, self.kernel(X_new, X_new, base.theta_shared))
+        if self.private_processes and base.theta_private.size:
+            for t in range(m):
+                cross[t * n_old : (t + 1) * n_old, t * k : (t + 1) * k] += (
+                    self.kernel(base.X, X_new, base.theta_private[t])
+                )
+                D[t * k : (t + 1) * k, t * k : (t + 1) * k] += self.kernel(
+                    X_new, X_new, base.theta_private[t]
+                )
+        noise = np.exp(base.log_noise)
+        D[np.diag_indices_from(D)] += np.repeat(noise, k) + JITTER
+        if base.row_task is not None:
+            cross = cross[base.row_task * n_old + base.row_point, :]
+        try:
+            chol = linalg.chol_extend(base.chol, cross, D)
+        except np.linalg.LinAlgError:
+            return None
+        if base.row_task is None:
+            old_task = np.repeat(np.arange(m), n_old)
+            old_point = np.tile(np.arange(n_old), m)
+        else:
+            old_task, old_point = base.row_task, base.row_point
+        row_task = np.concatenate([old_task, np.repeat(np.arange(m), k)])
+        row_point = np.concatenate(
+            [old_point, np.tile(np.arange(n_old, n_old + k), m)]
+        )
+        return chol, row_task, row_point
 
     def _default_init(self, Z: np.ndarray, dim: int) -> np.ndarray:
         m = self.n_tasks
@@ -285,9 +396,9 @@ class MultiTaskGP:
         log_noise: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray]:
         K = self._full_cov(X, theta_s, L, theta_p, log_noise)
-        Lc = cholesky(K, lower=True)
+        Lc = linalg.chol_factor(K)
         z = Z.T.ravel()  # task-major stacking
-        alpha = cho_solve((Lc, True), z)
+        alpha = linalg.counted_cho_solve(Lc, z)
         return Lc, alpha
 
     def _neg_lml_and_grad(
@@ -314,17 +425,17 @@ class MultiTaskGP:
         noise = np.exp(log_noise)
         K[np.diag_indices_from(K)] += np.repeat(noise, n) + JITTER
         try:
-            Lc = cholesky(K, lower=True)
+            Lc = linalg.chol_factor(K)
         except np.linalg.LinAlgError:
             return 1e10, np.zeros_like(params)
         z = Z.T.ravel()
-        alpha = cho_solve((Lc, True), z)
+        alpha = linalg.counted_cho_solve(Lc, z)
         lml = (
             -0.5 * float(z @ alpha)
             - float(np.sum(np.log(np.diag(Lc))))
             - 0.5 * n * m * math.log(2.0 * math.pi)
         )
-        Kinv = cho_solve((Lc, True), np.eye(n * m))
+        Kinv = linalg.counted_cho_solve(Lc, np.eye(n * m))
         W = np.outer(alpha, alpha) - Kinv
 
         # Block traces T[i, j] = tr(W_ij Kx) drive the task-matrix grads;
@@ -449,6 +560,10 @@ class MultiTaskGP:
                 kp = self.kernel(state.X, Xs, state.theta_private[t])
                 kstar[t * n : (t + 1) * n, t * mq : (t + 1) * mq] += kp
 
+        if state.row_task is not None:
+            # Extended factor: reorder cross-covariance rows from
+            # task-major to the factor's arrival-block row order.
+            kstar = kstar[state.row_task * n + state.row_point]
         mean_z = (kstar.T @ state.alpha).reshape(M, mq).T  # (mq, M)
 
         V = solve_triangular(state.chol, kstar, lower=True)
@@ -506,6 +621,7 @@ class IndependentMultiObjectiveGP:
         max_opt_iter: int = 80,
         rng: np.random.Generator | None = None,
         restart_workers: int | None = None,
+        incremental: bool = True,
     ):
         from repro.core.gp import GaussianProcess
 
@@ -519,6 +635,7 @@ class IndependentMultiObjectiveGP:
                 max_opt_iter=max_opt_iter,
                 rng=rng or np.random.default_rng(0),
                 restart_workers=restart_workers,
+                incremental=incremental,
             )
             for _ in range(n_tasks)
         ]
@@ -530,6 +647,7 @@ class IndependentMultiObjectiveGP:
         optimize: bool = True,
         init_params: np.ndarray | None = None,
         warm_start: bool = False,
+        ephemeral: bool = False,
     ) -> "IndependentMultiObjectiveGP":
         Y = np.atleast_2d(np.asarray(Y, dtype=float))
         if Y.shape[1] != self.n_tasks:
@@ -542,6 +660,7 @@ class IndependentMultiObjectiveGP:
                 optimize=optimize,
                 init_theta=per_task[t],
                 warm_start=warm_start,
+                ephemeral=ephemeral,
             )
         return self
 

@@ -46,6 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core import linalg
 from repro.core.acquisition import eipv_mc, penalized_eipv
 from repro.core.multifidelity import (
     LinearMultiFidelityStack,
@@ -99,6 +100,13 @@ class MFBOSettings:
     # restarts (different but equally valid hyperparameter trajectory).
     cache_predictions: bool = True
     warm_start: bool = True
+    # ``incremental`` lets fixed-hyperparameter refits (the commits
+    # between true refits, and batch-mode fantasy conditionings) extend
+    # the previous Cholesky factor instead of refactorizing
+    # (:mod:`repro.core.linalg`) — bitwise-equivalent factors up to
+    # roundoff at the last ulp, regression-bounded at 1e-10 and
+    # trajectory-tested against the full-refit reference.
+    incremental: bool = True
     # Batch mode (qPEIPV + async evaluation, :mod:`repro.core.batch`).
     # ``batch_size`` candidates are proposed per round via greedy
     # Kriging-believer fantasization and evaluated on ``eval_workers``
@@ -275,6 +283,7 @@ class CorrelatedMFBO:
                 rng=self.rng,
                 correlated=s.correlated,
                 cache_predictions=s.cache_predictions,
+                incremental=s.incremental,
             )
         if s.correlated:
             raise ValueError(
@@ -289,6 +298,7 @@ class CorrelatedMFBO:
             max_opt_iter=s.max_opt_iter,
             rng=self.rng,
             cache_predictions=s.cache_predictions,
+            incremental=s.incremental,
         )
 
     def _initial_design(self) -> None:
@@ -797,29 +807,54 @@ class CorrelatedMFBO:
                 )
 
     def _fit_stack(self, optimize: bool) -> None:
-        datasets = []
-        fallback = None
+        datasets: list[tuple[np.ndarray, np.ndarray] | None] = []
         for fidelity in ALL_FIDELITIES:
             data = self._data[fidelity]
             if len(data.indices) < 2:
                 # Persistent tool faults can starve a fidelity below
                 # the stack's 2-point fit minimum (degradation walks
                 # its requests down the ladder; outright failures
-                # punish only the requested level).  Chain a starved
-                # level on the nearest lower level's dataset — the
-                # level GP then learns (roughly) the identity
-                # correction, the best unbiased guess with next to no
-                # evidence — instead of crashing the fit.  Clean runs
-                # always hold >= 2 points per level (``n_init``
+                # punish only the requested level).  Mark it for
+                # chaining below instead of crashing the fit.  Clean
+                # runs always hold >= 2 points per level (``n_init``
                 # validation), so this never fires for them.
-                datasets.append(fallback)
+                datasets.append(None)
                 continue
             X = self.space.features[data.indices]
-            fallback = (X, data.matrix())
-            datasets.append(fallback)
-        self._stack.fit(
-            datasets, optimize=optimize, warm_start=self.settings.warm_start
-        )
+            datasets.append((X, data.matrix()))
+        populated = [i for i, d in enumerate(datasets) if d is not None]
+        if not populated:
+            counts = {
+                f.short_name: len(self._data[f].indices)
+                for f in ALL_FIDELITIES
+            }
+            raise RuntimeError(
+                "every fidelity is starved below the 2-point fit minimum "
+                f"(observation counts: {counts}); the surrogate stack "
+                "cannot be fit — the fault load left no usable data at "
+                "any level"
+            )
+        for level, dataset in enumerate(datasets):
+            if dataset is not None:
+                continue
+            # Chain a starved level on the nearest populated level —
+            # preferring the one below (the level GP then learns
+            # roughly the identity correction, the best unbiased guess
+            # with next to no evidence), else the nearest one above:
+            # punished commits land only at the *requested* fidelity,
+            # so persistent all-stage faults can starve the levels
+            # below the requests too.
+            lower = [i for i in populated if i < level]
+            upper = [i for i in populated if i > level]
+            source = lower[-1] if lower else upper[0]
+            datasets[level] = datasets[source]
+        prefix = "fit" if optimize else "commit"
+        with linalg.metered(self.metrics, prefix):
+            self._stack.fit(
+                datasets,
+                optimize=optimize,
+                warm_start=self.settings.warm_start,
+            )
 
     def _front_and_reference(self) -> tuple[np.ndarray, np.ndarray]:
         values = [y for (y, _f, valid) in self._cs.values() if valid]
@@ -863,9 +898,10 @@ class CorrelatedMFBO:
     ) -> tuple[int, Fidelity, float] | None:
         """Per-fidelity argmax of PEIPV over ``pool``, then the global max.
 
-        All fidelities are scored over one shared candidate matrix, so
-        the stack's per-step prediction cache turns the scan into a
-        single upward sweep (each level predicted exactly once); a
+        All fidelities are scored over one shared candidate matrix: the
+        needed fidelities are predicted in one batched bottom-up sweep
+        (:meth:`predict_levels` — each chain level computed exactly
+        once, results bitwise identical to per-level ``predict``); a
         fidelity's already-evaluated configurations are masked out of
         its argmax rather than re-pooled.  ``exclude`` masks batch-round
         pending configurations out of every fidelity's argmax.
@@ -880,15 +916,23 @@ class CorrelatedMFBO:
             np.isin(pool, list(exclude)) if exclude else
             np.zeros(pool.size, dtype=bool)
         )
-        best: tuple[int, Fidelity, float] | None = None
+        eligibility: dict[Fidelity, np.ndarray] = {}
         for fidelity in ALL_FIDELITIES:
             eligible = ~self._eval_mask[fidelity][pool] & ~pending
-            if not eligible.any():
-                continue
-            with metrics.timed("predict_s"), self.spans.span(
-                "predict", cat="predict", fidelity=fidelity.short_name
-            ):
-                means, covs = stack.predict(int(fidelity), X)
+            if eligible.any():
+                eligibility[fidelity] = eligible
+        if not eligibility:
+            return None
+        with metrics.timed("predict_s"), self.spans.span(
+            "predict", cat="predict",
+            fidelity=",".join(f.short_name for f in eligibility),
+        ):
+            predictions = stack.predict_levels(
+                [int(f) for f in eligibility], X
+            )
+        best: tuple[int, Fidelity, float] | None = None
+        for fidelity, eligible in eligibility.items():
+            means, covs = predictions[int(fidelity)]
             with metrics.timed("hvi_s"), self.spans.span(
                 "acquire", cat="acquire", fidelity=fidelity.short_name
             ):

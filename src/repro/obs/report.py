@@ -14,10 +14,15 @@ evaluation counts, and fault/degrade/resume totals.
 
 *Compare* takes either two run directories (compared on their phase
 attribution) or two ``BENCH_*.json`` files (compared on every shared
-``*_s`` timing key) and prints a per-metric slowdown table with a
-gated verdict: any ratio at or above ``--threshold`` (default 1.5x)
-makes the verdict ``REGRESSION`` and the exit status 1 — wire it
-straight into CI.
+``*_s`` timing key and every shared ``*_flops`` work-proxy key) and
+prints a per-metric slowdown table with a gated verdict: any ratio at
+or above ``--threshold`` (default 1.5x) makes the verdict
+``REGRESSION`` and the exit status 1 — wire it straight into CI.
+Artifacts whose perf gates never armed (``speedup_asserted`` false or
+missing) are flagged ``UNARMED``; with ``--strict`` that also fails
+the comparison, so a decorative-gate artifact can never pass a CI
+compare silently.  ``--assert-armed FILE...`` checks artifacts'
+``speedup_asserted`` flags directly (exit 1 on any unarmed file).
 
 *Log rollup* is the former ``tools/summarize_table1_log.py``:
 aggregate the ``bench/method repeat N: ADRS=... time=...h`` lines of a
@@ -44,6 +49,8 @@ from repro.obs.trace import iter_trace, upgrade_record
 __all__ = [
     "summarize_run",
     "format_run_summary",
+    "bench_gates_armed",
+    "assert_armed",
     "compare_bench_files",
     "compare_runs",
     "parse_table1_log",
@@ -194,6 +201,12 @@ def format_run_summary(summary: dict) -> str:
 # ----------------------------------------------------------------------
 
 
+def _fmt_value(value: float) -> str:
+    """Format a metric cell: seconds in fixed-point, big flop counts
+    compactly."""
+    return f"{value:.4g}" if abs(value) >= 1e6 else f"{value:.3f}"
+
+
 def _compare_table(
     metrics: list[tuple[str, float, float]], threshold: float
 ) -> tuple[str, bool]:
@@ -205,30 +218,47 @@ def _compare_table(
     lines = [f"{'metric':<24}{'A':>12}{'B':>12}{'B/A':>8}  verdict"]
     regressed = False
     for name, a, b in metrics:
+        cell_a, cell_b = _fmt_value(a), _fmt_value(b)
         if a > 1e-9:
             ratio = b / a
             flag = ratio >= threshold
             verdict = "REGRESS" if flag else "ok"
             regressed |= flag
             lines.append(
-                f"{name:<24}{a:>12.3f}{b:>12.3f}{ratio:>8.2f}  {verdict}"
+                f"{name:<24}{cell_a:>12}{cell_b:>12}{ratio:>8.2f}  {verdict}"
             )
         else:
-            lines.append(f"{name:<24}{a:>12.3f}{b:>12.3f}{'-':>8}  ok")
+            lines.append(f"{name:<24}{cell_a:>12}{cell_b:>12}{'-':>8}  ok")
     lines.append(
         f"verdict: {'REGRESSION' if regressed else 'OK'} "
-        f"(gate: B/A >= {threshold:.2f} on any timing metric)"
+        f"(gate: B/A >= {threshold:.2f} on any timing or work-proxy metric)"
     )
     return "\n".join(lines), regressed
 
 
-def compare_bench_files(
-    path_a: str | Path, path_b: str | Path, threshold: float = 1.5
-) -> tuple[str, bool]:
-    """Compare two ``BENCH_*.json`` files on their shared ``*_s`` keys.
+def bench_gates_armed(data: dict) -> bool:
+    """Whether a BENCH artifact's perf gates actually armed.
 
-    Returns the rendered table and whether any timing regressed by the
-    threshold factor (B slower than A).
+    ``speedup_asserted`` must be literal ``true`` — a missing key (old
+    artifact) or any other value counts as unarmed, so the compare gate
+    fails closed rather than open.
+    """
+    return data.get("speedup_asserted") is True
+
+
+def compare_bench_files(
+    path_a: str | Path,
+    path_b: str | Path,
+    threshold: float = 1.5,
+    strict: bool = False,
+) -> tuple[str, bool]:
+    """Compare two ``BENCH_*.json`` files on their shared ``*_s`` timing
+    and ``*_flops`` work-proxy keys.
+
+    Returns the rendered table and whether the comparison failed: any
+    metric regressed by the threshold factor (B worse than A), or —
+    under ``strict`` — either artifact's own perf gates never armed.
+    Unarmed artifacts are always flagged UNARMED in the text.
     """
     a = json.loads(Path(path_a).read_text())
     b = json.loads(Path(path_b).read_text())
@@ -236,19 +266,58 @@ def compare_bench_files(
         k
         for k in a
         if k in b
-        and k.endswith("_s")
+        and (k.endswith("_s") or k.endswith("_flops"))
         and isinstance(a[k], (int, float))
         and isinstance(b[k], (int, float))
     ]
     if not keys:
         raise ValueError(
-            f"no shared timing (*_s) keys between {path_a} and {path_b}"
+            f"no shared timing (*_s) or work-proxy (*_flops) keys "
+            f"between {path_a} and {path_b}"
         )
     header = f"compare {path_a} -> {path_b}\n"
-    table, regressed = _compare_table(
+    table, failed = _compare_table(
         [(k, float(a[k]), float(b[k])) for k in sorted(keys)], threshold
     )
-    return header + table, regressed
+    unarmed = [
+        label
+        for label, data in (("A", a), ("B", b))
+        if not bench_gates_armed(data)
+    ]
+    if unarmed:
+        table += (
+            "\ngates: "
+            + ", ".join(f"{label} UNARMED" for label in unarmed)
+            + " — artifact's own perf gates never armed"
+            + (" (fails under --strict)" if strict else "")
+        )
+        if strict:
+            failed = True
+    return header + table, failed
+
+
+def assert_armed(paths: list[str | Path]) -> tuple[str, bool]:
+    """Check that every BENCH artifact's perf gates armed.
+
+    One line per file (ARMED with the recorded arming reason, or
+    UNARMED), then an overall verdict.  Returns the text and whether
+    all files are armed — the CI step that uploads bench artifacts
+    fails when any gate stayed decorative.
+    """
+    lines: list[str] = []
+    all_armed = True
+    for path in paths:
+        data = json.loads(Path(path).read_text())
+        if bench_gates_armed(data):
+            reason = data.get("speedup_asserted_reason", "")
+            lines.append(
+                f"{path}: ARMED" + (f" ({reason})" if reason else "")
+            )
+        else:
+            all_armed = False
+            lines.append(f"{path}: UNARMED — gate assertions did not run")
+    lines.append(f"verdict: {'ARMED' if all_armed else 'UNARMED'}")
+    return "\n".join(lines), all_armed
 
 
 def compare_runs(
@@ -383,19 +452,35 @@ def main(argv: list[str] | None = None) -> int:
         help="slowdown ratio that fails the comparison (default 1.5)",
     )
     parser.add_argument(
+        "--strict", action="store_true",
+        help="--compare also fails when a BENCH artifact's own perf "
+             "gates never armed (speedup_asserted not true)",
+    )
+    parser.add_argument(
+        "--assert-armed", nargs="+", metavar="FILE", default=None,
+        help="fail unless every BENCH_*.json has speedup_asserted: true",
+    )
+    parser.add_argument(
         "--log", default="",
         help="aggregate a table1 console log instead of traces",
     )
     args = parser.parse_args(argv)
 
+    if args.assert_armed:
+        text, all_armed = assert_armed(args.assert_armed)
+        print(text)
+        return 0 if all_armed else 1
+
     if args.compare:
         a, b = args.compare
         if _is_bench_json(a) and _is_bench_json(b):
-            text, regressed = compare_bench_files(a, b, args.threshold)
+            text, failed = compare_bench_files(
+                a, b, args.threshold, strict=args.strict
+            )
         else:
-            text, regressed = compare_runs([a], [b], args.threshold)
+            text, failed = compare_runs([a], [b], args.threshold)
         print(text)
-        return 1 if regressed else 0
+        return 1 if failed else 0
 
     if args.log:
         data = parse_table1_log(args.log)

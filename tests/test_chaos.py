@@ -209,6 +209,37 @@ class TestPersistentFaults:
         assert failed.isdisjoint(result.pareto_indices())
 
 
+class TestStarvedFidelity:
+    def test_starved_hls_level_chains_instead_of_crashing(self, space, flow):
+        # Every stage of every evaluation crashes, persistently, and
+        # failures punish only the *requested* fidelity.  With
+        # n_init=(6, 5, 4) exactly one init config is requested at HLS
+        # and one at SYN, so both levels enter the first fit with a
+        # single (punished) point — below the stack's 2-point minimum —
+        # while IMPL holds 4.  The fit must chain the starved levels
+        # onto IMPL and the run must complete.
+        spec = FaultSpec(seed=0, crash_rate=1.0, persistent=True)
+        opt = CorrelatedMFBO(
+            space,
+            FaultyFlow(flow, spec),
+            chaos_settings(n_init=(6, 5, 4), n_iter=2),
+        )
+        result = opt.run()
+        init_at_hls = [
+            r
+            for r in result.history
+            if r.step == -1 and r.fidelity == Fidelity.HLS
+        ]
+        assert len(init_at_hls) == 1, "starvation scenario did not arise"
+        assert all(r.failed for r in result.history)
+        # The chained stack stayed usable: predictions at the starved
+        # level are finite.
+        means, _covs = opt._stack.predict(
+            int(Fidelity.HLS), space.features[:4]
+        )
+        assert np.all(np.isfinite(means))
+
+
 class TestResumeUnderFaults:
     def test_kill_and_resume_with_active_faults(self, space, flow, tmp_path):
         spec = FaultSpec(seed=1, hang_s=0.0, **TRANSIENT)

@@ -116,6 +116,36 @@ class TestGaussianProcess:
         mu, _ = gp.predict(X)
         assert np.allclose(mu, 3.5, atol=1e-3)
 
+    def test_variance_floor_is_scale_relative(self):
+        # Near-duplicate inputs with a large prior amplitude push the
+        # posterior-variance subtraction into roundoff, engaging the
+        # clamp.  The floor must be relative to the prior variance (and
+        # hence to the target scale after de-standardization) — an
+        # absolute 1e-12 clamp in standardized space would sit
+        # prior-amplitude times lower here.
+        rng = np.random.default_rng(9)
+        base = rng.uniform(size=(4, 2))
+        X = np.repeat(base, 8, axis=0) + 1e-9 * rng.normal(size=(32, 2))
+        y = rng.normal(size=32)
+        gp = GaussianProcess()
+        theta = np.concatenate(
+            [gp.kernel.default_params(2), [np.log(1e-8)]]
+        )
+        theta[0] = np.log(1e4)
+        gp.fit(X, y, optimize=False, init_theta=theta)
+        _, var = gp.predict(X)
+        prior = gp.kernel.diag(X, theta[:-1])
+        floor = np.std(y) ** 2 * 1e-12 * prior.max()
+        assert np.all(var > 0)
+        assert var.min() == pytest.approx(floor, rel=1e-9)
+        # Rescaling the targets rescales the floored variance
+        # quadratically — the clamp carries no fixed unit.
+        gp2 = GaussianProcess().fit(
+            X, 1e3 * y, optimize=False, init_theta=theta
+        )
+        _, var2 = gp2.predict(X)
+        assert var2.min() == pytest.approx(1e6 * var.min(), rel=1e-9)
+
     def test_refit_without_optimize_reuses_theta(self, data):
         X, y = data
         gp = GaussianProcess(rng=np.random.default_rng(0)).fit(X, y)

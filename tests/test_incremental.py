@@ -1,0 +1,241 @@
+"""Property tests for incremental ``fit(optimize=False)`` conditioning.
+
+The block-Cholesky update (:mod:`repro.core.linalg`) must be invisible:
+over randomized commit sequences — blocks of new rows appended to the
+training set, targets free to change arbitrarily between fits — the
+incremental GP's posterior must match a full refit to 1e-10, while
+actually taking the extension path.  Plus the ephemeral-base semantics
+used by Kriging-believer batches, and the invalidation rules (changed
+hyperparameters or non-prefix inputs force a full refactorization).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gp import GaussianProcess
+from repro.core.linalg import FLOPS, FlopCounter
+from repro.core.multitask import IndependentMultiObjectiveGP, MultiTaskGP
+
+TOL = 1e-10
+
+
+def _extensions_during(fn):
+    before = FLOPS.snapshot()
+    result = fn()
+    delta = FlopCounter.delta(before, FLOPS.snapshot())
+    return result, delta
+
+
+def _gp_theta(dim):
+    gp = GaussianProcess()
+    return np.concatenate(
+        [gp.kernel.default_params(dim), [np.log(1e-4)]]
+    )
+
+
+commit_sequences = st.lists(
+    st.integers(min_value=1, max_value=3), min_size=1, max_size=4
+)
+
+
+class TestGPIncrementalParity:
+    @given(seed=st.integers(0, 10_000), blocks=commit_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_full_refit_over_commit_sequence(self, seed, blocks):
+        rng = np.random.default_rng(seed)
+        dim = 3
+        theta = _gp_theta(dim)
+        n0 = 4
+        X = rng.uniform(size=(n0, dim))
+        y = rng.normal(size=n0)
+
+        inc = GaussianProcess(incremental=True)
+        ref = GaussianProcess(incremental=False)
+        inc.fit(X, y, optimize=False, init_theta=theta)
+        ref.fit(X, y, optimize=False, init_theta=theta)
+
+        Xq = rng.uniform(size=(7, dim))
+        extended = 0
+        for k in blocks:
+            X = np.vstack([X, rng.uniform(size=(k, dim))])
+            # Targets change wholesale between commits (standardization
+            # shifts, punished rows, fantasies) — only X must extend.
+            y = rng.normal(size=X.shape[0])
+            _, delta = _extensions_during(
+                lambda: inc.fit(X, y, optimize=False)
+            )
+            extended += delta["extensions"]
+            assert delta["factorizations"] == 0, (
+                "incremental commit fell back to a full refactorization"
+            )
+            ref.fit(X, y, optimize=False)
+
+            mean_inc, var_inc = inc.predict(Xq)
+            mean_ref, var_ref = ref.predict(Xq)
+            np.testing.assert_allclose(mean_inc, mean_ref, atol=TOL, rtol=TOL)
+            np.testing.assert_allclose(var_inc, var_ref, atol=TOL, rtol=TOL)
+        assert extended == len(blocks)
+
+    def test_same_data_refit_reuses_factor(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(6, 2))
+        y = rng.normal(size=6)
+        gp = GaussianProcess().fit(
+            X, y, optimize=False, init_theta=_gp_theta(2)
+        )
+        chol = gp._state.chol
+        _, delta = _extensions_during(
+            lambda: gp.fit(X, 2.0 * y, optimize=False)
+        )
+        assert delta["factorizations"] == 0 and delta["extensions"] == 0
+        assert gp._state.chol is chol
+
+    def test_changed_theta_invalidates_extension(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(5, 2))
+        y = rng.normal(size=5)
+        theta = _gp_theta(2)
+        gp = GaussianProcess().fit(X, y, optimize=False, init_theta=theta)
+        X2 = np.vstack([X, rng.uniform(size=(1, 2))])
+        _, delta = _extensions_during(
+            lambda: gp.fit(
+                X2, rng.normal(size=6), optimize=False,
+                init_theta=theta + 0.1,
+            )
+        )
+        assert delta["extensions"] == 0
+        assert delta["factorizations"] == 1
+
+    def test_non_prefix_inputs_invalidate_extension(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(5, 2))
+        y = rng.normal(size=5)
+        gp = GaussianProcess().fit(
+            X, y, optimize=False, init_theta=_gp_theta(2)
+        )
+        X2 = np.vstack([X[::-1], rng.uniform(size=(1, 2))])  # reordered
+        _, delta = _extensions_during(
+            lambda: gp.fit(X2, rng.normal(size=6), optimize=False)
+        )
+        assert delta["extensions"] == 0
+        assert delta["factorizations"] == 1
+
+    def test_incremental_off_always_refactorizes(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(size=(5, 2))
+        gp = GaussianProcess(incremental=False).fit(
+            X, rng.normal(size=5), optimize=False, init_theta=_gp_theta(2)
+        )
+        X2 = np.vstack([X, rng.uniform(size=(1, 2))])
+        _, delta = _extensions_during(
+            lambda: gp.fit(X2, rng.normal(size=6), optimize=False)
+        )
+        assert delta["extensions"] == 0
+        assert delta["factorizations"] == 1
+
+
+class TestEphemeralBase:
+    def test_fantasy_detour_preserves_durable_base(self):
+        rng = np.random.default_rng(4)
+        dim = 2
+        theta = _gp_theta(dim)
+        X = rng.uniform(size=(5, dim))
+        y = rng.normal(size=5)
+        gp = GaussianProcess().fit(X, y, optimize=False, init_theta=theta)
+
+        # Two stacked fantasy conditionings: each extends the previous
+        # slot's factor, but the durable base stays the real fit.
+        Xf1 = np.vstack([X, rng.uniform(size=(1, dim))])
+        _, d1 = _extensions_during(
+            lambda: gp.fit(
+                Xf1, rng.normal(size=6), optimize=False, ephemeral=True
+            )
+        )
+        Xf2 = np.vstack([Xf1, rng.uniform(size=(1, dim))])
+        _, d2 = _extensions_during(
+            lambda: gp.fit(
+                Xf2, rng.normal(size=7), optimize=False, ephemeral=True
+            )
+        )
+        assert d1["extensions"] == 1 and d2["extensions"] == 1
+        assert gp._base_state is not None
+        assert gp._base_state.X.shape[0] == 5
+
+        # The next real commit extends from the durable 5-row base in
+        # one block — not from the 7-row fantasy factor.
+        X_real = np.vstack([X, rng.uniform(size=(2, dim))])
+        y_real = rng.normal(size=7)
+        _, d3 = _extensions_during(
+            lambda: gp.fit(X_real, y_real, optimize=False)
+        )
+        assert d3["extensions"] == 1 and d3["factorizations"] == 0
+        assert gp._base_state is None
+
+        ref = GaussianProcess(incremental=False).fit(
+            X_real, y_real, optimize=False, init_theta=theta
+        )
+        Xq = rng.uniform(size=(6, dim))
+        np.testing.assert_allclose(
+            gp.predict(Xq)[0], ref.predict(Xq)[0], atol=TOL, rtol=TOL
+        )
+        np.testing.assert_allclose(
+            gp.predict(Xq)[1], ref.predict(Xq)[1], atol=TOL, rtol=TOL
+        )
+
+
+class TestMultiTaskIncrementalParity:
+    @given(seed=st.integers(0, 10_000), blocks=commit_sequences)
+    @settings(max_examples=10, deadline=None)
+    def test_matches_full_refit_over_commit_sequence(self, seed, blocks):
+        rng = np.random.default_rng(seed)
+        dim, m = 2, 2
+        n0 = 4
+        X = rng.uniform(size=(n0, dim))
+        Y = rng.normal(size=(n0, m))
+
+        inc = MultiTaskGP(n_tasks=m, incremental=True)
+        ref = MultiTaskGP(n_tasks=m, incremental=False)
+        # First fit from identical data: both derive the same default
+        # parameter init; later fits reuse each state's (equal) params.
+        inc.fit(X, Y, optimize=False)
+        ref.fit(X, Y, optimize=False)
+
+        Xq = rng.uniform(size=(5, dim))
+        for k in blocks:
+            X = np.vstack([X, rng.uniform(size=(k, dim))])
+            Y = rng.normal(size=(X.shape[0], m))
+            _, delta = _extensions_during(
+                lambda: inc.fit(X, Y, optimize=False)
+            )
+            assert delta["extensions"] == 1
+            assert delta["factorizations"] == 0
+            ref.fit(X, Y, optimize=False)
+
+            mean_inc, cov_inc = inc.predict(Xq)
+            mean_ref, cov_ref = ref.predict(Xq)
+            np.testing.assert_allclose(mean_inc, mean_ref, atol=TOL, rtol=TOL)
+            np.testing.assert_allclose(cov_inc, cov_ref, atol=TOL, rtol=TOL)
+
+    def test_independent_multiobjective_threads_incremental(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(5, 2))
+        Y = rng.normal(size=(5, 3))
+        model = IndependentMultiObjectiveGP(n_tasks=3, incremental=True)
+        model.fit(X, Y, optimize=False)
+        X2 = np.vstack([X, rng.uniform(size=(1, 2))])
+        Y2 = rng.normal(size=(6, 3))
+        _, delta = _extensions_during(
+            lambda: model.fit(X2, Y2, optimize=False)
+        )
+        assert delta["extensions"] == 3  # one per objective GP
+        assert delta["factorizations"] == 0
+
+        ref = IndependentMultiObjectiveGP(n_tasks=3, incremental=False)
+        ref.fit(X, Y, optimize=False)
+        ref.fit(X2, Y2, optimize=False)
+        Xq = rng.uniform(size=(4, 2))
+        np.testing.assert_allclose(
+            model.predict(Xq)[0], ref.predict(Xq)[0], atol=TOL, rtol=TOL
+        )

@@ -1,0 +1,159 @@
+"""Tests for the counted Cholesky primitives (repro.core.linalg)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import cho_solve, cholesky
+
+from repro.core import linalg
+from repro.core.linalg import (
+    FLOPS,
+    FlopCounter,
+    chol_extend,
+    chol_factor,
+    counted_cho_solve,
+    extend_flops,
+    factor_flops,
+)
+
+
+def _spd(rng, n):
+    A = rng.normal(size=(n, n))
+    K = A @ A.T + n * np.eye(n)
+    return K
+
+
+class TestCholExtend:
+    @pytest.mark.parametrize("n_old,k", [(1, 1), (5, 1), (8, 3), (12, 12)])
+    def test_matches_full_factorization(self, n_old, k):
+        rng = np.random.default_rng(n_old * 100 + k)
+        K = _spd(rng, n_old + k)
+        L_full = cholesky(K, lower=True)
+        L_old = cholesky(K[:n_old, :n_old], lower=True)
+        L_ext = chol_extend(L_old, K[:n_old, n_old:], K[n_old:, n_old:])
+        assert L_ext.shape == L_full.shape
+        # The leading block is carried over verbatim; the new rows are
+        # mathematically equal (different float summation order).
+        assert np.array_equal(L_ext[:n_old, :n_old], L_old)
+        assert np.allclose(L_ext, L_full, rtol=1e-12, atol=1e-12)
+        # And it is a genuine factor of K.
+        assert np.allclose(L_ext @ L_ext.T, K, rtol=1e-10, atol=1e-10)
+
+    def test_indefinite_schur_raises_linalgerror(self):
+        rng = np.random.default_rng(3)
+        K = _spd(rng, 4)
+        L_old = cholesky(K[:2, :2], lower=True)
+        # A cross block large enough to make the Schur complement
+        # indefinite: D - C^T C < 0.
+        B = 100.0 * np.ones((2, 2))
+        D = np.eye(2)
+        with pytest.raises(np.linalg.LinAlgError):
+            chol_extend(L_old, B, D)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cross block"):
+            chol_extend(np.eye(3), np.zeros((2, 2)), np.eye(2))
+
+    def test_counts_only_on_success(self):
+        rng = np.random.default_rng(4)
+        K = _spd(rng, 6)
+        L_old = cholesky(K[:4, :4], lower=True)
+        before = FLOPS.snapshot()
+        chol_extend(L_old, K[:4, 4:], K[4:, 4:])
+        delta = FlopCounter.delta(before, FLOPS.snapshot())
+        assert delta["extend_flops"] == extend_flops(4, 2)
+        assert delta["extensions"] == 1
+        assert delta["factor_flops"] == 0
+
+        before = FLOPS.snapshot()
+        with pytest.raises(np.linalg.LinAlgError):
+            chol_extend(
+                cholesky(np.eye(2), lower=True),
+                100.0 * np.ones((2, 2)),
+                np.eye(2),
+            )
+        delta = FlopCounter.delta(before, FLOPS.snapshot())
+        assert delta["extend_flops"] == 0
+        assert delta["extensions"] == 0
+
+
+class TestCountedWrappers:
+    def test_chol_factor_bitwise_and_counted(self):
+        rng = np.random.default_rng(5)
+        K = _spd(rng, 7)
+        before = FLOPS.snapshot()
+        L = chol_factor(K)
+        delta = FlopCounter.delta(before, FLOPS.snapshot())
+        assert np.array_equal(L, cholesky(K, lower=True))
+        assert delta["factor_flops"] == factor_flops(7)
+        assert delta["factorizations"] == 1
+
+    def test_counted_cho_solve_bitwise(self):
+        rng = np.random.default_rng(6)
+        K = _spd(rng, 5)
+        L = cholesky(K, lower=True)
+        b = rng.normal(size=5)
+        before = FLOPS.snapshot()
+        x = counted_cho_solve(L, b)
+        delta = FlopCounter.delta(before, FLOPS.snapshot())
+        assert np.array_equal(x, cho_solve((L, True), b))
+        assert delta["solve_flops"] == 2 * 5 * 5
+        B = rng.normal(size=(5, 3))
+        before = FLOPS.snapshot()
+        counted_cho_solve(L, B)
+        delta = FlopCounter.delta(before, FLOPS.snapshot())
+        assert delta["solve_flops"] == 2 * 5 * 5 * 3
+
+    def test_extension_cheaper_than_refactorization(self):
+        # The whole point: extending by k << n must count far fewer
+        # flops than refactorizing from scratch.
+        assert extend_flops(100, 1) < factor_flops(101) / 30
+        assert extend_flops(100, 5) < factor_flops(105) / 5
+
+
+class _DictMetrics:
+    def __init__(self):
+        self.counts = {}
+
+    def incr(self, name, by=1):
+        self.counts[name] = self.counts.get(name, 0) + by
+
+
+class TestMetered:
+    def test_credits_deltas_with_prefix(self):
+        rng = np.random.default_rng(7)
+        K = _spd(rng, 4)
+        metrics = _DictMetrics()
+        with linalg.metered(metrics, "commit"):
+            chol_factor(K)
+        assert metrics.counts["commit_factor_flops"] == factor_flops(4)
+        assert metrics.counts["commit_factorizations"] == 1
+        # Zero buckets are skipped entirely.
+        assert "commit_extend_flops" not in metrics.counts
+
+    def test_credits_even_when_block_raises(self):
+        metrics = _DictMetrics()
+        with pytest.raises(RuntimeError):
+            with linalg.metered(metrics, "fit"):
+                chol_factor(_spd(np.random.default_rng(8), 3))
+                raise RuntimeError("boom")
+        assert metrics.counts["fit_factor_flops"] == factor_flops(3)
+
+
+class TestFlopCounter:
+    def test_thread_safe_accumulation(self):
+        import threading
+
+        counter = FlopCounter()
+
+        def work():
+            for _ in range(1000):
+                counter.add("factor_flops", 1)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.snapshot()["factor_flops"] == 8000
+        counter.reset()
+        assert counter.snapshot()["factor_flops"] == 0

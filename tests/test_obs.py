@@ -760,6 +760,75 @@ class TestReport:
         text, regressed = obs_report.compare_bench_files(a, b)
         assert not regressed and "verdict: OK" in text
 
+    def _armed(self, extra=None):
+        data = {
+            "total_s": 1.0,
+            "commit_flops": 1000,
+            "speedup_asserted": True,
+            "speedup_asserted_reason": "flop proxy, core-count independent",
+        }
+        data.update(extra or {})
+        return data
+
+    def test_flops_keys_compared_and_gated(self, tmp_path):
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        a.write_text(json.dumps(self._armed()))
+        b.write_text(json.dumps(self._armed({"commit_flops": 5000})))
+        text, failed = obs_report.compare_bench_files(a, b)
+        assert failed
+        assert "commit_flops" in text and "REGRESS" in text
+        assert "UNARMED" not in text
+
+    def test_unarmed_artifact_flagged_and_strict_fails(self, tmp_path):
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        a.write_text(json.dumps(self._armed()))
+        unarmed = self._armed()
+        del unarmed["speedup_asserted"]
+        b.write_text(json.dumps(unarmed))
+        text, failed = obs_report.compare_bench_files(a, b)
+        assert "B UNARMED" in text
+        assert not failed  # no metric regressed; default mode passes
+        text, failed = obs_report.compare_bench_files(a, b, strict=True)
+        assert "B UNARMED" in text and failed
+
+    def test_speedup_asserted_must_be_literal_true(self):
+        assert obs_report.bench_gates_armed({"speedup_asserted": True})
+        assert not obs_report.bench_gates_armed({"speedup_asserted": "yes"})
+        assert not obs_report.bench_gates_armed({"speedup_asserted": 1})
+        assert not obs_report.bench_gates_armed({})
+
+    def test_assert_armed(self, tmp_path):
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        a.write_text(json.dumps(self._armed()))
+        unarmed = self._armed({"speedup_asserted": False})
+        b.write_text(json.dumps(unarmed))
+        text, ok = obs_report.assert_armed([a])
+        assert ok and "ARMED" in text
+        assert "flop proxy" in text  # arming reason echoed
+        text, ok = obs_report.assert_armed([a, b])
+        assert not ok and "UNARMED" in text
+
+    def test_cli_strict_and_assert_armed(self, tmp_path, capsys):
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        a.write_text(json.dumps(self._armed()))
+        unarmed = self._armed()
+        del unarmed["speedup_asserted"]
+        b.write_text(json.dumps(unarmed))
+        assert obs_report.main(["--compare", str(a), str(b)]) == 0
+        assert "UNARMED" in capsys.readouterr().out
+        assert obs_report.main(
+            ["--compare", str(a), str(b), "--strict"]
+        ) == 1
+        capsys.readouterr()
+        assert obs_report.main(["--assert-armed", str(a)]) == 0
+        capsys.readouterr()
+        assert obs_report.main(["--assert-armed", str(a), str(b)]) == 1
+        assert "UNARMED" in capsys.readouterr().out
+
     def _span(self, dur, name="fit", cat="fit", t0=100.0):
         return {
             "v": 5, "event": "span", "name": name, "cat": cat,

@@ -277,6 +277,55 @@ class TestPunishmentRescaling:
                     assert not np.allclose(values, 1e6)
 
 
+class TestFitStackStarvation:
+    """Persistent fault loads can leave a fidelity with < 2 points;
+    ``_fit_stack`` must chain the starved level onto the nearest
+    populated one (preferring below) or raise a clear diagnostic."""
+
+    def _seed_level(self, opt, fidelity, indices):
+        for i in indices:
+            y = np.array([10.0 + i, 5.0 + 0.5 * i, 1.0 + 0.1 * i])
+            opt._data[fidelity].add(i, y)
+
+    def test_starved_bottom_level_chains_to_level_above(self, space, flow):
+        opt = CorrelatedMFBO(space, flow, quick_settings())
+        self._seed_level(opt, Fidelity.SYN, [0, 1, 2])
+        self._seed_level(opt, Fidelity.IMPL, [0, 1])
+        opt._fit_stack(optimize=False)  # HLS empty: must not crash
+        means, _covs = opt._stack.predict(
+            int(Fidelity.HLS), space.features[:3]
+        )
+        assert np.all(np.isfinite(means))
+
+    def test_starved_middle_level_prefers_level_below(self, space, flow):
+        opt = CorrelatedMFBO(space, flow, quick_settings())
+        self._seed_level(opt, Fidelity.HLS, [0, 1, 2, 3])
+        self._seed_level(opt, Fidelity.IMPL, [0, 1])
+        opt._fit_stack(optimize=False)  # SYN starved (1 point short)
+        means, _covs = opt._stack.predict(
+            int(Fidelity.SYN), space.features[:3]
+        )
+        assert np.all(np.isfinite(means))
+
+    def test_single_point_counts_as_starved(self, space, flow):
+        opt = CorrelatedMFBO(space, flow, quick_settings())
+        self._seed_level(opt, Fidelity.HLS, [0, 1, 2])
+        self._seed_level(opt, Fidelity.SYN, [3])  # below the 2-point min
+        opt._fit_stack(optimize=False)
+        means, _covs = opt._stack.predict(
+            int(Fidelity.SYN), space.features[:3]
+        )
+        assert np.all(np.isfinite(means))
+
+    def test_all_levels_starved_raises_clear_diagnostic(self, space, flow):
+        opt = CorrelatedMFBO(space, flow, quick_settings())
+        self._seed_level(opt, Fidelity.HLS, [0])  # 1 point everywhere short
+        with pytest.raises(
+            RuntimeError, match="starved below the 2-point fit minimum"
+        ):
+            opt._fit_stack(optimize=False)
+
+
 class TestFidelityDataIndexSet:
     """ISSUE 1 satellite: contains() must be O(1), not a per-call set build."""
 
