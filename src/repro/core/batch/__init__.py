@@ -8,8 +8,20 @@ pool of flow workers (:mod:`repro.core.batch.engine`), with results
 committed in proposal order so fixed-seed runs are reproducible
 regardless of worker timing.  ``batch_size=1, eval_workers=1`` reduces
 bitwise to the sequential optimizer.
+
+:mod:`repro.core.batch.async_engine` removes the round barrier
+entirely: a continuous pipeline commits each outcome at its modeled
+completion time and re-proposes immediately, with an adaptive
+in-flight target; ``inflight_target=1`` also reduces bitwise to the
+sequential optimizer.
 """
 
+from repro.core.batch.async_engine import (
+    AsyncState,
+    PendingEval,
+    replay_async,
+    run_async_loop,
+)
 from repro.core.batch.engine import (
     EvalEngine,
     EvalJob,
@@ -22,13 +34,17 @@ from repro.core.batch.qeipv import BatchProposal, select_batch
 from repro.core.batch.workers import resolve_worker_count
 
 __all__ = [
+    "AsyncState",
     "BatchProposal",
     "EvalEngine",
     "EvalJob",
     "EvalOutcome",
     "FlowEvalError",
+    "PendingEval",
     "parallel_fidelity_sweep",
+    "replay_async",
     "resolve_worker_count",
+    "run_async_loop",
     "run_batch_loop",
     "select_batch",
 ]

@@ -1,0 +1,477 @@
+"""Commit-as-completed async BO pipeline with adaptive batch sizing.
+
+:func:`run_async_loop` replaces the round-barrier batch loop
+(:func:`repro.core.batch.engine.run_batch_loop`): instead of proposing
+``q`` candidates and idling the worker pool until the slowest one
+returns, it keeps a *target* number of evaluations in flight, commits
+each outcome through the sequential ``_commit`` path the moment it
+completes, and immediately re-proposes a replacement against the
+remaining pending set's Kriging-believer fantasies — workers never
+wait on a barrier.
+
+**Determinism contract.**  "The moment it completes" is defined on a
+*modeled* clock, not the wall: each proposal's completion time is
+``sim_now + flow.stage_time(fidelity)`` where ``sim_now`` is the
+modeled completion time of the last committed evaluation, and the next
+commit is always the pending evaluation with the smallest
+``(eta, step)``.  Wall-clock worker timing therefore never shapes the
+trajectory — a forced completion-order shuffle commits identically
+(regression-tested) — while the *relative* cost model still matches
+reality closely enough that draining min-ETA keeps the real pool busy.
+The adaptive controller's upper bound uses the **requested**
+``eval_workers`` (never the CPU-clamped count), so trajectories are
+machine-independent and a 1-CPU CI runner reproduces them bitwise.
+
+**Fantasy lifecycle across interleaved commits.**  Every proposal
+records its believer values (:func:`repro.core.batch.qeipv.believer_fantasies`)
+at proposal time and keeps them verbatim while pending.  Before each
+proposal the stack is (re)fit on the real data when commits have
+landed since the last fit — ``optimize`` keyed off the *committed
+count*, not rounds, so ``inflight_target=1`` reproduces the sequential
+refit cadence exactly — and then ephemerally conditioned
+(``fit(optimize=False, ephemeral=True)``) on the current pending set's
+recorded fantasies.  A commit mid-pipeline thus never perturbs the
+other slots' fantasy values; only the conditioning is rebuilt, from
+the new durable state.
+
+**Adaptive batch controller.**  After each selection the controller
+compares the fantasy-extended Pareto front's hypervolume with and
+without the new believer point: while fantasies keep moving the front
+the in-flight target grows (up to ``eval_workers``); when they stop it
+shrinks toward 1 — pure exploitation of parallelism only while the
+model believes parallel picks still add information.  A fixed
+``inflight_target`` disables adaptation.
+
+**Crash safety.**  Every proposal is journaled (with its fantasies,
+modeled ETA and post-selection RNG state) *before* submission and
+every commit after folding, so any journal prefix is a consistent
+snapshot: :func:`replay_async` rebuilds the exact optimizer state —
+including the ephemeral fantasy conditioning — and resubmits the
+journaled pending set, making async kill-and-resume bitwise
+(``benchmarks/bench_async_engine.py`` and ``tests/test_async.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import linalg
+from repro.core.batch.engine import EvalEngine, EvalJob, FlowEvalError
+from repro.core.batch.qeipv import _fantasized_datasets, believer_fantasies
+from repro.core.pareto import dominated_boxes, hypervolume, pareto_front
+from repro.core.resilience import journal as run_journal
+from repro.hlsim.reports import ALL_FIDELITIES, Fidelity
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "AsyncState",
+    "PendingEval",
+    "HV_GAIN_RTOL",
+    "replay_async",
+    "run_async_loop",
+]
+
+#: Relative fantasy-hypervolume gain below which a proposal counts as
+#: "not moving the front" and the in-flight target shrinks.
+HV_GAIN_RTOL = 1e-3
+
+
+@dataclass
+class PendingEval:
+    """One in-flight evaluation: proposal metadata frozen at selection.
+
+    ``fantasy``/``fantasy_levels`` are the believer values recorded at
+    proposal time — they survive interleaved commits verbatim (the
+    conditioning is rebuilt from them, never re-predicted).  ``eta_s``
+    is the modeled completion time on the simulation clock; the commit
+    order is min ``(eta_s, step)``, never wall time.
+    """
+
+    step: int
+    config_index: int
+    fidelity: Fidelity
+    acquisition: float
+    fantasy: np.ndarray
+    fantasy_levels: dict[Fidelity, np.ndarray]
+    eta_s: float
+    pool_size: int
+    job: EvalJob | None = None
+    handle: object | None = None
+
+
+@dataclass
+class AsyncState:
+    """The pipeline's trajectory-shaping state (resume restores it)."""
+
+    pending: list[PendingEval] = field(default_factory=list)
+    committed: int = 0
+    next_step: int = 0
+    #: Modeled clock: the ETA of the last committed evaluation.
+    sim_s: float = 0.0
+    target: int = 1
+    #: Committed count the stack was last *really* fit at.
+    fitted_at: int = -1
+    #: Pending steps the current ephemeral fantasy conditioning covers
+    #: (``None`` right after a real fit).
+    conditioned: tuple[int, ...] | None = None
+
+
+def _initial_target(settings) -> int:
+    cap = settings.inflight_cap or 1
+    if settings.inflight_target is not None:
+        return min(int(settings.inflight_target), cap)
+    return 1
+
+
+def _update_target(state: AsyncState, settings, hv_before, hv_after) -> None:
+    """Grow while fantasies move the front, shrink toward 1 otherwise."""
+    cap = settings.inflight_cap or 1
+    if settings.inflight_target is not None:
+        state.target = min(int(settings.inflight_target), cap)
+        return
+    gain = float(hv_after) - float(hv_before)
+    if gain > HV_GAIN_RTOL * max(abs(float(hv_before)), 1e-12):
+        state.target = min(state.target + 1, cap)
+    else:
+        state.target = max(1, state.target - 1)
+
+
+def _ensure_fit(opt, state: AsyncState) -> None:
+    """Real fit on new commits, then fantasy-condition on the pending set.
+
+    Shared between the live loop and :func:`replay_async` so both
+    produce the same fit sequence (warm-started hyperparameter
+    trajectories are path-dependent).  With an empty pending set and
+    ``inflight_target=1`` this is exactly the sequential loop's
+    per-step fit: ``optimize`` keyed off the committed count.
+    """
+    settings = opt.settings
+    if state.fitted_at != state.committed:
+        optimize = (state.committed % settings.refit_every) == 0
+        with opt.metrics.timed("fit_s"), opt.spans.span(
+            "fit", cat="fit", step=state.next_step, optimize=optimize
+        ):
+            opt._fit_stack(optimize=optimize)
+        state.fitted_at = state.committed
+        state.conditioned = None
+    key = tuple(p.step for p in state.pending)
+    if key and state.conditioned != key:
+        _condition_on_pending(opt, state.pending)
+        state.conditioned = key
+
+
+def _condition_on_pending(opt, pending: list[PendingEval]) -> None:
+    """Ephemerally condition the stack on the recorded fantasies."""
+    fantasy_X = {f: [] for f in ALL_FIDELITIES}
+    fantasy_Y = {f: [] for f in ALL_FIDELITIES}
+    for p in pending:
+        x_row = np.asarray(opt.space.features[p.config_index], dtype=float)
+        for level, y in p.fantasy_levels.items():
+            fantasy_X[level].append(x_row)
+            fantasy_Y[level].append(np.asarray(y, dtype=float))
+    with opt.metrics.timed("fit_s"), linalg.metered(opt.metrics, "fantasy"):
+        opt._stack.fit(
+            _fantasized_datasets(opt, fantasy_X, fantasy_Y),
+            optimize=False,
+            warm_start=opt.settings.warm_start,
+            ephemeral=True,
+        )
+
+
+def _fantasy_front(opt, pending: list[PendingEval]):
+    """Real front/reference, plus the front extended by pending fantasies."""
+    front, ref = opt._front_and_reference()
+    fantasy_front = front
+    for p in pending:
+        fantasy_front = pareto_front(
+            np.vstack([fantasy_front, p.fantasy[None, :]])
+        )
+    return front, ref, fantasy_front
+
+
+def _propose_one(opt, state: AsyncState, engine: EvalEngine) -> bool:
+    """Fit → fantasy-condition → scan → journal → submit one proposal.
+
+    Returns ``False`` when the candidate pool is dry.  The dryness
+    check reads only the evaluation masks — no fit, no RNG draw — so a
+    dry attempt between journaled records leaves no unjournaled state
+    behind (replay identity depends on this).
+    """
+    settings = opt.settings
+    pending_configs = {p.config_index for p in state.pending}
+    mask = ~opt._eval_mask[Fidelity.IMPL]
+    if pending_configs:
+        mask = mask.copy()
+        mask[list(pending_configs)] = False
+    if not mask.any():
+        return False
+    _ensure_fit(opt, state)
+    _front, ref, fantasy_front = _fantasy_front(opt, state.pending)
+    with opt.metrics.timed("hvi_s"):
+        boxes = dominated_boxes(fantasy_front, ref)
+    pool = opt._candidate_pool(exclude=pending_configs)
+    opt._last_pool_size = int(pool.size)
+    choice = opt._scan_best(pool, fantasy_front, ref, boxes)
+    if choice is None:
+        # Unreachable for a non-empty pool (every pooled configuration
+        # is IMPL-eligible by construction) — guarded for safety.
+        return False
+    index, fidelity, score = choice
+    with linalg.metered(opt.metrics, "fantasy"):
+        fantasy, fantasy_levels = believer_fantasies(opt, index, fidelity)
+    hv_before = hypervolume(fantasy_front, ref)
+    hv_after = hypervolume(
+        pareto_front(np.vstack([fantasy_front, fantasy[None, :]])), ref
+    )
+    _update_target(state, settings, hv_before, hv_after)
+    pend = PendingEval(
+        step=state.next_step,
+        config_index=index,
+        fidelity=fidelity,
+        acquisition=score,
+        fantasy=fantasy,
+        fantasy_levels=fantasy_levels,
+        eta_s=state.sim_s + float(opt.flow.stage_time(fidelity)),
+        pool_size=int(pool.size),
+    )
+    if opt._journal is not None:
+        # Journaled *before* submission: a crash in between resubmits
+        # the proposal on resume instead of losing it.
+        opt._journal.write(
+            run_journal.propose_record(
+                step=pend.step,
+                config_index=pend.config_index,
+                fidelity=pend.fidelity,
+                acquisition=pend.acquisition,
+                fantasy=pend.fantasy,
+                fantasy_levels=pend.fantasy_levels,
+                eta_s=pend.eta_s,
+                sim_s=state.sim_s,
+                target=state.target,
+                pool_size=pend.pool_size,
+                rng_state=opt.rng.bit_generator.state,
+            )
+        )
+    state.pending.append(pend)
+    state.next_step += 1
+    if opt.tracer is not None:
+        _trace_proposal(opt, state, pend)
+        _trace_inflight(opt, state, float(hv_after))
+    _submit(engine, pend)
+    return True
+
+
+def _submit(engine: EvalEngine, pend: PendingEval) -> None:
+    pend.job = EvalJob(
+        order=pend.step,
+        step=pend.step,
+        config_index=pend.config_index,
+        fidelity=pend.fidelity,
+    )
+    pend.handle = engine.submit(pend.job)
+
+
+def _drain_one(opt, state: AsyncState, engine: EvalEngine) -> None:
+    """Commit the pending evaluation with the smallest modeled ETA."""
+    pend = min(state.pending, key=lambda p: (p.eta_s, p.step))
+    with opt.spans.span(
+        "inflight_wait", cat="eval", step=pend.step,
+        config_index=pend.config_index, fidelity=pend.fidelity.short_name,
+    ):
+        outcome = engine.wait(pend.job, pend.handle)
+    if outcome.error is not None:
+        raise FlowEvalError(
+            f"evaluation of config {pend.config_index} at "
+            f"{pend.fidelity.short_name} (step {pend.step}) failed on "
+            f"worker {outcome.worker or '?'}:\n{outcome.error}"
+        )
+    with opt.spans.span("commit", cat="step", step=pend.step):
+        opt.metrics.add_time("eval_s", outcome.exec_s)
+        opt._fold_outcome(
+            pend.config_index,
+            pend.fidelity,
+            outcome.outcome,
+            acquisition=pend.acquisition,
+            step=pend.step,
+        )
+        state.sim_s = pend.eta_s
+        state.committed += 1
+        state.pending.remove(pend)
+        if opt.tracer is not None:
+            _trace_commit(opt, pend, outcome, state)
+            _front, ref, fantasy_front = _fantasy_front(opt, state.pending)
+            _trace_inflight(
+                opt, state, float(hypervolume(fantasy_front, ref))
+            )
+
+
+def run_async_loop(opt, resume: AsyncState | None = None) -> None:
+    """The continuous propose/commit pipeline (no round barriers).
+
+    Drives a :class:`repro.core.optimizer.CorrelatedMFBO` whose initial
+    design is already evaluated (or replayed).  Fills the pipeline to
+    the in-flight target, then alternates one modeled-order commit with
+    a refill — the fill is retried after every commit because lower-
+    fidelity configurations return to the candidate pool when they
+    leave the pending set.  Exits when a fill attempt finds the pool
+    dry *and* nothing is pending.
+    """
+    settings = opt.settings
+    spans = opt.spans
+    engine = EvalEngine(
+        opt.space,
+        opt.flow,
+        workers=settings.eval_workers,
+        timeout_s=settings.eval_timeout_s,
+        retry_policy=opt._retry_policy,
+        seed=settings.seed,
+        spans=opt.spans,
+    )
+    state = resume if resume is not None else AsyncState(
+        target=_initial_target(settings)
+    )
+    try:
+        for pend in state.pending:
+            _submit(engine, pend)  # resume: relaunch journaled in-flight work
+        while True:
+            while (
+                len(state.pending) < state.target
+                and state.next_step < settings.n_iter
+            ):
+                with spans.span(
+                    "propose", cat="acquire", step=state.next_step
+                ):
+                    launched = _propose_one(opt, state, engine)
+                if not launched:
+                    break
+            if not state.pending:
+                break
+            _drain_one(opt, state, engine)
+    finally:
+        engine.close()
+
+
+def replay_async(opt, plan: run_journal.AsyncReplayPlan) -> AsyncState:
+    """Re-derive a journaled async run's state, bitwise.
+
+    Walks the journal in live order: commits replay through the
+    ordinary ``_commit`` path, proposals re-run the *fit sequence* the
+    live loop performed before them (:func:`_ensure_fit`, including the
+    ephemeral fantasy conditioning rebuilt from the journaled believer
+    values) and then hard-restore the captured post-selection RNG
+    state.  Returns the :class:`AsyncState` the resumed live loop
+    continues from (its pending set still needs resubmission —
+    :func:`run_async_loop` does that).
+    """
+    state = AsyncState(target=_initial_target(opt.settings))
+    opt._journal_phase = "init"
+    for record in plan.init_records:
+        opt._commit(**run_journal.commit_kwargs(record))
+    if plan.init_records:
+        opt.rng.bit_generator.state = plan.init_records[-1]["rng_state"]
+    opt._journal_phase = "loop"
+    for record in plan.loop_records:
+        if record["event"] == "propose":
+            _ensure_fit(opt, state)
+            decoded = run_journal.propose_kwargs(record)
+            state.pending.append(
+                PendingEval(
+                    step=decoded["step"],
+                    config_index=decoded["config_index"],
+                    fidelity=decoded["fidelity"],
+                    acquisition=decoded["acquisition"],
+                    fantasy=np.asarray(decoded["fantasy"], dtype=float),
+                    fantasy_levels={
+                        level: np.asarray(y, dtype=float)
+                        for level, y in decoded["fantasy_levels"].items()
+                    },
+                    eta_s=decoded["eta_s"],
+                    pool_size=decoded["pool_size"],
+                )
+            )
+            state.next_step += 1
+            state.target = decoded["target"]
+        else:
+            opt._commit(**run_journal.commit_kwargs(record))
+            step = int(record["step"])
+            pend = next(p for p in state.pending if p.step == step)
+            state.sim_s = pend.eta_s
+            state.committed += 1
+            state.pending.remove(pend)
+        opt.rng.bit_generator.state = record["rng_state"]
+    if plan.verify_records:
+        opt._journal_phase = "verify"
+        for record in plan.verify_records:
+            opt._commit(**run_journal.commit_kwargs(record))
+        opt.rng.bit_generator.state = plan.verify_records[-1]["rng_state"]
+    return state
+
+
+# ----------------------------------------------------------------------
+# trace emission (schema v6)
+# ----------------------------------------------------------------------
+
+
+def _trace_proposal(opt, state: AsyncState, pend: PendingEval) -> None:
+    opt.tracer.write(
+        {
+            "v": TRACE_SCHEMA_VERSION,
+            "event": "proposal",
+            "round": -1,  # async: no rounds
+            "slot": -1,
+            "step": pend.step,
+            "config_index": pend.config_index,
+            "fidelity": pend.fidelity.short_name,
+            "acquisition": pend.acquisition,
+            "fantasy": [float(v) for v in pend.fantasy],
+            "pool_size": pend.pool_size,
+            "eta_s": pend.eta_s,
+            "target": state.target,
+        }
+    )
+
+
+def _trace_inflight(opt, state: AsyncState, fantasy_hv: float) -> None:
+    opt.tracer.write(
+        {
+            "v": TRACE_SCHEMA_VERSION,
+            "event": "inflight",
+            "committed": state.committed,
+            "n_pending": len(state.pending),
+            "target": state.target,
+            "fantasy_hv": fantasy_hv,
+            "sim_s": state.sim_s,
+        }
+    )
+
+
+def _trace_commit(opt, pend: PendingEval, outcome, state: AsyncState) -> None:
+    record = opt._history[-1]
+    opt.tracer.write(
+        {
+            "v": TRACE_SCHEMA_VERSION,
+            "event": "commit",
+            "round": -1,
+            "slot": -1,
+            "step": pend.step,
+            "config_index": pend.config_index,
+            "fidelity": record.fidelity.short_name,
+            "valid": record.valid,
+            "objectives": [float(v) for v in record.objectives],
+            "fantasy": [float(v) for v in pend.fantasy],
+            "flow_runtime_s": record.runtime_s,
+            "queue_wait_s": outcome.queue_wait_s,
+            "exec_s": outcome.exec_s,
+            "worker": outcome.worker,
+            "attempts": record.attempts,
+            "requested_fidelity": pend.fidelity.short_name,
+            "degraded": record.degraded,
+            "failed": record.failed,
+            "wasted_runtime_s": outcome.outcome.wasted_runtime_s
+            if outcome.outcome is not None
+            else 0.0,
+            "inflight": len(state.pending),
+        }
+    )

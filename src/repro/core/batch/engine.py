@@ -33,6 +33,7 @@ import time
 import traceback
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 
 import numpy as np
@@ -129,11 +130,13 @@ class EvalEngine:
         retry_policy: RetryPolicy | None = None,
         seed: int = 0,
         spans=NULL_SPANS,
+        drain_s: float = 5.0,
     ):
         if clamp:
             workers = resolve_worker_count(workers, label="eval_workers")
         self.workers = max(1, int(workers))
         self.timeout_s = timeout_s
+        self.drain_s = drain_s
         self.retry_policy = retry_policy or RetryPolicy()
         self.seed = seed
         self.spans = spans
@@ -152,6 +155,10 @@ class EvalEngine:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._in_flight = {f: 0 for f in ALL_FIDELITIES}
+        # Futures not yet done — what close() drains before cancelling
+        # (an abandoned worker mid-``flow_eval`` would orphan gtcache
+        # ``.tmp`` files on interpreter exit).
+        self._outstanding: set[Future] = set()
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -218,23 +225,43 @@ class EvalEngine:
     def _submit(self, job: EvalJob, fidelity: Fidelity | None = None) -> Future:
         fidelity = job.fidelity if fidelity is None else fidelity
         self._track(fidelity, +1)
-        return self._executor.submit(
+        future = self._executor.submit(
             self._run_one, job, time.perf_counter(), fidelity
         )
+        self._outstanding.add(future)
+        future.add_done_callback(self._outstanding.discard)
+        return future
+
+    def submit(self, job: EvalJob) -> "EvalOutcome | Future":
+        """Start one job, returning a handle for :meth:`wait`.
+
+        With one worker and no timeout the evaluation runs inline on
+        the calling thread (sharing the sequential flow's report cache
+        exactly — the async ``inflight_target=1`` parity path) and the
+        handle *is* the finished :class:`EvalOutcome`; otherwise it is
+        the pool future.
+        """
+        if self.workers == 1 and self.timeout_s is None:
+            return self._evaluate_inline(job)
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="eval"
+            )
+        return self._submit(job)
+
+    def wait(self, job: EvalJob, handle: "EvalOutcome | Future") -> EvalOutcome:
+        """Block until ``handle`` resolves (timeout-resubmit ladder included)."""
+        if isinstance(handle, EvalOutcome):
+            return handle
+        return self._collect(job, handle)
 
     def evaluate(self, jobs: list[EvalJob]) -> list[EvalOutcome]:
         """Run ``jobs``; outcomes come back in proposal (``jobs``) order."""
         if not jobs:
             return []
-        if self.workers == 1 and self.timeout_s is None:
-            return [self._evaluate_inline(job) for job in jobs]
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="eval"
-            )
-        futures = [self._submit(job) for job in jobs]
+        handles = [self.submit(job) for job in jobs]
         return [
-            self._collect(job, future) for job, future in zip(jobs, futures)
+            self.wait(job, handle) for job, handle in zip(jobs, handles)
         ]
 
     def _evaluate_inline(self, job: EvalJob) -> EvalOutcome:
@@ -350,10 +377,25 @@ class EvalEngine:
                 worker=worker,
             )
 
-    def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+    def close(self, drain_s: float | None = None) -> None:
+        """Shut the pool down after a bounded graceful drain.
+
+        Queued-but-unstarted futures are cancelled outright; futures
+        already *running* get up to ``drain_s`` seconds (engine default
+        when ``None``) to finish — an abandoned worker mid-``flow_eval``
+        would orphan gtcache ``.tmp`` files on interpreter exit.  Only
+        then does the hard ``cancel_futures`` shutdown fire.
+        """
+        if self._executor is None:
+            return
+        drain_s = self.drain_s if drain_s is None else drain_s
+        for future in list(self._outstanding):
+            future.cancel()  # no-op for the ones already running
+        remaining = {f for f in self._outstanding if not f.done()}
+        if remaining and drain_s > 0:
+            futures_wait(remaining, timeout=drain_s)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = None
 
     def __enter__(self) -> "EvalEngine":
         return self
@@ -460,6 +502,8 @@ def _trace_proposals(opt, rnd, proposals, select_s, before) -> None:
                 "acquisition": p.acquisition,
                 "fantasy": [float(v) for v in p.fantasy],
                 "pool_size": p.pool_size,
+                "eta_s": None,  # async-only (v6): no modeled clock here
+                "target": None,
             }
         )
     delta = Metrics.delta(before, opt.metrics.snapshot())
@@ -504,6 +548,7 @@ def _trace_commit(opt, rnd, proposal, outcome) -> None:
             "wasted_runtime_s": outcome.outcome.wasted_runtime_s
             if outcome.outcome is not None
             else 0.0,
+            "inflight": None,  # async-only (v6): rounds imply the pending set
         }
     )
 

@@ -13,6 +13,13 @@ working Pareto front with the fantasy point so the next pick's EIPV
 decomposition (:func:`repro.core.pareto.dominated_boxes`) sees the
 pending candidate's believed contribution.
 
+Believer values at every level an evaluation would fill come from
+**one** stacked :meth:`predict_levels` sweep per pick
+(:func:`believer_fantasies`) instead of a per-level ``predict`` loop —
+the chain re-derives each lower level exactly once, bitwise identical
+to the per-level calls (the stacks' documented contract), and the
+sweep's solve flops land in the ``fantasy_*`` buckets.
+
 Slot 0 consumes the rng exactly like the sequential
 :meth:`CorrelatedMFBO._select` (same candidate-pool subsample, same
 common random numbers in ``eipv_mc``), so ``q=1`` reduces bitwise to
@@ -29,7 +36,7 @@ from repro.core import linalg
 from repro.core.pareto import dominated_boxes, pareto_front
 from repro.hlsim.reports import ALL_FIDELITIES, Fidelity
 
-__all__ = ["BatchProposal", "select_batch"]
+__all__ = ["BatchProposal", "believer_fantasies", "select_batch"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +53,35 @@ class BatchProposal:
     #: pending.  Traced next to the realized objectives at commit time.
     fantasy: np.ndarray
     pool_size: int
+
+
+def believer_fantasies(
+    opt, index: int, fidelity: Fidelity
+) -> tuple[np.ndarray, dict[Fidelity, np.ndarray]]:
+    """Believer means at the chosen fidelity and every level it fills.
+
+    Evaluating ``index`` up to ``fidelity`` adds reports at every level
+    the configuration is missing up to that fidelity (nested report
+    sets), so the believer mirrors that: posterior means at each such
+    level, predicted with the stack as currently conditioned.  All
+    levels come from a single bottom-up :meth:`predict_levels` sweep
+    (bitwise identical to per-level ``predict`` calls, each chain level
+    computed exactly once).
+    """
+    x = opt.space.features[index : index + 1]
+    missing = [
+        level
+        for level in ALL_FIDELITIES
+        if level <= fidelity and not opt._data[level].contains(index)
+    ]
+    wanted = sorted({int(level) for level in missing} | {int(fidelity)})
+    predictions = opt._stack.predict_levels(wanted, x)
+    fantasy = np.asarray(predictions[int(fidelity)][0][0], dtype=float)
+    fantasy_levels = {
+        level: np.asarray(predictions[int(level)][0][0], dtype=float)
+        for level in missing
+    }
+    return fantasy, fantasy_levels
 
 
 def select_batch(opt, q: int, step0: int) -> list[BatchProposal]:
@@ -80,9 +116,8 @@ def select_batch(opt, q: int, step0: int) -> list[BatchProposal]:
         if choice is None:
             break
         index, fidelity, score = choice
-        x = opt.space.features[index : index + 1]
-        means, _covs = opt._stack.predict(int(fidelity), x)
-        fantasy = np.asarray(means[0], dtype=float)
+        with linalg.metered(opt.metrics, "fantasy"):
+            fantasy, fantasy_levels = believer_fantasies(opt, index, fidelity)
         proposals.append(
             BatchProposal(
                 slot=slot,
@@ -97,7 +132,10 @@ def select_batch(opt, q: int, step0: int) -> list[BatchProposal]:
         exclude.add(index)
         if slot + 1 >= q:
             break
-        _condition_on_fantasy(opt, index, fidelity, x, fantasy_X, fantasy_Y)
+        x_row = np.asarray(opt.space.features[index], dtype=float)
+        for level, y in fantasy_levels.items():
+            fantasy_X[level].append(x_row)
+            fantasy_Y[level].append(y)
         # Ephemeral conditioning: each slot's factor extends the
         # previous slot's (pure block extension when ``incremental``),
         # and the round's next *real* fit extends from the last durable
@@ -115,26 +153,6 @@ def select_batch(opt, q: int, step0: int) -> list[BatchProposal]:
             np.vstack([fantasy_front, fantasy[None, :]])
         )
     return proposals
-
-
-def _condition_on_fantasy(
-    opt, index: int, fidelity: Fidelity, x: np.ndarray, fantasy_X, fantasy_Y
-) -> None:
-    """Record fantasy observations for every level the flow would fill.
-
-    Evaluating ``index`` up to ``fidelity`` adds reports at every level
-    the configuration is missing up to that fidelity (nested sets), so
-    the believer mirrors that: posterior means at each such level,
-    predicted with the stack as currently conditioned.
-    """
-    for level in ALL_FIDELITIES:
-        if level > fidelity:
-            break
-        if opt._data[level].contains(index):
-            continue
-        means, _covs = opt._stack.predict(int(level), x)
-        fantasy_X[level].append(np.asarray(x[0], dtype=float))
-        fantasy_Y[level].append(np.asarray(means[0], dtype=float))
 
 
 def _fantasized_datasets(opt, fantasy_X, fantasy_Y):

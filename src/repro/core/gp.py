@@ -31,8 +31,6 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.linalg import solve_triangular
-
 from repro.core import linalg
 from repro.core.kernels import Matern52, StationaryKernel
 from repro.core.restarts import minimize_multistart
@@ -293,7 +291,7 @@ class GaussianProcess:
         theta_k = state.theta[:-1]
         Ks = self.kernel(state.X, Xs, theta_k)
         mean_z = Ks.T @ state.alpha
-        v = solve_triangular(state.chol, Ks, lower=True)
+        v = linalg.counted_solve_triangular(state.chol, Ks)
         prior_diag = self.kernel.diag(Xs, theta_k)
         var_z = prior_diag - np.sum(v * v, axis=0)
         # Scale-relative floor: an absolute clamp in standardized space

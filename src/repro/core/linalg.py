@@ -48,6 +48,7 @@ __all__ = [
     "chol_factor",
     "chol_extend",
     "counted_cho_solve",
+    "counted_solve_triangular",
     "factor_flops",
     "extend_flops",
     "metered",
@@ -167,3 +168,17 @@ def counted_cho_solve(L: np.ndarray, b: np.ndarray) -> np.ndarray:
     nrhs = 1 if b.ndim == 1 else b.shape[1]
     FLOPS.add("solve_flops", 2 * n * n * nrhs)
     return cho_solve((L, True), b)
+
+
+def counted_solve_triangular(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Counted ``L^{-1} B`` forward solve (bitwise = scipy's).
+
+    One triangular solve is ``n^2`` flops per right-hand side.  Routes
+    the GP *predict* path's solves through the global counter so the
+    acquisition sweep's linear-algebra work shows up in the same
+    ``fit_``/``commit_``/``fantasy_`` buckets :func:`metered` credits.
+    """
+    n = L.shape[0]
+    nrhs = 1 if B.ndim == 1 else B.shape[1]
+    FLOPS.add("solve_flops", n * n * nrhs)
+    return solve_triangular(L, B, lower=True)

@@ -42,7 +42,7 @@ import math
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.linalg import cholesky, solve_triangular
+from scipy.linalg import cholesky
 
 from repro.core import linalg
 from repro.core.gp import JITTER, LOG_NOISE_BOUNDS
@@ -566,7 +566,7 @@ class MultiTaskGP:
             kstar = kstar[state.row_task * n + state.row_point]
         mean_z = (kstar.T @ state.alpha).reshape(M, mq).T  # (mq, M)
 
-        V = solve_triangular(state.chol, kstar, lower=True)
+        V = linalg.counted_solve_triangular(state.chol, kstar)
         Vr = V.reshape(n * M, M, mq)
         reduction = np.einsum("kim,kjm->mij", Vr, Vr)
         kxx = self.kernel.diag(Xs, state.theta_shared)  # (mq,)

@@ -120,6 +120,20 @@ class MFBOSettings:
     eval_workers: int = 1
     eval_timeout_s: float | None = None
     batch_engine: bool | None = None
+    # Async mode (:mod:`repro.core.batch.async_engine`).  Instead of
+    # round barriers, ``run_async_loop`` keeps an adaptive number of
+    # evaluations in flight, commits each outcome the moment its
+    # *modeled* completion time arrives (deterministic — wall timing
+    # never shapes the trajectory) and immediately re-proposes against
+    # the remaining pending set's Kriging-believer fantasies.
+    # ``async_engine=True`` enables it with the adaptive controller
+    # (in-flight target grows while fantasies keep moving the Pareto
+    # front, shrinks toward 1 when they stop, capped at
+    # ``eval_workers``); ``inflight_target`` pins the target instead
+    # (and implies async mode).  ``inflight_target=1`` reduces bitwise
+    # to the sequential loop — regression-tested.
+    async_engine: bool = False
+    inflight_target: int | None = None
     # Resilience (:mod:`repro.core.resilience`).  Flow evaluations are
     # retried up to ``retry_max_attempts`` times with exponential
     # backoff (``retry_backoff_s`` base, deterministic jitter from a
@@ -166,6 +180,13 @@ class MFBOSettings:
             raise ValueError("invalid_penalty must exceed 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if self.inflight_target is not None and self.inflight_target < 1:
+            raise ValueError("inflight_target must be at least 1")
+        if self.use_async_engine and self.batch_size > 1:
+            raise ValueError(
+                "async mode has no rounds: batch_size must stay 1 "
+                "(use inflight_target / eval_workers to size the pipeline)"
+            )
         if self.eval_timeout_s is not None and self.eval_timeout_s <= 0:
             raise ValueError("eval_timeout_s must be positive")
         if self.retry_max_attempts < 1:
@@ -187,9 +208,27 @@ class MFBOSettings:
 
     @property
     def use_batch_engine(self) -> bool:
+        if self.use_async_engine:
+            return False
         if self.batch_engine is not None:
             return self.batch_engine
         return self.batch_size > 1 or self.eval_workers > 1
+
+    @property
+    def use_async_engine(self) -> bool:
+        return self.async_engine or self.inflight_target is not None
+
+    @property
+    def inflight_cap(self) -> int | None:
+        """The in-flight target's upper bound; ``None`` for sync runs.
+
+        Journaled in the resume fingerprint: the bound (requested
+        ``eval_workers``) shapes async trajectories, while sync runs
+        keep worker count a wall-clock-only knob.
+        """
+        if not self.use_async_engine:
+            return None
+        return max(1, int(self.eval_workers))
 
 
 @dataclass
@@ -470,7 +509,8 @@ class CorrelatedMFBO:
                     round_index=(
                         step // self.settings.batch_size
                         if self._journal_phase == "loop"
-                        else -1
+                        and not self.settings.use_async_engine
+                        else -1  # async mode has no rounds
                     ),
                     config_index=index,
                     fidelity=fidelity,
@@ -581,6 +621,10 @@ class CorrelatedMFBO:
             if self.settings.use_batch_engine:
                 record["batch_size"] = self.settings.batch_size
                 record["eval_workers"] = self.settings.eval_workers
+            if self.settings.use_async_engine:
+                record["async_engine"] = True
+                record["inflight_target"] = self.settings.inflight_target
+                record["eval_workers"] = self.settings.eval_workers
             if plan is not None:
                 record["resumed"] = True
             self.tracer.write(record)
@@ -589,12 +633,17 @@ class CorrelatedMFBO:
                 "run", cat="run",
                 kernel=self.space.kernel.name, method=self.method_name,
             ):
+                resume_state = None
                 if plan is not None:
                     with self.spans.span("replay", cat="phase"):
-                        self._replay(plan)
-                    start_step, start_round = (
-                        plan.next_step, plan.next_round
-                    )
+                        if self.settings.use_async_engine:
+                            resume_state = self._replay_async(plan)
+                            start_step, start_round = 0, 0
+                        else:
+                            self._replay(plan)
+                            start_step, start_round = (
+                                plan.next_step, plan.next_round
+                            )
                     loop_done = plan.loop_done
                 else:
                     self._journal_phase = "init"
@@ -603,7 +652,13 @@ class CorrelatedMFBO:
                     start_step, start_round, loop_done = 0, 0, False
                 self._journal_phase = "loop"
                 if not loop_done:
-                    if self.settings.use_batch_engine:
+                    if self.settings.use_async_engine:
+                        from repro.core.batch.async_engine import (
+                            run_async_loop,
+                        )
+
+                        run_async_loop(self, resume=resume_state)
+                    elif self.settings.use_batch_engine:
                         from repro.core.batch.engine import run_batch_loop
 
                         run_batch_loop(
@@ -630,7 +685,9 @@ class CorrelatedMFBO:
         """Commits a complete initial design writes (space-clamped)."""
         return min(self.settings.n_init[0], len(self.space))
 
-    def _prepare_journal(self) -> run_journal.ReplayPlan | None:
+    def _prepare_journal(
+        self,
+    ) -> "run_journal.ReplayPlan | run_journal.AsyncReplayPlan | None":
         """Open the run journal, building a replay plan when resuming.
 
         ``resume_from`` without an existing journal file (or with one
@@ -644,11 +701,18 @@ class CorrelatedMFBO:
         if resume_from is not None and resume_from.is_file():
             records = run_journal.read_journal(resume_from)
             if records:
-                plan = run_journal.build_replay_plan(
-                    records, s, expected_init=self._expected_init()
-                )
-                if not plan.segments:
-                    plan = None
+                if s.use_async_engine:
+                    plan = run_journal.build_async_replay_plan(
+                        records, s, expected_init=self._expected_init()
+                    )
+                    if not plan.init_records:
+                        plan = None
+                else:
+                    plan = run_journal.build_replay_plan(
+                        records, s, expected_init=self._expected_init()
+                    )
+                    if not plan.segments:
+                        plan = None
         if journal_path is None:
             return None
         if plan is not None:
@@ -720,6 +784,36 @@ class CorrelatedMFBO:
                     "next_step": plan.next_step,
                 }
             )
+
+    def _replay_async(self, plan: run_journal.AsyncReplayPlan):
+        """Replay an async journal; returns the loop's resume state.
+
+        Delegates to :func:`repro.core.batch.async_engine.replay_async`
+        so the live loop and the replay share one fit-sequencing
+        implementation (the bitwise-identity requirement).
+        """
+        from repro.core.batch.async_engine import replay_async
+
+        self._replaying = True
+        try:
+            state = replay_async(self, plan)
+        finally:
+            self._replaying = False
+        self._verify_attempted = set(plan.verify_attempted)
+        if self.tracer is not None:
+            self.tracer.write(
+                {
+                    "v": TRACE_SCHEMA_VERSION,
+                    "event": "resume",
+                    "journal": str(self._journal.path)
+                    if self._journal
+                    else None,
+                    "replayed": plan.replayed,
+                    "dropped": plan.dropped,
+                    "next_step": plan.next_step,
+                }
+            )
+        return state
 
     def _run_sequential_loop(self, start: int = 0) -> None:
         for t in range(start, self.settings.n_iter):

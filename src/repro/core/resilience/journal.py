@@ -21,6 +21,14 @@ one:
   tolerates a torn tail.  A batch round interrupted mid-commit is
   dropped whole and re-selected on resume (selection is deterministic
   from the restored state, so the re-run is bitwise too).
+
+Async runs (``run_async_loop``) additionally journal every *proposal*
+(:func:`propose_record`): the chosen candidate, its Kriging-believer
+fantasy values per fidelity level, the modeled completion time and the
+post-proposal RNG state.  Any journal prefix is then a consistent
+snapshot — proposals without a matching commit are exactly the pending
+set, resubmitted verbatim on resume, so async kill-and-resume is
+bitwise too (:func:`build_async_replay_plan`).
 """
 
 from __future__ import annotations
@@ -39,10 +47,14 @@ __all__ = [
     "JOURNAL_SCHEMA_VERSION",
     "JournalError",
     "RunJournal",
+    "AsyncReplayPlan",
     "ReplayPlan",
     "ReplaySegment",
+    "build_async_replay_plan",
     "build_replay_plan",
     "commit_record",
+    "propose_record",
+    "propose_kwargs",
     "read_journal",
     "serialize_result",
     "deserialize_result",
@@ -50,7 +62,9 @@ __all__ = [
 ]
 
 #: Bump when a journal field is added, removed or changes meaning.
-JOURNAL_SCHEMA_VERSION = 1
+#: v2 added the async-pipeline ``propose`` event plus the
+#: ``async_engine``/``inflight_target`` fingerprint fields.
+JOURNAL_SCHEMA_VERSION = 2
 
 #: Settings that shape the optimization *trajectory* — a resumed run
 #: must share all of them with the journaled run or bitwise identity is
@@ -73,6 +87,13 @@ _FINGERPRINT_FIELDS = (
     "cache_predictions",
     "warm_start",
     "batch_size",
+    "async_engine",
+    "inflight_target",
+    # Derived: the adaptive controller's upper bound (requested
+    # ``eval_workers``) shapes async trajectories, so it is pinned for
+    # async runs — but stays ``None`` for sync runs, where worker count
+    # remains a wall-clock-only knob and resume across counts is fine.
+    "inflight_cap",
     "seed",
     "retry_max_attempts",
     "degrade_on_failure",
@@ -222,6 +243,70 @@ def commit_kwargs(record: dict[str, Any]) -> dict[str, Any]:
         "failed": bool(record["failed"]),
         "attempts": int(record["attempts"]),
         "wasted_runtime_s": _decode_float(record["wasted_runtime_s"]),
+    }
+
+
+def propose_record(
+    *,
+    step: int,
+    config_index: int,
+    fidelity: Fidelity,
+    acquisition: float,
+    fantasy: Any,
+    fantasy_levels: dict,
+    eta_s: float,
+    sim_s: float,
+    target: int,
+    pool_size: int,
+    rng_state: dict,
+) -> dict[str, Any]:
+    """One async-pipeline proposal, journaled *before* submission.
+
+    ``fantasy`` is the believer mean at the chosen fidelity and
+    ``fantasy_levels`` the per-level believer means the evaluation will
+    fill — journaled verbatim so replay can re-condition the stack on
+    exactly the fantasies the live run saw, without re-deriving them
+    from a stack mid-replay.  ``rng_state`` is captured *after* the
+    selection consumed the generator.
+    """
+    return {
+        "v": JOURNAL_SCHEMA_VERSION,
+        "event": "propose",
+        "phase": "loop",
+        "step": int(step),
+        "config_index": int(config_index),
+        "fidelity": int(fidelity),
+        "acquisition": _encode_float(float(acquisition)),
+        "fantasy": [_encode_float(float(v)) for v in fantasy],
+        "fantasy_levels": {
+            str(int(level)): [_encode_float(float(v)) for v in values]
+            for level, values in fantasy_levels.items()
+        },
+        "eta_s": _encode_float(float(eta_s)),
+        "sim_s": _encode_float(float(sim_s)),
+        "target": int(target),
+        "pool_size": int(pool_size),
+        "rng_state": rng_state,
+    }
+
+
+def propose_kwargs(record: dict[str, Any]) -> dict[str, Any]:
+    """A journaled proposal, decoded (fantasies as plain float lists)."""
+    return {
+        "step": int(record["step"]),
+        "config_index": int(record["config_index"]),
+        "fidelity": Fidelity(int(record["fidelity"])),
+        "acquisition": _decode_float(record["acquisition"]),
+        "fantasy": [_decode_float(v) for v in record["fantasy"]],
+        "fantasy_levels": {
+            Fidelity(int(level)): [_decode_float(v) for v in values]
+            for level, values in record["fantasy_levels"].items()
+        },
+        "eta_s": _decode_float(record["eta_s"]),
+        "sim_s": _decode_float(record["sim_s"]),
+        "target": int(record["target"]),
+        "pool_size": int(record["pool_size"]),
+        "rng_state": record["rng_state"],
     }
 
 
@@ -375,20 +460,8 @@ class ReplayPlan:
     loop_done: bool = False
 
 
-def build_replay_plan(
-    records: list[dict[str, Any]],
-    settings,
-    expected_init: int,
-) -> ReplayPlan:
-    """Partition journal records into bitwise-replayable segments.
-
-    ``expected_init`` is the number of initial-design commits a
-    complete initial phase writes (the optimizer knows the space size).
-    An incomplete initial design is dropped entirely (the resume is
-    then a fresh run); a trailing under-sized loop round is dropped and
-    re-selected *unless* verification commits follow it (then the pool
-    simply ran dry and the round is complete).
-    """
+def _check_header(records: list[dict[str, Any]], settings) -> dict[str, Any]:
+    """Validate version + settings fingerprint; return the header."""
     if not records or records[0].get("event") != "header":
         raise JournalError("journal has no header record")
     header = records[0]
@@ -409,6 +482,24 @@ def build_replay_plan(
             "journal settings differ from the resuming run's "
             f"(bitwise resume impossible); mismatched: {', '.join(diff)}"
         )
+    return header
+
+
+def build_replay_plan(
+    records: list[dict[str, Any]],
+    settings,
+    expected_init: int,
+) -> ReplayPlan:
+    """Partition journal records into bitwise-replayable segments.
+
+    ``expected_init`` is the number of initial-design commits a
+    complete initial phase writes (the optimizer knows the space size).
+    An incomplete initial design is dropped entirely (the resume is
+    then a fresh run); a trailing under-sized loop round is dropped and
+    re-selected *unless* verification commits follow it (then the pool
+    simply ran dry and the round is complete).
+    """
+    header = _check_header(records, settings)
 
     commits = [r for r in records if r.get("event") == "commit"]
     init = [r for r in commits if r["phase"] == "init"]
@@ -496,4 +587,142 @@ def build_replay_plan(
         dropped=dropped,
         verify_attempted=attempted,
         loop_done=bool(verify) or step >= settings.n_iter,
+    )
+
+
+@dataclass
+class AsyncReplayPlan:
+    """What to replay for an async run and where the live loop picks up.
+
+    Unlike the round-barrier plan there is no torn-round concept: every
+    journal prefix is consistent.  ``pending`` holds the proposals with
+    no matching commit (in step order) — the resumed loop resubmits
+    them verbatim and continues draining on the journaled simulation
+    clock.
+    """
+
+    header: dict
+    init_records: tuple[dict, ...]
+    #: Loop ``propose``/``commit`` records in journal (= live) order.
+    loop_records: tuple[dict, ...]
+    verify_records: tuple[dict, ...]
+    kept_records: list[dict]  # header + kept records, verbatim
+    pending: tuple[dict, ...]  # propose records lacking a commit
+    committed: int
+    next_step: int
+    sim_s: float
+    target: int
+    replayed: int
+    dropped: int
+    verify_attempted: frozenset[int]
+    loop_done: bool = False
+
+
+def build_async_replay_plan(
+    records: list[dict[str, Any]],
+    settings,
+    expected_init: int,
+) -> AsyncReplayPlan:
+    """Partition an async journal into a bitwise-replayable prefix.
+
+    Validates that loop proposals carry contiguous steps from 0 in
+    journal order and that every loop commit refers to an
+    already-journaled proposal.  An incomplete initial design drops
+    everything (fresh run), exactly like :func:`build_replay_plan`.
+    """
+    header = _check_header(records, settings)
+
+    init = [
+        r for r in records
+        if r.get("event") == "commit" and r["phase"] == "init"
+    ]
+    loop = [
+        r for r in records
+        if r.get("event") in ("commit", "propose") and r["phase"] == "loop"
+    ]
+    verify = [
+        r for r in records
+        if r.get("event") == "commit" and r["phase"] == "verify"
+    ]
+    total = len(init) + len(loop) + len(verify)
+
+    if len(init) < expected_init:
+        # Crash during the initial design: nothing replayable (the init
+        # sampling is one RNG transaction; partial prefixes are not
+        # restart points).
+        return AsyncReplayPlan(
+            header=header,
+            init_records=(),
+            loop_records=(),
+            verify_records=(),
+            kept_records=[header],
+            pending=(),
+            committed=0,
+            next_step=0,
+            sim_s=0.0,
+            target=1,
+            replayed=0,
+            dropped=total,
+            verify_attempted=frozenset(),
+        )
+
+    proposed: dict[int, dict] = {}
+    committed_steps: list[int] = []
+    for record in loop:
+        step = int(record["step"])
+        if record["event"] == "propose":
+            if step != len(proposed):
+                raise JournalError(
+                    f"journal propose steps are not contiguous (got "
+                    f"{step}, expected {len(proposed)})"
+                )
+            proposed[step] = record
+        else:
+            if step not in proposed:
+                raise JournalError(
+                    f"journal commit at step {step} precedes its proposal"
+                )
+            if step in committed_steps:
+                raise JournalError(
+                    f"journal commits step {step} twice"
+                )
+            committed_steps.append(step)
+
+    pending = tuple(
+        proposed[step] for step in sorted(proposed)
+        if step not in committed_steps
+    )
+    # The modeled clock after the replayed prefix: the ETA of the last
+    # *committed* proposal (commits are journaled in modeled order).
+    sim_s = (
+        _decode_float(proposed[committed_steps[-1]]["eta_s"])
+        if committed_steps else 0.0
+    )
+    # Adaptive-controller state is just the target, journaled on every
+    # proposal (the gain signal is memoryless per decision).
+    target = (
+        int(proposed[len(proposed) - 1]["target"]) if proposed else 1
+    )
+
+    attempted: frozenset[int] = frozenset()
+    if verify:
+        attempted = frozenset(r["config_index"] for r in verify)
+
+    n_committed = len(committed_steps)
+    kept = [header] + init + loop + verify
+    return AsyncReplayPlan(
+        header=header,
+        init_records=tuple(init),
+        loop_records=tuple(loop),
+        verify_records=tuple(verify),
+        kept_records=kept,
+        pending=pending,
+        committed=n_committed,
+        next_step=len(proposed),
+        sim_s=sim_s,
+        target=target,
+        replayed=len(init) + len(loop) + len(verify),
+        dropped=0,
+        verify_attempted=attempted,
+        loop_done=bool(verify) or n_committed >= settings.n_iter,
     )

@@ -52,6 +52,8 @@ def run(
     cache_dir: str | None = None,
     batch_size: int = 1,
     eval_workers: int = 1,
+    async_engine: bool = False,
+    inflight_target: int | None = None,
     journal_dir: str | None = None,
     resume: bool = False,
     retry_max_attempts: int = 3,
@@ -64,6 +66,7 @@ def run(
 
     scale = apply_overrides(
         SCALES[scale_name], batch_size=batch_size, eval_workers=eval_workers,
+        async_engine=async_engine, inflight_target=inflight_target,
         retry_max_attempts=retry_max_attempts,
         retry_backoff_s=retry_backoff_s,
         degrade_on_failure=degrade_on_failure,
@@ -172,6 +175,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="process-pool size (1 = sequential)")
     parser.add_argument("--batch-size", type=int, default=1,
                         help="BO candidates proposed per round (qPEIPV)")
+    parser.add_argument("--async", dest="async_engine", action="store_true",
+                        help="commit-as-completed async BO pipeline with "
+                             "an adaptive in-flight target (bounded by "
+                             "--eval-workers)")
+    parser.add_argument("--inflight-target", type=int, default=None,
+                        help="pin the async pipeline's in-flight target "
+                             "(implies --async; 1 = bitwise-sequential)")
     parser.add_argument("--eval-workers", type=int, default=1,
                         help="in-run flow-evaluation workers per BO loop")
     parser.add_argument("--cache-dir", default="",
@@ -205,6 +215,8 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir or None,
         batch_size=args.batch_size,
         eval_workers=args.eval_workers,
+        async_engine=args.async_engine,
+        inflight_target=args.inflight_target,
         journal_dir=args.journal_dir or None,
         resume=args.resume,
         retry_max_attempts=args.retry_max_attempts,

@@ -65,6 +65,13 @@ class ExperimentScale:
     # loop (bitwise-identical results).
     batch_size: int = 1
     eval_workers: int = 1
+    # Async pipeline (repro.core.batch.async_engine): commit-as-completed
+    # with an adaptive in-flight target (``async_engine=True``) or a
+    # pinned one (``inflight_target``, implies async).  Deterministic on
+    # a modeled clock; ``inflight_target=1`` is bitwise the sequential
+    # loop.
+    async_engine: bool = False
+    inflight_target: int | None = None
     # Resilience knobs (repro.core.resilience): flow-crash retry budget
     # per fidelity, base backoff between attempts, and whether retry
     # exhaustion degrades down the fidelity ladder instead of failing.
@@ -92,6 +99,8 @@ class ExperimentScale:
             refit_every=self.refit_every,
             batch_size=self.batch_size,
             eval_workers=self.eval_workers,
+            async_engine=self.async_engine,
+            inflight_target=self.inflight_target,
             retry_max_attempts=self.retry_max_attempts,
             retry_backoff_s=self.retry_backoff_s,
             degrade_on_failure=self.degrade_on_failure,

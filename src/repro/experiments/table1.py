@@ -127,6 +127,8 @@ def apply_overrides(
     scale: ExperimentScale,
     batch_size: int = 1,
     eval_workers: int = 1,
+    async_engine: bool = False,
+    inflight_target: int | None = None,
     retry_max_attempts: int = 3,
     retry_backoff_s: float = 0.0,
     degrade_on_failure: bool = True,
@@ -138,6 +140,10 @@ def apply_overrides(
         overrides["batch_size"] = batch_size
     if eval_workers != 1:
         overrides["eval_workers"] = eval_workers
+    if async_engine:
+        overrides["async_engine"] = True
+    if inflight_target is not None:
+        overrides["inflight_target"] = inflight_target
     if retry_max_attempts != 3:
         overrides["retry_max_attempts"] = retry_max_attempts
     if retry_backoff_s != 0.0:
@@ -159,6 +165,8 @@ def run(
     cache_dir: str | None = None,
     batch_size: int = 1,
     eval_workers: int = 1,
+    async_engine: bool = False,
+    inflight_target: int | None = None,
     journal_dir: str | None = None,
     resume: bool = False,
     retry_max_attempts: int = 3,
@@ -170,6 +178,7 @@ def run(
     """Run the full Table I experiment and return raw + normalized rows."""
     scale = apply_overrides(
         SCALES[scale_name], batch_size=batch_size, eval_workers=eval_workers,
+        async_engine=async_engine, inflight_target=inflight_target,
         retry_max_attempts=retry_max_attempts,
         retry_backoff_s=retry_backoff_s,
         degrade_on_failure=degrade_on_failure,
@@ -213,6 +222,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="BO candidates proposed per round (qPEIPV)")
     parser.add_argument("--eval-workers", type=int, default=1,
                         help="in-run flow-evaluation workers per BO loop")
+    parser.add_argument("--async", dest="async_engine", action="store_true",
+                        help="commit-as-completed async BO pipeline with "
+                             "an adaptive in-flight target (bounded by "
+                             "--eval-workers)")
+    parser.add_argument("--inflight-target", type=int, default=None,
+                        help="pin the async pipeline's in-flight target "
+                             "(implies --async; 1 = bitwise-sequential)")
     parser.add_argument("--cache-dir", default="",
                         help="persistent ground-truth cache directory")
     parser.add_argument("--journal-dir", default="",
@@ -252,6 +268,8 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir or None,
         batch_size=args.batch_size,
         eval_workers=args.eval_workers,
+        async_engine=args.async_engine,
+        inflight_target=args.inflight_target,
         journal_dir=args.journal_dir or None,
         resume=args.resume,
         retry_max_attempts=args.retry_max_attempts,

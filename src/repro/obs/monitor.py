@@ -17,7 +17,11 @@ for *newly appended* lines and redraws in place:
   refreshes of one cell, not across cells;
 - sweep-wide fault / retry / degrade / resume counters;
 - worker utilization (busy time per worker pid/thread from ``job``
-  lines and ``flow_eval`` spans, relative to the trace extent).
+  lines and ``flow_eval`` spans, relative to the trace extent);
+- async pipelines (one row per trace file emitting ``inflight``
+  events): current in-flight count, adaptive in-flight target with its
+  recent trajectory, committed count, fantasy-front hypervolume and
+  the simulated clock.
 
 The monitor deliberately imports **nothing from the hot path** — not
 even :mod:`repro.obs.trace` — only the standard library.  It re-parses
@@ -39,6 +43,7 @@ from pathlib import Path
 
 __all__ = [
     "TraceTail",
+    "PipelineState",
     "SweepState",
     "pareto_front",
     "hypervolume",
@@ -243,12 +248,44 @@ class CellState:
         return hypervolume(pareto_front(pts), ref)
 
 
+class PipelineState:
+    """Latest async-pipeline snapshot of one trace file."""
+
+    #: Recent adaptive in-flight targets kept for the trajectory column.
+    TRAJECTORY_LEN = 16
+
+    def __init__(self) -> None:
+        self.committed = 0
+        self.n_pending = 0
+        self.target = 1
+        self.fantasy_hv: float | None = None
+        self.sim_s = 0.0
+        self.targets: list[int] = []
+
+    def feed(self, record: dict) -> None:
+        self.committed = int(record.get("committed", self.committed))
+        self.n_pending = int(record.get("n_pending", self.n_pending))
+        self.target = int(record.get("target", self.target))
+        hv = record.get("fantasy_hv")
+        if hv is not None:
+            self.fantasy_hv = _float(hv)
+        self.sim_s = _float(record.get("sim_s", self.sim_s))
+        if not self.targets or self.targets[-1] != self.target:
+            self.targets.append(self.target)
+            del self.targets[: -self.TRAJECTORY_LEN]
+
+    @property
+    def trajectory(self) -> str:
+        return ">".join(str(t) for t in self.targets) or "-"
+
+
 class SweepState:
     """Everything the monitor knows, folded from all tailed files."""
 
     def __init__(self) -> None:
         self.cells: dict[str, CellState] = {}
         self.tails: dict[Path, TraceTail] = {}
+        self.pipelines: dict[str, PipelineState] = {}
         self.faults = 0
         self.degrades = 0
         self.resumes = 0
@@ -273,12 +310,15 @@ class SweepState:
                     cell.feed(record)
             else:
                 for record in records:
-                    self._feed_trace(record)
+                    self._feed_trace(record, path.name)
 
-    def _feed_trace(self, record: dict) -> None:
+    def _feed_trace(self, record: dict, name: str = "?") -> None:
         self.trace_events += 1
         event = record.get("event")
-        if event == "fault":
+        if event == "inflight":
+            pipeline = self.pipelines.setdefault(name, PipelineState())
+            pipeline.feed(record)
+        elif event == "fault":
             self.faults += 1
         elif event == "degrade":
             self.degrades += 1
@@ -339,6 +379,22 @@ def render(state: SweepState, root: Path, tick: int) -> str:
             )
     else:
         lines.append("  (no journals yet)")
+    if state.pipelines:
+        lines.append("  async pipelines:")
+        for name in sorted(state.pipelines):
+            pipe = state.pipelines[name]
+            hv = (
+                f"{pipe.fantasy_hv:.4f}"
+                if pipe.fantasy_hv is not None
+                and not math.isnan(pipe.fantasy_hv)
+                else "-"
+            )
+            lines.append(
+                f"    {name:<30} in-flight {pipe.n_pending}  "
+                f"target {pipe.target}  committed {pipe.committed:>3}  "
+                f"fantasy HV {hv:>8}  sim {pipe.sim_s:>9.1f}s  "
+                f"q: {pipe.trajectory}"
+            )
     lines.append(
         f"  faults: {state.faults}  degrades: {state.degrades}  "
         f"resumes: {state.resumes}  trace events: {state.trace_events}"

@@ -14,7 +14,8 @@ evaluation counts, and fault/degrade/resume totals.
 
 *Compare* takes either two run directories (compared on their phase
 attribution) or two ``BENCH_*.json`` files (compared on every shared
-``*_s`` timing key and every shared ``*_flops`` work-proxy key) and
+``*_s`` timing, ``*_flops`` work-proxy and ``*_units`` modeled-latency
+key) and
 prints a per-metric slowdown table with a gated verdict: any ratio at
 or above ``--threshold`` (default 1.5x) makes the verdict
 ``REGRESSION`` and the exit status 1 — wire it straight into CI.
@@ -252,8 +253,8 @@ def compare_bench_files(
     threshold: float = 1.5,
     strict: bool = False,
 ) -> tuple[str, bool]:
-    """Compare two ``BENCH_*.json`` files on their shared ``*_s`` timing
-    and ``*_flops`` work-proxy keys.
+    """Compare two ``BENCH_*.json`` files on their shared ``*_s`` timing,
+    ``*_flops`` work-proxy, and ``*_units`` modeled-latency keys.
 
     Returns the rendered table and whether the comparison failed: any
     metric regressed by the threshold factor (B worse than A), or —
@@ -266,14 +267,18 @@ def compare_bench_files(
         k
         for k in a
         if k in b
-        and (k.endswith("_s") or k.endswith("_flops"))
+        and (
+            k.endswith("_s")
+            or k.endswith("_flops")
+            or k.endswith("_units")
+        )
         and isinstance(a[k], (int, float))
         and isinstance(b[k], (int, float))
     ]
     if not keys:
         raise ValueError(
-            f"no shared timing (*_s) or work-proxy (*_flops) keys "
-            f"between {path_a} and {path_b}"
+            f"no shared timing (*_s), work-proxy (*_flops) or "
+            f"modeled-latency (*_units) keys between {path_a} and {path_b}"
         )
     header = f"compare {path_a} -> {path_b}\n"
     table, failed = _compare_table(

@@ -14,7 +14,7 @@ The event schemas (:data:`STEP_TRACE_FIELDS`, :data:`JOB_TRACE_FIELDS`,
 :data:`PROPOSAL_TRACE_FIELDS`, :data:`PENDING_TRACE_FIELDS`,
 :data:`COMMIT_TRACE_FIELDS`, :data:`FAULT_TRACE_FIELDS`,
 :data:`DEGRADE_TRACE_FIELDS`, :data:`RESUME_TRACE_FIELDS`,
-:data:`SPAN_TRACE_FIELDS`) are covered
+:data:`SPAN_TRACE_FIELDS`, :data:`INFLIGHT_TRACE_FIELDS`) are covered
 by regression tests — tools
 that consume traces (dashboards, diffing, the benchmarks) can rely on
 the field set per version.
@@ -38,7 +38,18 @@ wall-time spans with explicit parent ids and ``(pid, tid)``
 attribution, exportable to Chrome trace-event JSON) and extended
 ``job`` lines with ``t_start`` (the epoch second the job began
 executing on its worker, so cross-process job timelines merge into one
-trace).
+trace); v6 added the async-pipeline events (:mod:`repro.core.batch`'s
+``run_async_loop``) — the new ``inflight`` event (one line per
+scheduling action: committed count, pending-set size, adaptive
+in-flight target, fantasy-front hypervolume and the modeled simulation
+clock) — and extended ``proposal`` lines with ``eta_s``/``target``
+(the proposal's modeled completion time and the in-flight target after
+the adaptive controller's update; ``null`` for round-barrier
+proposals) and ``commit`` lines with ``inflight`` (evaluations still
+pending at commit time; ``null`` for round-barrier commits).  Span
+names gained async semantics: ``propose`` (one fit + fantasize +
+selection), ``inflight_wait`` (blocking on the modeled-next
+evaluation) and ``commit`` wrap the async loop's phases.
 
 Mixed-version files: a file whose records disagree on ``"v"`` (e.g. a
 resumed run written by newer code appending to an old file) is refused
@@ -57,7 +68,7 @@ from pathlib import Path
 from typing import IO, Any, Iterator, Mapping
 
 #: Bump when a field is added, removed or changes meaning.
-TRACE_SCHEMA_VERSION = 5
+TRACE_SCHEMA_VERSION = 6
 
 #: Fields guaranteed on every ``event == "step"`` line (schema v1).
 STEP_TRACE_FIELDS: tuple[str, ...] = (
@@ -110,7 +121,11 @@ JOB_TRACE_FIELDS: tuple[str, ...] = (
 #: within the round, its global step index, the chosen configuration /
 #: fidelity / penalized-EIPV score, the Kriging-believer *fantasy*
 #: objectives the stack was conditioned on while picking the remaining
-#: slots, and the candidate-pool size the scan saw.
+#: slots, and the candidate-pool size the scan saw.  ``eta_s`` (v6) is
+#: the async pipeline's modeled completion time for the proposal on its
+#: simulation clock and ``target`` the in-flight target after the
+#: adaptive controller's update — both ``null`` on round-barrier
+#: proposals (``round`` is ``-1`` on async ones, which have no rounds).
 PROPOSAL_TRACE_FIELDS: tuple[str, ...] = (
     "v",
     "event",
@@ -122,6 +137,8 @@ PROPOSAL_TRACE_FIELDS: tuple[str, ...] = (
     "acquisition",
     "fantasy",
     "pool_size",
+    "eta_s",
+    "target",
 )
 
 #: Fields guaranteed on every ``event == "pending"`` line (schema v3):
@@ -145,7 +162,9 @@ PENDING_TRACE_FIELDS: tuple[str, ...] = (
 #: completion order) — realized objectives next to the proposal's
 #: fantasy, plus per-candidate queue-wait / execution timing, the
 #: worker that ran it and how many attempts it took (2 == retried
-#: once after a timeout).
+#: once after a timeout).  ``inflight`` (v6) is the number of
+#: evaluations still pending when an async commit folded in (``null``
+#: on round-barrier commits, whose pending set is implied by the round).
 COMMIT_TRACE_FIELDS: tuple[str, ...] = (
     "v",
     "event",
@@ -166,6 +185,7 @@ COMMIT_TRACE_FIELDS: tuple[str, ...] = (
     "degraded",
     "failed",
     "wasted_runtime_s",
+    "inflight",
 )
 
 #: Fields guaranteed on every ``event == "fault"`` line (schema v4):
@@ -223,6 +243,23 @@ SPAN_TRACE_FIELDS: tuple[str, ...] = (
     "config_index",
     "fidelity",
     "args",
+)
+
+#: Fields guaranteed on every ``event == "inflight"`` line (schema v6):
+#: one line per async-pipeline scheduling action (after each proposal
+#: and each commit) — the committed loop-evaluation count, the
+#: pending-set size, the adaptive in-flight target, the hypervolume of
+#: the fantasy-extended Pareto front the next proposal would see, and
+#: the modeled simulation clock (``sim_s``; the deterministic commit
+#: order is min-ETA on this clock, never wall time).
+INFLIGHT_TRACE_FIELDS: tuple[str, ...] = (
+    "v",
+    "event",
+    "committed",
+    "n_pending",
+    "target",
+    "fantasy_hv",
+    "sim_s",
 )
 
 #: Fields guaranteed on every ``event == "resume"`` line (schema v4):
@@ -300,13 +337,15 @@ class TraceSchemaError(ValueError):
 #: un-degraded pre-v4 commit is simply the fidelity that ran).
 _UPGRADE_DEFAULTS: dict[str, dict[str, Any]] = {
     "step": {"attempts": 1, "degraded": False},  # added in v4
-    "commit": {  # added in v4
+    "commit": {  # requested_fidelity...wasted_runtime_s v4; inflight v6
         "requested_fidelity": lambda r: r.get("fidelity"),
         "degraded": False,
         "failed": False,
         "wasted_runtime_s": 0.0,
+        "inflight": None,
     },
     "job": {"t_start": None},  # added in v5
+    "proposal": {"eta_s": None, "target": None},  # added in v6
 }
 
 

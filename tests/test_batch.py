@@ -15,8 +15,8 @@ from repro.core.batch.engine import (
     parallel_fidelity_sweep,
 )
 from repro.core.batch.qeipv import (
-    _condition_on_fantasy,
     _fantasized_datasets,
+    believer_fantasies,
     select_batch,
 )
 from repro.core.batch.workers import resolve_worker_count
@@ -175,6 +175,9 @@ class _StubStack:
         means = np.full((X.shape[0], 2), float(level) + 1.0)
         return means, None
 
+    def predict_levels(self, levels, X):
+        return {int(level): self.predict(level, X) for level in levels}
+
 
 class TestFantasization:
     def _fake_opt(self):
@@ -186,16 +189,30 @@ class TestFantasization:
         )
         return opt
 
+    @staticmethod
+    def _accumulate(opt, index, fidelity, fX, fY):
+        """Fold one pick's believer values in, as ``select_batch`` does."""
+        fantasy, fantasy_levels = believer_fantasies(opt, index, fidelity)
+        for level, y in fantasy_levels.items():
+            fX[level].append(
+                np.asarray(opt.space.features[index], dtype=float)
+            )
+            fY[level].append(y)
+        return fantasy
+
     def test_levels_filled_up_to_fidelity(self):
         opt = self._fake_opt()
         opt._data[Fidelity.HLS].add(7, np.array([1.0, 2.0]))
         fX = {f: [] for f in ALL_FIDELITIES}
         fY = {f: [] for f in ALL_FIDELITIES}
         x = opt.space.features[7:8]
-        _condition_on_fantasy(opt, 7, Fidelity.SYN, x, fX, fY)
+        fantasy = self._accumulate(opt, 7, Fidelity.SYN, fX, fY)
+        # The proposal's fantasy is the believer value at the chosen
+        # fidelity (stub posterior mean = level + 1).
+        assert np.array_equal(fantasy, [2.0, 2.0])
         # HLS already holds a real observation of config 7: no fantasy.
         assert fX[Fidelity.HLS] == []
-        # SYN gets the believer value (stub posterior mean = level + 1).
+        # SYN gets the believer value.
         assert len(fX[Fidelity.SYN]) == 1
         assert np.array_equal(fX[Fidelity.SYN][0], x[0])
         assert np.array_equal(fY[Fidelity.SYN][0], [2.0, 2.0])
@@ -208,12 +225,8 @@ class TestFantasization:
         opt._data[Fidelity.SYN].add(7, np.array([3.0, 4.0]))
         fX = {f: [] for f in ALL_FIDELITIES}
         fY = {f: [] for f in ALL_FIDELITIES}
-        _condition_on_fantasy(
-            opt, 7, Fidelity.IMPL, opt.space.features[7:8], fX, fY
-        )
-        _condition_on_fantasy(
-            opt, 3, Fidelity.SYN, opt.space.features[3:4], fX, fY
-        )
+        self._accumulate(opt, 7, Fidelity.IMPL, fX, fY)
+        self._accumulate(opt, 3, Fidelity.SYN, fX, fY)
         assert [len(fX[f]) for f in ALL_FIDELITIES] == [1, 1, 1]
         datasets = _fantasized_datasets(opt, fX, fY)
         X_hls, Y_hls = datasets[int(Fidelity.HLS)]
@@ -540,7 +553,7 @@ class TestTraceSchemaV3:
                 tracer=tracer,
             ).run()
         (start,) = read_trace(path, "run_start")
-        assert start["v"] == TRACE_SCHEMA_VERSION == 5
+        assert start["v"] == TRACE_SCHEMA_VERSION == 6
         assert start["batch_size"] == 2 and start["eval_workers"] == 1
 
         proposals = read_trace(path, "proposal")
