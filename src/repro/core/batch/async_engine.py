@@ -307,7 +307,9 @@ def _drain_one(opt, state: AsyncState, engine: EvalEngine) -> None:
             )
 
 
-def run_async_loop(opt, resume: AsyncState | None = None) -> None:
+def run_async_loop(
+    opt, resume: AsyncState | None = None, engine=None
+) -> None:
     """The continuous propose/commit pipeline (no round barriers).
 
     Drives a :class:`repro.core.optimizer.CorrelatedMFBO` whose initial
@@ -316,19 +318,23 @@ def run_async_loop(opt, resume: AsyncState | None = None) -> None:
     a refill — the fill is retried after every commit because lower-
     fidelity configurations return to the candidate pool when they
     leave the pending set.  Exits when a fill attempt finds the pool
-    dry *and* nothing is pending.
+    dry *and* nothing is pending.  ``engine`` injects any object
+    honoring the :class:`repro.core.batch.engine.EvalEngine`
+    submit/wait/close contract (e.g. a fleet ``RemoteExecutor``); the
+    loop owns it and closes it on exit.
     """
     settings = opt.settings
     spans = opt.spans
-    engine = EvalEngine(
-        opt.space,
-        opt.flow,
-        workers=settings.eval_workers,
-        timeout_s=settings.eval_timeout_s,
-        retry_policy=opt._retry_policy,
-        seed=settings.seed,
-        spans=opt.spans,
-    )
+    if engine is None:
+        engine = EvalEngine(
+            opt.space,
+            opt.flow,
+            workers=settings.eval_workers,
+            timeout_s=settings.eval_timeout_s,
+            retry_policy=opt._retry_policy,
+            seed=settings.seed,
+            spans=opt.spans,
+        )
     state = resume if resume is not None else AsyncState(
         target=_initial_target(settings)
     )

@@ -409,7 +409,9 @@ class EvalEngine:
 # ----------------------------------------------------------------------
 
 
-def run_batch_loop(opt, start_step: int = 0, start_round: int = 0) -> None:
+def run_batch_loop(
+    opt, start_step: int = 0, start_round: int = 0, engine=None
+) -> None:
     """Rounds of (fit → qPEIPV batch → concurrent evaluate → commit).
 
     Drives a :class:`repro.core.optimizer.CorrelatedMFBO` whose initial
@@ -418,19 +420,23 @@ def run_batch_loop(opt, start_step: int = 0, start_round: int = 0) -> None:
     round's *first* step index, so at ``batch_size=1`` the fit schedule
     matches the sequential loop exactly.  ``start_step``/``start_round``
     let a journal-resumed run (see :mod:`repro.core.resilience.journal`)
-    pick up mid-trajectory.
+    pick up mid-trajectory.  ``engine`` injects any object honoring the
+    :class:`EvalEngine` submit/wait/evaluate/close contract (e.g. a
+    :class:`repro.fleet.executor.RemoteExecutor`); the loop owns it and
+    closes it on exit.
     """
     settings = opt.settings
     tracer = opt.tracer
-    engine = EvalEngine(
-        opt.space,
-        opt.flow,
-        workers=settings.eval_workers,
-        timeout_s=settings.eval_timeout_s,
-        retry_policy=opt._retry_policy,
-        seed=settings.seed,
-        spans=opt.spans,
-    )
+    if engine is None:
+        engine = EvalEngine(
+            opt.space,
+            opt.flow,
+            workers=settings.eval_workers,
+            timeout_s=settings.eval_timeout_s,
+            retry_policy=opt._retry_policy,
+            seed=settings.seed,
+            spans=opt.spans,
+        )
     spans = opt.spans
     try:
         t = start_step

@@ -270,12 +270,18 @@ class CorrelatedMFBO:
         settings: MFBOSettings | None = None,
         method_name: str = "ours",
         tracer: JsonlTraceWriter | None = None,
+        engine_factory=None,
     ):
         self.space = space
         self.flow = flow
         self.settings = settings or MFBOSettings()
         self.method_name = method_name
         self.tracer = tracer
+        # Optional ``opt -> engine`` hook: builds the evaluation engine
+        # the batch/async loops drive instead of the default in-process
+        # EvalEngine (e.g. repro.fleet.executor.RemoteExecutor).  The
+        # loop closes whatever this returns.
+        self.engine_factory = engine_factory
         self.spans = (
             SpanRecorder(tracer)
             if (self.settings.trace_spans and tracer is not None)
@@ -652,12 +658,23 @@ class CorrelatedMFBO:
                     start_step, start_round, loop_done = 0, 0, False
                 self._journal_phase = "loop"
                 if not loop_done:
+                    use_engine_loop = (
+                        self.settings.use_async_engine
+                        or self.settings.use_batch_engine
+                    )
+                    engine = (
+                        self.engine_factory(self)
+                        if (self.engine_factory is not None and use_engine_loop)
+                        else None
+                    )
                     if self.settings.use_async_engine:
                         from repro.core.batch.async_engine import (
                             run_async_loop,
                         )
 
-                        run_async_loop(self, resume=resume_state)
+                        run_async_loop(
+                            self, resume=resume_state, engine=engine
+                        )
                     elif self.settings.use_batch_engine:
                         from repro.core.batch.engine import run_batch_loop
 
@@ -665,6 +682,7 @@ class CorrelatedMFBO:
                             self,
                             start_step=start_step,
                             start_round=start_round,
+                            engine=engine,
                         )
                     else:
                         self._run_sequential_loop(start=start_step)

@@ -1,0 +1,62 @@
+"""Distributed tuning fleet: broker, workers, scheduler.
+
+The fleet takes both fan-out layers of the runtime off the single box:
+
+- :mod:`repro.fleet.broker` — a stdlib-only work-queue broker
+  (``python -m repro.fleet.broker``): named job queues, worker
+  registration with capabilities, heartbeat-renewed lease TTLs, and
+  re-issue of expired leases.  A SIGKILL'd worker costs one lease
+  timeout, not a run — re-execution is bitwise-safe by construction.
+- :mod:`repro.fleet.worker` — the worker agent
+  (``python -m repro.fleet.worker``): leases tasks, runs experiment
+  cells through the same :func:`repro.experiments.parallel._invoke`
+  wrapper the process pool uses, and in-run flow evaluations through
+  the same retry policy / deterministic jitter stream
+  :class:`repro.core.batch.engine.EvalEngine` uses, then streams the
+  pickled outcome back.
+- :mod:`repro.fleet.executor` — :class:`RemoteExecutor`, a drop-in for
+  the in-run :class:`~repro.core.batch.engine.EvalEngine` (same
+  submit/wait/close contract), so ``run_batch_loop`` and
+  ``run_async_loop`` evaluate on the fleet while the proposal-order /
+  modeled-commit model keeps trajectories bitwise identical to local
+  runs.
+- :mod:`repro.fleet.schedule` — the multi-session scheduler
+  (``python -m repro.fleet.schedule``): multiplexes many concurrent
+  tuning sessions over one fleet (fair-share lease dispatch lives in
+  the broker) over a shared, sharded ground-truth cache.
+
+Everything speaks the pickle wire format of :mod:`repro.fleet.wire`;
+version skew between broker and workers fails loudly at registration
+instead of corrupting a sweep.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BrokerClient",
+    "FleetBroker",
+    "FleetWorker",
+    "RemoteExecutor",
+    "SessionSpec",
+]
+
+# Lazy exports (PEP 562): the broker/monitor side must stay importable
+# without numpy/scipy; the worker/executor side pulls the full runtime.
+_LAZY_EXPORTS = {
+    "BrokerClient": ("repro.fleet.client", "BrokerClient"),
+    "FleetBroker": ("repro.fleet.broker", "FleetBroker"),
+    "FleetWorker": ("repro.fleet.worker", "FleetWorker"),
+    "RemoteExecutor": ("repro.fleet.executor", "RemoteExecutor"),
+    "SessionSpec": ("repro.fleet.schedule", "SessionSpec"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module, attr = _LAZY_EXPORTS[name]
+        value = getattr(importlib.import_module(module), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

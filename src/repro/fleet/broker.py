@@ -1,0 +1,649 @@
+"""Stdlib-only work-queue broker for the tuning fleet.
+
+::
+
+    python -m repro.fleet.broker [--host 127.0.0.1] [--port 8947]
+        [--lease-ttl 30] [--log-dir DIR] [--port-file PATH]
+
+The broker holds **named job queues** of opaque pickled payloads (it
+never unpickles them — it is pure stdlib and runs anywhere, like the
+monitor).  Workers register with capabilities, then repeatedly *lease*
+a task: a lease grants exclusive execution rights for ``lease_ttl_s``
+seconds, renewable by heartbeat.  A worker that vanishes — SIGKILL,
+OOM, power loss — simply stops heartbeating; the lease expires and the
+task is re-queued for the next worker.  Because every task in this
+system re-executes bitwise-identically (deterministic flows, seeded
+methods, journaled cells), a lost worker costs one lease timeout, not
+a run.
+
+**Lease state machine** (per task)::
+
+    queued --lease--> leased --complete--> done
+      ^                  |
+      +---- expire <-----+   (deadline passes without heartbeat)
+
+**Failure semantics.**  Completion is *first-writer-wins*: the first
+outcome recorded for a task is kept, any later completion (a stale
+leaseholder racing its re-issued replacement) is acknowledged and
+dropped as a ``duplicate`` — never double-committed downstream, and
+harmless anyway since re-execution produces identical bytes.  A
+completion from an expired lease is accepted when the task has not
+finished elsewhere: the work is done and the bytes are right.
+
+**Fair share.**  When several queues (one per tuning session) hold
+work, a lease request is served from the queue with the fewest leases
+currently in flight, ties broken round-robin by least-recently-served
+— so ``N`` concurrent sessions on ``W`` workers each hold ``~W/N``
+leases regardless of submission order or queue depth.
+
+Every state transition is appended as one JSON line to
+``<log-dir>/broker.fleet.jsonl`` — the fleet dashboard input of
+:mod:`repro.obs.monitor`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.fleet.wire import WIRE_HEADER, wire_fingerprint
+
+__all__ = [
+    "FleetBroker",
+    "BrokerServer",
+    "Task",
+    "WorkerInfo",
+    "main",
+]
+
+#: Default lease TTL: generous against multi-second flow evaluations,
+#: short enough that a dead worker's cell is re-issued promptly.
+DEFAULT_LEASE_TTL_S = 30.0
+
+QUEUED = "queued"
+LEASED = "leased"
+DONE = "done"
+
+
+@dataclass
+class Task:
+    """One unit of queued work (payload opaque to the broker)."""
+
+    task_id: str
+    queue: str
+    payload: bytes
+    seq: int
+    state: str = QUEUED
+    attempts: int = 0
+    expiries: int = 0
+    lease_id: str | None = None
+    worker: str | None = None
+    deadline: float | None = None  # monotonic
+    result: bytes | None = None
+    completed_by: str | None = None
+    exec_s: float = 0.0
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker and its advertised capabilities."""
+
+    worker_id: str
+    capabilities: dict = field(default_factory=dict)
+    leases_taken: int = 0
+    completed: int = 0
+    expired: int = 0
+    busy_s: float = 0.0
+
+
+class FleetBroker:
+    """The queue/lease state machine (transport-free, fully locked).
+
+    ``clock`` is injectable (monotonic seconds) so tests drive lease
+    expiry deterministically without sleeping.
+    """
+
+    def __init__(
+        self,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        log_path: str | Path | None = None,
+        clock=time.monotonic,
+    ):
+        self.lease_ttl_s = float(lease_ttl_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queues: dict[str, deque[str]] = {}
+        self._tasks: dict[str, Task] = {}
+        self._leases: dict[str, str] = {}  # lease_id -> task_id
+        self._workers: dict[str, WorkerInfo] = {}
+        self._active: dict[str, int] = {}  # queue -> leases in flight
+        self._served: dict[str, int] = {}  # queue -> last-served tick
+        self._seq = itertools.count()
+        self._tick = itertools.count()
+        self.duplicates = 0
+        self.expiries = 0
+        self._log_handle = None
+        if log_path is not None:
+            log_path = Path(log_path)
+            log_path.parent.mkdir(parents=True, exist_ok=True)
+            self._log_handle = log_path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # fleet log
+    # ------------------------------------------------------------------
+
+    def _log(self, event: str, **fields) -> None:
+        """One JSON line per state transition (lock held by callers)."""
+        if self._log_handle is None:
+            return
+        record = {"event": event, "t": time.time(), **fields}
+        self._log_handle.write(json.dumps(record) + "\n")
+        self._log_handle.flush()
+
+    # ------------------------------------------------------------------
+    # lease expiry
+    # ------------------------------------------------------------------
+
+    def _expire_leases(self, now: float) -> None:
+        """Re-queue every leased task whose deadline passed (lock held).
+
+        Expired tasks go to the *front* of their queue so a re-issued
+        cell does not wait behind the whole backlog it already waited
+        through once.
+        """
+        for lease_id in [
+            lid
+            for lid, tid in self._leases.items()
+            if self._tasks[tid].deadline is not None
+            and self._tasks[tid].deadline < now
+        ]:
+            task = self._tasks[self._leases.pop(lease_id)]
+            self.expiries += 1
+            task.expiries += 1
+            self._active[task.queue] -= 1
+            if task.worker in self._workers:
+                self._workers[task.worker].expired += 1
+            self._log(
+                "expire",
+                queue=task.queue,
+                task=task.task_id,
+                worker=task.worker,
+                attempts=task.attempts,
+            )
+            task.state = QUEUED
+            task.lease_id = None
+            task.worker = None
+            task.deadline = None
+            self._queues[task.queue].appendleft(task.task_id)
+
+    # ------------------------------------------------------------------
+    # public API (each entry point sweeps expired leases first)
+    # ------------------------------------------------------------------
+
+    def register(self, worker_id: str, capabilities: dict | None = None) -> dict:
+        with self._lock:
+            self._workers[worker_id] = WorkerInfo(
+                worker_id=worker_id, capabilities=dict(capabilities or {})
+            )
+            self._log(
+                "register", worker=worker_id,
+                capabilities=dict(capabilities or {}),
+            )
+            return {"lease_ttl_s": self.lease_ttl_s}
+
+    def create_queue(self, queue: str) -> None:
+        with self._lock:
+            if queue not in self._queues:
+                self._queues[queue] = deque()
+                self._active[queue] = 0
+                self._served[queue] = -1
+                self._log("queue", queue=queue)
+
+    def submit(self, queue: str, payload: bytes) -> str:
+        task_id = uuid.uuid4().hex
+        with self._lock:
+            if queue not in self._queues:
+                self._queues[queue] = deque()
+                self._active[queue] = 0
+                self._served[queue] = -1
+                self._log("queue", queue=queue)
+            task = Task(
+                task_id=task_id, queue=queue, payload=payload,
+                seq=next(self._seq),
+            )
+            self._tasks[task_id] = task
+            self._queues[queue].append(task_id)
+            self._log("submit", queue=queue, task=task_id)
+        return task_id
+
+    def _pick_queue(self, allowed: set[str] | None) -> str | None:
+        """Fair-share queue choice (lock held): fewest in-flight leases
+        first, least-recently-served breaking ties."""
+        candidates = [
+            q
+            for q, pending in self._queues.items()
+            if pending and (allowed is None or q in allowed)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda q: (self._active[q], self._served[q])
+        )
+
+    def lease(
+        self, worker_id: str, queues: list[str] | None = None
+    ) -> dict | None:
+        """Grant one task to ``worker_id``, or ``None`` when idle.
+
+        ``queues`` restricts the grant to the worker's capability set.
+        Returns ``{task_id, lease_id, queue, ttl_s, payload, attempt}``.
+        """
+        now = self._clock()
+        with self._lock:
+            self._expire_leases(now)
+            queue = self._pick_queue(set(queues) if queues else None)
+            if queue is None:
+                return None
+            task = self._tasks[self._queues[queue].popleft()]
+            lease_id = uuid.uuid4().hex
+            task.state = LEASED
+            task.lease_id = lease_id
+            task.worker = worker_id
+            task.deadline = now + self.lease_ttl_s
+            task.attempts += 1
+            self._leases[lease_id] = task.task_id
+            self._active[queue] += 1
+            self._served[queue] = next(self._tick)
+            if worker_id in self._workers:
+                self._workers[worker_id].leases_taken += 1
+            self._log(
+                "lease", queue=queue, task=task.task_id, worker=worker_id,
+                attempt=task.attempts,
+            )
+            return {
+                "task_id": task.task_id,
+                "lease_id": lease_id,
+                "queue": queue,
+                "ttl_s": self.lease_ttl_s,
+                "attempt": task.attempts,
+                "payload": task.payload,
+            }
+
+    def heartbeat(self, lease_id: str) -> bool:
+        """Renew one lease; ``False`` means it already expired (stop
+        working — the task has been or will be re-issued)."""
+        now = self._clock()
+        with self._lock:
+            self._expire_leases(now)
+            task_id = self._leases.get(lease_id)
+            if task_id is None:
+                return False
+            task = self._tasks[task_id]
+            task.deadline = now + self.lease_ttl_s
+            self._log(
+                "renew", queue=task.queue, task=task_id, worker=task.worker
+            )
+            return True
+
+    def complete(
+        self,
+        task_id: str,
+        payload: bytes,
+        lease_id: str | None = None,
+        worker: str = "",
+        exec_s: float = 0.0,
+    ) -> str:
+        """Record one outcome; first writer wins.
+
+        Returns ``"accepted"`` or ``"duplicate"`` (outcome already
+        recorded — the duplicate is dropped, never surfaced twice).
+        An unknown ``task_id`` raises ``KeyError``.
+        """
+        now = self._clock()
+        with self._lock:
+            self._expire_leases(now)
+            task = self._tasks[task_id]
+            if task.state == DONE:
+                self.duplicates += 1
+                self._log(
+                    "complete", queue=task.queue, task=task_id,
+                    worker=worker, status="duplicate", exec_s=exec_s,
+                )
+                return "duplicate"
+            if task.state == LEASED and task.lease_id is not None:
+                self._leases.pop(task.lease_id, None)
+                self._active[task.queue] -= 1
+            elif task.state == QUEUED:
+                # Stale leaseholder finished after expiry but before the
+                # re-issue was granted: accept the bytes, drop the
+                # queue entry so the task is never re-leased.
+                try:
+                    self._queues[task.queue].remove(task_id)
+                except ValueError:
+                    pass
+            task.state = DONE
+            task.result = payload
+            task.completed_by = worker
+            task.exec_s = float(exec_s)
+            task.lease_id = None
+            task.deadline = None
+            if worker in self._workers:
+                self._workers[worker].completed += 1
+                self._workers[worker].busy_s += float(exec_s)
+            self._log(
+                "complete", queue=task.queue, task=task_id, worker=worker,
+                status="accepted", exec_s=exec_s,
+            )
+            return "accepted"
+
+    def result(self, task_id: str) -> tuple[str, bytes | None]:
+        """``(state, outcome_bytes_or_None)`` for one task."""
+        with self._lock:
+            self._expire_leases(self._clock())
+            task = self._tasks[task_id]
+            return task.state, task.result
+
+    def stats(self) -> dict:
+        """JSON-able snapshot for dashboards and tests."""
+        with self._lock:
+            self._expire_leases(self._clock())
+            return {
+                "lease_ttl_s": self.lease_ttl_s,
+                "queues": {
+                    q: {
+                        "queued": len(pending),
+                        "leased": self._active[q],
+                        "done": sum(
+                            1
+                            for t in self._tasks.values()
+                            if t.queue == q and t.state == DONE
+                        ),
+                        "submitted": sum(
+                            1 for t in self._tasks.values() if t.queue == q
+                        ),
+                    }
+                    for q, pending in self._queues.items()
+                },
+                "workers": {
+                    w.worker_id: {
+                        "capabilities": w.capabilities,
+                        "leases_taken": w.leases_taken,
+                        "completed": w.completed,
+                        "expired": w.expired,
+                        "busy_s": w.busy_s,
+                        "active": [
+                            t.task_id
+                            for t in self._tasks.values()
+                            if t.state == LEASED
+                            and t.worker == w.worker_id
+                        ],
+                    }
+                    for w in self._workers.values()
+                },
+                "expiries": self.expiries,
+                "duplicates": self.duplicates,
+                "tasks": len(self._tasks),
+                "done": sum(
+                    1 for t in self._tasks.values() if t.state == DONE
+                ),
+            }
+
+    def close(self) -> None:
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the :class:`FleetBroker` state machine.
+
+    Control data travels as JSON; task payloads/outcomes as raw pickle
+    bytes (``application/octet-stream``) the broker never inspects.
+    Every request must carry the wire fingerprint header — a mismatched
+    peer (version skew) is rejected with ``409`` before any payload is
+    touched.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-fleet-broker"
+
+    def log_message(self, fmt, *args):  # quiet by default
+        if self.server.verbose:  # type: ignore[attr-defined]
+            sys.stderr.write(
+                f"{self.address_string()} - {fmt % args}\n"
+            )
+
+    # -- helpers -------------------------------------------------------
+
+    @property
+    def broker(self) -> FleetBroker:
+        return self.server.broker  # type: ignore[attr-defined]
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _send(self, code: int, body: bytes, ctype: str, **extra) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in extra.items():
+            self.send_header(key.replace("_", "-"), str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, obj: dict, **extra) -> None:
+        self._send(
+            code, json.dumps(obj).encode(), "application/json", **extra
+        )
+
+    def _check_wire(self) -> bool:
+        got = self.headers.get(WIRE_HEADER)
+        want = wire_fingerprint()
+        if got != want:
+            self._json(
+                409,
+                {
+                    "error": "wire fingerprint mismatch",
+                    "want": want,
+                    "got": got,
+                },
+            )
+            return False
+        return True
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path, _, query = self.path.partition("?")
+        params = dict(
+            part.split("=", 1) for part in query.split("&") if "=" in part
+        )
+        if path == "/stats":
+            self._json(200, self.broker.stats())
+        elif path == "/health":
+            self._json(200, {"ok": True, "wire": wire_fingerprint()})
+        elif path == "/result":
+            if not self._check_wire():
+                return
+            task_id = params.get("task_id", "")
+            try:
+                state, payload = self.broker.result(task_id)
+            except KeyError:
+                self._json(404, {"error": f"unknown task {task_id!r}"})
+                return
+            if payload is None:
+                self._json(202, {"state": state})
+            else:
+                self._send(
+                    200, payload, "application/octet-stream", X_State=state
+                )
+        else:
+            self._json(404, {"error": f"no route {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path, _, query = self.path.partition("?")
+        params = dict(
+            part.split("=", 1) for part in query.split("&") if "=" in part
+        )
+        if not self._check_wire():
+            return
+        body = self._body()
+        if path == "/register":
+            msg = json.loads(body or b"{}")
+            ack = self.broker.register(
+                msg.get("worker_id", "?"), msg.get("capabilities") or {}
+            )
+            self._json(200, ack)
+        elif path == "/queues":
+            msg = json.loads(body or b"{}")
+            self.broker.create_queue(msg["queue"])
+            self._json(200, {"ok": True})
+        elif path == "/submit":
+            task_id = self.broker.submit(params.get("queue", "default"), body)
+            self._json(200, {"task_id": task_id})
+        elif path == "/lease":
+            msg = json.loads(body or b"{}")
+            grant = self.broker.lease(
+                msg.get("worker_id", "?"), msg.get("queues")
+            )
+            if grant is None:
+                # 200 + JSON (not 204): an empty-body status code is
+                # awkward through keep-alive http.client connections.
+                self._json(200, {"task_id": None})
+            else:
+                payload = grant.pop("payload")
+                self._send(
+                    200,
+                    payload,
+                    "application/octet-stream",
+                    X_Task_Id=grant["task_id"],
+                    X_Lease_Id=grant["lease_id"],
+                    X_Queue=grant["queue"],
+                    X_Lease_Ttl=grant["ttl_s"],
+                    X_Attempt=grant["attempt"],
+                )
+        elif path == "/heartbeat":
+            msg = json.loads(body or b"{}")
+            ok = self.broker.heartbeat(msg.get("lease_id", ""))
+            self._json(200 if ok else 410, {"ok": ok})
+        elif path == "/complete":
+            try:
+                status = self.broker.complete(
+                    params.get("task_id", ""),
+                    body,
+                    lease_id=params.get("lease_id"),
+                    worker=params.get("worker", ""),
+                    exec_s=float(params.get("exec_s", 0.0)),
+                )
+            except KeyError:
+                self._json(
+                    404,
+                    {"error": f"unknown task {params.get('task_id')!r}"},
+                )
+                return
+            self._json(200, {"status": status})
+        elif path == "/shutdown":
+            self._json(200, {"ok": True})
+            threading.Thread(
+                target=self.server.shutdown, daemon=True
+            ).start()
+        else:
+            self._json(404, {"error": f"no route {path!r}"})
+
+
+class BrokerServer(ThreadingHTTPServer):
+    """The HTTP face of one :class:`FleetBroker`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, broker: FleetBroker, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.broker = broker
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    log_dir: str | Path | None = None,
+    verbose: bool = False,
+) -> BrokerServer:
+    """Build a serving-ready broker (caller runs ``serve_forever``)."""
+    log_path = (
+        Path(log_dir) / "broker.fleet.jsonl" if log_dir is not None else None
+    )
+    broker = FleetBroker(lease_ttl_s=lease_ttl_s, log_path=log_path)
+    return BrokerServer((host, port), broker, verbose=verbose)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet.broker",
+        description="Work-queue broker for the distributed tuning fleet.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8947,
+        help="TCP port (0 picks a free one; see --port-file)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=DEFAULT_LEASE_TTL_S,
+        help="seconds a lease survives without a heartbeat "
+             f"(default {DEFAULT_LEASE_TTL_S:g})",
+    )
+    parser.add_argument(
+        "--log-dir", default="",
+        help="write broker.fleet.jsonl state transitions here "
+             "(the monitor's fleet dashboard input)",
+    )
+    parser.add_argument(
+        "--port-file", default="",
+        help="write the bound port number to this file once listening",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    server = serve(
+        host=args.host,
+        port=args.port,
+        lease_ttl_s=args.lease_ttl,
+        log_dir=args.log_dir or None,
+        verbose=args.verbose,
+    )
+    if args.port_file:
+        Path(args.port_file).write_text(str(server.server_address[1]))
+    print(f"fleet broker listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.broker.close()
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""Thin stdlib HTTP client for the fleet broker.
+
+One :class:`BrokerClient` per process/thread role (worker loop,
+executor, scheduler).  Each call opens a short-lived
+``http.client.HTTPConnection`` — the broker is a threading server on a
+loopback or rack-local link, so connection reuse buys nothing worth the
+thread-safety bookkeeping.
+
+Every request carries the wire fingerprint header; a ``409`` from the
+broker (version skew between this process and the broker/workers)
+raises :class:`WireMismatchError` immediately rather than letting a
+mismatched peer exchange payloads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+
+from repro.fleet.wire import WIRE_HEADER, wire_fingerprint
+
+__all__ = [
+    "BrokerClient",
+    "BrokerError",
+    "LeaseGrant",
+    "WireMismatchError",
+]
+
+
+class BrokerError(RuntimeError):
+    """The broker rejected a request (non-2xx beyond protocol cases)."""
+
+
+class WireMismatchError(BrokerError):
+    """Broker and this process disagree on the pickle wire schema."""
+
+
+class LeaseGrant:
+    """One granted lease: identity plus the opaque payload bytes."""
+
+    __slots__ = ("task_id", "lease_id", "queue", "ttl_s", "attempt", "payload")
+
+    def __init__(self, task_id, lease_id, queue, ttl_s, attempt, payload):
+        self.task_id = task_id
+        self.lease_id = lease_id
+        self.queue = queue
+        self.ttl_s = ttl_s
+        self.attempt = attempt
+        self.payload = payload
+
+
+class BrokerClient:
+    """Talk to one broker at ``url`` (e.g. ``http://127.0.0.1:8947``)."""
+
+    def __init__(self, url: str, timeout_s: float = 30.0):
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported broker URL scheme in {url!r}")
+        netloc = parsed.netloc or parsed.path
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port or 80)
+        self.timeout_s = timeout_s
+        self._wire = wire_fingerprint()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        ctype: str = "application/octet-stream",
+    ):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={WIRE_HEADER: self._wire, "Content-Type": ctype},
+            )
+            response = conn.getresponse()
+            data = response.read()
+            if response.status == 409:
+                detail = {}
+                try:
+                    detail = json.loads(data)
+                except (ValueError, UnicodeDecodeError):
+                    pass
+                raise WireMismatchError(
+                    "broker rejected wire fingerprint "
+                    f"(want {detail.get('want')}, got {detail.get('got')}) — "
+                    "broker and workers must run the same repro revision"
+                )
+            return response.status, dict(response.getheaders()), data
+        finally:
+            conn.close()
+
+    def _json_post(self, path: str, message: dict):
+        status, headers, data = self._request(
+            "POST", path, json.dumps(message).encode(), "application/json"
+        )
+        return status, headers, data
+
+    # ------------------------------------------------------------------
+    # broker API
+    # ------------------------------------------------------------------
+
+    def register(self, worker_id: str, capabilities: dict | None = None) -> dict:
+        status, _, data = self._json_post(
+            "/register",
+            {"worker_id": worker_id, "capabilities": capabilities or {}},
+        )
+        if status != 200:
+            raise BrokerError(f"register failed ({status}): {data!r}")
+        return json.loads(data)
+
+    def create_queue(self, queue: str) -> None:
+        status, _, data = self._json_post("/queues", {"queue": queue})
+        if status != 200:
+            raise BrokerError(f"create_queue failed ({status}): {data!r}")
+
+    def submit(self, queue: str, payload: bytes) -> str:
+        status, _, data = self._request(
+            "POST", f"/submit?queue={urllib.parse.quote(queue)}", payload
+        )
+        if status != 200:
+            raise BrokerError(f"submit failed ({status}): {data!r}")
+        return json.loads(data)["task_id"]
+
+    def lease(
+        self, worker_id: str, queues: list[str] | None = None
+    ) -> LeaseGrant | None:
+        status, headers, data = self._json_post(
+            "/lease", {"worker_id": worker_id, "queues": queues}
+        )
+        if status != 200:
+            raise BrokerError(f"lease failed ({status}): {data!r}")
+        if headers.get("Content-Type") == "application/json":
+            return None  # nothing to do
+        return LeaseGrant(
+            task_id=headers["X-Task-Id"],
+            lease_id=headers["X-Lease-Id"],
+            queue=headers["X-Queue"],
+            ttl_s=float(headers["X-Lease-Ttl"]),
+            attempt=int(headers["X-Attempt"]),
+            payload=data,
+        )
+
+    def heartbeat(self, lease_id: str) -> bool:
+        status, _, _data = self._json_post(
+            "/heartbeat", {"lease_id": lease_id}
+        )
+        return status == 200
+
+    def complete(
+        self,
+        task_id: str,
+        payload: bytes,
+        lease_id: str | None = None,
+        worker: str = "",
+        exec_s: float = 0.0,
+    ) -> str:
+        query = urllib.parse.urlencode(
+            {
+                "task_id": task_id,
+                "lease_id": lease_id or "",
+                "worker": worker,
+                "exec_s": f"{exec_s:.6f}",
+            }
+        )
+        status, _, data = self._request("POST", f"/complete?{query}", payload)
+        if status != 200:
+            raise BrokerError(f"complete failed ({status}): {data!r}")
+        return json.loads(data)["status"]
+
+    def result(self, task_id: str) -> tuple[str, bytes | None]:
+        """``(state, payload_or_None)``; raises ``KeyError`` on unknown."""
+        status, headers, data = self._request(
+            "GET", f"/result?task_id={urllib.parse.quote(task_id)}"
+        )
+        if status == 404:
+            raise KeyError(task_id)
+        if status == 202:
+            return json.loads(data)["state"], None
+        if status != 200:
+            raise BrokerError(f"result failed ({status}): {data!r}")
+        return headers.get("X-State", "done"), data
+
+    def wait_result(
+        self,
+        task_id: str,
+        poll_s: float = 0.05,
+        timeout_s: float | None = None,
+    ) -> bytes:
+        """Block until one task's outcome lands (polling)."""
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        while True:
+            _state, payload = self.result(task_id)
+            if payload is not None:
+                return payload
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"task {task_id} not completed within {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def stats(self) -> dict:
+        status, _, data = self._request("GET", "/stats")
+        if status != 200:
+            raise BrokerError(f"stats failed ({status}): {data!r}")
+        return json.loads(data)
+
+    def shutdown(self) -> None:
+        try:
+            self._json_post("/shutdown", {})
+        except (OSError, http.client.HTTPException):
+            pass  # broker already gone — that is the goal

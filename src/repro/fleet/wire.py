@@ -1,0 +1,145 @@
+"""Fleet wire format: pickled payloads behind a pinned schema guard.
+
+Broker, workers and schedulers exchange :class:`repro.experiments.
+parallel.Job` / ``JobOutcome`` and :class:`repro.core.batch.engine.
+EvalJob` / ``EvalOutcome`` objects as pickles (the Job/JobOutcome layer
+is pickle-clean by construction — the process-pool engine has shipped
+them across processes since PR 2).  Pickle is fine between our own
+trusted processes on a private network, but it is *silently* wrong
+under version skew: an old worker can unpickle a new ``Job`` whose
+semantics changed and corrupt a sweep without a single exception.
+
+The guard: :data:`PINNED_FIELDS` pins the dataclass field sets of every
+type that crosses the wire, and :func:`wire_fingerprint` hashes the pin
+together with :data:`WIRE_VERSION`.  Every worker sends the fingerprint
+when registering (and every HTTP request carries it in the
+``X-Repro-Wire`` header); the broker rejects a mismatch with ``409``.
+Because the pin is a *literal* — not introspected at runtime — the
+broker stays stdlib-only, and the golden test
+(``tests/test_fleet.py``) fails whenever the live dataclasses drift
+from the pin, forcing a deliberate :data:`WIRE_VERSION` bump.
+
+Changing any pinned field set MUST bump ``WIRE_VERSION``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+__all__ = [
+    "PINNED_FIELDS",
+    "WIRE_HEADER",
+    "WIRE_VERSION",
+    "dump",
+    "live_fields",
+    "load",
+    "wire_fingerprint",
+]
+
+#: Bump whenever a pinned type gains/loses/renames a field, or its
+#: semantics change incompatibly.
+WIRE_VERSION = 1
+
+#: HTTP header carrying the wire fingerprint on every fleet request.
+WIRE_HEADER = "X-Repro-Wire"
+
+#: The dataclass field sets (in declaration order) of every type that
+#: crosses the broker.  A pure literal so the broker never imports
+#: numpy; kept honest by the golden test against :func:`live_fields`.
+PINNED_FIELDS: dict[str, tuple[str, ...]] = {
+    "Job": ("benchmark", "method", "repeat", "fn", "kwargs"),
+    "JobOutcome": (
+        "job",
+        "value",
+        "error",
+        "queue_wait_s",
+        "exec_s",
+        "worker",
+        "gt_cache",
+        "t_start",
+    ),
+    "EvalJob": ("order", "step", "config_index", "fidelity"),
+    "EvalOutcome": (
+        "job",
+        "outcome",
+        "error",
+        "queue_wait_s",
+        "exec_s",
+        "worker",
+    ),
+    "ResilientOutcome": (
+        "result",
+        "requested",
+        "fidelity",
+        "attempts",
+        "degraded",
+        "failed",
+        "wasted_runtime_s",
+        "failures",
+    ),
+}
+
+#: Fixed pickle protocol so mixed-Python fleets agree on the framing.
+PICKLE_PROTOCOL = 4
+
+
+def wire_fingerprint() -> str:
+    """Hex digest of the wire version plus every pinned field set."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(f"wire-v{WIRE_VERSION}".encode())
+    for name in sorted(PINNED_FIELDS):
+        h.update(name.encode())
+        for field in PINNED_FIELDS[name]:
+            h.update(b"." + field.encode())
+    return h.hexdigest()
+
+
+def live_fields() -> dict[str, tuple[str, ...]]:
+    """The *actual* field sets of the pinned dataclasses.
+
+    Imports the runtime (numpy and all) — called by workers at startup
+    and by the golden test, never by the broker.
+    """
+    import dataclasses
+
+    from repro.core.batch.engine import EvalJob, EvalOutcome
+    from repro.core.resilience.retry import ResilientOutcome
+    from repro.experiments.parallel import Job, JobOutcome
+
+    return {
+        cls.__name__: tuple(
+            f.name for f in dataclasses.fields(cls)
+        )
+        for cls in (Job, JobOutcome, EvalJob, EvalOutcome, ResilientOutcome)
+    }
+
+
+def check_wire_schema() -> None:
+    """Raise ``RuntimeError`` when the live dataclasses drift from the pin.
+
+    Workers call this before registering so a worker built from a
+    different revision refuses to serve rather than silently
+    mis-interpreting payloads.
+    """
+    live = live_fields()
+    if live != PINNED_FIELDS:
+        drift = {
+            name: (PINNED_FIELDS.get(name), live.get(name))
+            for name in sorted(set(PINNED_FIELDS) | set(live))
+            if PINNED_FIELDS.get(name) != live.get(name)
+        }
+        raise RuntimeError(
+            "fleet wire schema drift — bump repro.fleet.wire.WIRE_VERSION "
+            f"and re-pin PINNED_FIELDS; drifted: {drift}"
+        )
+
+
+def dump(obj: object) -> bytes:
+    """Serialize one payload for the wire."""
+    return pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+
+
+def load(data: bytes) -> object:
+    """Deserialize one payload off the wire (trusted peers only)."""
+    return pickle.loads(data)

@@ -1,0 +1,284 @@
+"""Fleet worker agent: lease → execute → stream the outcome back.
+
+::
+
+    python -m repro.fleet.worker --broker http://HOST:PORT
+        [--worker-id NAME] [--queues q1,q2] [--cache-dir DIR]
+        [--poll 0.2] [--max-tasks N] [--exit-on-idle SECONDS]
+
+The agent wraps the exact execution paths the single-box engines use,
+so a fleet run is bitwise identical to a local one:
+
+- ``kind == "cell"`` tasks carry a :class:`repro.experiments.parallel.
+  Job` and run through the same :func:`repro.experiments.parallel.
+  _invoke` wrapper the process pool uses — same seeds, same scoring,
+  same :class:`JobOutcome` shape (including crash capture: a raising
+  cell returns an outcome with ``error`` set, it never kills the
+  agent).
+- ``kind == "eval"`` tasks carry an in-run :class:`repro.core.batch.
+  engine.EvalJob` plus the session's seed and retry policy, and run
+  through :func:`repro.core.resilience.retry.evaluate_with_policy`
+  with the **same deterministic backoff-jitter stream**
+  (``_stable_seed("retry", seed, step, config_index)``) the local
+  :class:`EvalEngine` derives — retry timing draws are identical no
+  matter which machine picks the job up.  The per-benchmark flow is
+  built once and cached (reports are deterministic per configuration).
+
+While a task executes, a daemon heartbeat thread renews the lease
+every ``ttl/3`` seconds; if the broker reports the lease gone (this
+agent stalled past the TTL and the task was re-issued) the heartbeat
+stops, the eventual completion is streamed anyway, and the broker's
+first-writer-wins rule drops whichever copy lands second.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+
+from repro.fleet.client import BrokerClient
+from repro.fleet.wire import check_wire_schema, dump, load
+
+__all__ = ["FleetWorker", "main"]
+
+
+class FleetWorker:
+    """One leased-execution loop against a broker."""
+
+    def __init__(
+        self,
+        broker_url: str,
+        worker_id: str | None = None,
+        queues: list[str] | None = None,
+        cache_dir: str | None = None,
+        poll_s: float = 0.2,
+        max_tasks: int | None = None,
+        exit_on_idle_s: float | None = None,
+    ):
+        self.client = BrokerClient(broker_url)
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}:{os.getpid()}"
+        )
+        self.queues = queues
+        self.cache_dir = cache_dir
+        self.poll_s = poll_s
+        self.max_tasks = max_tasks
+        self.exit_on_idle_s = exit_on_idle_s
+        self.tasks_done = 0
+        self._lease_ttl_s = 30.0
+        self._flows: dict[str, tuple] = {}  # benchmark -> (space, flow)
+
+    # ------------------------------------------------------------------
+    # task execution
+    # ------------------------------------------------------------------
+
+    def _eval_context(self, benchmark: str):
+        """Per-benchmark (space, flow), built once and reused."""
+        ctx = self._flows.get(benchmark)
+        if ctx is None:
+            from repro.benchsuite.registry import get_space
+            from repro.hlsim.flow import HlsFlow
+
+            space = get_space(benchmark)
+            ctx = (space, HlsFlow.for_space(space))
+            self._flows[benchmark] = ctx
+        return ctx
+
+    def _run_cell(self, message: dict):
+        """One experiment cell, exactly as the process pool runs it."""
+        from repro.experiments.parallel import _invoke
+
+        return _invoke(message["job"], message.get("submitted_at", time.time()))
+
+    def _run_eval(self, message: dict):
+        """One in-run flow evaluation, exactly as ``EvalEngine`` runs it."""
+        import numpy as np
+
+        from repro.core.batch.engine import EvalOutcome
+        from repro.core.resilience.retry import (
+            RetryPolicy,
+            evaluate_with_policy,
+        )
+        from repro.hlsim.flow import _stable_seed
+
+        job = message["job"]
+        space, flow = self._eval_context(message["benchmark"])
+        policy = message.get("retry_policy") or RetryPolicy()
+        rng = np.random.default_rng(
+            _stable_seed(
+                "retry", message.get("seed", 0), job.step, job.config_index
+            )
+        )
+        start = time.perf_counter()
+        try:
+            outcome = evaluate_with_policy(
+                flow, space[job.config_index], job.fidelity, policy, rng=rng
+            )
+            error = None
+        except Exception:
+            outcome = None
+            error = traceback.format_exc()
+        return EvalOutcome(
+            job=job,
+            outcome=outcome,
+            error=error,
+            queue_wait_s=0.0,
+            exec_s=time.perf_counter() - start,
+            worker=self.worker_id,
+        )
+
+    def _execute(self, message: dict):
+        kind = message.get("kind")
+        if kind == "cell":
+            return self._run_cell(message)
+        if kind == "eval":
+            return self._run_eval(message)
+        raise ValueError(f"unknown fleet task kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # lease lifecycle
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self, lease_id: str, stop: threading.Event) -> None:
+        interval = max(0.05, self._lease_ttl_s / 3.0)
+        while not stop.wait(interval):
+            try:
+                if not self.client.heartbeat(lease_id):
+                    return  # lease expired: task re-issued elsewhere
+            except OSError:
+                return  # broker unreachable; completion will also fail
+
+    def _serve_one(self) -> bool:
+        """Lease and run one task; ``False`` when the broker was idle."""
+        grant = self.client.lease(self.worker_id, self.queues)
+        if grant is None:
+            return False
+        self._lease_ttl_s = grant.ttl_s
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(grant.lease_id, stop),
+            daemon=True,
+        )
+        beat.start()
+        start = time.perf_counter()
+        try:
+            # Task-level crashes are data (the outcome carries the
+            # traceback); only broker/protocol failures escape.
+            try:
+                result = self._execute(load(grant.payload))
+            except Exception:
+                result = {
+                    "error": traceback.format_exc(),
+                    "worker": self.worker_id,
+                }
+        finally:
+            stop.set()
+        exec_s = time.perf_counter() - start
+        beat.join(timeout=1.0)
+        self.client.complete(
+            grant.task_id,
+            dump(result),
+            lease_id=grant.lease_id,
+            worker=self.worker_id,
+            exec_s=exec_s,
+        )
+        self.tasks_done += 1
+        return True
+
+    def run(self) -> int:
+        """Register, then serve until told (or configured) to stop."""
+        check_wire_schema()
+        if self.cache_dir:
+            # Workers share the sharded ground-truth cache through the
+            # same env override the harness honors.
+            os.environ["REPRO_GT_CACHE_DIR"] = self.cache_dir
+        ack = self.client.register(
+            self.worker_id,
+            capabilities={
+                "cpus": os.cpu_count() or 1,
+                "queues": self.queues,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+            },
+        )
+        self._lease_ttl_s = float(ack.get("lease_ttl_s", 30.0))
+        idle_since: float | None = None
+        while True:
+            if self.max_tasks is not None and self.tasks_done >= self.max_tasks:
+                return 0
+            try:
+                served = self._serve_one()
+            except (OSError, ConnectionError):
+                return 0  # broker gone: a worker has nothing left to do
+            if served:
+                idle_since = None
+                continue
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if (
+                self.exit_on_idle_s is not None
+                and now - idle_since >= self.exit_on_idle_s
+            ):
+                return 0
+            time.sleep(self.poll_s)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet.worker",
+        description="Leased worker agent for the distributed tuning fleet.",
+    )
+    parser.add_argument(
+        "--broker", required=True, help="broker URL, e.g. http://host:8947"
+    )
+    parser.add_argument(
+        "--worker-id", default="", help="stable identity (default host:pid)"
+    )
+    parser.add_argument(
+        "--queues", default="",
+        help="comma-separated queue capability filter (default: any)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="",
+        help="shared ground-truth cache directory (sets "
+             "$REPRO_GT_CACHE_DIR for this agent)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.2,
+        help="idle poll interval in seconds (default 0.2)",
+    )
+    parser.add_argument(
+        "--max-tasks", type=int, default=0,
+        help="exit after N completed tasks (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--exit-on-idle", type=float, default=0.0,
+        help="exit after this many consecutive idle seconds "
+             "(0 = keep polling forever)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.resilience.signals import terminate_on_signals
+
+    worker = FleetWorker(
+        args.broker,
+        worker_id=args.worker_id or None,
+        queues=[q for q in args.queues.split(",") if q] or None,
+        cache_dir=args.cache_dir or None,
+        poll_s=args.poll,
+        max_tasks=args.max_tasks or None,
+        exit_on_idle_s=args.exit_on_idle or None,
+    )
+    with terminate_on_signals():
+        return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

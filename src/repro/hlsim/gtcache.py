@@ -21,6 +21,15 @@ bump ``FLOW_MODEL_VERSION`` (they do not alter the inputs above, only
 the outputs).  Stale files are never read, only orphaned; ``*.npz``
 files under the cache directory can be deleted at any time.
 
+Layout: entries are **sharded** by fingerprint prefix —
+``<cache_dir>/<digest[:2]>/<benchmark>-<digest>.npz`` — so a fleet of
+workers sharing one cache directory (NFS or local) spreads directory
+traffic and lock contention across 256 shards instead of one flat dir.
+Each shard carries a ``.lock`` file taken with an advisory
+:func:`fcntl.flock` around writes and eviction.  Pre-shard flat-layout
+entries are still read (and checksum-upgraded) where they are; new
+writes always land in a shard.
+
 Writes are atomic (temp file + ``os.replace``), so concurrent workers
 racing to fill the same entry are safe — last writer wins with
 identical bytes, since the sweep is deterministic.
@@ -45,7 +54,10 @@ whether it matches a *live* fingerprint of the registered benchmark
 suite, and any quarantined ``.corrupt`` files; ``--prune`` deletes
 orphaned entries (digests no current benchmark produces — stale by the
 invalidation rule above), leftover ``.tmp`` files from interrupted
-writes, and quarantined ``.corrupt`` files.
+writes, and quarantined ``.corrupt`` files.  Prune is safe to run
+while a fleet is writing: each deletion takes the shard lock and
+re-stats the file first, and ``.tmp`` debris younger than the prune's
+start is left alone (it may be an in-flight atomic write).
 """
 
 from __future__ import annotations
@@ -55,6 +67,8 @@ import hashlib
 import os
 import sys
 import tempfile
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from datetime import datetime
 from pathlib import Path
@@ -64,6 +78,11 @@ import numpy as np
 from repro.dse.space import DesignSpace
 from repro.hlsim.flow import FLOW_MODEL_VERSION, HlsFlow, ground_truth
 
+try:  # advisory shard locks are POSIX-only; elsewhere they are no-ops
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_GT_CACHE_DIR"
 
@@ -71,6 +90,9 @@ CACHE_DIR_ENV = "REPRO_GT_CACHE_DIR"
 GT_COMPUTED = "computed"  # exhaustive sweep ran (cache disabled or miss)
 GT_DISK_HIT = "disk-hit"  # loaded from the persistent cache
 GT_SNAPSHOT = "snapshot"  # whole cell restored from a sweep snapshot
+
+#: Hex characters of the fingerprint used as the shard directory name.
+SHARD_PREFIX_LEN = 2
 
 
 def default_cache_dir() -> Path:
@@ -100,12 +122,47 @@ def ground_truth_fingerprint(
     return h.hexdigest()
 
 
+def shard_dir(cache_dir: str | Path, fingerprint: str) -> Path:
+    """The shard directory an entry with this fingerprint lives in."""
+    return Path(cache_dir) / fingerprint[:SHARD_PREFIX_LEN]
+
+
+@contextmanager
+def shard_lock(shard: str | Path):
+    """Advisory exclusive lock on one shard (no-op where unsupported).
+
+    Creates the shard directory (and its ``.lock`` file) on first use.
+    Guards cross-process write/evict races within a shard; readers do
+    not take it — atomic replace keeps reads consistent lock-free.
+    """
+    shard = Path(shard)
+    shard.mkdir(parents=True, exist_ok=True)
+    handle = open(shard / ".lock", "a+b")
+    try:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        yield
+    finally:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+        handle.close()
+
+
 def cache_path(
     cache_dir: str | Path, space: DesignSpace, flow: HlsFlow,
     penalty: float = 10.0,
 ) -> Path:
+    """Sharded location of this sweep's entry (where new writes land)."""
     digest = ground_truth_fingerprint(space, flow, penalty)
-    return Path(cache_dir) / f"{space.kernel.name}-{digest}.npz"
+    return (
+        shard_dir(cache_dir, digest)
+        / f"{space.kernel.name}-{digest}.npz"
+    )
+
+
+def _legacy_flat_path(cache_dir: str | Path, sharded: Path) -> Path:
+    """Where the pre-shard layout kept the same entry (read fallback)."""
+    return Path(cache_dir) / sharded.name
 
 
 def load_or_compute_ground_truth(
@@ -123,29 +180,37 @@ def load_or_compute_ground_truth(
     stores exact float64 — so downstream ADRS numbers do not depend on
     the cache state.
 
-    An entry that fails checksum/shape verification or cannot be read
-    is quarantined to ``<name>.npz.corrupt`` and recomputed; a legacy
-    pre-checksum entry is rewritten with its checksum in place.
+    Lookup tries the sharded path first, then the legacy flat path
+    (entries written before sharding are served in place, never
+    migrated).  An entry that fails checksum/shape verification or
+    cannot be read is quarantined to ``<name>.npz.corrupt`` and
+    recomputed; a legacy pre-checksum entry is rewritten with its
+    checksum where it was found.
     """
     if cache_dir is None:
         y, valid = ground_truth(space, flow, penalty=penalty)
         return y, valid, GT_COMPUTED
     path = cache_path(cache_dir, space, flow, penalty)
-    if path.is_file():
-        entry = _read_verified(path, len(space))
+    for candidate in (path, _legacy_flat_path(cache_dir, path)):
+        if not candidate.is_file():
+            continue
+        entry = _read_verified(candidate, len(space))
         if entry is not None:
             y, valid, had_checksum = entry
             if not had_checksum:  # legacy entry: upgrade in place
-                _atomic_savez(
-                    path, Y=y, valid=valid,
-                    checksum=np.array(content_checksum(y, valid)),
-                )
+                with shard_lock(candidate.parent):
+                    _atomic_savez(
+                        candidate, Y=y, valid=valid,
+                        checksum=np.array(content_checksum(y, valid)),
+                    )
             return y, valid, GT_DISK_HIT
-        quarantine_entry(path)
+        quarantine_entry(candidate)
     y, valid = ground_truth(space, flow, penalty=penalty)
-    _atomic_savez(
-        path, Y=y, valid=valid, checksum=np.array(content_checksum(y, valid))
-    )
+    with shard_lock(path.parent):
+        _atomic_savez(
+            path, Y=y, valid=valid,
+            checksum=np.array(content_checksum(y, valid)),
+        )
     return y, valid, GT_COMPUTED
 
 
@@ -229,6 +294,7 @@ class CacheEntry:
     size_bytes: int
     mtime: float
     live: bool
+    mtime_ns: int = 0
 
 
 def live_fingerprints(penalty: float = 10.0) -> dict[str, str]:
@@ -248,15 +314,25 @@ def live_fingerprints(penalty: float = 10.0) -> dict[str, str]:
     return digests
 
 
+def _cache_glob(cache_dir: str | Path, pattern: str) -> list[Path]:
+    """Matches at the flat (legacy) level and one shard level down."""
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return []
+    found = list(root.glob(pattern))
+    for shard in sorted(p for p in root.iterdir() if p.is_dir()):
+        found.extend(shard.glob(pattern))
+    return sorted(found)
+
+
 def scan_cache(
     cache_dir: str | Path, live: dict[str, str] | None = None
 ) -> list[CacheEntry]:
-    """All ``.npz`` entries under ``cache_dir``, newest first."""
-    root = Path(cache_dir)
+    """All ``.npz`` entries (flat and sharded), newest first."""
     if live is None:
         live = live_fingerprints()
     entries = []
-    for path in sorted(root.glob("*.npz")):
+    for path in _cache_glob(cache_dir, "*.npz"):
         benchmark, _, fingerprint = path.stem.rpartition("-")
         stat = path.stat()
         entries.append(
@@ -267,6 +343,7 @@ def scan_cache(
                 size_bytes=stat.st_size,
                 mtime=stat.st_mtime,
                 live=fingerprint in live,
+                mtime_ns=stat.st_mtime_ns,
             )
         )
     entries.sort(key=lambda e: e.mtime, reverse=True)
@@ -274,8 +351,8 @@ def scan_cache(
 
 
 def corrupt_entries(cache_dir: str | Path) -> list[Path]:
-    """Quarantined ``.corrupt`` files under ``cache_dir``, sorted."""
-    return sorted(Path(cache_dir).glob("*.corrupt"))
+    """Quarantined ``.corrupt`` files (flat and sharded), sorted."""
+    return _cache_glob(cache_dir, "*.corrupt")
 
 
 def prune_cache(
@@ -284,25 +361,48 @@ def prune_cache(
     """Delete orphaned ``.npz`` entries, ``.tmp`` and ``.corrupt`` files.
 
     Returns ``(removed_npz, removed_tmp, removed_corrupt)``.  Live
-    entries are never touched; a ``.tmp`` file is debris from an
-    interrupted atomic write (a concurrent writer's in-flight temp file
-    would be re-created by its ``os.replace`` loser anyway, so removing
-    it is safe); a ``.corrupt`` file is a quarantined entry that failed
-    checksum verification and has already been recomputed.
+    entries are never touched.  Safe against a concurrently-writing
+    fleet: every unlink happens under the shard's advisory lock and
+    only after a re-stat confirms the file is still exactly what the
+    scan saw (same size and mtime_ns) — an entry replaced between scan
+    and lock is left alone.  A ``.tmp`` file is debris from an
+    interrupted atomic write, but one modified after this prune began
+    may be an *in-flight* write whose ``os.replace`` would fail if the
+    temp name vanished, so only ``.tmp`` files older than the prune's
+    start are removed.  A ``.corrupt`` file is a quarantined entry that
+    failed checksum verification and has already been recomputed.
     """
     root = Path(cache_dir)
+    started_at = time.time()
     removed_npz: list[Path] = []
     removed_tmp: list[Path] = []
     removed_corrupt: list[Path] = []
     for entry in scan_cache(root, live=live):
-        if not entry.live:
+        if entry.live:
+            continue
+        with shard_lock(entry.path.parent):
+            try:
+                stat = entry.path.stat()
+            except OSError:
+                continue  # already gone (another prune won the race)
+            if (stat.st_size, stat.st_mtime_ns) != (
+                entry.size_bytes, entry.mtime_ns
+            ):
+                continue  # replaced since the scan: not what we audited
             entry.path.unlink(missing_ok=True)
-            removed_npz.append(entry.path)
-    for tmp in sorted(root.glob("*.tmp")):
-        tmp.unlink(missing_ok=True)
+        removed_npz.append(entry.path)
+    for tmp in _cache_glob(root, "*.tmp"):
+        with shard_lock(tmp.parent):
+            try:
+                if tmp.stat().st_mtime >= started_at:
+                    continue  # possibly an in-flight atomic write
+            except OSError:
+                continue  # its os.replace landed: no debris
+            tmp.unlink(missing_ok=True)
         removed_tmp.append(tmp)
     for corpse in corrupt_entries(root):
-        corpse.unlink(missing_ok=True)
+        with shard_lock(corpse.parent):
+            corpse.unlink(missing_ok=True)
         removed_corrupt.append(corpse)
     return removed_npz, removed_tmp, removed_corrupt
 

@@ -21,7 +21,11 @@ for *newly appended* lines and redraws in place:
 - async pipelines (one row per trace file emitting ``inflight``
   events): current in-flight count, adaptive in-flight target with its
   recent trajectory, committed count, fantasy-front hypervolume and
-  the simulated clock.
+  the simulated clock;
+- fleet brokers (one block per ``*.fleet.jsonl`` event log from
+  ``python -m repro.fleet.broker --log-dir``): per-queue progress and
+  lease depth, per-agent lease churn and busy time, plus lease-expiry
+  and duplicate-completion counters.
 
 The monitor deliberately imports **nothing from the hot path** — not
 even :mod:`repro.obs.trace` — only the standard library.  It re-parses
@@ -43,6 +47,7 @@ from pathlib import Path
 
 __all__ = [
     "TraceTail",
+    "FleetState",
     "PipelineState",
     "SweepState",
     "pareto_front",
@@ -279,6 +284,66 @@ class PipelineState:
         return ">".join(str(t) for t in self.targets) or "-"
 
 
+class FleetState:
+    """Folded view of one broker's ``*.fleet.jsonl`` event log.
+
+    Per-worker lease churn and busy time, per-queue depth/progress, and
+    the two fleet health counters that matter: lease expiries (a worker
+    died or stalled past its TTL — the task was re-issued) and
+    duplicate completions (a stale lease's result arrived second and
+    was dropped by first-writer-wins).
+    """
+
+    def __init__(self) -> None:
+        self.workers: dict[str, dict] = {}
+        self.queues: dict[str, dict] = {}
+        self.expiries = 0
+        self.duplicates = 0
+        self.renews = 0
+
+    def _worker(self, name: str) -> dict:
+        return self.workers.setdefault(
+            name, {"leases": 0, "completed": 0, "expired": 0, "busy_s": 0.0}
+        )
+
+    def _queue(self, name: str) -> dict:
+        return self.queues.setdefault(
+            name, {"submitted": 0, "done": 0, "leased": 0}
+        )
+
+    def feed(self, record: dict) -> None:
+        event = record.get("event")
+        queue = record.get("queue", "?")
+        worker = record.get("worker", "?")
+        if event == "register":
+            self._worker(worker)
+        elif event == "queue":
+            self._queue(queue)
+        elif event == "submit":
+            self._queue(queue)["submitted"] += 1
+        elif event == "lease":
+            self._worker(worker)["leases"] += 1
+            self._queue(queue)["leased"] += 1
+        elif event == "renew":
+            self.renews += 1
+        elif event == "expire":
+            self.expiries += 1
+            if worker in self.workers:
+                self.workers[worker]["expired"] += 1
+            q = self._queue(queue)
+            q["leased"] = max(0, q["leased"] - 1)
+        elif event == "complete":
+            if record.get("status") == "duplicate":
+                self.duplicates += 1
+                return
+            w = self._worker(worker)
+            w["completed"] += 1
+            w["busy_s"] += _float(record.get("exec_s", 0.0)) or 0.0
+            q = self._queue(queue)
+            q["done"] += 1
+            q["leased"] = max(0, q["leased"] - 1)
+
+
 class SweepState:
     """Everything the monitor knows, folded from all tailed files."""
 
@@ -286,6 +351,7 @@ class SweepState:
         self.cells: dict[str, CellState] = {}
         self.tails: dict[Path, TraceTail] = {}
         self.pipelines: dict[str, PipelineState] = {}
+        self.fleets: dict[str, FleetState] = {}
         self.faults = 0
         self.degrades = 0
         self.resumes = 0
@@ -308,6 +374,10 @@ class SweepState:
                 cell = self.cells.setdefault(path.name, CellState(path.name))
                 for record in records:
                     cell.feed(record)
+            elif kind == "fleet":
+                fleet = self.fleets.setdefault(path.name, FleetState())
+                for record in records:
+                    fleet.feed(record)
             else:
                 for record in records:
                     self._feed_trace(record, path.name)
@@ -345,16 +415,23 @@ class SweepState:
                 self.t_max = max(self.t_max, _float(t_start) + exec_s)
 
 
+def _classify(name: str) -> str:
+    if name.endswith(".journal.jsonl"):
+        return "journal"
+    if name.endswith(".fleet.jsonl"):
+        return "fleet"
+    return "trace"
+
+
 def scan_files(root: Path) -> list[tuple[Path, str]]:
-    """All (path, kind) pairs under ``root``; kind is journal|trace."""
+    """All (path, kind) pairs under ``root``; kind is
+    journal|fleet|trace."""
     if root.is_file():
-        kind = "journal" if root.name.endswith(".journal.jsonl") else "trace"
-        return [(root, kind)]
-    out: list[tuple[Path, str]] = []
-    for path in sorted(root.rglob("*.jsonl")):
-        kind = "journal" if path.name.endswith(".journal.jsonl") else "trace"
-        out.append((path, kind))
-    return out
+        return [(root, _classify(root.name))]
+    return [
+        (path, _classify(path.name))
+        for path in sorted(root.rglob("*.jsonl"))
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -394,6 +471,26 @@ def render(state: SweepState, root: Path, tick: int) -> str:
                 f"target {pipe.target}  committed {pipe.committed:>3}  "
                 f"fantasy HV {hv:>8}  sim {pipe.sim_s:>9.1f}s  "
                 f"q: {pipe.trajectory}"
+            )
+    for name in sorted(state.fleets):
+        fleet = state.fleets[name]
+        lines.append(
+            f"  fleet {name}: {len(fleet.workers)} worker(s)  "
+            f"expiries {fleet.expiries}  duplicates {fleet.duplicates}  "
+            f"renews {fleet.renews}"
+        )
+        for queue in sorted(fleet.queues):
+            q = fleet.queues[queue]
+            lines.append(
+                f"    queue {queue:<34} {q['done']:>4}/{q['submitted']:<4} "
+                f"done  {q['leased']} leased"
+            )
+        for worker in sorted(fleet.workers):
+            w = fleet.workers[worker]
+            lines.append(
+                f"    agent {worker:<34} leases {w['leases']:>4}  "
+                f"done {w['completed']:>4}  expired {w['expired']:>2}  "
+                f"busy {w['busy_s']:>8.3f}s"
             )
     lines.append(
         f"  faults: {state.faults}  degrades: {state.degrades}  "

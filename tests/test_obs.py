@@ -905,21 +905,10 @@ class TestReport:
         empty_dir.mkdir()
         assert obs_report.main([str(empty_dir)]) == 1
 
-    def test_deprecated_shim_still_works(self, tmp_path):
-        log = tmp_path / "table1_run.log"
-        log.write_text("gemm/ours repeat 0: ADRS=0.0500 time=1.20h\n")
-        proc = subprocess.run(
-            [
-                sys.executable,
-                str(REPO_ROOT / "tools" / "summarize_table1_log.py"),
-                str(log),
-            ],
-            capture_output=True, text=True, timeout=120,
-            cwd=str(REPO_ROOT),
-        )
-        assert proc.returncode == 0, proc.stderr
-        assert "DEPRECATED" in proc.stderr
-        assert "ADRS (mean)" in proc.stdout
+    def test_shim_removed(self):
+        # The deprecated tools/summarize_table1_log.py shim is gone;
+        # `obs/report --log` is the only log-rollup entry point.
+        assert not (REPO_ROOT / "tools" / "summarize_table1_log.py").exists()
 
 
 class TestMonitor:

@@ -157,7 +157,7 @@ class TestGroundTruthCache:
     def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
         ctx = BenchmarkContext.get(BENCH)
         _, _, _ = load_or_compute_ground_truth(ctx.space, ctx.flow, tmp_path)
-        (entry,) = tmp_path.glob("*.npz")
+        (entry,) = tmp_path.rglob("*.npz")
         entry.write_bytes(b"garbage")
         y, valid, src = load_or_compute_ground_truth(
             ctx.space, ctx.flow, tmp_path
@@ -165,7 +165,7 @@ class TestGroundTruthCache:
         assert src == GT_COMPUTED
         assert np.array_equal(y, ctx.Y_true)
         # The corpse was moved aside for inspection, not overwritten.
-        (corpse,) = tmp_path.glob("*.corrupt")
+        (corpse,) = tmp_path.rglob("*.corrupt")
         assert corpse.name == entry.name + ".corrupt"
         assert corpse.read_bytes() == b"garbage"
         # The rebuilt entry is a clean disk hit again.
@@ -178,7 +178,7 @@ class TestGroundTruthCache:
         y, valid, _ = load_or_compute_ground_truth(
             ctx.space, ctx.flow, tmp_path
         )
-        (entry,) = tmp_path.glob("*.npz")
+        (entry,) = tmp_path.rglob("*.npz")
         from repro.hlsim.gtcache import _atomic_savez
 
         rotten = y.copy()
@@ -192,7 +192,7 @@ class TestGroundTruthCache:
         )
         assert src == GT_COMPUTED
         assert np.array_equal(y2, ctx.Y_true)
-        assert list(tmp_path.glob("*.corrupt"))
+        assert list(tmp_path.rglob("*.corrupt"))
 
     def test_legacy_entry_upgraded_with_checksum(self, tmp_path):
         """Pre-checksum entries are trusted by shape and rewritten."""
@@ -200,7 +200,7 @@ class TestGroundTruthCache:
         y, valid, _ = load_or_compute_ground_truth(
             ctx.space, ctx.flow, tmp_path
         )
-        (entry,) = tmp_path.glob("*.npz")
+        (entry,) = tmp_path.rglob("*.npz")
         from repro.hlsim.gtcache import _atomic_savez
 
         _atomic_savez(entry, Y=y, valid=valid)  # strip the checksum
@@ -329,8 +329,8 @@ class TestGtcacheCli:
         assert len(removed_npz) == 1 and removed_npz[0].name.startswith("stale")
         assert len(removed_tmp) == 1
         assert len(removed_corrupt) == 1
-        assert not list(tmp_path.glob("*.tmp"))
-        assert not list(tmp_path.glob("*.corrupt"))
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert not list(tmp_path.rglob("*.corrupt"))
         # The surviving entry still round-trips as a disk hit.
         _, _, src = load_or_compute_ground_truth(ctx.space, ctx.flow, tmp_path)
         assert src == GT_DISK_HIT
@@ -348,8 +348,8 @@ class TestGtcacheCli:
         pruned = capsys.readouterr().out
         assert "removed orphan" in pruned and "removed temp" in pruned
         assert "removed corrupt" in pruned
-        assert len(list(tmp_path.glob("*.npz"))) == 1
-        assert not list(tmp_path.glob("*.corrupt"))
+        assert len(list(tmp_path.rglob("*.npz"))) == 1
+        assert not list(tmp_path.rglob("*.corrupt"))
 
     def test_cli_missing_dir_is_graceful(self, tmp_path, capsys):
         missing = tmp_path / "never-created"
