@@ -7,10 +7,17 @@ Three pillars (DESIGN.md Sec. 10):
 - :mod:`repro.core.resilience.journal` — crash-safe JSONL run journal
   with bitwise-identical resume (RNG state captured per commit).
 - :mod:`repro.core.resilience.faults` — deterministic fault injection
-  (:class:`FaultyFlow`) for chaos tests and ``bench_resilience``.
+  (:class:`FaultyFlow` for the flow tier, :class:`FaultyTransport` for
+  the fleet network tier) for chaos tests, ``bench_resilience`` and
+  ``bench_fleet_chaos``.
 """
 
-from repro.core.resilience.faults import FaultSpec, FaultyFlow, InjectedFlowCrash
+from repro.core.resilience.faults import (
+    FaultSpec,
+    FaultyFlow,
+    FaultyTransport,
+    InjectedFlowCrash,
+)
 from repro.core.resilience.journal import (
     JOURNAL_SCHEMA_VERSION,
     JournalError,
@@ -32,6 +39,7 @@ __all__ = [
     "AttemptFailure",
     "FaultSpec",
     "FaultyFlow",
+    "FaultyTransport",
     "InjectedFlowCrash",
     "JOURNAL_SCHEMA_VERSION",
     "JournalError",

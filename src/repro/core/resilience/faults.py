@@ -16,6 +16,15 @@ table), then succeeds — so with ``k < RetryPolicy.max_attempts`` the
 retried run commits the exact same results as a clean run.
 ``persistent=True`` makes faults permanent, exercising fidelity
 degradation and the punishment path instead.
+
+:class:`FaultyTransport` is the same idea lifted to the *network* tier:
+a deterministic seeded schedule of connection refusals, dropped
+responses, latency spikes and duplicated deliveries injected at the
+:class:`repro.fleet.client.BrokerClient` transport seam, plus an
+optional heartbeat blackout window.  Because every injected failure is
+either pre-delivery (refusal) or post-delivery of an idempotent route
+(drop/duplicate), the fleet's retry machinery must — and the chaos
+bench asserts it does — converge to bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -29,7 +38,12 @@ import numpy as np
 from repro.hlsim.flow import _stable_seed
 from repro.hlsim.reports import ALL_FIDELITIES, Fidelity, FlowResult
 
-__all__ = ["FaultSpec", "FaultyFlow", "InjectedFlowCrash"]
+__all__ = [
+    "FaultSpec",
+    "FaultyFlow",
+    "FaultyTransport",
+    "InjectedFlowCrash",
+]
 
 
 class InjectedFlowCrash(RuntimeError):
@@ -192,6 +206,106 @@ class FaultyFlow:
         if not garbage_stages:
             return result
         return _corrupt(result, garbage_stages)
+
+
+class FaultyTransport:
+    """Deterministic network-fault injector for the fleet client seam.
+
+    Plugs into ``BrokerClient(transport=...)``: each call receives the
+    single-shot sender plus the request and decides, from a seeded
+    per-call-index draw, whether to deliver it cleanly or inject one
+    fault first::
+
+        refuse    — raise ConnectionRefusedError *before* delivery
+        drop      — deliver, then raise (response lost; tests that the
+                    route is idempotent under retry)
+        latency   — sleep ``latency_s``, then deliver
+        duplicate — deliver twice, return the second response
+
+    ``blackout`` optionally refuses every request whose path matches
+    ``blackout_path`` within a call-index window — modelling a
+    partition that starves heartbeats until the lease expires.  The
+    schedule is a pure function of ``(seed, call_index)``, so a rerun
+    of the same request sequence injects the same faults.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        refuse_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        latency_s: float = 0.05,
+        blackout: tuple[int, int] | None = None,
+        blackout_path: str = "/heartbeat",
+    ):
+        self.seed = int(seed)
+        self.refuse_rate = float(refuse_rate)
+        self.drop_rate = float(drop_rate)
+        self.latency_rate = float(latency_rate)
+        self.duplicate_rate = float(duplicate_rate)
+        self.latency_s = float(latency_s)
+        self.blackout = blackout
+        self.blackout_path = blackout_path
+        self.calls = 0
+        self.injected: dict[str, int] = {
+            "refuse": 0, "drop": 0, "latency": 0, "duplicate": 0,
+            "blackout": 0,
+        }
+        self._lock = threading.Lock()
+
+    def _draw(self, index: int) -> str | None:
+        u = float(
+            np.random.default_rng(
+                _stable_seed("transport", self.seed, index)
+            ).uniform()
+        )
+        edge = 0.0
+        for kind in ("refuse", "drop", "latency", "duplicate"):
+            edge += getattr(self, f"{kind}_rate")
+            if u < edge:
+                return kind
+        return None
+
+    def __call__(self, send, method: str, path: str, body, ctype: str):
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+        route = path.partition("?")[0]
+        if (
+            self.blackout is not None
+            and route == self.blackout_path
+            and self.blackout[0] <= index < self.blackout[1]
+        ):
+            with self._lock:
+                self.injected["blackout"] += 1
+            raise ConnectionRefusedError(
+                f"injected blackout of {route} (call {index})"
+            )
+        kind = self._draw(index)
+        if kind == "refuse":
+            with self._lock:
+                self.injected["refuse"] += 1
+            raise ConnectionRefusedError(f"injected refusal (call {index})")
+        if kind == "latency":
+            with self._lock:
+                self.injected["latency"] += 1
+            time.sleep(self.latency_s)
+            return send(method, path, body, ctype)
+        if kind == "drop":
+            send(method, path, body, ctype)  # delivered; response lost
+            with self._lock:
+                self.injected["drop"] += 1
+            raise ConnectionResetError(
+                f"injected mid-body drop (call {index})"
+            )
+        if kind == "duplicate":
+            send(method, path, body, ctype)
+            with self._lock:
+                self.injected["duplicate"] += 1
+            return send(method, path, body, ctype)
+        return send(method, path, body, ctype)
 
 
 def _corrupt(result: FlowResult, stages: list[Fidelity]) -> FlowResult:

@@ -56,6 +56,7 @@ __all__ = [
     "propose_record",
     "propose_kwargs",
     "read_journal",
+    "tail_complete",
     "serialize_result",
     "deserialize_result",
     "settings_fingerprint",
@@ -422,6 +423,40 @@ def read_journal(path: str | Path) -> list[dict[str, Any]]:
                 f"file was damaged outside a normal crash)"
             ) from None
     return records
+
+
+def tail_complete(
+    path: str | Path, offset: int = 0
+) -> tuple[bytes, bool, int]:
+    """``(data, reset, start)`` — new complete-line bytes past ``offset``.
+
+    The streaming primitive behind mid-cell resume: a fleet worker
+    tails its cell journal with this between heartbeats, shipping only
+    whole lines (a half-written tail stays local until its fsync
+    lands).  A file *smaller* than ``offset`` means
+    :meth:`RunJournal.continue_from` rewrote it — the caller must
+    restart the stream, signalled by ``reset=True`` and ``start == 0``.
+    A missing file yields no data.  ``start + len(data)`` is the next
+    offset once the chunk is acknowledged.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return b"", False, offset
+    start = offset
+    reset = False
+    if size < start:
+        start = 0
+        reset = True
+    if size == start and not reset:
+        return b"", False, start
+    with path.open("rb") as handle:
+        handle.seek(start)
+        data = handle.read()
+    cut = data.rfind(b"\n")
+    data = data[: cut + 1] if cut >= 0 else b""
+    return data, reset, start
 
 
 # ----------------------------------------------------------------------

@@ -38,6 +38,8 @@ __all__ = [
     "FleetWorker",
     "RemoteExecutor",
     "SessionSpec",
+    "WalWriter",
+    "read_wal",
 ]
 
 # Lazy exports (PEP 562): the broker/monitor side must stay importable
@@ -48,6 +50,8 @@ _LAZY_EXPORTS = {
     "FleetWorker": ("repro.fleet.worker", "FleetWorker"),
     "RemoteExecutor": ("repro.fleet.executor", "RemoteExecutor"),
     "SessionSpec": ("repro.fleet.schedule", "SessionSpec"),
+    "WalWriter": ("repro.fleet.wal", "WalWriter"),
+    "read_wal": ("repro.fleet.wal", "read_wal"),
 }
 
 

@@ -3,7 +3,8 @@
 ::
 
     python -m repro.fleet.broker [--host 127.0.0.1] [--port 8947]
-        [--lease-ttl 30] [--log-dir DIR] [--port-file PATH]
+        [--lease-ttl 30] [--state-dir DIR | --log-dir DIR]
+        [--auth-key-file PATH] [--port-file PATH]
 
 The broker holds **named job queues** of opaque pickled payloads (it
 never unpickles them — it is pure stdlib and runs anywhere, like the
@@ -36,16 +37,39 @@ currently in flight, ties broken round-robin by least-recently-served
 — so ``N`` concurrent sessions on ``W`` workers each hold ``~W/N``
 leases regardless of submission order or queue depth.
 
-Every state transition is appended as one JSON line to
-``<log-dir>/broker.fleet.jsonl`` — the fleet dashboard input of
-:mod:`repro.obs.monitor`.
+**Crash safety.**  ``broker.fleet.jsonl`` is a write-ahead journal,
+not just a dashboard feed: every transition (including submitted
+payloads and completed results, base64-framed) is fsync'd by
+:class:`repro.fleet.wal.WalWriter` before the HTTP response leaves.  A
+broker started with ``--state-dir`` replays the journal on boot —
+queues, leases (TTL clocks resumed against wall time), results and
+streamed journal segments all come back — then appends a ``restart``
+record and keeps serving the *same* task ids, so clients polling
+``/result`` and workers holding leases reconnect transparently.
+Submissions carry client-generated task ids, making a retried
+``/submit`` (response lost in the crash) idempotent.  The monitor
+tails the same file; extra WAL-only fields are ignored by its parser.
+
+**Mid-cell resume.**  Workers attach their cell-local run-journal
+bytes to heartbeats; the broker buffers the newest segment stream per
+task (WAL-logged, so it survives restarts) and serves it back via
+``/journal`` when the task is re-issued — the replacement worker
+replays the streamed prefix instead of re-running from step 0.
+
+**Authenticated wire.**  Started with a shared key (``--auth-key-file``
+or the ``REPRO_FLEET_AUTH_KEY`` / ``..._FILE`` env vars), every request
+except ``/health``/``/healthz`` must carry a valid ``X-Repro-Auth``
+HMAC (:func:`repro.fleet.wire.request_mac`); failures get ``401`` and
+an ``auth_reject`` WAL record.  Without a key the wire is open
+(trusted network), which is also how the pre-auth tests run.
 """
 
 from __future__ import annotations
 
 import argparse
-import itertools
+import base64
 import json
+import os
 import sys
 import threading
 import time
@@ -55,7 +79,14 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from repro.fleet.wire import WIRE_HEADER, wire_fingerprint
+from repro.fleet.wal import WalWriter, recover_wal
+from repro.fleet.wire import (
+    AUTH_HEADER,
+    WIRE_HEADER,
+    load_auth_key,
+    verify_request_mac,
+    wire_fingerprint,
+)
 
 __all__ = [
     "FleetBroker",
@@ -72,6 +103,11 @@ DEFAULT_LEASE_TTL_S = 30.0
 QUEUED = "queued"
 LEASED = "leased"
 DONE = "done"
+
+#: Commit marker counted in streamed journal segments.  The run journal
+#: serializes with ``json.dumps(..., sort_keys=True)`` and default
+#: separators, so every commit record contains this exact byte string.
+_COMMIT_MARK = b'"event": "commit"'
 
 
 @dataclass
@@ -105,11 +141,22 @@ class WorkerInfo:
     busy_s: float = 0.0
 
 
+@dataclass
+class _Stream:
+    """The buffered journal prefix of one task (newest lease wins)."""
+
+    lease_id: str
+    data: bytes = b""
+    commits: int = 0
+
+
 class FleetBroker:
     """The queue/lease state machine (transport-free, fully locked).
 
     ``clock`` is injectable (monotonic seconds) so tests drive lease
-    expiry deterministically without sleeping.
+    expiry deterministically without sleeping; ``wallclock`` is the
+    wall-time source persisted in WAL records, injectable so restart
+    tests can replay lease deadlines against a fake epoch.
     """
 
     def __init__(
@@ -117,9 +164,14 @@ class FleetBroker:
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         log_path: str | Path | None = None,
         clock=time.monotonic,
+        state_dir: str | Path | None = None,
+        auth_key: bytes | None = None,
+        wallclock=time.time,
     ):
         self.lease_ttl_s = float(lease_ttl_s)
+        self.auth_key = auth_key
         self._clock = clock
+        self._wallclock = wallclock
         self._lock = threading.Lock()
         self._queues: dict[str, deque[str]] = {}
         self._tasks: dict[str, Task] = {}
@@ -127,27 +179,202 @@ class FleetBroker:
         self._workers: dict[str, WorkerInfo] = {}
         self._active: dict[str, int] = {}  # queue -> leases in flight
         self._served: dict[str, int] = {}  # queue -> last-served tick
-        self._seq = itertools.count()
-        self._tick = itertools.count()
+        self._streams: dict[str, _Stream] = {}  # task_id -> journal prefix
+        self._seq = 0
+        self._tick = 0
         self.duplicates = 0
         self.expiries = 0
-        self._log_handle = None
+        self.restarts = 0
+        self.auth_rejects = 0
+        self.reconnects = 0
+        self.resume_grants = 0
+        self._started = self._clock()
+        self._wal: WalWriter | None = None
+        wal_path = self._resolve_wal_path(state_dir, log_path)
+        if wal_path is not None:
+            start_seq = 0
+            if wal_path.exists():
+                records, valid = recover_wal(wal_path)
+                if valid < wal_path.stat().st_size:
+                    os.truncate(wal_path, valid)  # drop the torn tail
+                if records:
+                    for record in records:
+                        self._apply(record)
+                    start_seq = int(records[-1].get("seq", -1)) + 1
+            self._wal = WalWriter(wal_path, start_seq=start_seq)
+            if start_seq:
+                with self._lock:
+                    self.restarts += 1
+                    self._log("restart")
+
+    @staticmethod
+    def _resolve_wal_path(
+        state_dir: str | Path | None, log_path: str | Path | None
+    ) -> Path | None:
+        if state_dir is not None:
+            return Path(state_dir) / "broker.fleet.jsonl"
         if log_path is not None:
-            log_path = Path(log_path)
-            log_path.parent.mkdir(parents=True, exist_ok=True)
-            self._log_handle = log_path.open("a", encoding="utf-8")
+            return Path(log_path)
+        return None
 
     # ------------------------------------------------------------------
-    # fleet log
+    # write-ahead journal
     # ------------------------------------------------------------------
 
     def _log(self, event: str, **fields) -> None:
-        """One JSON line per state transition (lock held by callers)."""
-        if self._log_handle is None:
+        """Append one fsync'd WAL record (lock held by callers)."""
+        if self._wal is None:
             return
-        record = {"event": event, "t": time.time(), **fields}
-        self._log_handle.write(json.dumps(record) + "\n")
-        self._log_handle.flush()
+        self._wal.append({"event": event, "t": self._wallclock(), **fields})
+
+    def _apply(self, record: dict) -> None:
+        """Replay one WAL record into in-memory state (rehydration only).
+
+        The inverse of every ``_log`` call site: mutations without
+        re-logging.  Lease deadlines are recovered by translating the
+        persisted wall-clock expiry back onto the monotonic clock, so a
+        lease survives a broker outage shorter than its remaining TTL
+        and expires immediately after a longer one.
+        """
+        event = record.get("event")
+        if event == "queue":
+            self._ensure_queue(record["queue"])
+        elif event == "submit":
+            queue = record["queue"]
+            self._ensure_queue(queue)
+            task = Task(
+                task_id=record["task"],
+                queue=queue,
+                payload=base64.b64decode(record.get("payload_b64", "")),
+                seq=self._seq,
+            )
+            self._seq += 1
+            self._tasks[task.task_id] = task
+            self._queues[queue].append(task.task_id)
+        elif event == "register":
+            worker_id = record["worker"]
+            self._workers[worker_id] = WorkerInfo(
+                worker_id=worker_id,
+                capabilities=dict(record.get("capabilities") or {}),
+            )
+        elif event == "lease":
+            task = self._tasks[record["task"]]
+            try:
+                self._queues[task.queue].remove(task.task_id)
+            except ValueError:
+                pass
+            task.state = LEASED
+            task.lease_id = record["lease"]
+            task.worker = record["worker"]
+            task.attempts = int(record["attempt"])
+            task.deadline = self._clock() + max(
+                0.0, float(record["expires_wall"]) - self._wallclock()
+            )
+            self._leases[record["lease"]] = task.task_id
+            self._active[task.queue] += 1
+            self._served[task.queue] = self._tick
+            self._tick += 1
+            if task.worker in self._workers:
+                self._workers[task.worker].leases_taken += 1
+        elif event == "renew":
+            task = self._tasks[record["task"]]
+            if task.state == LEASED:
+                task.deadline = self._clock() + max(
+                    0.0, float(record["expires_wall"]) - self._wallclock()
+                )
+        elif event == "expire":
+            task = self._tasks[record["task"]]
+            if task.state == LEASED:
+                self._leases.pop(task.lease_id, None)
+                self._active[task.queue] -= 1
+                self.expiries += 1
+                task.expiries += 1
+                if task.worker in self._workers:
+                    self._workers[task.worker].expired += 1
+                task.state = QUEUED
+                task.lease_id = None
+                task.worker = None
+                task.deadline = None
+                self._queues[task.queue].appendleft(task.task_id)
+        elif event == "complete":
+            if record.get("status") != "accepted":
+                self.duplicates += 1
+                return
+            task = self._tasks[record["task"]]
+            if task.state == LEASED and task.lease_id is not None:
+                self._leases.pop(task.lease_id, None)
+                self._active[task.queue] -= 1
+            elif task.state == QUEUED:
+                try:
+                    self._queues[task.queue].remove(task.task_id)
+                except ValueError:
+                    pass
+            task.state = DONE
+            task.result = base64.b64decode(record.get("result_b64", ""))
+            task.completed_by = record.get("worker", "")
+            task.exec_s = float(record.get("exec_s", 0.0))
+            task.lease_id = None
+            task.deadline = None
+            worker = record.get("worker", "")
+            if worker in self._workers:
+                self._workers[worker].completed += 1
+                self._workers[worker].busy_s += task.exec_s
+            self._streams.pop(task.task_id, None)
+        elif event == "segment":
+            data = base64.b64decode(record.get("data_b64", ""))
+            offset = record.get("offset")
+            self._apply_segment(
+                record["task"], record["lease"], data,
+                bool(record.get("reset")),
+                None if offset is None else int(offset),
+            )
+        elif event == "resume_grant":
+            self.resume_grants += 1
+        elif event == "restart":
+            self.restarts += 1
+        elif event == "auth_reject":
+            self.auth_rejects += 1
+        elif event == "reconnect":
+            self.reconnects += 1
+        # "shutdown" and unknown events need no state.
+
+    def _ensure_queue(self, queue: str) -> None:
+        if queue not in self._queues:
+            self._queues[queue] = deque()
+            self._active[queue] = 0
+            self._served[queue] = -1
+
+    def _apply_segment(
+        self,
+        task_id: str,
+        lease_id: str,
+        data: bytes,
+        reset: bool,
+        offset: int | None = None,
+    ) -> _Stream:
+        """Fold one journal segment into the task's stream buffer.
+
+        A segment from a *different* lease (re-issued task) or with the
+        reset flag (worker's journal was rewritten by ``continue_from``)
+        replaces the buffer; otherwise it appends.  ``offset`` — the
+        segment's start in stream coordinates — deduplicates
+        re-delivered bytes: a retried heartbeat whose first delivery
+        landed (response lost) only appends what the buffer is missing.
+        """
+        stream = self._streams.get(task_id)
+        if stream is None or reset or stream.lease_id != lease_id:
+            stream = _Stream(lease_id=lease_id)
+            self._streams[task_id] = stream
+        have = len(stream.data)
+        if offset is None:
+            offset = have
+        if offset > have:
+            return stream  # gap: unacked bytes were never sent — drop
+        new = data[have - offset:]
+        if new:
+            stream.data += new
+            stream.commits += new.count(_COMMIT_MARK)
+        return stream
 
     # ------------------------------------------------------------------
     # lease expiry
@@ -158,7 +385,8 @@ class FleetBroker:
 
         Expired tasks go to the *front* of their queue so a re-issued
         cell does not wait behind the whole backlog it already waited
-        through once.
+        through once.  The task's stream buffer is kept: it is exactly
+        the journal prefix the replacement worker resumes from.
         """
         for lease_id in [
             lid
@@ -203,26 +431,36 @@ class FleetBroker:
     def create_queue(self, queue: str) -> None:
         with self._lock:
             if queue not in self._queues:
-                self._queues[queue] = deque()
-                self._active[queue] = 0
-                self._served[queue] = -1
+                self._ensure_queue(queue)
                 self._log("queue", queue=queue)
 
-    def submit(self, queue: str, payload: bytes) -> str:
-        task_id = uuid.uuid4().hex
+    def submit(
+        self, queue: str, payload: bytes, task_id: str | None = None
+    ) -> str:
+        """Enqueue one payload; idempotent on a client-supplied id.
+
+        A retried ``/submit`` whose first response was lost (broker
+        crash, dropped connection) re-sends the same ``task_id``; the
+        broker returns the existing task without re-queueing it.
+        """
         with self._lock:
+            if task_id is not None and task_id in self._tasks:
+                return task_id
+            if task_id is None:
+                task_id = uuid.uuid4().hex
             if queue not in self._queues:
-                self._queues[queue] = deque()
-                self._active[queue] = 0
-                self._served[queue] = -1
+                self._ensure_queue(queue)
                 self._log("queue", queue=queue)
             task = Task(
-                task_id=task_id, queue=queue, payload=payload,
-                seq=next(self._seq),
+                task_id=task_id, queue=queue, payload=payload, seq=self._seq,
             )
+            self._seq += 1
             self._tasks[task_id] = task
             self._queues[queue].append(task_id)
-            self._log("submit", queue=queue, task=task_id)
+            self._log(
+                "submit", queue=queue, task=task_id,
+                payload_b64=base64.b64encode(payload).decode(),
+            )
         return task_id
 
     def _pick_queue(self, allowed: set[str] | None) -> str | None:
@@ -262,12 +500,14 @@ class FleetBroker:
             task.attempts += 1
             self._leases[lease_id] = task.task_id
             self._active[queue] += 1
-            self._served[queue] = next(self._tick)
+            self._served[queue] = self._tick
+            self._tick += 1
             if worker_id in self._workers:
                 self._workers[worker_id].leases_taken += 1
             self._log(
                 "lease", queue=queue, task=task.task_id, worker=worker_id,
-                attempt=task.attempts,
+                attempt=task.attempts, lease=lease_id,
+                expires_wall=self._wallclock() + self.lease_ttl_s,
             )
             return {
                 "task_id": task.task_id,
@@ -278,9 +518,21 @@ class FleetBroker:
                 "payload": task.payload,
             }
 
-    def heartbeat(self, lease_id: str) -> bool:
+    def heartbeat(
+        self,
+        lease_id: str,
+        segment: bytes | None = None,
+        reset: bool = False,
+        offset: int | None = None,
+    ) -> bool:
         """Renew one lease; ``False`` means it already expired (stop
-        working — the task has been or will be re-issued)."""
+        working — the task has been or will be re-issued).
+
+        ``segment`` carries new cell-journal bytes from the worker;
+        they are buffered (and WAL-logged) against the task so a
+        re-issued lease can resume mid-cell.  A segment on a dead lease
+        is dropped — the previous buffer is exactly the resume prefix.
+        """
         now = self._clock()
         with self._lock:
             self._expire_leases(now)
@@ -290,9 +542,53 @@ class FleetBroker:
             task = self._tasks[task_id]
             task.deadline = now + self.lease_ttl_s
             self._log(
-                "renew", queue=task.queue, task=task_id, worker=task.worker
+                "renew", queue=task.queue, task=task_id, worker=task.worker,
+                expires_wall=self._wallclock() + self.lease_ttl_s,
             )
+            if segment or reset:
+                stream = self._apply_segment(
+                    task_id, lease_id, segment or b"", reset, offset
+                )
+                self._log(
+                    "segment", task=task_id, lease=lease_id,
+                    bytes=len(stream.data), commits=stream.commits,
+                    reset=bool(reset), offset=offset,
+                    data_b64=base64.b64encode(segment or b"").decode(),
+                )
             return True
+
+    def journal(self, task_id: str, grant: bool = False) -> tuple[bytes, int]:
+        """``(buffered_journal_bytes, commits)`` streamed for one task.
+
+        ``grant=True`` marks the fetch as a resume grant (the worker is
+        about to replay this prefix) in the WAL and stats.
+        """
+        with self._lock:
+            stream = self._streams.get(task_id)
+            if stream is None:
+                return b"", 0
+            if grant and stream.data:
+                self.resume_grants += 1
+                self._log(
+                    "resume_grant", task=task_id,
+                    bytes=len(stream.data), commits=stream.commits,
+                )
+            return stream.data, stream.commits
+
+    def reconnect(self, worker: str, failures: int, outage_s: float) -> None:
+        """Record one client/worker reconnect after a broker outage."""
+        with self._lock:
+            self.reconnects += 1
+            self._log(
+                "reconnect", worker=worker, failures=int(failures),
+                outage_s=float(outage_s),
+            )
+
+    def auth_reject(self, path: str) -> None:
+        """Record one rejected request (bad or missing HMAC)."""
+        with self._lock:
+            self.auth_rejects += 1
+            self._log("auth_reject", path=path)
 
     def complete(
         self,
@@ -339,9 +635,11 @@ class FleetBroker:
             if worker in self._workers:
                 self._workers[worker].completed += 1
                 self._workers[worker].busy_s += float(exec_s)
+            self._streams.pop(task_id, None)
             self._log(
                 "complete", queue=task.queue, task=task_id, worker=worker,
                 status="accepted", exec_s=exec_s,
+                result_b64=base64.b64encode(payload).decode(),
             )
             return "accepted"
 
@@ -351,6 +649,20 @@ class FleetBroker:
             self._expire_leases(self._clock())
             task = self._tasks[task_id]
             return task.state, task.result
+
+    @property
+    def wal_seq(self) -> int:
+        """Next WAL sequence number (0 when running without a WAL)."""
+        return self._wal.seq if self._wal is not None else 0
+
+    def healthz(self) -> dict:
+        """Liveness snapshot for monitors and CI readiness checks."""
+        return {
+            "ok": True,
+            "wal_seq": self.wal_seq,
+            "uptime_s": self._clock() - self._started,
+            "restarts": self.restarts,
+        }
 
     def stats(self) -> dict:
         """JSON-able snapshot for dashboards and tests."""
@@ -395,12 +707,29 @@ class FleetBroker:
                 "done": sum(
                     1 for t in self._tasks.values() if t.state == DONE
                 ),
+                "restarts": self.restarts,
+                "auth_rejects": self.auth_rejects,
+                "reconnects": self.reconnects,
+                "resume_grants": self.resume_grants,
+                "wal_seq": self.wal_seq,
+                "streams": {
+                    task_id: {
+                        "bytes": len(s.data),
+                        "commits": s.commits,
+                        "lease": s.lease_id,
+                    }
+                    for task_id, s in self._streams.items()
+                },
             }
 
-    def close(self) -> None:
-        if self._log_handle is not None:
-            self._log_handle.close()
-            self._log_handle = None
+    def close(self, shutdown: bool = False) -> None:
+        """Close the WAL; ``shutdown=True`` journals a clean exit."""
+        if self._wal is not None:
+            if shutdown:
+                with self._lock:
+                    self._log("shutdown")
+            self._wal.close()
+            self._wal = None
 
 
 # ----------------------------------------------------------------------
@@ -415,7 +744,8 @@ class _Handler(BaseHTTPRequestHandler):
     bytes (``application/octet-stream``) the broker never inspects.
     Every request must carry the wire fingerprint header — a mismatched
     peer (version skew) is rejected with ``409`` before any payload is
-    touched.
+    touched — and, when the broker holds a shared key, a valid request
+    HMAC (``401`` otherwise).  ``/health`` and ``/healthz`` stay open.
     """
 
     protocol_version = "HTTP/1.1"
@@ -466,17 +796,42 @@ class _Handler(BaseHTTPRequestHandler):
             return False
         return True
 
+    def _check_auth(self, method: str, body: bytes) -> bool:
+        key = self.broker.auth_key
+        if key is None:
+            return True
+        mac = self.headers.get(AUTH_HEADER)
+        if verify_request_mac(key, method, self.path, body, mac):
+            return True
+        self.broker.auth_reject(self.path.partition("?")[0])
+        self._json(401, {"error": "authentication failed"})
+        return False
+
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        with self.server.track_inflight():  # type: ignore[attr-defined]
+            self._get()
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        with self.server.track_inflight():  # type: ignore[attr-defined]
+            self._post()
+
+    def _get(self) -> None:
         path, _, query = self.path.partition("?")
         params = dict(
             part.split("=", 1) for part in query.split("&") if "=" in part
         )
+        if path == "/health":
+            self._json(200, {"ok": True, "wire": wire_fingerprint()})
+            return
+        if path == "/healthz":
+            self._json(200, self.broker.healthz())
+            return
+        if not self._check_auth("GET", b""):
+            return
         if path == "/stats":
             self._json(200, self.broker.stats())
-        elif path == "/health":
-            self._json(200, {"ok": True, "wire": wire_fingerprint()})
         elif path == "/result":
             if not self._check_wire():
                 return
@@ -492,17 +847,29 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(
                     200, payload, "application/octet-stream", X_State=state
                 )
+        elif path == "/journal":
+            if not self._check_wire():
+                return
+            data, commits = self.broker.journal(
+                params.get("task_id", ""),
+                grant=params.get("grant") == "1",
+            )
+            self._send(
+                200, data, "application/octet-stream", X_Commits=commits
+            )
         else:
             self._json(404, {"error": f"no route {path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+    def _post(self) -> None:
         path, _, query = self.path.partition("?")
         params = dict(
             part.split("=", 1) for part in query.split("&") if "=" in part
         )
+        body = self._body()
+        if not self._check_auth("POST", body):
+            return
         if not self._check_wire():
             return
-        body = self._body()
         if path == "/register":
             msg = json.loads(body or b"{}")
             ack = self.broker.register(
@@ -514,7 +881,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.broker.create_queue(msg["queue"])
             self._json(200, {"ok": True})
         elif path == "/submit":
-            task_id = self.broker.submit(params.get("queue", "default"), body)
+            task_id = self.broker.submit(
+                params.get("queue", "default"), body,
+                task_id=params.get("task_id") or None,
+            )
             self._json(200, {"task_id": task_id})
         elif path == "/lease":
             msg = json.loads(body or b"{}")
@@ -538,8 +908,20 @@ class _Handler(BaseHTTPRequestHandler):
                     X_Attempt=grant["attempt"],
                 )
         elif path == "/heartbeat":
-            msg = json.loads(body or b"{}")
-            ok = self.broker.heartbeat(msg.get("lease_id", ""))
+            # Segment-bearing heartbeats put the lease in the query and
+            # the raw journal bytes in the body; plain renewals still
+            # send the original JSON body.
+            lease_id = params.get("lease_id")
+            if lease_id is not None:
+                offset = params.get("offset") or None
+                ok = self.broker.heartbeat(
+                    lease_id, segment=body or None,
+                    reset=params.get("reset") == "1",
+                    offset=None if offset is None else int(offset),
+                )
+            else:
+                msg = json.loads(body or b"{}")
+                ok = self.broker.heartbeat(msg.get("lease_id", ""))
             self._json(200 if ok else 410, {"ok": ok})
         elif path == "/complete":
             try:
@@ -557,6 +939,14 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
             self._json(200, {"status": status})
+        elif path == "/reconnect":
+            msg = json.loads(body or b"{}")
+            self.broker.reconnect(
+                msg.get("worker", "?"),
+                int(msg.get("failures", 0)),
+                float(msg.get("outage_s", 0.0)),
+            )
+            self._json(200, {"ok": True})
         elif path == "/shutdown":
             self._json(200, {"ok": True})
             threading.Thread(
@@ -572,15 +962,52 @@ class BrokerServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, broker: FleetBroker, verbose: bool = False):
+    def __init__(
+        self,
+        address,
+        broker: FleetBroker,
+        verbose: bool = False,
+        port_file: str | Path | None = None,
+    ):
         super().__init__(address, _Handler)
         self.broker = broker
         self.verbose = verbose
+        self.port_file = Path(port_file) if port_file else None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    def track_inflight(self):
+        """Context manager counting requests for the shutdown drain."""
+        server = self
+
+        class _Track:
+            def __enter__(self):
+                with server._inflight_lock:
+                    server._inflight += 1
+
+            def __exit__(self, *exc_info):
+                with server._inflight_lock:
+                    server._inflight -= 1
+
+        return _Track()
+
+    def graceful_close(self, drain_s: float = 2.0) -> None:
+        """Drain in-flight handlers, journal the shutdown, fsync the
+        WAL tail, and remove the port file."""
+        deadline = time.monotonic() + drain_s
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.02)
+        self.broker.close(shutdown=True)
+        if self.port_file is not None:
+            self.port_file.unlink(missing_ok=True)
 
 
 def serve(
@@ -589,13 +1016,59 @@ def serve(
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     log_dir: str | Path | None = None,
     verbose: bool = False,
+    state_dir: str | Path | None = None,
+    auth_key: bytes | None = None,
+    port_file: str | Path | None = None,
 ) -> BrokerServer:
-    """Build a serving-ready broker (caller runs ``serve_forever``)."""
+    """Build a serving-ready broker (caller runs ``serve_forever``).
+
+    ``state_dir`` both persists and rehydrates the WAL; plain
+    ``log_dir`` keeps the PR-8 behavior (journal written, never read
+    back).
+    """
     log_path = (
         Path(log_dir) / "broker.fleet.jsonl" if log_dir is not None else None
     )
-    broker = FleetBroker(lease_ttl_s=lease_ttl_s, log_path=log_path)
-    return BrokerServer((host, port), broker, verbose=verbose)
+    broker = FleetBroker(
+        lease_ttl_s=lease_ttl_s,
+        log_path=log_path,
+        state_dir=state_dir,
+        auth_key=auth_key,
+    )
+    return BrokerServer(
+        (host, port), broker, verbose=verbose, port_file=port_file
+    )
+
+
+def _termination_guard():
+    """``terminate_on_signals`` when the full runtime is importable,
+    else a stdlib fallback — the broker must run without numpy."""
+    try:
+        import signal
+
+        from repro.core.resilience.signals import terminate_on_signals
+
+        return terminate_on_signals((signal.SIGTERM, signal.SIGINT))
+    except ImportError:
+        import contextlib
+        import signal
+
+        @contextlib.contextmanager
+        def _fallback():
+            def _raise(signum, frame):
+                raise SystemExit(128 + signum)
+
+            old = {
+                s: signal.signal(s, _raise)
+                for s in (signal.SIGTERM, signal.SIGINT)
+            }
+            try:
+                yield
+            finally:
+                for s, handler in old.items():
+                    signal.signal(s, handler)
+
+        return _fallback()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -614,13 +1087,26 @@ def main(argv: list[str] | None = None) -> int:
              f"(default {DEFAULT_LEASE_TTL_S:g})",
     )
     parser.add_argument(
+        "--state-dir", default="",
+        help="persist broker.fleet.jsonl as a write-ahead journal here "
+             "and rehydrate from it on startup (crash-safe restarts)",
+    )
+    parser.add_argument(
         "--log-dir", default="",
-        help="write broker.fleet.jsonl state transitions here "
-             "(the monitor's fleet dashboard input)",
+        help="write broker.fleet.jsonl state transitions here without "
+             "rehydration (the monitor's fleet dashboard input); "
+             "ignored when --state-dir is set",
+    )
+    parser.add_argument(
+        "--auth-key-file", default="",
+        help="shared HMAC key file; requests without a valid "
+             "X-Repro-Auth header are rejected with 401 "
+             "(falls back to $REPRO_FLEET_AUTH_KEY[_FILE])",
     )
     parser.add_argument(
         "--port-file", default="",
-        help="write the bound port number to this file once listening",
+        help="write the bound port number to this file once listening "
+             "(removed again on graceful shutdown)",
     )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
@@ -630,17 +1116,21 @@ def main(argv: list[str] | None = None) -> int:
         port=args.port,
         lease_ttl_s=args.lease_ttl,
         log_dir=args.log_dir or None,
+        state_dir=args.state_dir or None,
+        auth_key=load_auth_key(args.auth_key_file or None),
         verbose=args.verbose,
+        port_file=args.port_file or None,
     )
-    if args.port_file:
-        Path(args.port_file).write_text(str(server.server_address[1]))
+    if server.port_file is not None:
+        server.port_file.write_text(str(server.server_address[1]))
     print(f"fleet broker listening on {server.url}", flush=True)
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
+        with _termination_guard():
+            server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
         pass
     finally:
-        server.broker.close()
+        server.graceful_close()
         server.server_close()
     return 0
 

@@ -1,4 +1,4 @@
-"""Thin stdlib HTTP client for the fleet broker.
+"""Stdlib HTTP client for the fleet broker, hardened for crashes.
 
 One :class:`BrokerClient` per process/thread role (worker loop,
 executor, scheduler).  Each call opens a short-lived
@@ -9,24 +9,53 @@ thread-safety bookkeeping.
 Every request carries the wire fingerprint header; a ``409`` from the
 broker (version skew between this process and the broker/workers)
 raises :class:`WireMismatchError` immediately rather than letting a
-mismatched peer exchange payloads.
+mismatched peer exchange payloads.  When the client holds the shared
+fleet key it also signs every request (``X-Repro-Auth``); a ``401``
+raises :class:`WireAuthError` — both are *fatal*, never retried.
+
+**Transient failures are retried.**  Connection refusals and dropped
+responses (``OSError``/``http.client.HTTPException``) ride a bounded
+exponential-backoff loop with *deterministic* jitter (seeded from the
+client identity, so reruns back off identically); recovery fires the
+``on_reconnect`` callback once with the failure count and outage
+length.  Retries are safe because every mutating route is idempotent:
+``/submit`` carries a client-generated task id, ``/complete`` is
+first-writer-wins, and segment heartbeats carry stream offsets the
+broker deduplicates on.
+
+A ``transport`` hook wraps the single-shot sender — the seam where
+:class:`repro.core.resilience.faults.FaultyTransport` injects
+refusals, drops, latency and duplicate deliveries in the chaos bench.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.parse
+import uuid
+import zlib
 
-from repro.fleet.wire import WIRE_HEADER, wire_fingerprint
+from repro.fleet.wire import (
+    AUTH_HEADER,
+    WIRE_HEADER,
+    request_mac,
+    wire_fingerprint,
+)
 
 __all__ = [
     "BrokerClient",
     "BrokerError",
     "LeaseGrant",
+    "WireAuthError",
     "WireMismatchError",
 ]
+
+#: Exceptions worth retrying: the broker is briefly unreachable
+#: (restarting) or the connection tore mid-exchange.
+RETRIABLE = (OSError, http.client.HTTPException)
 
 
 class BrokerError(RuntimeError):
@@ -35,6 +64,10 @@ class BrokerError(RuntimeError):
 
 class WireMismatchError(BrokerError):
     """Broker and this process disagree on the pickle wire schema."""
+
+
+class WireAuthError(BrokerError):
+    """The broker rejected this client's HMAC (missing or wrong key)."""
 
 
 class LeaseGrant:
@@ -51,10 +84,41 @@ class LeaseGrant:
         self.payload = payload
 
 
-class BrokerClient:
-    """Talk to one broker at ``url`` (e.g. ``http://127.0.0.1:8947``)."""
+def _default_retry_policy():
+    """Bounded backoff against a restarting broker (lazy import — the
+    retry module pulls numpy, which monitor-adjacent users never need)."""
+    from repro.core.resilience.retry import RetryPolicy
 
-    def __init__(self, url: str, timeout_s: float = 30.0):
+    return RetryPolicy(
+        max_attempts=5,
+        base_backoff_s=0.05,
+        backoff_multiplier=2.0,
+        max_backoff_s=2.0,
+        jitter=0.25,
+    )
+
+
+class BrokerClient:
+    """Talk to one broker at ``url`` (e.g. ``http://127.0.0.1:8947``).
+
+    ``auth_key`` signs every request when set; ``retry_policy`` bounds
+    the reconnect loop (``None`` → the default policy, ``False``-y
+    ``max_attempts<=1`` → fail fast); ``transport`` intercepts the
+    single-shot sender (fault injection); ``on_reconnect(failures,
+    outage_s)`` fires after each recovered outage; ``identity`` seeds
+    the deterministic backoff jitter.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 30.0,
+        auth_key: bytes | None = None,
+        retry_policy=None,
+        transport=None,
+        on_reconnect=None,
+        identity: str = "",
+    ):
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme not in ("http", ""):
             raise ValueError(f"unsupported broker URL scheme in {url!r}")
@@ -62,29 +126,40 @@ class BrokerClient:
         self.host, _, port = netloc.partition(":")
         self.port = int(port or 80)
         self.timeout_s = timeout_s
+        self.auth_key = auth_key
+        self.transport = transport
+        self.on_reconnect = on_reconnect
+        self.reconnects = 0
+        self._retry_policy = retry_policy
         self._wire = wire_fingerprint()
+        self._rng = random.Random(
+            zlib.crc32(f"{identity or netloc}".encode())
+        )
+        self._in_reconnect_hook = False
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
 
-    def _request(
-        self,
-        method: str,
-        path: str,
-        body: bytes | None = None,
-        ctype: str = "application/octet-stream",
+    def _policy(self):
+        if self._retry_policy is None:
+            self._retry_policy = _default_retry_policy()
+        return self._retry_policy
+
+    def _send_once(
+        self, method: str, path: str, body: bytes | None, ctype: str
     ):
+        """One HTTP exchange: sign, send, classify protocol rejections."""
+        headers = {WIRE_HEADER: self._wire, "Content-Type": ctype}
+        if self.auth_key is not None:
+            headers[AUTH_HEADER] = request_mac(
+                self.auth_key, method, path, body or b""
+            )
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
         try:
-            conn.request(
-                method,
-                path,
-                body=body,
-                headers={WIRE_HEADER: self._wire, "Content-Type": ctype},
-            )
+            conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             data = response.read()
             if response.status == 409:
@@ -98,9 +173,63 @@ class BrokerClient:
                     f"(want {detail.get('want')}, got {detail.get('got')}) — "
                     "broker and workers must run the same repro revision"
                 )
+            if response.status == 401:
+                raise WireAuthError(
+                    f"broker rejected request auth for {path!r} — "
+                    "check --auth-key-file / $REPRO_FLEET_AUTH_KEY"
+                )
             return response.status, dict(response.getheaders()), data
         finally:
             conn.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        ctype: str = "application/octet-stream",
+    ):
+        """Send with bounded retries; fatal protocol errors pass through."""
+        policy = self._policy()
+        attempt = 0
+        outage_started = None
+        while True:
+            attempt += 1
+            try:
+                if self.transport is not None:
+                    out = self.transport(
+                        self._send_once, method, path, body, ctype
+                    )
+                else:
+                    out = self._send_once(method, path, body, ctype)
+            except (WireMismatchError, WireAuthError):
+                raise
+            except RETRIABLE:
+                if attempt >= policy.max_attempts:
+                    raise
+                if outage_started is None:
+                    outage_started = time.monotonic()
+                time.sleep(policy.backoff_s(attempt, self._rng))
+                continue
+            if outage_started is not None:
+                self.reconnects += 1
+                self._fire_reconnect(
+                    attempt - 1, time.monotonic() - outage_started
+                )
+            return out
+
+    def _fire_reconnect(self, failures: int, outage_s: float) -> None:
+        """Invoke the reconnect hook once, guarding against the hook's
+        own requests recursing back here."""
+        if self.on_reconnect is None or self._in_reconnect_hook:
+            return
+        self._in_reconnect_hook = True
+        try:
+            self.on_reconnect(failures, outage_s)
+        except Exception:
+            pass  # reporting must never take down the caller
+        finally:
+            self._in_reconnect_hook = False
 
     def _json_post(self, path: str, message: dict):
         status, headers, data = self._request(
@@ -126,10 +255,20 @@ class BrokerClient:
         if status != 200:
             raise BrokerError(f"create_queue failed ({status}): {data!r}")
 
-    def submit(self, queue: str, payload: bytes) -> str:
-        status, _, data = self._request(
-            "POST", f"/submit?queue={urllib.parse.quote(queue)}", payload
+    def submit(
+        self, queue: str, payload: bytes, task_id: str | None = None
+    ) -> str:
+        """Enqueue one payload under a client-generated task id.
+
+        Generating the id here makes a retried submit (response lost to
+        a broker crash) idempotent: the broker returns the existing
+        task instead of queueing a twin.
+        """
+        task_id = task_id or uuid.uuid4().hex
+        query = urllib.parse.urlencode(
+            {"queue": queue, "task_id": task_id}
         )
+        status, _, data = self._request("POST", f"/submit?{query}", payload)
         if status != 200:
             raise BrokerError(f"submit failed ({status}): {data!r}")
         return json.loads(data)["task_id"]
@@ -153,11 +292,61 @@ class BrokerClient:
             payload=data,
         )
 
-    def heartbeat(self, lease_id: str) -> bool:
-        status, _, _data = self._json_post(
-            "/heartbeat", {"lease_id": lease_id}
+    def heartbeat(
+        self,
+        lease_id: str,
+        segment: bytes | None = None,
+        reset: bool = False,
+        offset: int | None = None,
+    ) -> bool:
+        """Renew one lease, optionally shipping new cell-journal bytes.
+
+        ``offset`` is the segment's start position in the worker's
+        stream (bytes acknowledged since the last reset) — the broker
+        uses it to drop re-delivered bytes when a retry or duplicate
+        transport delivery lands twice.
+        """
+        if segment is None and not reset:
+            status, _, _data = self._json_post(
+                "/heartbeat", {"lease_id": lease_id}
+            )
+            return status == 200
+        query = urllib.parse.urlencode(
+            {
+                "lease_id": lease_id,
+                "reset": "1" if reset else "0",
+                "offset": "" if offset is None else str(int(offset)),
+            }
+        )
+        status, _, _data = self._request(
+            "POST", f"/heartbeat?{query}", segment or b""
         )
         return status == 200
+
+    def fetch_journal(
+        self, task_id: str, grant: bool = False
+    ) -> tuple[bytes, int]:
+        """``(streamed_journal_bytes, commits)`` buffered for one task."""
+        query = urllib.parse.urlencode(
+            {"task_id": task_id, "grant": "1" if grant else "0"}
+        )
+        status, headers, data = self._request("GET", f"/journal?{query}")
+        if status != 200:
+            raise BrokerError(f"journal failed ({status}): {data!r}")
+        return data, int(headers.get("X-Commits", 0))
+
+    def report_reconnect(
+        self, worker: str, failures: int, outage_s: float
+    ) -> None:
+        """Tell the broker one outage was survived (fleet-journal row)."""
+        self._json_post(
+            "/reconnect",
+            {
+                "worker": worker,
+                "failures": int(failures),
+                "outage_s": float(outage_s),
+            },
+        )
 
     def complete(
         self,
@@ -219,8 +408,15 @@ class BrokerClient:
             raise BrokerError(f"stats failed ({status}): {data!r}")
         return json.loads(data)
 
+    def healthz(self) -> dict:
+        """Unauthenticated liveness probe (WAL seq, uptime, restarts)."""
+        status, _, data = self._request("GET", "/healthz")
+        if status != 200:
+            raise BrokerError(f"healthz failed ({status}): {data!r}")
+        return json.loads(data)
+
     def shutdown(self) -> None:
         try:
             self._json_post("/shutdown", {})
-        except (OSError, http.client.HTTPException):
+        except RETRIABLE:
             pass  # broker already gone — that is the goal

@@ -65,6 +65,8 @@ class RemoteExecutor:
         queue: str | None = None,
         poll_s: float = 0.02,
         result_timeout_s: float | None = None,
+        auth_key: bytes | None = None,
+        transport=None,
     ):
         if opt is not None:
             seed = opt.settings.seed if seed is None else seed
@@ -76,7 +78,12 @@ class RemoteExecutor:
                 "RemoteExecutor needs the benchmark name its workers "
                 "should build the evaluation context from"
             )
-        self.client = BrokerClient(broker_url)
+        self.client = BrokerClient(
+            broker_url,
+            auth_key=auth_key,
+            transport=transport,
+            identity=f"executor.{benchmark}",
+        )
         self.benchmark = benchmark
         self.seed = int(seed or 0)
         self.retry_policy = retry_policy

@@ -39,7 +39,7 @@ from pathlib import Path
 
 from repro.experiments.harness import TABLE1_METHODS
 from repro.fleet.client import BrokerClient
-from repro.fleet.wire import dump, load
+from repro.fleet.wire import dump, load, load_auth_key
 
 __all__ = ["SessionSpec", "run_schedule", "main"]
 
@@ -113,12 +113,21 @@ def run_schedule(
     poll_s: float = 0.2,
     timeout_s: float | None = None,
     verbose: bool = False,
+    auth_key: bytes | None = None,
+    retry_policy=None,
+    transport=None,
 ):
     """Run every session over the fleet; ``{session: benchmark_runs}``.
 
     ``benchmark_runs`` is the same ``{method: [MethodRun, ...]}``
     mapping :func:`repro.experiments.harness.run_benchmark` returns,
     aggregated in the identical order — bitwise-equal numbers.
+
+    ``auth_key`` signs every request on an authenticated fleet;
+    ``retry_policy``/``transport`` feed the scheduler's
+    :class:`BrokerClient` (reconnect bounds, chaos injection).  Because
+    submits carry client-generated task ids and result polling is
+    read-only, the scheduler survives broker restarts mid-sweep.
     """
     from repro.experiments.parallel import (
         JobOutcome,
@@ -130,7 +139,13 @@ def run_schedule(
         from repro.experiments.harness import SMALL_SCALE
 
         scale = SMALL_SCALE
-    client = BrokerClient(broker_url)
+    client = BrokerClient(
+        broker_url,
+        auth_key=auth_key,
+        retry_policy=retry_policy,
+        transport=transport,
+        identity="schedule",
+    )
     sessions: list[tuple[SessionSpec, list, list[str]]] = []
     for spec in specs:
         client.create_queue(spec.queue)
@@ -249,6 +264,11 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=0.0,
         help="overall deadline in seconds (0 = wait forever)",
     )
+    parser.add_argument(
+        "--auth-key-file", default="",
+        help="shared HMAC key file for the authenticated wire "
+             "(falls back to $REPRO_FLEET_AUTH_KEY[_FILE])",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -262,6 +282,7 @@ def main(argv: list[str] | None = None) -> int:
         "smoke": SMOKE_SCALE, "small": SMALL_SCALE, "paper": PAPER_SCALE
     }[args.scale]
     specs = [SessionSpec.parse(text) for text in args.session]
+    auth_key = load_auth_key(args.auth_key_file or None)
     results = run_schedule(
         args.broker,
         specs,
@@ -271,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
         journal_dir=args.journal_dir or None,
         timeout_s=args.timeout or None,
         verbose=args.verbose,
+        auth_key=auth_key,
     )
     summary = _summary(specs, results)
     text = json.dumps(summary, indent=2, sort_keys=True)
@@ -278,7 +300,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         Path(args.out).write_text(text + "\n")
     if args.snapshot:
-        stats = BrokerClient(args.broker).stats()
+        stats = BrokerClient(args.broker, auth_key=auth_key).stats()
         Path(args.snapshot).write_text(
             json.dumps(stats, indent=2, sort_keys=True) + "\n"
         )

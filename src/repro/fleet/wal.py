@@ -1,0 +1,121 @@
+"""Write-ahead log for the fleet broker: fsync'd, torn-tail tolerant.
+
+The broker's ``broker.fleet.jsonl`` is not just a dashboard feed — it
+is the broker's *only* durable state.  Every queue/lease/completion
+transition is appended as one JSON line (monotonic ``seq``, wall-clock
+``t``) and fsync'd before the HTTP response leaves, so a SIGKILL'd
+broker restarted with ``--state-dir`` replays the log and comes back
+with queues, leases (TTL clocks resumed against wall time) and
+completed results intact.
+
+Crash semantics mirror :func:`repro.core.resilience.journal.
+read_journal`: each append is a single flushed+fsync'd write, so a
+crash can only tear the *final* line — :func:`read_wal` silently drops
+a torn tail (that transition's HTTP response never left, so the caller
+retries it), while garbage before the last line means the file was
+damaged outside a normal crash and raises :class:`WalError`.
+
+Stdlib-only on purpose: the broker imports nothing heavier than
+:mod:`repro.fleet.wire`, and the monitor tails the same file with its
+own parser.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any
+
+__all__ = ["WalError", "WalWriter", "read_wal", "recover_wal"]
+
+
+class WalError(ValueError):
+    """The WAL cannot seed a rehydration (mid-file corruption)."""
+
+
+def read_wal(path: str | Path) -> list[dict[str, Any]]:
+    """All parseable records; a torn trailing line is silently dropped.
+
+    A torn tail is the normal signature of a crash mid-append — the
+    transition it recorded never acknowledged, so dropping it restores
+    the exact pre-write state.  Corruption *before* the last line is an
+    error: single-writer fsync'd appends cannot produce it.
+    """
+    return recover_wal(path)[0]
+
+
+def recover_wal(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """``(records, valid_bytes)`` — the parseable prefix and its length.
+
+    ``valid_bytes`` is the byte offset just past the last *complete*
+    record: a rehydrating broker truncates the file there before
+    reopening it for append, so a torn tail never becomes mid-file
+    garbage for the next restart.
+    """
+    records: list[dict[str, Any]] = []
+    valid = 0
+    with Path(path).open("rb") as handle:
+        lines = handle.readlines()
+    for i, raw in enumerate(lines):
+        line = raw.strip()
+        if not line:
+            valid += len(raw)
+            continue
+        try:
+            records.append(json.loads(line))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            if i == len(lines) - 1:
+                break  # torn tail from a mid-append crash
+            raise WalError(
+                f"{path}: corrupt WAL line {i + 1} (not last — the file "
+                "was damaged outside a normal crash)"
+            ) from None
+        if not raw.endswith(b"\n"):
+            # Parseable but unterminated final line: the fsync never
+            # finished, so treat it as torn too — drop it.
+            records.pop()
+            break
+        valid += len(raw)
+    return records, valid
+
+
+class WalWriter:
+    """Append-only JSONL writer: one fsync'd record per transition.
+
+    ``start_seq`` continues a rehydrated log's sequence numbering so
+    ``seq`` stays strictly monotonic across broker restarts.
+    """
+
+    def __init__(self, path: str | Path, start_seq: int = 0):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self.seq = int(start_seq)
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Write one record (``seq`` assigned here); returns its seq."""
+        if self._handle is None:
+            raise RuntimeError(f"WAL {self.path} is closed")
+        seq = self.seq
+        self._handle.write(
+            json.dumps({"seq": seq, **record}, sort_keys=False) + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.seq = seq + 1
+        return seq
+
+    def close(self) -> None:
+        """Flush, fsync and close — the graceful-shutdown tail sync."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -20,29 +20,58 @@ broker stays stdlib-only, and the golden test
 from the pin, forcing a deliberate :data:`WIRE_VERSION` bump.
 
 Changing any pinned field set MUST bump ``WIRE_VERSION``.
+
+**Authenticated wire.**  Next to the fingerprint, every request can
+carry a shared-key HMAC in ``X-Repro-Auth``: HMAC-SHA256 of a
+canonical request digest (method, path+query, body and the wire
+fingerprint, length-framed so no field can masquerade as another).
+A broker started with a key rejects missing/wrong MACs with ``401``
+(surfaced client-side as ``WireAuthError``) using constant-time
+comparison; health probes stay open so monitors and CI readiness
+checks need no key.  Keys load from ``--auth-key-file`` or the
+``REPRO_FLEET_AUTH_KEY`` / ``REPRO_FLEET_AUTH_KEY_FILE`` environment
+variables (:func:`load_auth_key`), identically on broker, worker,
+scheduler and client.
 """
 
 from __future__ import annotations
 
 import hashlib
+import hmac
+import os
 import pickle
 
 __all__ = [
+    "AUTH_HEADER",
+    "AUTH_KEY_ENV",
+    "AUTH_KEY_FILE_ENV",
     "PINNED_FIELDS",
     "WIRE_HEADER",
     "WIRE_VERSION",
     "dump",
     "live_fields",
     "load",
+    "load_auth_key",
+    "request_mac",
+    "verify_request_mac",
     "wire_fingerprint",
 ]
 
 #: Bump whenever a pinned type gains/loses/renames a field, or its
-#: semantics change incompatibly.
-WIRE_VERSION = 1
+#: semantics change incompatibly.  v2: survivability protocol —
+#: client-generated task ids on /submit (idempotent retry), journal
+#: segments on /heartbeat, /journal resume fetch, HMAC auth.
+WIRE_VERSION = 2
 
 #: HTTP header carrying the wire fingerprint on every fleet request.
 WIRE_HEADER = "X-Repro-Wire"
+
+#: HTTP header carrying the request HMAC when a shared key is set.
+AUTH_HEADER = "X-Repro-Auth"
+
+#: Environment fallbacks for the shared key (value, or a file path).
+AUTH_KEY_ENV = "REPRO_FLEET_AUTH_KEY"
+AUTH_KEY_FILE_ENV = "REPRO_FLEET_AUTH_KEY_FILE"
 
 #: The dataclass field sets (in declaration order) of every type that
 #: crosses the broker.  A pure literal so the broker never imports
@@ -93,6 +122,60 @@ def wire_fingerprint() -> str:
         for field in PINNED_FIELDS[name]:
             h.update(b"." + field.encode())
     return h.hexdigest()
+
+
+def load_auth_key(path: str | None = None) -> bytes | None:
+    """The shared fleet key, or ``None`` (open wire, trusted network).
+
+    Priority: explicit ``path`` (``--auth-key-file``), then the
+    ``REPRO_FLEET_AUTH_KEY`` value, then a path in
+    ``REPRO_FLEET_AUTH_KEY_FILE``.  Surrounding whitespace is stripped
+    so a trailing newline in the key file is harmless.
+    """
+    if path:
+        return _read_key_file(path)
+    value = os.environ.get(AUTH_KEY_ENV)
+    if value:
+        return value.strip().encode()
+    file_path = os.environ.get(AUTH_KEY_FILE_ENV)
+    if file_path:
+        return _read_key_file(file_path)
+    return None
+
+
+def _read_key_file(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        key = handle.read().strip()
+    if not key:
+        raise ValueError(f"auth key file {path!r} is empty")
+    return key
+
+
+def request_mac(key: bytes, method: str, path: str, body: bytes) -> str:
+    """Hex HMAC of the canonical request digest under ``key``.
+
+    The digest length-frames every field (method, path+query, wire
+    fingerprint, body), so no concatenation ambiguity lets one request
+    authenticate as another.
+    """
+    h = hashlib.blake2b(digest_size=32)
+    for part in (
+        method.encode(),
+        path.encode(),
+        wire_fingerprint().encode(),
+        body or b"",
+    ):
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+    return hmac.new(key, h.digest(), hashlib.sha256).hexdigest()
+
+
+def verify_request_mac(
+    key: bytes, method: str, path: str, body: bytes, mac: str | None
+) -> bool:
+    """Constant-time check of one request's MAC header value."""
+    want = request_mac(key, method, path, body)
+    return hmac.compare_digest(want, mac or "")
 
 
 def live_fields() -> dict[str, tuple[str, ...]]:

@@ -4,7 +4,9 @@
 
     python -m repro.fleet.worker --broker http://HOST:PORT
         [--worker-id NAME] [--queues q1,q2] [--cache-dir DIR]
+        [--journal-root DIR] [--auth-key-file PATH]
         [--poll 0.2] [--max-tasks N] [--exit-on-idle SECONDS]
+        [--stream-interval SECONDS] [--broker-patience SECONDS]
 
 The agent wraps the exact execution paths the single-box engines use,
 so a fleet run is bitwise identical to a local one:
@@ -29,22 +31,65 @@ every ``ttl/3`` seconds; if the broker reports the lease gone (this
 agent stalled past the TTL and the task was re-issued) the heartbeat
 stops, the eventual completion is streamed anyway, and the broker's
 first-writer-wins rule drops whichever copy lands second.
+
+**Mid-cell resume.**  For journaled cells the heartbeat also tails the
+cell's run journal and ships every new *complete* line to the broker
+(offset-deduplicated, WAL-persisted there).  When a cell is re-issued
+(``attempt > 1``) the replacement worker fetches the streamed prefix,
+writes it to its own journal path, and runs the cell with
+``resume=True`` — the optimizer's journal-v2 replay machinery then
+replays the streamed commits instead of re-evaluating them, so a
+SIGKILL'd worker costs one lease timeout plus only the *unstreamed*
+tail of its cell.  ``--journal-root`` remaps cell journal dirs to a
+worker-private directory, modeling separate machines (the only path
+journal bytes can travel is through the broker).
+
+**Broker outages.**  A worker never dies on ``ConnectionRefusedError``:
+requests retry with deterministic-jitter backoff inside the client,
+and the serve loop keeps polling through a continuous-failure window
+of ``--broker-patience`` seconds (riding out broker restarts — a
+rehydrated lease stays valid when the outage is shorter than its TTL)
+before giving up.  Each survived outage is reported to the broker as a
+``reconnect`` fleet-journal event.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import socket
 import sys
 import threading
 import time
 import traceback
+from pathlib import Path
 
-from repro.fleet.client import BrokerClient
-from repro.fleet.wire import check_wire_schema, dump, load
+from repro.fleet.client import RETRIABLE, BrokerClient
+from repro.fleet.wire import check_wire_schema, dump, load, load_auth_key
 
 __all__ = ["FleetWorker", "main"]
+
+
+class _JournalStream:
+    """Tails one cell journal, yielding complete-line chunks to ship.
+
+    ``offset`` is both the file position and the stream coordinate
+    sent to the broker (the journal is append-only between rewrites).
+    A file *shrink* means :func:`RunJournal.continue_from` rewrote it
+    (resume compaction) — the stream restarts from zero with
+    ``reset=True`` so the broker replaces its buffer.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.offset = 0
+
+    def pending(self) -> tuple[bytes, bool, int]:
+        """``(data, reset, start_offset)`` of unsent complete lines."""
+        from repro.core.resilience.journal import tail_complete
+
+        return tail_complete(self.path, self.offset)
 
 
 class FleetWorker:
@@ -59,19 +104,45 @@ class FleetWorker:
         poll_s: float = 0.2,
         max_tasks: int | None = None,
         exit_on_idle_s: float | None = None,
+        auth_key: bytes | None = None,
+        journal_root: str | None = None,
+        stream_interval_s: float | None = None,
+        broker_patience_s: float = 60.0,
+        transport=None,
     ):
-        self.client = BrokerClient(broker_url)
         self.worker_id = worker_id or (
             f"{socket.gethostname()}:{os.getpid()}"
         )
+        self.client = BrokerClient(
+            broker_url,
+            auth_key=auth_key,
+            transport=transport,
+            identity=self.worker_id,
+            on_reconnect=self._on_reconnect,
+        )
         self.queues = queues
         self.cache_dir = cache_dir
+        self.journal_root = journal_root
         self.poll_s = poll_s
         self.max_tasks = max_tasks
         self.exit_on_idle_s = exit_on_idle_s
+        self.stream_interval_s = stream_interval_s
+        self.broker_patience_s = float(broker_patience_s)
         self.tasks_done = 0
+        self.reconnects = 0
         self._lease_ttl_s = 30.0
         self._flows: dict[str, tuple] = {}  # benchmark -> (space, flow)
+
+    # ------------------------------------------------------------------
+    # reconnect reporting
+    # ------------------------------------------------------------------
+
+    def _on_reconnect(self, failures: int, outage_s: float) -> None:
+        self.reconnects += 1
+        try:
+            self.client.report_reconnect(self.worker_id, failures, outage_s)
+        except Exception:
+            pass  # the broker just came back; reporting is best-effort
 
     # ------------------------------------------------------------------
     # task execution
@@ -88,6 +159,47 @@ class FleetWorker:
             ctx = (space, HlsFlow.for_space(space))
             self._flows[benchmark] = ctx
         return ctx
+
+    def _prepare_cell(self, message: dict, grant) -> tuple[dict, Path | None]:
+        """Rewrite one cell task for this worker; returns its journal path.
+
+        Applies the ``--journal-root`` remap, and on a re-issued lease
+        (``attempt > 1``) fetches the streamed journal prefix from the
+        broker and runs the cell with ``resume=True`` so the replay
+        machinery salvages every streamed commit.  A longer *local*
+        journal (this worker re-leasing its own task) is kept as is.
+        """
+        job = message.get("job")
+        if job is None:
+            return message, None
+        kwargs = dict(job.kwargs)
+        if not kwargs.get("journal_dir"):
+            return message, None
+        if self.journal_root:
+            kwargs["journal_dir"] = self.journal_root
+        from repro.experiments.harness import journal_path_for
+
+        journal_dir = Path(kwargs["journal_dir"])
+        journal_dir.mkdir(parents=True, exist_ok=True)
+        journal_path = journal_path_for(
+            journal_dir, job.benchmark, job.method, kwargs["seed"]
+        )
+        if grant.attempt > 1:
+            try:
+                streamed, _commits = self.client.fetch_journal(
+                    grant.task_id, grant=True
+                )
+            except Exception:
+                streamed = b""
+            local = (
+                journal_path.stat().st_size if journal_path.exists() else 0
+            )
+            if streamed and len(streamed) > local:
+                journal_path.write_bytes(streamed)
+            if journal_path.exists() and journal_path.stat().st_size:
+                kwargs["resume"] = True
+        message["job"] = dataclasses.replace(job, kwargs=kwargs)
+        return message, journal_path
 
     def _run_cell(self, message: dict):
         """One experiment cell, exactly as the process pool runs it."""
@@ -144,14 +256,34 @@ class FleetWorker:
     # lease lifecycle
     # ------------------------------------------------------------------
 
-    def _heartbeat_loop(self, lease_id: str, stop: threading.Event) -> None:
-        interval = max(0.05, self._lease_ttl_s / 3.0)
+    def _heartbeat_loop(
+        self,
+        lease_id: str,
+        stop: threading.Event,
+        stream: _JournalStream | None = None,
+    ) -> None:
+        interval = self.stream_interval_s or max(0.05, self._lease_ttl_s / 3.0)
         while not stop.wait(interval):
             try:
-                if not self.client.heartbeat(lease_id):
+                if stream is not None:
+                    data, reset, start = stream.pending()
+                else:
+                    data, reset, start = b"", False, 0
+                if data or reset:
+                    ok = self.client.heartbeat(
+                        lease_id, segment=data, reset=reset, offset=start
+                    )
+                    if ok:
+                        stream.offset = start + len(data)
+                else:
+                    ok = self.client.heartbeat(lease_id)
+                if not ok:
                     return  # lease expired: task re-issued elsewhere
-            except OSError:
-                return  # broker unreachable; completion will also fail
+            except RETRIABLE:
+                # The broker may be mid-restart; a rehydrated lease
+                # stays valid when the outage is shorter than its TTL,
+                # so keep beating rather than abandoning the task.
+                continue
 
     def _serve_one(self) -> bool:
         """Lease and run one task; ``False`` when the broker was idle."""
@@ -159,10 +291,26 @@ class FleetWorker:
         if grant is None:
             return False
         self._lease_ttl_s = grant.ttl_s
+        stream: _JournalStream | None = None
+        result = None
+        # Decode and prepare *before* the heartbeat starts so the
+        # journal tail is known to the streamer from the first beat.
+        try:
+            message = load(grant.payload)
+            if message.get("kind") == "cell":
+                message, journal_path = self._prepare_cell(message, grant)
+                if journal_path is not None:
+                    stream = _JournalStream(journal_path)
+        except Exception:
+            message = None
+            result = {
+                "error": traceback.format_exc(),
+                "worker": self.worker_id,
+            }
         stop = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop,
-            args=(grant.lease_id, stop),
+            args=(grant.lease_id, stop, stream),
             daemon=True,
         )
         beat.start()
@@ -170,13 +318,14 @@ class FleetWorker:
         try:
             # Task-level crashes are data (the outcome carries the
             # traceback); only broker/protocol failures escape.
-            try:
-                result = self._execute(load(grant.payload))
-            except Exception:
-                result = {
-                    "error": traceback.format_exc(),
-                    "worker": self.worker_id,
-                }
+            if result is None:
+                try:
+                    result = self._execute(message)
+                except Exception:
+                    result = {
+                        "error": traceback.format_exc(),
+                        "worker": self.worker_id,
+                    }
         finally:
             stop.set()
         exec_s = time.perf_counter() - start
@@ -209,13 +358,30 @@ class FleetWorker:
         )
         self._lease_ttl_s = float(ack.get("lease_ttl_s", 30.0))
         idle_since: float | None = None
+        down_since: float | None = None
+        down_count = 0
         while True:
             if self.max_tasks is not None and self.tasks_done >= self.max_tasks:
                 return 0
             try:
                 served = self._serve_one()
-            except (OSError, ConnectionError):
-                return 0  # broker gone: a worker has nothing left to do
+            except RETRIABLE:
+                # The client already retried with backoff; keep riding
+                # out the outage until the patience window closes.
+                now = time.monotonic()
+                if down_since is None:
+                    down_since = now
+                if now - down_since >= self.broker_patience_s:
+                    return 0  # broker stayed gone: nothing left to do
+                down_count += 1
+                time.sleep(min(2.0, 0.1 * (2 ** min(down_count, 5))))
+                continue
+            if down_since is not None:
+                self._on_reconnect(
+                    down_count, time.monotonic() - down_since
+                )
+                down_since = None
+                down_count = 0
             if served:
                 idle_since = None
                 continue
@@ -251,6 +417,16 @@ def main(argv: list[str] | None = None) -> int:
              "$REPRO_GT_CACHE_DIR for this agent)",
     )
     parser.add_argument(
+        "--journal-root", default="",
+        help="remap cell journal dirs to this worker-private directory "
+             "(multi-machine fleets: journals travel via the broker)",
+    )
+    parser.add_argument(
+        "--auth-key-file", default="",
+        help="shared HMAC key file for the authenticated wire "
+             "(falls back to $REPRO_FLEET_AUTH_KEY[_FILE])",
+    )
+    parser.add_argument(
         "--poll", type=float, default=0.2,
         help="idle poll interval in seconds (default 0.2)",
     )
@@ -263,6 +439,16 @@ def main(argv: list[str] | None = None) -> int:
         help="exit after this many consecutive idle seconds "
              "(0 = keep polling forever)",
     )
+    parser.add_argument(
+        "--stream-interval", type=float, default=0.0,
+        help="journal-segment heartbeat interval in seconds "
+             "(0 = lease ttl / 3)",
+    )
+    parser.add_argument(
+        "--broker-patience", type=float, default=60.0,
+        help="give up after this many seconds of continuous broker "
+             "unreachability (default 60)",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.resilience.signals import terminate_on_signals
@@ -272,9 +458,13 @@ def main(argv: list[str] | None = None) -> int:
         worker_id=args.worker_id or None,
         queues=[q for q in args.queues.split(",") if q] or None,
         cache_dir=args.cache_dir or None,
+        journal_root=args.journal_root or None,
+        auth_key=load_auth_key(args.auth_key_file or None),
         poll_s=args.poll,
         max_tasks=args.max_tasks or None,
         exit_on_idle_s=args.exit_on_idle or None,
+        stream_interval_s=args.stream_interval or None,
+        broker_patience_s=args.broker_patience,
     )
     with terminate_on_signals():
         return worker.run()

@@ -288,10 +288,12 @@ class FleetState:
     """Folded view of one broker's ``*.fleet.jsonl`` event log.
 
     Per-worker lease churn and busy time, per-queue depth/progress, and
-    the two fleet health counters that matter: lease expiries (a worker
-    died or stalled past its TTL — the task was re-issued) and
-    duplicate completions (a stale lease's result arrived second and
-    was dropped by first-writer-wins).
+    the fleet health counters that matter: lease expiries (a worker
+    died or stalled past its TTL — the task was re-issued), duplicate
+    completions (a stale lease's result arrived second and was dropped
+    by first-writer-wins), plus the survivability rows the WAL now
+    carries — broker restarts, auth rejections, client reconnects, and
+    resumed-vs-rerun cells with the streamed commits they salvaged.
     """
 
     def __init__(self) -> None:
@@ -300,6 +302,12 @@ class FleetState:
         self.expiries = 0
         self.duplicates = 0
         self.renews = 0
+        self.restarts = 0
+        self.auth_rejects = 0
+        self.reconnects = 0
+        self.segments = 0
+        self.streamed_commits: dict[str, int] = {}  # task -> commits
+        self.resumed: dict[str, int] = {}  # task -> salvaged commits
 
     def _worker(self, name: str) -> dict:
         return self.workers.setdefault(
@@ -342,6 +350,19 @@ class FleetState:
             q = self._queue(queue)
             q["done"] += 1
             q["leased"] = max(0, q["leased"] - 1)
+        elif event == "restart":
+            self.restarts += 1
+        elif event == "auth_reject":
+            self.auth_rejects += 1
+        elif event == "reconnect":
+            self.reconnects += 1
+        elif event == "segment":
+            self.segments += 1
+            task = record.get("task", "?")
+            self.streamed_commits[task] = int(record.get("commits", 0))
+        elif event == "resume_grant":
+            task = record.get("task", "?")
+            self.resumed[task] = int(record.get("commits", 0))
 
 
 class SweepState:
@@ -479,6 +500,25 @@ def render(state: SweepState, root: Path, tick: int) -> str:
             f"expiries {fleet.expiries}  duplicates {fleet.duplicates}  "
             f"renews {fleet.renews}"
         )
+        if (
+            fleet.restarts
+            or fleet.auth_rejects
+            or fleet.reconnects
+            or fleet.segments
+        ):
+            lines.append(
+                f"    survivability: broker restarts {fleet.restarts}  "
+                f"auth rejects {fleet.auth_rejects}  "
+                f"reconnects {fleet.reconnects}  "
+                f"journal segments {fleet.segments}"
+            )
+        for task in sorted(fleet.resumed):
+            streamed = fleet.streamed_commits.get(task, 0)
+            lines.append(
+                f"    resumed {task:<32} salvaged "
+                f"{fleet.resumed[task]:>3} streamed commit(s)"
+                f"  (now {streamed})"
+            )
         for queue in sorted(fleet.queues):
             q = fleet.queues[queue]
             lines.append(

@@ -77,7 +77,7 @@ class TestWireFormat:
         # Any change to WIRE_VERSION or PINNED_FIELDS moves this digest.
         # If this fails you changed the wire format: bump WIRE_VERSION
         # in repro/fleet/wire.py and re-pin this golden value.
-        assert wire_fingerprint() == "d555a35373301336"
+        assert wire_fingerprint() == "328960fe9baa593c"
 
     def test_job_roundtrip(self):
         job = Job(

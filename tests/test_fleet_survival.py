@@ -1,0 +1,837 @@
+"""Fleet survivability tests (ISSUE 9).
+
+Covers the broker's write-ahead journal (torn-tail recovery, including
+the property that truncating the WAL at *every byte offset* of its
+tail record rehydrates to either the pre-write or post-write state,
+never a corrupt hybrid), crash/restart rehydration of queues, leases,
+results and streamed journal segments, the authenticated wire
+(missing/wrong HMAC → 401/:class:`WireAuthError` on broker, worker and
+scheduler paths, health routes stay open), the hardened retry client
+(idempotent retries, fatal errors never retried, reconnect reporting),
+the deterministic :class:`FaultyTransport` chaos injector, mid-cell
+resume plumbing (`tail_complete` streaming, worker-side prefix fetch),
+and graceful broker shutdown (SIGTERM → drained, WAL'd, port file
+removed).
+"""
+
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.resilience.faults import FaultyTransport
+from repro.core.resilience.journal import tail_complete
+from repro.experiments.parallel import Job
+from repro.fleet.broker import FleetBroker, serve
+from repro.fleet.client import BrokerClient, WireAuthError
+from repro.fleet.schedule import SessionSpec, run_schedule
+from repro.fleet.wal import WalError, WalWriter, read_wal, recover_wal
+from repro.fleet.wire import AUTH_KEY_ENV, AUTH_KEY_FILE_ENV, load_auth_key
+from repro.fleet.worker import FleetWorker, _JournalStream
+
+SRC_ROOT = str(Path(__file__).resolve().parents[1] / "src")
+
+KEY = b"fleet-test-shared-key"
+
+#: One run-journal commit line as the optimizer's journal writes it
+#: (sort_keys + default separators — the broker counts this marker).
+COMMIT_LINE = b'{"event": "commit", "step": 0}\n'
+
+
+def _noop(value: int) -> int:
+    return value
+
+
+def _fleet_env(**extra) -> dict:
+    env = dict(os.environ)
+    parts = [SRC_ROOT]
+    if env.get("PYTHONPATH"):
+        parts.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    env.update(extra)
+    return env
+
+
+@contextlib.contextmanager
+def _running(server):
+    """Serve an in-process broker on a daemon thread."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.broker.close()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def _start_broker_proc(tmp_path, *extra_args, name="broker.port", env=None):
+    """Launch ``python -m repro.fleet.broker`` and wait for its port."""
+    port_file = tmp_path / name
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.fleet.broker",
+            "--host", "127.0.0.1", "--port", "0",
+            "--port-file", str(port_file),
+            *extra_args,
+        ],
+        env=env or _fleet_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 30.0
+    while not port_file.exists() or not port_file.read_text().strip():
+        if proc.poll() is not None or time.monotonic() > deadline:
+            out = proc.stdout.read().decode() if proc.stdout else ""
+            raise RuntimeError(f"broker did not start: {out}")
+        time.sleep(0.05)
+    return proc, f"http://127.0.0.1:{port_file.read_text().strip()}", port_file
+
+
+# ----------------------------------------------------------------------
+# write-ahead journal primitives
+# ----------------------------------------------------------------------
+
+
+class TestWal:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            assert wal.append({"event": "a"}) == 0
+            assert wal.append({"event": "b", "n": 2}) == 1
+        records = read_wal(path)
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_start_seq_continues_numbering(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            wal.append({"event": "a"})
+        with WalWriter(path, start_seq=1) as wal:
+            assert wal.append({"event": "b"}) == 1
+        assert [r["seq"] for r in read_wal(path)] == [0, 1]
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            wal.append({"event": "a"})
+            wal.append({"event": "b"})
+        intact = path.stat().st_size
+        with path.open("ab") as handle:
+            handle.write(b'{"seq": 2, "event": "c", "tr')  # torn write
+        records, valid = recover_wal(path)
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert valid == intact
+
+    def test_unterminated_final_line_is_dropped(self, tmp_path):
+        # A crash can land exactly between the JSON text and its
+        # newline — the record parses but is not known complete.
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            wal.append({"event": "a"})
+        intact = path.stat().st_size
+        with path.open("ab") as handle:
+            handle.write(b'{"seq": 1, "event": "b"}')  # no trailing \n
+        records, valid = recover_wal(path)
+        assert [r["event"] for r in records] == ["a"]
+        assert valid == intact
+
+    def test_mid_file_garbage_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b'{"seq": 0, "event": "a"}\nnot json\n{"seq": 2}\n')
+        with pytest.raises(WalError):
+            recover_wal(path)
+
+
+# ----------------------------------------------------------------------
+# torn-tail property: truncation at every byte offset
+# ----------------------------------------------------------------------
+
+
+def _state_snapshot(wal_bytes: bytes, tmp_path: Path, tag: str) -> str:
+    """Rehydrate a broker from raw WAL bytes; return a canonical state."""
+    state = tmp_path / f"state-{tag}"
+    state.mkdir()
+    (state / "broker.fleet.jsonl").write_bytes(wal_bytes)
+    broker = FleetBroker(lease_ttl_s=300.0, state_dir=state)
+    try:
+        stats = broker.stats()
+    finally:
+        broker.close()
+    keep = (
+        "queues", "workers", "expiries", "duplicates", "tasks", "done",
+        "restarts", "streams",
+    )
+    return json.dumps({k: stats[k] for k in keep}, sort_keys=True)
+
+
+class TestTornTailProperty:
+    def test_every_tail_truncation_is_pre_or_post_state(self, tmp_path):
+        """Chop the WAL at every byte offset of its final record: the
+        rehydrated broker must equal the pre-write state (record lost)
+        or the post-write state (record landed) — never a hybrid."""
+        gen = tmp_path / "gen"
+        gen.mkdir()
+        broker = FleetBroker(lease_ttl_s=300.0, state_dir=gen)
+        broker.create_queue("q")
+        broker.submit("q", b"payload-one" * 8, task_id="t1")
+        broker.submit("q", b"payload-two" * 8, task_id="t2")
+        broker.register("w0", {"cpus": 4})
+        grant = broker.lease("w0", ["q"])
+        assert grant["task_id"] == "t1"
+        broker.heartbeat(grant["lease_id"], segment=COMMIT_LINE, offset=0)
+        # The tail record under test: a meaty completion (clears the
+        # stream, dequeues the lease, records the result payload).
+        broker.complete("t1", b"result-bytes" * 16, worker="w0", exec_s=0.25)
+        broker.close()
+
+        raw = (gen / "broker.fleet.jsonl").read_bytes()
+        lines = raw.splitlines(keepends=True)
+        assert len(lines) >= 7
+        base = b"".join(lines[:-1])
+        pre = _state_snapshot(base, tmp_path, "pre")
+        post = _state_snapshot(raw, tmp_path, "post")
+        assert pre != post  # the tail record must actually matter
+        for cut in range(len(base), len(raw) + 1):
+            snap = _state_snapshot(raw[:cut], tmp_path, f"cut{cut}")
+            assert snap in (pre, post), f"hybrid state at byte {cut}"
+            if cut < len(raw):  # any partial tail reads as pre-write
+                assert snap == pre, f"partial record applied at byte {cut}"
+
+
+# ----------------------------------------------------------------------
+# crash/restart rehydration
+# ----------------------------------------------------------------------
+
+
+class TestRehydration:
+    def test_restart_restores_queues_results_and_streams(self, tmp_path):
+        broker = FleetBroker(lease_ttl_s=300.0, state_dir=tmp_path)
+        broker.create_queue("q")
+        broker.submit("q", b"p1", task_id="t1")
+        broker.submit("q", b"p2", task_id="t2")
+        broker.register("w0")
+        grant = broker.lease("w0", ["q"])
+        broker.heartbeat(grant["lease_id"], segment=COMMIT_LINE, offset=0)
+        broker.close()  # simulated crash: no shutdown record
+
+        revived = FleetBroker(lease_ttl_s=300.0, state_dir=tmp_path)
+        try:
+            stats = revived.stats()
+            assert stats["tasks"] == 2
+            assert stats["restarts"] == 1
+            assert stats["queues"]["q"]["leased"] == 1
+            assert stats["queues"]["q"]["queued"] == 1
+            # the rehydrated lease is still renewable
+            assert revived.heartbeat(grant["lease_id"]) is True
+            # the streamed prefix survived the restart
+            data, commits = revived.journal("t1")
+            assert data == COMMIT_LINE and commits == 1
+            # t2 is still leasable
+            second = revived.lease("w1", ["q"])
+            assert second["task_id"] == "t2"
+            assert revived.healthz()["restarts"] == 1
+        finally:
+            revived.close()
+
+        third = FleetBroker(lease_ttl_s=300.0, state_dir=tmp_path)
+        try:
+            assert third.stats()["restarts"] == 2
+        finally:
+            third.close()
+
+    def test_completed_result_survives_restart(self, tmp_path):
+        broker = FleetBroker(lease_ttl_s=300.0, state_dir=tmp_path)
+        broker.create_queue("q")
+        broker.register("w0")
+        broker.submit("q", b"p", task_id="t1")
+        grant = broker.lease("w0", ["q"])
+        broker.complete(
+            "t1", b"the-outcome", lease_id=grant["lease_id"], worker="w0",
+            exec_s=0.5,
+        )
+        broker.close()
+
+        revived = FleetBroker(lease_ttl_s=300.0, state_dir=tmp_path)
+        try:
+            state, payload = revived.result("t1")
+            assert state == "done" and payload == b"the-outcome"
+            assert revived.stats()["workers"]["w0"]["completed"] == 1
+        finally:
+            revived.close()
+
+    def test_submit_is_idempotent_on_task_id(self, tmp_path):
+        broker = FleetBroker(state_dir=tmp_path)
+        try:
+            broker.create_queue("q")
+            assert broker.submit("q", b"p", task_id="t1") == "t1"
+            assert broker.submit("q", b"p", task_id="t1") == "t1"
+            assert broker.stats()["tasks"] == 1
+        finally:
+            broker.close()
+
+    def test_lease_ttl_clock_resumes_across_restart(self, tmp_path):
+        wall = [1000.0]
+        broker = FleetBroker(
+            lease_ttl_s=5.0, state_dir=tmp_path, wallclock=lambda: wall[0]
+        )
+        broker.create_queue("q")
+        broker.submit("q", b"p", task_id="t1")
+        grant = broker.lease("w0", ["q"])  # expires at wall 1005
+        broker.close()
+
+        # Outage shorter than the remaining TTL: the lease is honored.
+        wall[0] = 1002.0
+        revived = FleetBroker(
+            lease_ttl_s=5.0, state_dir=tmp_path, wallclock=lambda: wall[0]
+        )
+        try:
+            assert revived.heartbeat(grant["lease_id"]) is True
+        finally:
+            revived.close()
+
+    def test_lease_expired_by_long_outage_is_reissued(self, tmp_path):
+        wall = [1000.0]
+        broker = FleetBroker(
+            lease_ttl_s=5.0, state_dir=tmp_path, wallclock=lambda: wall[0]
+        )
+        broker.create_queue("q")
+        broker.submit("q", b"p", task_id="t1")
+        first = broker.lease("w0", ["q"])
+        broker.heartbeat(first["lease_id"], segment=COMMIT_LINE, offset=0)
+        broker.close()
+
+        wall[0] = 2000.0  # far past the persisted expiry
+        revived = FleetBroker(
+            lease_ttl_s=5.0, state_dir=tmp_path, wallclock=lambda: wall[0]
+        )
+        try:
+            second = revived.lease("w1", ["q"])
+            assert second is not None
+            assert second["task_id"] == "t1"
+            assert second["attempt"] == 2
+            assert revived.heartbeat(first["lease_id"]) is False
+            # the expired lease's stream is kept: it is the resume prefix
+            data, commits = revived.journal("t1", grant=True)
+            assert data == COMMIT_LINE and commits == 1
+            assert revived.stats()["resume_grants"] == 1
+        finally:
+            revived.close()
+
+
+# ----------------------------------------------------------------------
+# segment streaming semantics
+# ----------------------------------------------------------------------
+
+
+class TestSegmentStream:
+    def _leased(self, broker):
+        broker.create_queue("q")
+        broker.submit("q", b"p", task_id="t1")
+        return broker.lease("w0", ["q"])
+
+    def test_offset_deduplicates_redelivery(self):
+        broker = FleetBroker()
+        grant = self._leased(broker)
+        lease = grant["lease_id"]
+        assert broker.heartbeat(lease, segment=COMMIT_LINE, offset=0)
+        # the same bytes land again (retried heartbeat, lost response)
+        assert broker.heartbeat(lease, segment=COMMIT_LINE, offset=0)
+        data, commits = broker.journal("t1")
+        assert data == COMMIT_LINE and commits == 1
+        # a genuinely new chunk appends
+        more = b'{"event": "commit", "step": 1}\n'
+        assert broker.heartbeat(lease, segment=more, offset=len(COMMIT_LINE))
+        data, commits = broker.journal("t1")
+        assert data == COMMIT_LINE + more and commits == 2
+
+    def test_gap_offset_is_dropped(self):
+        broker = FleetBroker()
+        grant = self._leased(broker)
+        assert broker.heartbeat(grant["lease_id"], segment=COMMIT_LINE,
+                                offset=500)
+        assert broker.journal("t1") == (b"", 0)
+
+    def test_reset_replaces_buffer(self):
+        broker = FleetBroker()
+        grant = self._leased(broker)
+        lease = grant["lease_id"]
+        broker.heartbeat(lease, segment=COMMIT_LINE, offset=0)
+        rewritten = b'{"entry": "header"}\n'
+        assert broker.heartbeat(lease, segment=rewritten, reset=True, offset=0)
+        assert broker.journal("t1") == (rewritten, 0)
+
+    def test_new_lease_replaces_stale_stream(self):
+        clock = _Clock()
+        broker = FleetBroker(lease_ttl_s=5.0, clock=clock)
+        grant = self._leased(broker)
+        broker.heartbeat(grant["lease_id"], segment=COMMIT_LINE, offset=0)
+        clock.now += 10.0  # lease expires, task re-issued
+        second = broker.lease("w1", ["q"])
+        assert second["attempt"] == 2
+        fresh = b'{"event": "commit", "step": 9}\n'
+        broker.heartbeat(second["lease_id"], segment=fresh, offset=0)
+        assert broker.journal("t1") == (fresh, 1)
+
+    def test_completion_clears_stream(self):
+        broker = FleetBroker()
+        grant = self._leased(broker)
+        broker.heartbeat(grant["lease_id"], segment=COMMIT_LINE, offset=0)
+        broker.complete("t1", b"r", worker="w0")
+        assert broker.journal("t1") == (b"", 0)
+        assert "t1" not in broker.stats()["streams"]
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# authenticated wire
+# ----------------------------------------------------------------------
+
+
+class _CountingTransport:
+    """Pass-through transport that counts delivery attempts."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, send, method, path, body, ctype):
+        self.calls += 1
+        return send(method, path, body, ctype)
+
+
+class TestAuth:
+    def test_missing_key_rejected_and_not_retried(self, tmp_path):
+        with _running(serve(port=0, state_dir=tmp_path, auth_key=KEY)) as srv:
+            transport = _CountingTransport()
+            client = BrokerClient(srv.url, transport=transport, identity="t")
+            with pytest.raises(WireAuthError):
+                client.stats()
+            assert transport.calls == 1  # fatal: no retry loop
+            assert srv.broker.auth_rejects == 1
+            events = [r["event"] for r in
+                      read_wal(tmp_path / "broker.fleet.jsonl")]
+            assert "auth_reject" in events
+
+    def test_wrong_key_rejected(self, tmp_path):
+        with _running(serve(port=0, auth_key=KEY)) as srv:
+            client = BrokerClient(srv.url, auth_key=b"not-the-key",
+                                  identity="t")
+            with pytest.raises(WireAuthError):
+                client.create_queue("q")
+            assert srv.broker.auth_rejects == 1
+
+    def test_correct_key_serves_full_roundtrip(self, tmp_path):
+        with _running(serve(port=0, auth_key=KEY)) as srv:
+            client = BrokerClient(srv.url, auth_key=KEY, identity="t")
+            client.register("w0")
+            client.create_queue("q")
+            task_id = client.submit("q", b"payload")
+            grant = client.lease("w0")
+            assert grant.task_id == task_id
+            assert client.heartbeat(grant.lease_id) is True
+            assert client.heartbeat(
+                grant.lease_id, segment=COMMIT_LINE, offset=0
+            ) is True
+            assert client.fetch_journal(task_id) == (COMMIT_LINE, 1)
+            client.complete(task_id, b"done", lease_id=grant.lease_id,
+                            worker="w0")
+            assert client.wait_result(task_id, timeout_s=5.0) == b"done"
+            assert srv.broker.auth_rejects == 0
+
+    def test_health_routes_stay_open(self):
+        with _running(serve(port=0, auth_key=KEY)) as srv:
+            client = BrokerClient(srv.url, identity="t")  # no key
+            health = client.healthz()
+            assert health["ok"] is True and health["restarts"] == 0
+
+    def test_worker_path_fails_with_wire_auth_error(self):
+        with _running(serve(port=0, auth_key=KEY)) as srv:
+            worker = FleetWorker(srv.url, worker_id="w0", max_tasks=1,
+                                 auth_key=b"wrong")
+            with pytest.raises(WireAuthError):
+                worker.run()
+
+    def test_scheduler_path_fails_with_wire_auth_error(self, tmp_path):
+        with _running(serve(port=0, auth_key=KEY)) as srv:
+            spec = SessionSpec(name="s", benchmark="spmv_ellpack",
+                               methods=("random",), repeats=1)
+            with pytest.raises(WireAuthError):
+                run_schedule(srv.url, [spec], timeout_s=5.0)
+
+    def test_load_auth_key_sources(self, tmp_path, monkeypatch):
+        key_file = tmp_path / "fleet.key"
+        key_file.write_bytes(b"  file-key \n")
+        monkeypatch.delenv(AUTH_KEY_ENV, raising=False)
+        monkeypatch.delenv(AUTH_KEY_FILE_ENV, raising=False)
+        assert load_auth_key(str(key_file)) == b"file-key"
+        assert load_auth_key(None) is None
+        monkeypatch.setenv(AUTH_KEY_ENV, "env-key")
+        assert load_auth_key(None) == b"env-key"
+        monkeypatch.delenv(AUTH_KEY_ENV)
+        monkeypatch.setenv(AUTH_KEY_FILE_ENV, str(key_file))
+        assert load_auth_key(None) == b"file-key"
+        empty = tmp_path / "empty.key"
+        empty.write_bytes(b"\n")
+        with pytest.raises(ValueError):
+            load_auth_key(str(empty))
+
+
+# ----------------------------------------------------------------------
+# hardened retry client
+# ----------------------------------------------------------------------
+
+
+class _DropResponseOnce:
+    """Deliver the first request, lose its response; pass the rest."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, send, method, path, body, ctype):
+        self.calls += 1
+        if self.calls == 1:
+            send(method, path, body, ctype)
+            raise ConnectionResetError("injected: response lost")
+        return send(method, path, body, ctype)
+
+
+class TestRetryClient:
+    def test_dropped_submit_response_retries_idempotently(self):
+        with _running(serve(port=0)) as srv:
+            client = BrokerClient(srv.url, transport=_DropResponseOnce(),
+                                  identity="t")
+            client.create_queue("q")  # consumes the dropped delivery
+            task_id = client.submit("q", b"payload")
+            stats = client.stats()
+            assert stats["tasks"] == 1
+            assert stats["queues"]["q"]["submitted"] == 1
+            assert client.result(task_id)[0] == "queued"
+
+    def test_reconnect_hook_fires_once_per_outage(self):
+        seen = []
+        with _running(serve(port=0)) as srv:
+            client = BrokerClient(
+                srv.url, transport=_DropResponseOnce(), identity="t",
+                on_reconnect=lambda failures, outage_s: seen.append(failures),
+            )
+            client.create_queue("q")
+            client.create_queue("q2")
+            assert seen == [1]
+            assert client.reconnects == 1
+
+    def test_rides_out_seeded_refusals(self):
+        with _running(serve(port=0)) as srv:
+            transport = FaultyTransport(seed=3, refuse_rate=0.3)
+            client = BrokerClient(srv.url, transport=transport, identity="t")
+            client.create_queue("q")
+            for i in range(10):
+                client.submit("q", f"p{i}".encode())
+            assert client.stats()["tasks"] == 10
+            assert transport.injected["refuse"] > 0
+            assert client.reconnects > 0
+
+    def test_exhausted_retries_raise(self):
+        # No broker listening at all: the bounded loop must surface the
+        # underlying connection error, not spin forever.
+        from repro.core.resilience.retry import RetryPolicy
+
+        client = BrokerClient(
+            "http://127.0.0.1:9",  # discard port: nothing listens
+            timeout_s=0.2,
+            retry_policy=RetryPolicy(max_attempts=2, base_backoff_s=0.01,
+                                     max_backoff_s=0.02),
+            identity="t",
+        )
+        with pytest.raises(OSError):
+            client.healthz()
+
+
+# ----------------------------------------------------------------------
+# deterministic chaos transport
+# ----------------------------------------------------------------------
+
+
+class TestFaultyTransport:
+    @staticmethod
+    def _drive(transport, calls=60):
+        outcomes = []
+        sent = []
+
+        def send(method, path, body, ctype):
+            sent.append(path)
+            return 200, {}, b"ok"
+
+        for _ in range(calls):
+            try:
+                transport(send, "GET", "/stats", None, "application/json")
+                outcomes.append("ok")
+            except ConnectionRefusedError:
+                outcomes.append("refused")
+            except ConnectionResetError:
+                outcomes.append("dropped")
+        return outcomes, sent
+
+    def test_schedule_is_deterministic_in_seed(self):
+        kwargs = dict(refuse_rate=0.2, drop_rate=0.15, duplicate_rate=0.1,
+                      latency_rate=0.1, latency_s=0.0)
+        first, _ = self._drive(FaultyTransport(seed=11, **kwargs))
+        second, _ = self._drive(FaultyTransport(seed=11, **kwargs))
+        assert first == second
+        assert "refused" in first and "dropped" in first
+        other, _ = self._drive(FaultyTransport(seed=12, **kwargs))
+        assert other != first
+
+    def test_duplicate_delivers_twice(self):
+        transport = FaultyTransport(duplicate_rate=1.0)
+        outcomes, sent = self._drive(transport, calls=3)
+        assert outcomes == ["ok"] * 3
+        assert len(sent) == 6
+        assert transport.injected["duplicate"] == 3
+
+    def test_blackout_refuses_only_matching_route(self):
+        # The window is in *call index* coordinates: calls 0-2 here.
+        transport = FaultyTransport(blackout=(0, 3))
+        calls = []
+
+        def send(method, path, body, ctype):
+            calls.append(path)
+            return 200, {}, b"ok"
+
+        with pytest.raises(ConnectionRefusedError):
+            transport(send, "POST", "/heartbeat?lease_id=x", b"", "")
+        transport(send, "GET", "/stats", None, "")  # other route passes
+        with pytest.raises(ConnectionRefusedError):  # still in window
+            transport(send, "POST", "/heartbeat", b"", "")
+        transport(send, "POST", "/heartbeat", b"", "")  # window closed
+        assert transport.injected["blackout"] == 2
+        assert calls == ["/stats", "/heartbeat"]
+
+
+# ----------------------------------------------------------------------
+# mid-cell resume plumbing
+# ----------------------------------------------------------------------
+
+
+class TestJournalTail:
+    def test_only_complete_lines_ship(self, tmp_path):
+        path = tmp_path / "cell.journal.jsonl"
+        path.write_bytes(b"line-a\nline-b\npartial")
+        data, reset, start = tail_complete(path, 0)
+        assert (data, reset, start) == (b"line-a\nline-b\n", False, 0)
+        # nothing new past the acknowledged offset yet
+        assert tail_complete(path, len(data)) == (b"", False, len(data))
+        path.write_bytes(b"line-a\nline-b\npartial-done\n")
+        more, reset, start = tail_complete(path, len(data))
+        assert more == b"partial-done\n" and not reset
+
+    def test_shrunk_file_resets_stream(self, tmp_path):
+        path = tmp_path / "cell.journal.jsonl"
+        path.write_bytes(b"old-one\nold-two\n")
+        offset = path.stat().st_size
+        path.write_bytes(b"rewritten\n")  # continue_from compaction
+        data, reset, start = tail_complete(path, offset)
+        assert (data, reset, start) == (b"rewritten\n", True, 0)
+
+    def test_missing_file_is_quiet(self, tmp_path):
+        assert tail_complete(tmp_path / "nope", 7) == (b"", False, 7)
+
+    def test_journal_stream_tracks_offset(self, tmp_path):
+        path = tmp_path / "cell.journal.jsonl"
+        stream = _JournalStream(path)
+        path.write_bytes(COMMIT_LINE)
+        data, reset, start = stream.pending()
+        assert data == COMMIT_LINE and start == 0
+        stream.offset = start + len(data)  # acked
+        assert stream.pending() == (b"", False, len(COMMIT_LINE))
+
+
+class TestWorkerResume:
+    def _cell_message(self, journal_dir):
+        job = Job(
+            benchmark="spmv_ellpack", method="ours", repeat=0, fn=_noop,
+            kwargs={"journal_dir": str(journal_dir), "seed": 7},
+        )
+        return {"kind": "cell", "job": job}
+
+    def test_reissued_cell_fetches_streamed_prefix(self, tmp_path):
+        from repro.experiments.harness import journal_path_for
+
+        streamed = COMMIT_LINE * 3
+        with _running(serve(port=0)) as srv:
+            client = BrokerClient(srv.url, identity="t")
+            client.create_queue("q")
+            task_id = client.submit("q", b"p")
+            grant = client.lease("w0")
+            client.heartbeat(grant.lease_id, segment=streamed, offset=0)
+
+            worker = FleetWorker(srv.url, worker_id="w1",
+                                 journal_root=str(tmp_path / "wroot"))
+            import types
+
+            regrant = types.SimpleNamespace(task_id=task_id, attempt=2)
+            message, journal_path = worker._prepare_cell(
+                self._cell_message(tmp_path / "orig"), regrant
+            )
+            kwargs = dict(message["job"].kwargs)
+            assert kwargs["journal_dir"] == str(tmp_path / "wroot")
+            assert kwargs["resume"] is True
+            assert journal_path == journal_path_for(
+                tmp_path / "wroot", "spmv_ellpack", "ours", 7
+            )
+            assert journal_path.read_bytes() == streamed
+            assert srv.broker.resume_grants == 1
+
+    def test_first_attempt_streams_without_resume(self, tmp_path):
+        with _running(serve(port=0)) as srv:
+            import types
+
+            worker = FleetWorker(srv.url, worker_id="w0")
+            grant = types.SimpleNamespace(task_id="t", attempt=1)
+            message, journal_path = worker._prepare_cell(
+                self._cell_message(tmp_path / "orig"), grant
+            )
+            assert journal_path is not None
+            assert "resume" not in message["job"].kwargs
+
+    def test_longer_local_journal_is_kept(self, tmp_path):
+        from repro.experiments.harness import journal_path_for
+
+        with _running(serve(port=0)) as srv:
+            client = BrokerClient(srv.url, identity="t")
+            client.create_queue("q")
+            task_id = client.submit("q", b"p")
+            grant = client.lease("w0")
+            client.heartbeat(grant.lease_id, segment=COMMIT_LINE, offset=0)
+
+            root = tmp_path / "wroot"
+            local = journal_path_for(root, "spmv_ellpack", "ours", 7)
+            local.parent.mkdir(parents=True, exist_ok=True)
+            local.write_bytes(COMMIT_LINE * 5)  # re-leasing our own task
+
+            import types
+
+            worker = FleetWorker(srv.url, worker_id="w0",
+                                 journal_root=str(root))
+            regrant = types.SimpleNamespace(task_id=task_id, attempt=2)
+            message, journal_path = worker._prepare_cell(
+                self._cell_message(tmp_path / "orig"), regrant
+            )
+            assert journal_path.read_bytes() == COMMIT_LINE * 5
+            assert message["job"].kwargs["resume"] is True
+
+    def test_non_journaled_cell_passes_through(self):
+        with _running(serve(port=0)) as srv:
+            worker = FleetWorker(srv.url, worker_id="w0")
+            job = Job(benchmark="b", method="m", repeat=0, fn=_noop,
+                      kwargs={})
+            message, journal_path = worker._prepare_cell(
+                {"kind": "cell", "job": job}, None
+            )
+            assert journal_path is None
+
+
+# ----------------------------------------------------------------------
+# graceful shutdown and crash/restart over HTTP
+# ----------------------------------------------------------------------
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_journals_and_removes_port_file(self, tmp_path):
+        state = tmp_path / "state"
+        proc, url, port_file = _start_broker_proc(
+            tmp_path, "--state-dir", str(state)
+        )
+        try:
+            client = BrokerClient(url, identity="t")
+            client.create_queue("q")
+            client.submit("q", b"p", task_id="t1")
+            health = client.healthz()
+            assert health["ok"] is True and health["wal_seq"] >= 2
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=20.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+        assert not port_file.exists()
+        records = read_wal(state / "broker.fleet.jsonl")
+        assert records[-1]["event"] == "shutdown"
+        # a clean shutdown still rehydrates into a working broker
+        revived = FleetBroker(state_dir=state)
+        try:
+            assert revived.stats()["tasks"] == 1
+            assert revived.stats()["restarts"] == 1
+        finally:
+            revived.close()
+
+
+@pytest.mark.slow
+class TestBrokerCrashRestart:
+    def test_sigkill_restart_preserves_state_with_auth(self, tmp_path):
+        state = tmp_path / "state"
+        env = _fleet_env(**{AUTH_KEY_ENV: KEY.decode()})
+        proc, url, _ = _start_broker_proc(
+            tmp_path, "--state-dir", str(state), "--lease-ttl", "30",
+            name="b1.port", env=env,
+        )
+        second = None
+        try:
+            client = BrokerClient(url, auth_key=KEY, identity="t")
+            client.create_queue("q")
+            task_ids = [
+                client.submit("q", f"payload-{i}".encode()) for i in range(3)
+            ]
+            grant = client.lease("w0")
+            client.heartbeat(grant.lease_id, segment=COMMIT_LINE, offset=0)
+
+            proc.kill()  # SIGKILL: no drain, no shutdown record
+            proc.wait(timeout=10.0)
+
+            second, url2, _ = _start_broker_proc(
+                tmp_path, "--state-dir", str(state), "--lease-ttl", "30",
+                name="b2.port", env=env,
+            )
+            revived = BrokerClient(url2, auth_key=KEY, identity="t")
+            stats = revived.stats()
+            assert stats["tasks"] == 3
+            assert stats["restarts"] == 1
+            # a retried submit whose response died with the broker is
+            # deduplicated by its client-generated task id
+            assert revived.submit("q", b"payload-0",
+                                  task_id=task_ids[0]) == task_ids[0]
+            assert revived.stats()["tasks"] == 3
+            # the rehydrated lease and its streamed prefix both survive
+            assert revived.heartbeat(grant.lease_id) is True
+            assert revived.fetch_journal(grant.task_id) == (COMMIT_LINE, 1)
+            # and the task completes normally post-restart
+            revived.complete(grant.task_id, b"done",
+                             lease_id=grant.lease_id, worker="w0")
+            assert revived.wait_result(grant.task_id, timeout_s=10.0) == b"done"
+            # auth still enforced after rehydration
+            with pytest.raises(WireAuthError):
+                BrokerClient(url2, identity="t").stats()
+        finally:
+            procs = [p for p in (proc, second) if p is not None]
+            for p in procs:
+                if p.poll() is None:
+                    p.terminate()
+            for p in procs:
+                try:
+                    p.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    p.kill()
+                    p.wait(timeout=10.0)
