@@ -4,7 +4,7 @@
 
     python -m repro.fleet.broker [--host 127.0.0.1] [--port 8947]
         [--lease-ttl 30] [--state-dir DIR | --log-dir DIR]
-        [--auth-key-file PATH] [--port-file PATH]
+        [--compact-bytes N] [--auth-key-file PATH] [--port-file PATH]
 
 The broker holds **named job queues** of opaque pickled payloads (it
 never unpickles them — it is pure stdlib and runs anywhere, like the
@@ -49,6 +49,13 @@ record and keeps serving the *same* task ids, so clients polling
 Submissions carry client-generated task ids, making a retried
 ``/submit`` (response lost in the crash) idempotent.  The monitor
 tails the same file; extra WAL-only fields are ignored by its parser.
+Rehydration is *only* performed with ``--state-dir`` — a plain
+``--log-dir`` journal is written, never read back, so a leftover log
+from an earlier run (or an older record format) can neither crash
+startup nor resurrect stale state.  With ``--state-dir`` the journal
+is also compacted once it outgrows ``--compact-bytes``: the whole
+state is rewritten atomically as one snapshot record and the log
+truncated, bounding restart cost and disk for long-lived brokers.
 
 **Mid-cell resume.**  Workers attach their cell-local run-journal
 bytes to heartbeats; the broker buffers the newest segment stream per
@@ -59,8 +66,11 @@ replays the streamed prefix instead of re-running from step 0.
 **Authenticated wire.**  Started with a shared key (``--auth-key-file``
 or the ``REPRO_FLEET_AUTH_KEY`` / ``..._FILE`` env vars), every request
 except ``/health``/``/healthz`` must carry a valid ``X-Repro-Auth``
-HMAC (:func:`repro.fleet.wire.request_mac`); failures get ``401`` and
-an ``auth_reject`` WAL record.  Without a key the wire is open
+header — a timestamped, nonce-bearing HMAC
+(:func:`repro.fleet.wire.sign_request`).  Stale timestamps (outside
+the freshness window) and reused nonces are rejected like bad MACs, so
+a captured request cannot be replayed verbatim; failures get ``401``
+and an ``auth_reject`` WAL record.  Without a key the wire is open
 (trusted network), which is also how the pre-auth tests run.
 """
 
@@ -79,12 +89,14 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from repro.fleet.wal import WalWriter, recover_wal
+from repro.fleet.wal import WalWriter, scan_wal
 from repro.fleet.wire import (
+    AUTH_FRESHNESS_S,
     AUTH_HEADER,
     WIRE_HEADER,
+    NonceCache,
     load_auth_key,
-    verify_request_mac,
+    verify_request_auth,
     wire_fingerprint,
 )
 
@@ -104,10 +116,33 @@ QUEUED = "queued"
 LEASED = "leased"
 DONE = "done"
 
-#: Commit marker counted in streamed journal segments.  The run journal
-#: serializes with ``json.dumps(..., sort_keys=True)`` and default
-#: separators, so every commit record contains this exact byte string.
-_COMMIT_MARK = b'"event": "commit"'
+#: Compact the WAL (snapshot + rotate) once it outgrows this many
+#: bytes, for brokers running with ``--state-dir``.  Plain ``--log-dir``
+#: keeps the full append-only event history for the monitor.
+DEFAULT_COMPACT_BYTES = 8 * 1024 * 1024
+
+
+def _count_commits(data: bytes) -> int:
+    """Commit records in a chunk of streamed journal lines.
+
+    Segments are whole journal lines by construction (the worker ships
+    only newline-terminated lines and the broker deduplicates on line
+    boundaries), so each line parses independently; only a top-level
+    ``"event": "commit"`` counts — a traceback or error string that
+    merely *quotes* a commit record does not.
+    """
+    count = 0
+    for line in data.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict) and record.get("event") == "commit":
+            count += 1
+    return count
 
 
 @dataclass
@@ -167,9 +202,13 @@ class FleetBroker:
         state_dir: str | Path | None = None,
         auth_key: bytes | None = None,
         wallclock=time.time,
+        compact_bytes: int | None = None,
+        auth_freshness_s: float = AUTH_FRESHNESS_S,
     ):
         self.lease_ttl_s = float(lease_ttl_s)
         self.auth_key = auth_key
+        self.auth_freshness_s = float(auth_freshness_s)
+        self._nonces = NonceCache()
         self._clock = clock
         self._wallclock = wallclock
         self._lock = threading.Lock()
@@ -190,17 +229,30 @@ class FleetBroker:
         self.resume_grants = 0
         self._started = self._clock()
         self._wal: WalWriter | None = None
+        # Rehydration is opt-in via state_dir: a plain --log-dir journal
+        # is written, never read back (PR-8 semantics), so a leftover
+        # old-format log can neither crash startup nor resurrect stale
+        # queues into a run that expected a fresh broker.
+        rehydrate = state_dir is not None
+        if compact_bytes is None:
+            compact_bytes = DEFAULT_COMPACT_BYTES if rehydrate else 0
+        self._compact_bytes = int(compact_bytes)
+        self._compact_floor = 0
         wal_path = self._resolve_wal_path(state_dir, log_path)
         if wal_path is not None:
             start_seq = 0
-            if wal_path.exists():
-                records, valid = recover_wal(wal_path)
+            if rehydrate and wal_path.exists():
+                last_seq = -1
+                valid = 0
+                for record, valid in scan_wal(wal_path):
+                    self._apply(record)
+                    try:
+                        last_seq = int(record.get("seq", last_seq))
+                    except (TypeError, ValueError):
+                        pass
                 if valid < wal_path.stat().st_size:
                     os.truncate(wal_path, valid)  # drop the torn tail
-                if records:
-                    for record in records:
-                        self._apply(record)
-                    start_seq = int(records[-1].get("seq", -1)) + 1
+                start_seq = last_seq + 1
             self._wal = WalWriter(wal_path, start_seq=start_seq)
             if start_seq:
                 with self._lock:
@@ -222,10 +274,24 @@ class FleetBroker:
     # ------------------------------------------------------------------
 
     def _log(self, event: str, **fields) -> None:
-        """Append one fsync'd WAL record (lock held by callers)."""
+        """Append one fsync'd WAL record (lock held by callers).
+
+        When the log outgrows the compaction threshold it is atomically
+        rewritten as one snapshot record (sequence numbering continues),
+        bounding restart cost and disk for long-lived brokers.  The
+        doubling floor keeps a state too big to shrink below the
+        threshold from re-compacting on every append.
+        """
         if self._wal is None:
             return
         self._wal.append({"event": event, "t": self._wallclock(), **fields})
+        if (
+            self._compact_bytes
+            and self._wal.bytes >= self._compact_bytes
+            and self._wal.bytes >= 2 * self._compact_floor
+        ):
+            self._wal.rotate([self._snapshot_record()])
+            self._compact_floor = self._wal.bytes
 
     def _apply(self, record: dict) -> None:
         """Replay one WAL record into in-memory state (rehydration only).
@@ -235,15 +301,24 @@ class FleetBroker:
         persisted wall-clock expiry back onto the monotonic clock, so a
         lease survives a broker outage shorter than its remaining TTL
         and expires immediately after a longer one.
+
+        Defensive by design: records from an older wire revision (or
+        hand-damaged logs) may lack fields or reference unknown tasks —
+        every branch degrades to skipping the record rather than
+        crashing the restart.
         """
         event = record.get("event")
         if event == "queue":
-            self._ensure_queue(record["queue"])
+            queue = record.get("queue")
+            if queue:
+                self._ensure_queue(queue)
         elif event == "submit":
-            queue = record["queue"]
+            queue, task_id = record.get("queue"), record.get("task")
+            if not queue or not task_id:
+                return
             self._ensure_queue(queue)
             task = Task(
-                task_id=record["task"],
+                task_id=task_id,
                 queue=queue,
                 payload=base64.b64decode(record.get("payload_b64", "")),
                 seq=self._seq,
@@ -252,39 +327,39 @@ class FleetBroker:
             self._tasks[task.task_id] = task
             self._queues[queue].append(task.task_id)
         elif event == "register":
-            worker_id = record["worker"]
-            self._workers[worker_id] = WorkerInfo(
-                worker_id=worker_id,
-                capabilities=dict(record.get("capabilities") or {}),
-            )
+            worker_id = record.get("worker")
+            if worker_id:
+                self._workers[worker_id] = WorkerInfo(
+                    worker_id=worker_id,
+                    capabilities=dict(record.get("capabilities") or {}),
+                )
         elif event == "lease":
-            task = self._tasks[record["task"]]
+            task = self._tasks.get(record.get("task", ""))
+            lease_id = record.get("lease")
+            if task is None or not lease_id:
+                return
             try:
                 self._queues[task.queue].remove(task.task_id)
             except ValueError:
                 pass
             task.state = LEASED
-            task.lease_id = record["lease"]
-            task.worker = record["worker"]
-            task.attempts = int(record["attempt"])
-            task.deadline = self._clock() + max(
-                0.0, float(record["expires_wall"]) - self._wallclock()
-            )
-            self._leases[record["lease"]] = task.task_id
+            task.lease_id = lease_id
+            task.worker = record.get("worker")
+            task.attempts = int(record.get("attempt", task.attempts + 1))
+            task.deadline = self._replayed_deadline(record)
+            self._leases[lease_id] = task.task_id
             self._active[task.queue] += 1
             self._served[task.queue] = self._tick
             self._tick += 1
             if task.worker in self._workers:
                 self._workers[task.worker].leases_taken += 1
         elif event == "renew":
-            task = self._tasks[record["task"]]
-            if task.state == LEASED:
-                task.deadline = self._clock() + max(
-                    0.0, float(record["expires_wall"]) - self._wallclock()
-                )
+            task = self._tasks.get(record.get("task", ""))
+            if task is not None and task.state == LEASED:
+                task.deadline = self._replayed_deadline(record)
         elif event == "expire":
-            task = self._tasks[record["task"]]
-            if task.state == LEASED:
+            task = self._tasks.get(record.get("task", ""))
+            if task is not None and task.state == LEASED:
                 self._leases.pop(task.lease_id, None)
                 self._active[task.queue] -= 1
                 self.expiries += 1
@@ -300,7 +375,9 @@ class FleetBroker:
             if record.get("status") != "accepted":
                 self.duplicates += 1
                 return
-            task = self._tasks[record["task"]]
+            task = self._tasks.get(record.get("task", ""))
+            if task is None:
+                return
             if task.state == LEASED and task.lease_id is not None:
                 self._leases.pop(task.lease_id, None)
                 self._active[task.queue] -= 1
@@ -321,13 +398,18 @@ class FleetBroker:
                 self._workers[worker].busy_s += task.exec_s
             self._streams.pop(task.task_id, None)
         elif event == "segment":
+            task_id, lease_id = record.get("task"), record.get("lease")
+            if not task_id or not lease_id:
+                return
             data = base64.b64decode(record.get("data_b64", ""))
             offset = record.get("offset")
             self._apply_segment(
-                record["task"], record["lease"], data,
+                task_id, lease_id, data,
                 bool(record.get("reset")),
                 None if offset is None else int(offset),
             )
+        elif event == "snapshot":
+            self._apply_snapshot(record)
         elif event == "resume_grant":
             self.resume_grants += 1
         elif event == "restart":
@@ -337,6 +419,135 @@ class FleetBroker:
         elif event == "reconnect":
             self.reconnects += 1
         # "shutdown" and unknown events need no state.
+
+    def _replayed_deadline(self, record: dict) -> float:
+        """Monotonic deadline recovered from a persisted wall expiry."""
+        expires_wall = record.get("expires_wall")
+        if expires_wall is None:
+            return self._clock() + self.lease_ttl_s
+        return self._clock() + max(
+            0.0, float(expires_wall) - self._wallclock()
+        )
+
+    # ------------------------------------------------------------------
+    # snapshot compaction
+    # ------------------------------------------------------------------
+
+    def _snapshot_record(self) -> dict:
+        """The full broker state as one replayable WAL record."""
+        now, wall = self._clock(), self._wallclock()
+        tasks = {}
+        for tid, t in self._tasks.items():
+            entry: dict = {
+                "queue": t.queue, "seq": t.seq, "state": t.state,
+                "attempts": t.attempts, "expiries": t.expiries,
+                "lease": t.lease_id, "worker": t.worker,
+                "payload_b64": base64.b64encode(t.payload).decode(),
+                "exec_s": t.exec_s,
+            }
+            if t.deadline is not None:
+                entry["expires_wall"] = wall + (t.deadline - now)
+            if t.result is not None:
+                entry["result_b64"] = base64.b64encode(t.result).decode()
+                entry["completed_by"] = t.completed_by
+            tasks[tid] = entry
+        return {
+            "event": "snapshot",
+            "t": wall,
+            "queues": {q: list(p) for q, p in self._queues.items()},
+            "served": dict(self._served),
+            "tick": self._tick,
+            "next_task_seq": self._seq,
+            "tasks": tasks,
+            "workers": {
+                w.worker_id: {
+                    "capabilities": w.capabilities,
+                    "leases_taken": w.leases_taken,
+                    "completed": w.completed,
+                    "expired": w.expired,
+                    "busy_s": w.busy_s,
+                }
+                for w in self._workers.values()
+            },
+            "streams": {
+                tid: {
+                    "lease": s.lease_id, "commits": s.commits,
+                    "data_b64": base64.b64encode(s.data).decode(),
+                }
+                for tid, s in self._streams.items()
+            },
+            "counters": {
+                "duplicates": self.duplicates,
+                "expiries": self.expiries,
+                "restarts": self.restarts,
+                "auth_rejects": self.auth_rejects,
+                "reconnects": self.reconnects,
+                "resume_grants": self.resume_grants,
+            },
+        }
+
+    def _apply_snapshot(self, record: dict) -> None:
+        """Replace in-memory state with a compacted snapshot record."""
+        self._queues = {
+            q: deque(tids)
+            for q, tids in (record.get("queues") or {}).items()
+        }
+        self._served = {
+            q: int(v) for q, v in (record.get("served") or {}).items()
+        }
+        for q in self._queues:
+            self._served.setdefault(q, -1)
+        self._active = {q: 0 for q in self._queues}
+        self._tick = int(record.get("tick", 0))
+        self._seq = int(record.get("next_task_seq", 0))
+        self._tasks = {}
+        self._leases = {}
+        self._streams = {}
+        self._workers = {}
+        for wid, info in (record.get("workers") or {}).items():
+            worker = WorkerInfo(
+                worker_id=wid,
+                capabilities=dict(info.get("capabilities") or {}),
+            )
+            worker.leases_taken = int(info.get("leases_taken", 0))
+            worker.completed = int(info.get("completed", 0))
+            worker.expired = int(info.get("expired", 0))
+            worker.busy_s = float(info.get("busy_s", 0.0))
+            self._workers[wid] = worker
+        for tid, entry in (record.get("tasks") or {}).items():
+            task = Task(
+                task_id=tid,
+                queue=entry.get("queue", "?"),
+                payload=base64.b64decode(entry.get("payload_b64", "")),
+                seq=int(entry.get("seq", 0)),
+                state=entry.get("state", QUEUED),
+                attempts=int(entry.get("attempts", 0)),
+                expiries=int(entry.get("expiries", 0)),
+                lease_id=entry.get("lease"),
+                worker=entry.get("worker"),
+                exec_s=float(entry.get("exec_s", 0.0)),
+            )
+            if "result_b64" in entry:
+                task.result = base64.b64decode(entry["result_b64"])
+                task.completed_by = entry.get("completed_by", "")
+            self._ensure_queue(task.queue)
+            self._tasks[tid] = task
+            if task.state == LEASED and task.lease_id:
+                task.deadline = self._replayed_deadline(entry)
+                self._leases[task.lease_id] = tid
+                self._active[task.queue] += 1
+        for tid, s in (record.get("streams") or {}).items():
+            self._streams[tid] = _Stream(
+                lease_id=s.get("lease", ""),
+                data=base64.b64decode(s.get("data_b64", "")),
+                commits=int(s.get("commits", 0)),
+            )
+        for name, value in (record.get("counters") or {}).items():
+            if name in (
+                "duplicates", "expiries", "restarts",
+                "auth_rejects", "reconnects", "resume_grants",
+            ):
+                setattr(self, name, int(value))
 
     def _ensure_queue(self, queue: str) -> None:
         if queue not in self._queues:
@@ -373,7 +584,7 @@ class FleetBroker:
         new = data[have - offset:]
         if new:
             stream.data += new
-            stream.commits += new.count(_COMMIT_MARK)
+            stream.commits += _count_commits(new)
         return stream
 
     # ------------------------------------------------------------------
@@ -590,6 +801,30 @@ class FleetBroker:
             self.auth_rejects += 1
             self._log("auth_reject", path=path)
 
+    def check_auth(
+        self, method: str, path: str, body: bytes, header: str | None
+    ) -> bool:
+        """Verify one request's auth header; log and count a failure.
+
+        Beyond the MAC itself, the timestamp must fall within the
+        freshness window and the nonce must be new — a captured
+        request replayed verbatim (same header bytes) fails here even
+        inside the window.  The nonce cache lives under the state lock.
+        """
+        if self.auth_key is None:
+            return True
+        with self._lock:
+            ok = verify_request_auth(
+                self.auth_key, method, path, body, header,
+                now=self._wallclock(),
+                freshness_s=self.auth_freshness_s,
+                nonces=self._nonces,
+            )
+            if not ok:
+                self.auth_rejects += 1
+                self._log("auth_reject", path=path.partition("?")[0])
+        return ok
+
     def complete(
         self,
         task_id: str,
@@ -797,13 +1032,9 @@ class _Handler(BaseHTTPRequestHandler):
         return True
 
     def _check_auth(self, method: str, body: bytes) -> bool:
-        key = self.broker.auth_key
-        if key is None:
-            return True
         mac = self.headers.get(AUTH_HEADER)
-        if verify_request_mac(key, method, self.path, body, mac):
+        if self.broker.check_auth(method, self.path, body, mac):
             return True
-        self.broker.auth_reject(self.path.partition("?")[0])
         self._json(401, {"error": "authentication failed"})
         return False
 
@@ -1019,12 +1250,13 @@ def serve(
     state_dir: str | Path | None = None,
     auth_key: bytes | None = None,
     port_file: str | Path | None = None,
+    compact_bytes: int | None = None,
 ) -> BrokerServer:
     """Build a serving-ready broker (caller runs ``serve_forever``).
 
-    ``state_dir`` both persists and rehydrates the WAL; plain
-    ``log_dir`` keeps the PR-8 behavior (journal written, never read
-    back).
+    ``state_dir`` both persists and rehydrates (and compacts) the WAL;
+    plain ``log_dir`` keeps the PR-8 behavior — the journal is written
+    for the monitor, never read back or compacted.
     """
     log_path = (
         Path(log_dir) / "broker.fleet.jsonl" if log_dir is not None else None
@@ -1034,6 +1266,7 @@ def serve(
         log_path=log_path,
         state_dir=state_dir,
         auth_key=auth_key,
+        compact_bytes=compact_bytes,
     )
     return BrokerServer(
         (host, port), broker, verbose=verbose, port_file=port_file
@@ -1098,6 +1331,12 @@ def main(argv: list[str] | None = None) -> int:
              "ignored when --state-dir is set",
     )
     parser.add_argument(
+        "--compact-bytes", type=int, default=-1,
+        help="rewrite the --state-dir journal as one snapshot once it "
+             f"exceeds this many bytes (default {DEFAULT_COMPACT_BYTES}; "
+             "0 disables compaction)",
+    )
+    parser.add_argument(
         "--auth-key-file", default="",
         help="shared HMAC key file; requests without a valid "
              "X-Repro-Auth header are rejected with 401 "
@@ -1120,6 +1359,7 @@ def main(argv: list[str] | None = None) -> int:
         auth_key=load_auth_key(args.auth_key_file or None),
         verbose=args.verbose,
         port_file=args.port_file or None,
+        compact_bytes=None if args.compact_bytes < 0 else args.compact_bytes,
     )
     if server.port_file is not None:
         server.port_file.write_text(str(server.server_address[1]))

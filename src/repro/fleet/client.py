@@ -33,6 +33,7 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import threading
 import time
 import urllib.parse
 import uuid
@@ -41,7 +42,7 @@ import zlib
 from repro.fleet.wire import (
     AUTH_HEADER,
     WIRE_HEADER,
-    request_mac,
+    sign_request,
     wire_fingerprint,
 )
 
@@ -136,6 +137,13 @@ class BrokerClient:
             zlib.crc32(f"{identity or netloc}".encode())
         )
         self._in_reconnect_hook = False
+        # Outage bookkeeping persists *across* requests: an outage that
+        # outlives one request's retry budget (the request raises, the
+        # caller's loop retries later) is still a single outage, and
+        # the reconnect hook fires exactly once when traffic recovers.
+        self._outage_lock = threading.Lock()
+        self._down_since: float | None = None
+        self._down_failures = 0
 
     # ------------------------------------------------------------------
     # plumbing
@@ -149,10 +157,15 @@ class BrokerClient:
     def _send_once(
         self, method: str, path: str, body: bytes | None, ctype: str
     ):
-        """One HTTP exchange: sign, send, classify protocol rejections."""
+        """One HTTP exchange: sign, send, classify protocol rejections.
+
+        Signing happens here — per delivery attempt — so every retry
+        or duplicated transport delivery carries a fresh timestamp and
+        nonce and never trips the broker's replay rejection.
+        """
         headers = {WIRE_HEADER: self._wire, "Content-Type": ctype}
         if self.auth_key is not None:
-            headers[AUTH_HEADER] = request_mac(
+            headers[AUTH_HEADER] = sign_request(
                 self.auth_key, method, path, body or b""
             )
         conn = http.client.HTTPConnection(
@@ -189,10 +202,14 @@ class BrokerClient:
         body: bytes | None = None,
         ctype: str = "application/octet-stream",
     ):
-        """Send with bounded retries; fatal protocol errors pass through."""
+        """Send with bounded retries; fatal protocol errors pass through.
+
+        A request that exhausts its retry budget raises, but the outage
+        stays recorded on the client — when a *later* request finally
+        gets through, the reconnect fires once for the whole outage.
+        """
         policy = self._policy()
         attempt = 0
-        outage_started = None
         while True:
             attempt += 1
             try:
@@ -205,16 +222,23 @@ class BrokerClient:
             except (WireMismatchError, WireAuthError):
                 raise
             except RETRIABLE:
+                with self._outage_lock:
+                    if self._down_since is None:
+                        self._down_since = time.monotonic()
+                    self._down_failures += 1
                 if attempt >= policy.max_attempts:
                     raise
-                if outage_started is None:
-                    outage_started = time.monotonic()
                 time.sleep(policy.backoff_s(attempt, self._rng))
                 continue
-            if outage_started is not None:
+            with self._outage_lock:
+                recovered = self._down_since
+                failures = self._down_failures
+                self._down_since = None
+                self._down_failures = 0
+            if recovered is not None:
                 self.reconnects += 1
                 self._fire_reconnect(
-                    attempt - 1, time.monotonic() - outage_started
+                    failures, time.monotonic() - recovered
                 )
             return out
 

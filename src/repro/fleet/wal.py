@@ -10,14 +10,21 @@ completed results intact.
 
 Crash semantics mirror :func:`repro.core.resilience.journal.
 read_journal`: each append is a single flushed+fsync'd write, so a
-crash can only tear the *final* line — :func:`read_wal` silently drops
+crash can only tear the *final* line — :func:`scan_wal` silently drops
 a torn tail (that transition's HTTP response never left, so the caller
 retries it), while garbage before the last line means the file was
 damaged outside a normal crash and raises :class:`WalError`.
 
+**Bounded growth.**  Recovery streams the file one line at a time
+(:func:`scan_wal` is a generator — memory is bounded by the live
+state, not the log length), and :meth:`WalWriter.rotate` atomically
+replaces the log with a compact snapshot while the ``seq`` numbering
+continues — the broker calls it when the log outgrows its compaction
+threshold, so payload-bearing records never accumulate without bound.
+
 Stdlib-only on purpose: the broker imports nothing heavier than
 :mod:`repro.fleet.wire`, and the monitor tails the same file with its
-own parser.
+own parser (which already re-reads a file that shrinks under it).
 """
 
 from __future__ import annotations
@@ -25,9 +32,9 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import IO, Any
+from typing import IO, Any, Iterator
 
-__all__ = ["WalError", "WalWriter", "read_wal", "recover_wal"]
+__all__ = ["WalError", "WalWriter", "read_wal", "recover_wal", "scan_wal"]
 
 
 class WalError(ValueError):
@@ -45,38 +52,53 @@ def read_wal(path: str | Path) -> list[dict[str, Any]]:
     return recover_wal(path)[0]
 
 
+def scan_wal(path: str | Path) -> Iterator[tuple[dict[str, Any], int]]:
+    """Yield ``(record, valid_bytes)`` per complete record, streaming.
+
+    ``valid_bytes`` is the byte offset just past that record: a
+    rehydrating broker applies each record as it arrives (never holding
+    the whole log in memory) and truncates the file at the last yielded
+    offset, so a torn tail never becomes mid-file garbage for the next
+    restart.  A parse failure on any line but the last raises
+    :class:`WalError`; on the last line it is the torn tail and the
+    iteration simply ends.
+    """
+    offset = 0
+    bad_line: int | None = None
+    with Path(path).open("rb") as handle:
+        for i, raw in enumerate(handle):
+            if bad_line is not None:
+                raise WalError(
+                    f"{path}: corrupt WAL line {bad_line} (not last — the "
+                    "file was damaged outside a normal crash)"
+                )
+            line = raw.strip()
+            if not line:
+                offset += len(raw)
+                continue
+            try:
+                record = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                bad_line = i + 1  # torn tail unless another line follows
+                continue
+            if not raw.endswith(b"\n"):
+                # Parseable but unterminated final line: the fsync never
+                # finished, so treat it as torn too — drop it.
+                break
+            offset += len(raw)
+            yield record, offset
+
+
 def recover_wal(path: str | Path) -> tuple[list[dict[str, Any]], int]:
     """``(records, valid_bytes)`` — the parseable prefix and its length.
 
-    ``valid_bytes`` is the byte offset just past the last *complete*
-    record: a rehydrating broker truncates the file there before
-    reopening it for append, so a torn tail never becomes mid-file
-    garbage for the next restart.
+    Convenience wrapper over :func:`scan_wal` for callers that want the
+    whole prefix at once (tests, tooling); the broker itself streams.
     """
     records: list[dict[str, Any]] = []
     valid = 0
-    with Path(path).open("rb") as handle:
-        lines = handle.readlines()
-    for i, raw in enumerate(lines):
-        line = raw.strip()
-        if not line:
-            valid += len(raw)
-            continue
-        try:
-            records.append(json.loads(line))
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            if i == len(lines) - 1:
-                break  # torn tail from a mid-append crash
-            raise WalError(
-                f"{path}: corrupt WAL line {i + 1} (not last — the file "
-                "was damaged outside a normal crash)"
-            ) from None
-        if not raw.endswith(b"\n"):
-            # Parseable but unterminated final line: the fsync never
-            # finished, so treat it as torn too — drop it.
-            records.pop()
-            break
-        valid += len(raw)
+    for record, valid in scan_wal(path):
+        records.append(record)
     return records, valid
 
 
@@ -84,27 +106,61 @@ class WalWriter:
     """Append-only JSONL writer: one fsync'd record per transition.
 
     ``start_seq`` continues a rehydrated log's sequence numbering so
-    ``seq`` stays strictly monotonic across broker restarts.
+    ``seq`` stays strictly monotonic across broker restarts; ``bytes``
+    tracks the current file size so the broker can trigger compaction
+    without a ``stat`` per append.
     """
 
     def __init__(self, path: str | Path, start_seq: int = 0):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self._handle: IO[bytes] | None = self.path.open("ab")
         self.seq = int(start_seq)
+        self.bytes = self.path.stat().st_size
+
+    def _encode(self, record: dict[str, Any]) -> bytes:
+        line = json.dumps({"seq": self.seq, **record}, sort_keys=False)
+        self.seq += 1
+        return line.encode("utf-8") + b"\n"
 
     def append(self, record: dict[str, Any]) -> int:
         """Write one record (``seq`` assigned here); returns its seq."""
         if self._handle is None:
             raise RuntimeError(f"WAL {self.path} is closed")
         seq = self.seq
-        self._handle.write(
-            json.dumps({"seq": seq, **record}, sort_keys=False) + "\n"
-        )
+        data = self._encode(record)
+        self._handle.write(data)
         self._handle.flush()
         os.fsync(self._handle.fileno())
-        self.seq = seq + 1
+        self.bytes += len(data)
         return seq
+
+    def rotate(self, records: list[dict[str, Any]]) -> None:
+        """Atomically replace the log with ``records`` (compaction).
+
+        The replacement is written and fsync'd to a sibling temp file,
+        then renamed over the log (and the directory entry fsync'd), so
+        a crash at any point leaves either the old log or the complete
+        new one — never a mix.  ``seq`` keeps counting: the snapshot's
+        records take the next numbers, and later appends follow them.
+        """
+        if self._handle is None:
+            raise RuntimeError(f"WAL {self.path} is closed")
+        tmp = self.path.with_name(self.path.name + ".compact")
+        with tmp.open("wb") as out:
+            for record in records:
+                out.write(self._encode(record))
+            out.flush()
+            os.fsync(out.fileno())
+        self._handle.close()
+        os.replace(tmp, self.path)
+        dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        self._handle = self.path.open("ab")
+        self.bytes = self.path.stat().st_size
 
     def close(self) -> None:
         """Flush, fsync and close — the graceful-shutdown tail sync."""

@@ -22,16 +22,31 @@ from the pin, forcing a deliberate :data:`WIRE_VERSION` bump.
 Changing any pinned field set MUST bump ``WIRE_VERSION``.
 
 **Authenticated wire.**  Next to the fingerprint, every request can
-carry a shared-key HMAC in ``X-Repro-Auth``: HMAC-SHA256 of a
-canonical request digest (method, path+query, body and the wire
-fingerprint, length-framed so no field can masquerade as another).
-A broker started with a key rejects missing/wrong MACs with ``401``
-(surfaced client-side as ``WireAuthError``) using constant-time
-comparison; health probes stay open so monitors and CI readiness
-checks need no key.  Keys load from ``--auth-key-file`` or the
-``REPRO_FLEET_AUTH_KEY`` / ``REPRO_FLEET_AUTH_KEY_FILE`` environment
-variables (:func:`load_auth_key`), identically on broker, worker,
-scheduler and client.
+carry a shared-key HMAC in ``X-Repro-Auth``, formatted
+``<timestamp>:<nonce>:<mac>``: HMAC-SHA256 of a canonical request
+digest (method, path+query, the wire fingerprint, the timestamp, the
+random per-request nonce, and the body — length-framed so no field can
+masquerade as another).  Verification is constant-time and the server
+additionally rejects stale timestamps (outside
+:data:`AUTH_FRESHNESS_S`) and nonces it has already accepted within
+the freshness window (:class:`NonceCache`), so a captured request —
+``/shutdown``, ``/submit`` — cannot be replayed verbatim later.  A
+broker started with a key rejects failures with ``401`` (surfaced
+client-side as ``WireAuthError``); health probes stay open so monitors
+and CI readiness checks need no key.  Keys load from
+``--auth-key-file`` or the ``REPRO_FLEET_AUTH_KEY`` /
+``REPRO_FLEET_AUTH_KEY_FILE`` environment variables
+(:func:`load_auth_key`), identically on broker, worker, scheduler and
+client.
+
+**Threat model.**  The MAC proves the sender holds the fleet key and
+the request was built within the freshness window; it does not
+encrypt, and two brokers sharing one key cannot tell each other's
+traffic apart — a fresh request signed for broker A verifies on
+broker B within the window.  Run one key per fleet (the intended
+deployment) and the wire defends against cross-fleet traffic,
+key-less tampering, and verbatim replay; it is not a substitute for
+network-level isolation against an active in-path attacker.
 """
 
 from __future__ import annotations
@@ -40,11 +55,14 @@ import hashlib
 import hmac
 import os
 import pickle
+import time
 
 __all__ = [
+    "AUTH_FRESHNESS_S",
     "AUTH_HEADER",
     "AUTH_KEY_ENV",
     "AUTH_KEY_FILE_ENV",
+    "NonceCache",
     "PINNED_FIELDS",
     "WIRE_HEADER",
     "WIRE_VERSION",
@@ -53,7 +71,8 @@ __all__ = [
     "load",
     "load_auth_key",
     "request_mac",
-    "verify_request_mac",
+    "sign_request",
+    "verify_request_auth",
     "wire_fingerprint",
 ]
 
@@ -66,8 +85,15 @@ WIRE_VERSION = 2
 #: HTTP header carrying the wire fingerprint on every fleet request.
 WIRE_HEADER = "X-Repro-Wire"
 
-#: HTTP header carrying the request HMAC when a shared key is set.
+#: HTTP header carrying ``<timestamp>:<nonce>:<mac>`` when a shared
+#: key is set.
 AUTH_HEADER = "X-Repro-Auth"
+
+#: Signed-timestamp acceptance window, seconds either side of the
+#: verifier's clock.  Wide enough for rack-local clock drift and a
+#: broker restart mid-request; narrow enough that a captured request
+#: goes stale quickly.
+AUTH_FRESHNESS_S = 120.0
 
 #: Environment fallbacks for the shared key (value, or a file path).
 AUTH_KEY_ENV = "REPRO_FLEET_AUTH_KEY"
@@ -151,18 +177,24 @@ def _read_key_file(path: str) -> bytes:
     return key
 
 
-def request_mac(key: bytes, method: str, path: str, body: bytes) -> str:
+def request_mac(
+    key: bytes, method: str, path: str, body: bytes, ts: str, nonce: str
+) -> str:
     """Hex HMAC of the canonical request digest under ``key``.
 
     The digest length-frames every field (method, path+query, wire
-    fingerprint, body), so no concatenation ambiguity lets one request
-    authenticate as another.
+    fingerprint, timestamp, nonce, body), so no concatenation
+    ambiguity lets one request authenticate as another, and neither
+    the timestamp nor the nonce can be swapped without invalidating
+    the MAC.
     """
     h = hashlib.blake2b(digest_size=32)
     for part in (
         method.encode(),
         path.encode(),
         wire_fingerprint().encode(),
+        ts.encode(),
+        nonce.encode(),
         body or b"",
     ):
         h.update(len(part).to_bytes(8, "big"))
@@ -170,12 +202,90 @@ def request_mac(key: bytes, method: str, path: str, body: bytes) -> str:
     return hmac.new(key, h.digest(), hashlib.sha256).hexdigest()
 
 
-def verify_request_mac(
-    key: bytes, method: str, path: str, body: bytes, mac: str | None
+def sign_request(
+    key: bytes,
+    method: str,
+    path: str,
+    body: bytes,
+    now: float | None = None,
+    nonce: str | None = None,
+) -> str:
+    """The full ``X-Repro-Auth`` value: ``<timestamp>:<nonce>:<mac>``.
+
+    Called per *delivery attempt* (inside the client's single-shot
+    sender), so every retry or duplicated transport delivery carries a
+    fresh timestamp and nonce and is never mistaken for a replay.
+    """
+    ts = f"{time.time() if now is None else now:.3f}"
+    nonce = nonce or os.urandom(8).hex()
+    return f"{ts}:{nonce}:{request_mac(key, method, path, body, ts, nonce)}"
+
+
+class NonceCache:
+    """Accepted-nonce memory bounding verbatim replay server-side.
+
+    Remembers each accepted ``(nonce, expiry)`` for the freshness
+    window; a second request reusing an accepted nonce is a replay and
+    fails verification.  Expired entries are pruned on every check and
+    the cache is capped (oldest-expiry eviction) so a chatty fleet
+    cannot grow it without bound.  Not thread-safe on its own — the
+    broker calls it under its state lock.
+    """
+
+    def __init__(self, capacity: int = 16384):
+        self.capacity = int(capacity)
+        self._seen: dict[str, float] = {}
+
+    def admit(self, nonce: str, now: float, ttl_s: float) -> bool:
+        """``True`` and remember the nonce, or ``False`` on a replay."""
+        expired = [n for n, exp in self._seen.items() if exp <= now]
+        for n in expired:
+            del self._seen[n]
+        if nonce in self._seen:
+            return False
+        if len(self._seen) >= self.capacity:
+            for n, _exp in sorted(self._seen.items(), key=lambda kv: kv[1])[
+                : len(self._seen) - self.capacity + 1
+            ]:
+                del self._seen[n]
+        self._seen[nonce] = now + ttl_s
+        return True
+
+
+def verify_request_auth(
+    key: bytes,
+    method: str,
+    path: str,
+    body: bytes,
+    header: str | None,
+    now: float | None = None,
+    freshness_s: float = AUTH_FRESHNESS_S,
+    nonces: NonceCache | None = None,
 ) -> bool:
-    """Constant-time check of one request's MAC header value."""
-    want = request_mac(key, method, path, body)
-    return hmac.compare_digest(want, mac or "")
+    """Verify one request's ``X-Repro-Auth`` header.
+
+    Checks, in order: the MAC (constant-time, covering the claimed
+    timestamp and nonce), timestamp freshness against the verifier's
+    clock, and — when ``nonces`` is given — that the nonce has not been
+    accepted before within the window.
+    """
+    ts, sep_a, rest = (header or "").partition(":")
+    nonce, sep_b, mac = rest.partition(":")
+    if not (sep_a and sep_b and ts and nonce and mac):
+        return False
+    want = request_mac(key, method, path, body, ts, nonce)
+    if not hmac.compare_digest(want, mac):
+        return False
+    try:
+        stamped = float(ts)
+    except ValueError:
+        return False
+    clock = time.time() if now is None else now
+    if abs(clock - stamped) > freshness_s:
+        return False
+    if nonces is not None and not nonces.admit(nonce, clock, freshness_s):
+        return False
+    return True
 
 
 def live_fields() -> dict[str, tuple[str, ...]]:

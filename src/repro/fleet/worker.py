@@ -368,6 +368,9 @@ class FleetWorker:
             except RETRIABLE:
                 # The client already retried with backoff; keep riding
                 # out the outage until the patience window closes.
+                # Reconnect reporting belongs to the client's hook (it
+                # tracks the outage across requests and fires exactly
+                # once on recovery) — this loop only paces the waiting.
                 now = time.monotonic()
                 if down_since is None:
                     down_since = now
@@ -376,12 +379,8 @@ class FleetWorker:
                 down_count += 1
                 time.sleep(min(2.0, 0.1 * (2 ** min(down_count, 5))))
                 continue
-            if down_since is not None:
-                self._on_reconnect(
-                    down_count, time.monotonic() - down_since
-                )
-                down_since = None
-                down_count = 0
+            down_since = None
+            down_count = 0
             if served:
                 idle_since = None
                 continue

@@ -363,6 +363,52 @@ class FleetState:
         elif event == "resume_grant":
             task = record.get("task", "?")
             self.resumed[task] = int(record.get("commits", 0))
+        elif event == "snapshot":
+            self._feed_snapshot(record)
+
+    def _feed_snapshot(self, record: dict) -> None:
+        """Fold one WAL compaction snapshot into the dashboard state.
+
+        Compaction rewrites the broker's journal as a single snapshot,
+        so the per-event rows it replaced are gone; counters are folded
+        with ``max`` (they are monotonic) — correct both for a monitor
+        that already counted the replaced events and for one attaching
+        fresh after a compaction.
+        """
+        counters = record.get("counters") or {}
+        for name in ("expiries", "duplicates", "restarts",
+                     "auth_rejects", "reconnects"):
+            setattr(self, name, max(getattr(self, name),
+                                    int(counters.get(name, 0))))
+        for worker, info in (record.get("workers") or {}).items():
+            w = self._worker(worker)
+            w["leases"] = max(w["leases"], int(info.get("leases_taken", 0)))
+            w["completed"] = max(w["completed"], int(info.get("completed", 0)))
+            w["expired"] = max(w["expired"], int(info.get("expired", 0)))
+            w["busy_s"] = max(w["busy_s"], _float(info.get("busy_s")) or 0.0)
+        tallies: dict[str, dict] = {}
+        for entry in (record.get("tasks") or {}).values():
+            t = tallies.setdefault(
+                entry.get("queue", "?"),
+                {"submitted": 0, "done": 0, "leased": 0},
+            )
+            t["submitted"] += 1
+            state = entry.get("state")
+            if state == "done":
+                t["done"] += 1
+            elif state == "leased":
+                t["leased"] += 1
+        for queue in record.get("queues") or {}:
+            tallies.setdefault(
+                queue, {"submitted": 0, "done": 0, "leased": 0}
+            )
+        for queue, t in tallies.items():
+            q = self._queue(queue)
+            q["submitted"] = max(q["submitted"], t["submitted"])
+            q["done"] = max(q["done"], t["done"])
+            q["leased"] = t["leased"]
+        for task, info in (record.get("streams") or {}).items():
+            self.streamed_commits[task] = int(info.get("commits", 0))
 
 
 class SweepState:

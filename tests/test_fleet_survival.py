@@ -14,7 +14,9 @@ and graceful broker shutdown (SIGTERM → drained, WAL'd, port file
 removed).
 """
 
+import base64
 import contextlib
+import http.client
 import json
 import os
 import signal
@@ -22,6 +24,7 @@ import subprocess
 import sys
 import threading
 import time
+import urllib.parse
 from pathlib import Path
 
 import pytest
@@ -33,7 +36,15 @@ from repro.fleet.broker import FleetBroker, serve
 from repro.fleet.client import BrokerClient, WireAuthError
 from repro.fleet.schedule import SessionSpec, run_schedule
 from repro.fleet.wal import WalError, WalWriter, read_wal, recover_wal
-from repro.fleet.wire import AUTH_KEY_ENV, AUTH_KEY_FILE_ENV, load_auth_key
+from repro.fleet.wire import (
+    AUTH_HEADER,
+    AUTH_KEY_ENV,
+    AUTH_KEY_FILE_ENV,
+    NonceCache,
+    load_auth_key,
+    sign_request,
+    verify_request_auth,
+)
 from repro.fleet.worker import FleetWorker, _JournalStream
 
 SRC_ROOT = str(Path(__file__).resolve().parents[1] / "src")
@@ -148,6 +159,21 @@ class TestWal:
         path.write_bytes(b'{"seq": 0, "event": "a"}\nnot json\n{"seq": 2}\n')
         with pytest.raises(WalError):
             recover_wal(path)
+
+    def test_rotate_replaces_log_and_continues_seq(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            for i in range(10):
+                wal.append({"event": "grow", "i": i})
+            grown = path.stat().st_size
+            wal.rotate([{"event": "snapshot"}])
+            assert path.stat().st_size < grown
+            assert wal.bytes == path.stat().st_size
+            wal.append({"event": "after"})
+        records = read_wal(path)
+        assert [r["event"] for r in records] == ["snapshot", "after"]
+        assert [r["seq"] for r in records] == [10, 11]
+        assert not path.with_name(path.name + ".compact").exists()
 
 
 # ----------------------------------------------------------------------
@@ -835,3 +861,300 @@ class TestBrokerCrashRestart:
                 except subprocess.TimeoutExpired:
                     p.kill()
                     p.wait(timeout=10.0)
+
+
+# ----------------------------------------------------------------------
+# log-dir vs state-dir: rehydration is opt-in
+# ----------------------------------------------------------------------
+
+
+class TestLogDirIsWriteOnly:
+    def test_leftover_log_is_never_read_back(self, tmp_path):
+        """A --log-dir journal is written, never replayed: a leftover
+        file from a previous (even older-format) run must not crash
+        startup or resurrect its queues into the fresh broker."""
+        path = tmp_path / "broker.fleet.jsonl"
+        stale = [
+            {"seq": 0, "event": "queue", "queue": "old"},
+            {"seq": 1, "event": "submit", "queue": "old", "task": "t9"},
+            # PR-8-era lease record: no "lease"/"expires_wall"/"attempt"
+            {"seq": 2, "event": "lease", "queue": "old", "task": "t9",
+             "worker": "w"},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in stale))
+        broker = FleetBroker(log_path=path)
+        try:
+            stats = broker.stats()
+            assert stats["tasks"] == 0 and stats["queues"] == {}
+            assert stats["restarts"] == 0
+            broker.create_queue("q")  # still appends to the same file
+        finally:
+            broker.close()
+        events = [r["event"] for r in read_wal(path)]
+        assert events == ["queue", "submit", "lease", "queue"]
+
+    def test_old_format_records_skip_not_crash_rehydration(self, tmp_path):
+        """With --state-dir, records from an older wire revision (or
+        unknown event types) are skipped, never a KeyError at boot."""
+        path = tmp_path / "broker.fleet.jsonl"
+        records = [
+            {"seq": 0, "event": "queue", "queue": "q"},
+            {"seq": 1, "event": "submit", "queue": "q", "task": "t1",
+             "payload_b64": base64.b64encode(b"p").decode()},
+            {"seq": 2, "event": "lease", "queue": "q", "task": "t1",
+             "worker": "w0"},  # old shape: no lease/expires_wall/attempt
+            {"seq": 3, "event": "renew", "task": "missing-task"},
+            {"seq": 4, "event": "from-the-future", "payload": 1},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        broker = FleetBroker(lease_ttl_s=300.0, state_dir=tmp_path)
+        try:
+            stats = broker.stats()
+            assert stats["tasks"] == 1
+            # the keyless lease was skipped, so t1 is still leasable
+            assert stats["queues"]["q"]["queued"] == 1
+            grant = broker.lease("w1", ["q"])
+            assert grant is not None and grant["task_id"] == "t1"
+        finally:
+            broker.close()
+
+
+# ----------------------------------------------------------------------
+# WAL compaction
+# ----------------------------------------------------------------------
+
+
+class TestWalCompaction:
+    def test_snapshot_compaction_bounds_log_and_rehydrates(self, tmp_path):
+        broker = FleetBroker(
+            lease_ttl_s=300.0, state_dir=tmp_path, compact_bytes=4096
+        )
+        broker.create_queue("q")
+        for i in range(20):
+            broker.submit("q", b"x" * 64, task_id=f"t{i}")
+        grant = broker.lease("w0", ["q"])
+        broker.heartbeat(grant["lease_id"], segment=COMMIT_LINE, offset=0)
+        for _ in range(200):  # renew spam that would grow an append-only log
+            broker.heartbeat(grant["lease_id"])
+        live = broker.stats()
+        path = tmp_path / "broker.fleet.jsonl"
+        records = read_wal(path)
+        assert any(r["event"] == "snapshot" for r in records)
+        # the renew history was folded away, not retained verbatim
+        assert sum(1 for r in records if r["event"] == "renew") < 200
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs)  # numbering survives rotation
+        broker.close()
+
+        revived = FleetBroker(lease_ttl_s=300.0, state_dir=tmp_path)
+        try:
+            stats = revived.stats()
+            for key in ("queues", "workers", "tasks", "done", "streams",
+                        "expiries", "duplicates"):
+                assert stats[key] == live[key], key
+            assert stats["restarts"] == live["restarts"] + 1
+            # the lease and its streamed prefix live through compaction
+            assert revived.heartbeat(grant["lease_id"]) is True
+            assert revived.journal(grant["task_id"]) == (COMMIT_LINE, 1)
+        finally:
+            revived.close()
+
+    def test_log_dir_never_compacts(self, tmp_path):
+        path = tmp_path / "broker.fleet.jsonl"
+        broker = FleetBroker(log_path=path)
+        try:
+            broker.create_queue("q")
+            for i in range(50):
+                broker.submit("q", b"x" * 256, task_id=f"t{i}")
+        finally:
+            broker.close()
+        # append-only monitor feed: every event is still there
+        events = [r["event"] for r in read_wal(path)]
+        assert events.count("submit") == 50
+        assert "snapshot" not in events
+
+
+# ----------------------------------------------------------------------
+# replay-resistant request auth
+# ----------------------------------------------------------------------
+
+
+def _raw_request(url, method, path, headers, body=b""):
+    parsed = urllib.parse.urlsplit(url)
+    conn = http.client.HTTPConnection(
+        parsed.hostname, parsed.port, timeout=10.0
+    )
+    try:
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestAuthReplay:
+    def test_header_shape_and_mac(self):
+        header = sign_request(KEY, "GET", "/stats", b"")
+        assert verify_request_auth(KEY, "GET", "/stats", b"", header)
+        assert not verify_request_auth(
+            b"other-key", "GET", "/stats", b"", header
+        )
+        assert not verify_request_auth(KEY, "POST", "/stats", b"", header)
+        assert not verify_request_auth(KEY, "GET", "/shutdown", b"", header)
+        assert not verify_request_auth(KEY, "GET", "/stats", b"x", header)
+        assert not verify_request_auth(KEY, "GET", "/stats", b"", None)
+        assert not verify_request_auth(KEY, "GET", "/stats", b"", "garbage")
+
+    def test_stale_timestamp_rejected(self):
+        old = sign_request(KEY, "GET", "/stats", b"", now=time.time() - 3600)
+        assert not verify_request_auth(KEY, "GET", "/stats", b"", old)
+        future = sign_request(
+            KEY, "GET", "/stats", b"", now=time.time() + 3600
+        )
+        assert not verify_request_auth(KEY, "GET", "/stats", b"", future)
+
+    def test_nonce_cache_rejects_verbatim_replay(self):
+        nonces = NonceCache()
+        header = sign_request(KEY, "GET", "/stats", b"")
+        assert verify_request_auth(
+            KEY, "GET", "/stats", b"", header, nonces=nonces
+        )
+        assert not verify_request_auth(
+            KEY, "GET", "/stats", b"", header, nonces=nonces
+        )
+        # a freshly signed request (new nonce) still passes
+        again = sign_request(KEY, "GET", "/stats", b"")
+        assert verify_request_auth(
+            KEY, "GET", "/stats", b"", again, nonces=nonces
+        )
+
+    def test_nonce_cache_is_bounded(self):
+        nonces = NonceCache(capacity=8)
+        for i in range(50):
+            assert nonces.admit(f"n{i}", now=100.0, ttl_s=60.0)
+        assert len(nonces._seen) <= 8
+
+    def test_broker_rejects_replayed_request(self):
+        """A captured request — header bytes and all — replayed against
+        the broker gets 401 the second time (nonce replay)."""
+        with _running(serve(port=0, auth_key=KEY)) as srv:
+            header = sign_request(KEY, "GET", "/stats", b"")
+            status, _ = _raw_request(
+                srv.url, "GET", "/stats", {AUTH_HEADER: header}
+            )
+            assert status == 200
+            status, _ = _raw_request(
+                srv.url, "GET", "/stats", {AUTH_HEADER: header}
+            )
+            assert status == 401
+            assert srv.broker.auth_rejects == 1
+
+    def test_broker_rejects_stale_request(self):
+        with _running(serve(port=0, auth_key=KEY)) as srv:
+            header = sign_request(
+                KEY, "GET", "/stats", b"", now=time.time() - 3600
+            )
+            status, _ = _raw_request(
+                srv.url, "GET", "/stats", {AUTH_HEADER: header}
+            )
+            assert status == 401
+
+    def test_duplicate_delivery_re_signs_and_passes(self):
+        """Transport-level duplicate deliveries re-sign per attempt
+        (fresh nonce), so the broker's replay rejection never fires on
+        our own chaos machinery."""
+        with _running(serve(port=0, auth_key=KEY)) as srv:
+            transport = FaultyTransport(duplicate_rate=1.0)
+            client = BrokerClient(
+                srv.url, auth_key=KEY, transport=transport, identity="t"
+            )
+            client.create_queue("q")
+            client.submit("q", b"p", task_id="t1")
+            assert client.stats()["tasks"] == 1
+            assert transport.injected["duplicate"] > 0
+            assert srv.broker.auth_rejects == 0
+
+
+# ----------------------------------------------------------------------
+# one reconnect report per outage
+# ----------------------------------------------------------------------
+
+
+class _RefuseFirstN:
+    """Refuse the first N delivery attempts, then pass everything."""
+
+    def __init__(self, n):
+        self.n = n
+        self.calls = 0
+
+    def __call__(self, send, method, path, body, ctype):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise ConnectionRefusedError(f"injected (call {self.calls})")
+        return send(method, path, body, ctype)
+
+
+class TestReconnectSingleReport:
+    def test_outage_spanning_failed_request_reports_once(self):
+        """An outage long enough that one request exhausts its retry
+        budget (raises) must still produce exactly ONE reconnect when a
+        later request gets through — not one per reporting site."""
+        from repro.core.resilience.retry import RetryPolicy
+
+        seen = []
+        with _running(serve(port=0)) as srv:
+            client = BrokerClient(
+                srv.url,
+                transport=_RefuseFirstN(3),
+                retry_policy=RetryPolicy(
+                    max_attempts=2, base_backoff_s=0.01, max_backoff_s=0.02
+                ),
+                identity="t",
+                on_reconnect=lambda failures, outage_s: seen.append(failures),
+            )
+            with pytest.raises(OSError):
+                client.create_queue("q")  # 2 attempts, both refused
+            client.create_queue("q")  # 1 refusal, then success
+            client.create_queue("q2")  # clean
+            assert seen == [3]
+            assert client.reconnects == 1
+
+    def test_worker_outage_reports_one_reconnect_row(self):
+        """End-to-end: a worker riding out refusals reports each outage
+        exactly once (broker stats and WAL rows agree)."""
+        with _running(serve(port=0)) as srv:
+            worker = FleetWorker(
+                srv.url, worker_id="w0", exit_on_idle_s=0.1, poll_s=0.02,
+                transport=_RefuseFirstN(2),
+            )
+            worker.run()
+            assert worker.reconnects == 1
+            assert srv.broker.reconnects == 1
+
+
+# ----------------------------------------------------------------------
+# commit counting parses lines, never substring-scans
+# ----------------------------------------------------------------------
+
+
+class TestCommitCounting:
+    def test_quoted_marker_does_not_count(self):
+        broker = FleetBroker()
+        broker.create_queue("q")
+        broker.submit("q", b"p", task_id="t1")
+        grant = broker.lease("w0", ["q"])
+        sneaky = (
+            b'error line quoting a record: "event": "commit" inside text\n'
+            + json.dumps(
+                {"event": "error", "detail": '{"event": "commit"}'}
+            ).encode()
+            + b"\n"
+        )
+        broker.heartbeat(grant["lease_id"], segment=sneaky, offset=0)
+        data, commits = broker.journal("t1")
+        assert data == sneaky and commits == 0
+        # a real commit line still counts
+        broker.heartbeat(
+            grant["lease_id"], segment=COMMIT_LINE, offset=len(sneaky)
+        )
+        assert broker.journal("t1")[1] == 1
