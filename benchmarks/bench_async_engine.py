@@ -302,6 +302,7 @@ def run_bench(report_path: str | Path | None = None) -> dict:
         "speedup_asserted_reason": SPEEDUP_ASSERTED_REASON,
     }
     if report_path:
+        Path(report_path).parent.mkdir(parents=True, exist_ok=True)
         Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
     # Always-armed proxy gate: the pipeline schedule must beat the
     # round barrier on the modeled critical path.
@@ -330,9 +331,9 @@ def test_async_engine_parity_and_speedup():
 
 
 def main() -> None:
-    report = run_bench(report_path="BENCH_async_engine.json")
+    report = run_bench(report_path="results/BENCH_async_engine.json")
     print(json.dumps(report, indent=2))
-    print("wrote BENCH_async_engine.json")
+    print("wrote results/BENCH_async_engine.json")
 
 
 if __name__ == "__main__":

@@ -178,6 +178,7 @@ def run_bench(report_path: str | Path | None = None) -> dict:
         "speedup_asserted_reason": SPEEDUP_ASSERTED_REASON,
     }
     if report_path:
+        Path(report_path).parent.mkdir(parents=True, exist_ok=True)
         Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
     # Always-armed proxy gate: the engine's round structure must beat
     # the sequential critical path on the modeled op count.
@@ -203,9 +204,9 @@ def test_batch_engine_parity_and_speedup():
 
 
 def main() -> None:
-    report = run_bench(report_path="BENCH_batch_engine.json")
+    report = run_bench(report_path="results/BENCH_batch_engine.json")
     print(json.dumps(report, indent=2))
-    print("wrote BENCH_batch_engine.json")
+    print("wrote results/BENCH_batch_engine.json")
 
 
 if __name__ == "__main__":

@@ -222,6 +222,7 @@ def run_bench(
         "speedup_asserted_reason": SPEEDUP_ASSERTED_REASON,
     }
     if report_path:
+        Path(report_path).parent.mkdir(parents=True, exist_ok=True)
         Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
     expected = sum(len(s.methods) for s in SESSIONS)
     assert runs_compared >= expected, (
@@ -242,10 +243,10 @@ def test_fleet_loopback_bitwise():
 
 def main() -> None:
     report = run_bench(
-        report_path="BENCH_fleet.json", monitor_path="fleet_monitor.txt"
+        report_path="results/BENCH_fleet.json", monitor_path="results/fleet_monitor.txt"
     )
     print(json.dumps(report, indent=2))
-    print("wrote BENCH_fleet.json and fleet_monitor.txt")
+    print("wrote results/BENCH_fleet.json and results/fleet_monitor.txt")
 
 
 if __name__ == "__main__":

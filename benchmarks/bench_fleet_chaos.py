@@ -519,6 +519,7 @@ def run_bench(
         "speedup_asserted_reason": SPEEDUP_ASSERTED_REASON,
     }
     if report_path:
+        Path(report_path).parent.mkdir(parents=True, exist_ok=True)
         Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -547,11 +548,11 @@ def main(argv=None) -> None:
     )
     args = parser.parse_args(argv)
     report = run_bench(
-        report_path="BENCH_fleet_chaos.json",
-        monitor_path="fleet_chaos_monitor.txt",
+        report_path="results/BENCH_fleet_chaos.json",
+        monitor_path="results/fleet_chaos_monitor.txt",
     )
     print(json.dumps(report, indent=2))
-    print("wrote BENCH_fleet_chaos.json and fleet_chaos_monitor.txt")
+    print("wrote results/BENCH_fleet_chaos.json and results/fleet_chaos_monitor.txt")
     if args.assert_armed:
         assert report.get("speedup_asserted") is True
         print(f"gates armed: {report['speedup_asserted_reason']}")

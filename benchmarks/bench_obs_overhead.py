@@ -121,6 +121,7 @@ def run_bench(report_path=None, artifact_dir=None):
         ),
     }
     if report_path is not None:
+        Path(report_path).parent.mkdir(parents=True, exist_ok=True)
         Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -141,11 +142,11 @@ def test_span_overhead_and_neutrality():
 
 def main() -> None:
     report = run_bench(
-        report_path="BENCH_obs_overhead.json", artifact_dir="."
+        report_path="results/BENCH_obs_overhead.json", artifact_dir="results"
     )
     print(json.dumps(report, indent=2))
-    print("wrote BENCH_obs_overhead.json, obs_sample.trace.json, "
-          "obs_report.txt")
+    print("wrote results/BENCH_obs_overhead.json, "
+          "results/obs_sample.trace.json, results/obs_report.txt")
     assert report["bitwise_identical"]
     assert report["overhead_pct"] <= MAX_OVERHEAD_PCT, (
         f"span overhead {report['overhead_pct']:.1f}% exceeds "

@@ -197,6 +197,7 @@ def run_commit_bench(report_path: str | Path | None = None) -> dict:
         "speedup_asserted_reason": SPEEDUP_ASSERTED_REASON,
     }
     if report_path:
+        Path(report_path).parent.mkdir(parents=True, exist_ok=True)
         Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
     # Asserted after the artifact is written so a failing run still
     # leaves its numbers behind for debugging.
@@ -248,9 +249,9 @@ def main(argv: list[str] | None = None) -> None:
     commit_only = "--commit-only" in argv
     if not commit_only:
         _full_report()
-    report = run_commit_bench(report_path="BENCH_optimizer_hotpath.json")
+    report = run_commit_bench(report_path="results/BENCH_optimizer_hotpath.json")
     print(json.dumps(report, indent=2))
-    print("wrote BENCH_optimizer_hotpath.json")
+    print("wrote results/BENCH_optimizer_hotpath.json")
 
 
 def _full_report() -> None:

@@ -154,6 +154,7 @@ def run_bench(report_path: str | Path | None = None) -> dict:
         "speedup_asserted_reason": SPEEDUP_ASSERTED_REASON,
     }
     if report_path:
+        Path(report_path).parent.mkdir(parents=True, exist_ok=True)
         Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
     # Always-armed structural gate: the pooled sweep must have compared
     # the full benchmark x method matrix, not a silently-truncated one.
@@ -177,9 +178,9 @@ def test_parallel_harness_exact_and_fast():
 
 
 def main() -> None:
-    report = run_bench(report_path="BENCH_parallel_harness.json")
+    report = run_bench(report_path="results/BENCH_parallel_harness.json")
     print(json.dumps(report, indent=2))
-    print("wrote BENCH_parallel_harness.json")
+    print("wrote results/BENCH_parallel_harness.json")
 
 
 if __name__ == "__main__":

@@ -178,6 +178,7 @@ def run_bench(report_path: str | Path | None = None) -> dict:
         ),
     }
     if report_path:
+        Path(report_path).parent.mkdir(parents=True, exist_ok=True)
         Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -193,9 +194,9 @@ def test_resilience_parity_and_resume():
 
 
 def main() -> None:
-    report = run_bench(report_path="BENCH_resilience.json")
+    report = run_bench(report_path="results/BENCH_resilience.json")
     print(json.dumps(report, indent=2))
-    print("wrote BENCH_resilience.json")
+    print("wrote results/BENCH_resilience.json")
 
 
 if __name__ == "__main__":

@@ -65,13 +65,33 @@ replays the streamed prefix instead of re-running from step 0.
 
 **Authenticated wire.**  Started with a shared key (``--auth-key-file``
 or the ``REPRO_FLEET_AUTH_KEY`` / ``..._FILE`` env vars), every request
-except ``/health``/``/healthz`` must carry a valid ``X-Repro-Auth``
-header — a timestamped, nonce-bearing HMAC
+except ``/health``/``/healthz``/``/metrics``/``/best`` must carry a
+valid ``X-Repro-Auth`` header — a timestamped, nonce-bearing HMAC
 (:func:`repro.fleet.wire.sign_request`).  Stale timestamps (outside
 the freshness window) and reused nonces are rejected like bad MACs, so
 a captured request cannot be replayed verbatim; failures get ``401``
 and an ``auth_reject`` WAL record.  Without a key the wire is open
-(trusted network), which is also how the pre-auth tests run.
+(trusted network), which is also how the pre-auth tests run.  The
+unauthenticated routes expose *only* derived telemetry (no payload
+bytes, no task payload access) so probes and scrapers work without
+holding the fleet key.
+
+**Observability** (DESIGN.md Sec. 15).  ``/metrics`` serves Prometheus
+text — request counters and latency histograms per endpoint, queue
+depth / in-flight / oldest-queued-age gauges, lease-to-complete and
+WAL-fsync histograms — fed by the thread-safe
+:class:`repro.obs.timing.Metrics` registry and
+:class:`repro.obs.prom.Histogram`.  ``/best`` serves the fleet-wide
+best-so-far nondominated front per session queue, folded from the
+front summaries workers attach to segment heartbeats.  An optional
+``--trace-file`` records request spans (``broker.submit`` /
+``broker.lease`` / ``broker.complete``) into the schema-v7 span trace;
+each span carries the submitting session's propagated trace context
+(``X-Repro-Trace``), so ``python -m repro.obs.spans`` merges broker,
+worker and scheduler files into one cross-process timeline.  All of it
+is read-side telemetry: queue decisions, payload bytes and WAL
+contents are untouched, so a traced fleet run stays bitwise identical
+to an untraced one.
 """
 
 from __future__ import annotations
@@ -83,8 +103,10 @@ import os
 import sys
 import threading
 import time
+import urllib.parse
 import uuid
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -93,12 +115,25 @@ from repro.fleet.wal import WalWriter, scan_wal
 from repro.fleet.wire import (
     AUTH_FRESHNESS_S,
     AUTH_HEADER,
+    TRACE_HEADER,
     WIRE_HEADER,
     NonceCache,
     load_auth_key,
     verify_request_auth,
     wire_fingerprint,
 )
+from repro.obs.front import FrontTracker
+from repro.obs.prom import (
+    FSYNC_BUCKETS_S,
+    LATENCY_BUCKETS_S,
+    LEASE_BUCKETS_S,
+    Histogram,
+    counter,
+    gauge,
+    histogram_family,
+    render_metrics,
+)
+from repro.obs.timing import Metrics
 
 __all__ = [
     "FleetBroker",
@@ -147,7 +182,13 @@ def _count_commits(data: bytes) -> int:
 
 @dataclass
 class Task:
-    """One unit of queued work (payload opaque to the broker)."""
+    """One unit of queued work (payload opaque to the broker).
+
+    ``trace`` is the submitter's propagated ``X-Repro-Trace`` context
+    (telemetry only — never part of dispatch decisions);
+    ``submitted_wall``/``leased_wall`` stamp the queue-age gauge and
+    the lease-to-complete latency histogram.
+    """
 
     task_id: str
     queue: str
@@ -162,6 +203,9 @@ class Task:
     result: bytes | None = None
     completed_by: str | None = None
     exec_s: float = 0.0
+    trace: str | None = None
+    submitted_wall: float | None = None
+    leased_wall: float | None = None
 
 
 @dataclass
@@ -204,6 +248,7 @@ class FleetBroker:
         wallclock=time.time,
         compact_bytes: int | None = None,
         auth_freshness_s: float = AUTH_FRESHNESS_S,
+        trace_path: str | Path | None = None,
     ):
         self.lease_ttl_s = float(lease_ttl_s)
         self.auth_key = auth_key
@@ -227,7 +272,30 @@ class FleetBroker:
         self.auth_rejects = 0
         self.reconnects = 0
         self.resume_grants = 0
+        self.submits = 0
+        self.leases = 0
+        self.completions = 0
+        self.heartbeats = 0
+        self.wal_records = 0
         self._started = self._clock()
+        # Telemetry plane: per-endpoint request counters/latency, the
+        # lease-to-complete and WAL-fsync histograms, and the
+        # best-so-far aggregation workers feed via heartbeats.  All
+        # read-side — dispatch and WAL contents never depend on them.
+        self.metrics = Metrics()
+        self.request_latency: dict[str, Histogram] = {}
+        self.lease_to_complete = Histogram(LEASE_BUCKETS_S)
+        self.wal_fsync = Histogram(FSYNC_BUCKETS_S)
+        self._task_fronts: dict[str, dict] = {}  # task_id -> summary
+        self._queue_best: dict[str, dict] = {}  # queue -> merged summary
+        self._spans = None
+        self._trace_writer = None
+        if trace_path is not None:
+            from repro.obs.spans import SpanRecorder
+            from repro.obs.trace import JsonlTraceWriter
+
+            self._trace_writer = JsonlTraceWriter(trace_path)
+            self._spans = SpanRecorder(self._trace_writer)
         self._wal: WalWriter | None = None
         # Rehydration is opt-in via state_dir: a plain --log-dir journal
         # is written, never read back (PR-8 semantics), so a leftover
@@ -253,7 +321,11 @@ class FleetBroker:
                 if valid < wal_path.stat().st_size:
                     os.truncate(wal_path, valid)  # drop the torn tail
                 start_seq = last_seq + 1
-            self._wal = WalWriter(wal_path, start_seq=start_seq)
+            self._wal = WalWriter(
+                wal_path,
+                start_seq=start_seq,
+                observe_fsync=self.wal_fsync.observe,
+            )
             if start_seq:
                 with self._lock:
                     self.restarts += 1
@@ -285,6 +357,7 @@ class FleetBroker:
         if self._wal is None:
             return
         self._wal.append({"event": event, "t": self._wallclock(), **fields})
+        self.wal_records += 1
         if (
             self._compact_bytes
             and self._wal.bytes >= self._compact_bytes
@@ -322,8 +395,11 @@ class FleetBroker:
                 queue=queue,
                 payload=base64.b64decode(record.get("payload_b64", "")),
                 seq=self._seq,
+                trace=record.get("trace") or None,
+                submitted_wall=record.get("t"),
             )
             self._seq += 1
+            self.submits += 1
             self._tasks[task.task_id] = task
             self._queues[queue].append(task.task_id)
         elif event == "register":
@@ -347,6 +423,8 @@ class FleetBroker:
             task.worker = record.get("worker")
             task.attempts = int(record.get("attempt", task.attempts + 1))
             task.deadline = self._replayed_deadline(record)
+            task.leased_wall = record.get("t", task.leased_wall)
+            self.leases += 1
             self._leases[lease_id] = task.task_id
             self._active[task.queue] += 1
             self._served[task.queue] = self._tick
@@ -354,6 +432,7 @@ class FleetBroker:
             if task.worker in self._workers:
                 self._workers[task.worker].leases_taken += 1
         elif event == "renew":
+            self.heartbeats += 1
             task = self._tasks.get(record.get("task", ""))
             if task is not None and task.state == LEASED:
                 task.deadline = self._replayed_deadline(record)
@@ -392,6 +471,7 @@ class FleetBroker:
             task.exec_s = float(record.get("exec_s", 0.0))
             task.lease_id = None
             task.deadline = None
+            self.completions += 1
             worker = record.get("worker", "")
             if worker in self._workers:
                 self._workers[worker].completed += 1
@@ -444,6 +524,9 @@ class FleetBroker:
                 "lease": t.lease_id, "worker": t.worker,
                 "payload_b64": base64.b64encode(t.payload).decode(),
                 "exec_s": t.exec_s,
+                "trace": t.trace,
+                "submitted_wall": t.submitted_wall,
+                "leased_wall": t.leased_wall,
             }
             if t.deadline is not None:
                 entry["expires_wall"] = wall + (t.deadline - now)
@@ -483,6 +566,10 @@ class FleetBroker:
                 "auth_rejects": self.auth_rejects,
                 "reconnects": self.reconnects,
                 "resume_grants": self.resume_grants,
+                "submits": self.submits,
+                "leases": self.leases,
+                "completions": self.completions,
+                "heartbeats": self.heartbeats,
             },
         }
 
@@ -526,6 +613,9 @@ class FleetBroker:
                 lease_id=entry.get("lease"),
                 worker=entry.get("worker"),
                 exec_s=float(entry.get("exec_s", 0.0)),
+                trace=entry.get("trace") or None,
+                submitted_wall=entry.get("submitted_wall"),
+                leased_wall=entry.get("leased_wall"),
             )
             if "result_b64" in entry:
                 task.result = base64.b64decode(entry["result_b64"])
@@ -546,6 +636,7 @@ class FleetBroker:
             if name in (
                 "duplicates", "expiries", "restarts",
                 "auth_rejects", "reconnects", "resume_grants",
+                "submits", "leases", "completions", "heartbeats",
             ):
                 setattr(self, name, int(value))
 
@@ -645,14 +736,37 @@ class FleetBroker:
                 self._ensure_queue(queue)
                 self._log("queue", queue=queue)
 
+    def _request_span(self, name: str, trace_text: str | None, **args):
+        """A request-span context under the task's propagated trace.
+
+        No-op without ``--trace-file``.  The span parents into the
+        submitter's span (``remote_parent``) so the exporter chains
+        ``submit → lease → execute → complete`` across processes.
+        """
+        if self._spans is None:
+            return nullcontext()
+        from repro.obs.spans import parse_trace_context
+
+        trace_id, remote_parent = parse_trace_context(trace_text)
+        return self._spans.span(
+            name, cat="broker",
+            trace=trace_id, remote_parent=remote_parent, **args,
+        )
+
     def submit(
-        self, queue: str, payload: bytes, task_id: str | None = None
+        self,
+        queue: str,
+        payload: bytes,
+        task_id: str | None = None,
+        trace: str | None = None,
     ) -> str:
         """Enqueue one payload; idempotent on a client-supplied id.
 
         A retried ``/submit`` whose first response was lost (broker
         crash, dropped connection) re-sends the same ``task_id``; the
         broker returns the existing task without re-queueing it.
+        ``trace`` is the submitter's ``X-Repro-Trace`` context, stored
+        on the task and echoed to the leasing worker.
         """
         with self._lock:
             if task_id is not None and task_id in self._tasks:
@@ -664,14 +778,22 @@ class FleetBroker:
                 self._log("queue", queue=queue)
             task = Task(
                 task_id=task_id, queue=queue, payload=payload, seq=self._seq,
+                trace=trace or None,
+                submitted_wall=self._wallclock(),
             )
             self._seq += 1
+            self.submits += 1
             self._tasks[task_id] = task
             self._queues[queue].append(task_id)
             self._log(
                 "submit", queue=queue, task=task_id,
                 payload_b64=base64.b64encode(payload).decode(),
+                **({"trace": trace} if trace else {}),
             )
+        with self._request_span(
+            "broker.submit", trace, task=task_id, queue=queue
+        ):
+            pass
         return task_id
 
     def _pick_queue(self, allowed: set[str] | None) -> str | None:
@@ -694,7 +816,8 @@ class FleetBroker:
         """Grant one task to ``worker_id``, or ``None`` when idle.
 
         ``queues`` restricts the grant to the worker's capability set.
-        Returns ``{task_id, lease_id, queue, ttl_s, payload, attempt}``.
+        Returns ``{task_id, lease_id, queue, ttl_s, payload, attempt,
+        trace}``.
         """
         now = self._clock()
         with self._lock:
@@ -709,6 +832,8 @@ class FleetBroker:
             task.worker = worker_id
             task.deadline = now + self.lease_ttl_s
             task.attempts += 1
+            task.leased_wall = self._wallclock()
+            self.leases += 1
             self._leases[lease_id] = task.task_id
             self._active[queue] += 1
             self._served[queue] = self._tick
@@ -720,14 +845,22 @@ class FleetBroker:
                 attempt=task.attempts, lease=lease_id,
                 expires_wall=self._wallclock() + self.lease_ttl_s,
             )
-            return {
+            grant = {
                 "task_id": task.task_id,
                 "lease_id": lease_id,
                 "queue": queue,
                 "ttl_s": self.lease_ttl_s,
                 "attempt": task.attempts,
                 "payload": task.payload,
+                "trace": task.trace,
             }
+        with self._request_span(
+            "broker.lease", grant["trace"],
+            task=grant["task_id"], queue=queue, worker=worker_id,
+            attempt=grant["attempt"],
+        ):
+            pass
+        return grant
 
     def heartbeat(
         self,
@@ -735,6 +868,7 @@ class FleetBroker:
         segment: bytes | None = None,
         reset: bool = False,
         offset: int | None = None,
+        front: dict | None = None,
     ) -> bool:
         """Renew one lease; ``False`` means it already expired (stop
         working — the task has been or will be re-issued).
@@ -743,6 +877,12 @@ class FleetBroker:
         they are buffered (and WAL-logged) against the task so a
         re-issued lease can resume mid-cell.  A segment on a dead lease
         is dropped — the previous buffer is exactly the resume prefix.
+
+        ``front`` is the worker's running best-so-far front summary
+        (:meth:`repro.obs.front.FrontTracker.summary`) for the task —
+        folded into the fleet-wide per-queue aggregate ``/best``
+        serves.  Telemetry only: malformed summaries are dropped, and
+        a heartbeat never fails over its front.
         """
         now = self._clock()
         with self._lock:
@@ -752,6 +892,7 @@ class FleetBroker:
                 return False
             task = self._tasks[task_id]
             task.deadline = now + self.lease_ttl_s
+            self.heartbeats += 1
             self._log(
                 "renew", queue=task.queue, task=task_id, worker=task.worker,
                 expires_wall=self._wallclock() + self.lease_ttl_s,
@@ -766,7 +907,32 @@ class FleetBroker:
                     reset=bool(reset), offset=offset,
                     data_b64=base64.b64encode(segment or b"").decode(),
                 )
+            if isinstance(front, dict):
+                self._fold_front(task_id, task.queue, front)
             return True
+
+    def _fold_front(self, task_id: str, queue: str, front: dict) -> None:
+        """Fold one task's front summary into the queue's best-so-far
+        (lock held).  A hypervolume improvement is journaled as a
+        ``best`` WAL record for the monitor's fleet pane."""
+        self._task_fronts[task_id] = front
+        summaries = [
+            summary
+            for tid, summary in self._task_fronts.items()
+            if (t := self._tasks.get(tid)) is not None and t.queue == queue
+        ]
+        try:
+            merged = FrontTracker.merge_summaries(summaries)
+        except Exception:
+            return  # a malformed summary never fails a heartbeat
+        previous = self._queue_best.get(queue)
+        merged["t"] = self._wallclock()
+        self._queue_best[queue] = merged
+        if previous is None or merged["hv"] > previous.get("hv", 0.0):
+            self._log(
+                "best", queue=queue, hv=merged["hv"], n=merged["n"],
+                commits=merged.get("commits", 0),
+            )
 
     def journal(self, task_id: str, grant: bool = False) -> tuple[bytes, int]:
         """``(buffered_journal_bytes, commits)`` streamed for one task.
@@ -867,6 +1033,11 @@ class FleetBroker:
             task.exec_s = float(exec_s)
             task.lease_id = None
             task.deadline = None
+            self.completions += 1
+            if task.leased_wall is not None:
+                self.lease_to_complete.observe(
+                    max(0.0, self._wallclock() - task.leased_wall)
+                )
             if worker in self._workers:
                 self._workers[worker].completed += 1
                 self._workers[worker].busy_s += float(exec_s)
@@ -876,7 +1047,14 @@ class FleetBroker:
                 status="accepted", exec_s=exec_s,
                 result_b64=base64.b64encode(payload).decode(),
             )
-            return "accepted"
+            trace = task.trace
+            queue = task.queue
+        with self._request_span(
+            "broker.complete", trace,
+            task=task_id, queue=queue, worker=worker,
+        ):
+            pass
+        return "accepted"
 
     def result(self, task_id: str) -> tuple[str, bytes | None]:
         """``(state, outcome_bytes_or_None)`` for one task."""
@@ -891,13 +1069,171 @@ class FleetBroker:
         return self._wal.seq if self._wal is not None else 0
 
     def healthz(self) -> dict:
-        """Liveness snapshot for monitors and CI readiness checks."""
+        """Liveness snapshot for monitors and CI readiness checks.
+
+        ``last_wal_fsync_age_s`` is the wall age of the newest durable
+        WAL record — a stalling disk shows up here before it shows up
+        as lease expiries.  ``None`` (JSON ``null``) without a WAL or
+        before the first fsync.
+        """
+        fsync_age = None
+        if self._wal is not None and self._wal.last_fsync_wall is not None:
+            fsync_age = max(
+                0.0, self._wallclock() - self._wal.last_fsync_wall
+            )
         return {
             "ok": True,
             "wal_seq": self.wal_seq,
             "uptime_s": self._clock() - self._started,
             "restarts": self.restarts,
+            "last_wal_fsync_age_s": fsync_age,
         }
+
+    def observe_request(self, endpoint: str, dur_s: float) -> None:
+        """Count one HTTP request and its latency (handler-timed)."""
+        self.metrics.incr(f"http.{endpoint}")
+        hist = self.request_latency.get(endpoint)
+        if hist is None:
+            with self._lock:
+                hist = self.request_latency.setdefault(
+                    endpoint, Histogram(LATENCY_BUCKETS_S)
+                )
+        hist.observe(dur_s)
+
+    def best(self) -> dict:
+        """Fleet-wide best-so-far per session queue (``/best``).
+
+        ``{"queues": {queue: {n, hv, best, points, commits, t}}}`` —
+        the per-queue merge of every worker's heartbeat front summary.
+        Telemetry only; resets on broker restart.
+        """
+        with self._lock:
+            return {
+                "queues": {
+                    queue: dict(summary)
+                    for queue, summary in sorted(self._queue_best.items())
+                },
+            }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body for ``/metrics``.
+
+        Families and buckets are the registry in DESIGN.md Sec. 15;
+        names are stable — dashboards and SLO rules key on them.
+        """
+        now_wall = self._wallclock()
+        with self._lock:
+            self._expire_leases(self._clock())
+            queue_depth = [
+                ({"queue": q}, len(pending))
+                for q, pending in sorted(self._queues.items())
+            ]
+            inflight = [
+                ({"queue": q}, self._active[q])
+                for q in sorted(self._queues)
+            ]
+            oldest = []
+            for q in sorted(self._queues):
+                ages = [
+                    now_wall - t.submitted_wall
+                    for tid in self._queues[q]
+                    if (t := self._tasks.get(tid)) is not None
+                    and t.submitted_wall is not None
+                ]
+                oldest.append(({"queue": q}, max(ages) if ages else 0.0))
+            best_hv = [
+                ({"queue": q}, summary.get("hv", 0.0))
+                for q, summary in sorted(self._queue_best.items())
+            ]
+            best_n = [
+                ({"queue": q}, summary.get("n", 0))
+                for q, summary in sorted(self._queue_best.items())
+            ]
+            counters = {
+                "submits": self.submits,
+                "leases": self.leases,
+                "completions": self.completions,
+                "heartbeats": self.heartbeats,
+                "expiries": self.expiries,
+                "duplicates": self.duplicates,
+                "auth_rejects": self.auth_rejects,
+                "reconnects": self.reconnects,
+                "restarts": self.restarts,
+                "resume_grants": self.resume_grants,
+                "wal_records": self.wal_records,
+            }
+            workers = len(self._workers)
+            latency_items = sorted(self.request_latency.items())
+        requests = [
+            ({"endpoint": key[len("http."):]}, value)
+            for key, value in sorted(self.metrics.snapshot().items())
+            if key.startswith("http.")
+        ]
+        families = [
+            counter("fleet_requests_total",
+                    "HTTP requests served, by endpoint.", requests),
+            counter("fleet_submits_total",
+                    "Tasks submitted.", counters["submits"]),
+            counter("fleet_leases_total",
+                    "Leases granted.", counters["leases"]),
+            counter("fleet_completions_total",
+                    "Completions accepted (first writer).",
+                    counters["completions"]),
+            counter("fleet_duplicate_completions_total",
+                    "Completions dropped as duplicates.",
+                    counters["duplicates"]),
+            counter("fleet_lease_expiries_total",
+                    "Leases expired and re-queued.", counters["expiries"]),
+            counter("fleet_heartbeats_total",
+                    "Lease renewals received.", counters["heartbeats"]),
+            counter("fleet_auth_rejects_total",
+                    "Requests rejected by wire auth.",
+                    counters["auth_rejects"]),
+            counter("fleet_reconnects_total",
+                    "Client reconnects reported after outages.",
+                    counters["reconnects"]),
+            counter("fleet_restarts_total",
+                    "Broker restarts (WAL rehydrations).",
+                    counters["restarts"]),
+            counter("fleet_resume_grants_total",
+                    "Mid-cell resume prefixes served.",
+                    counters["resume_grants"]),
+            counter("fleet_wal_records_total",
+                    "WAL records appended this process.",
+                    counters["wal_records"]),
+            gauge("fleet_queue_depth",
+                  "Tasks queued (not leased), by queue.", queue_depth),
+            gauge("fleet_inflight",
+                  "Leases in flight, by queue.", inflight),
+            gauge("fleet_oldest_queued_age_seconds",
+                  "Age of the oldest queued task, by queue.", oldest),
+            gauge("fleet_workers_registered",
+                  "Workers ever registered.", workers),
+            gauge("fleet_uptime_seconds",
+                  "Broker uptime.", self._clock() - self._started),
+            gauge("fleet_best_hypervolume",
+                  "Fleet-wide best-so-far front hypervolume, by queue.",
+                  best_hv),
+            gauge("fleet_best_front_size",
+                  "Fleet-wide best-so-far front size, by queue.", best_n),
+            histogram_family(
+                "fleet_request_latency_seconds",
+                "HTTP request handling latency, by endpoint.",
+                [({"endpoint": endpoint}, hist)
+                 for endpoint, hist in latency_items],
+            ),
+            histogram_family(
+                "fleet_lease_to_complete_seconds",
+                "Lease grant to accepted completion, per task.",
+                self.lease_to_complete,
+            ),
+            histogram_family(
+                "fleet_wal_fsync_seconds",
+                "WAL append fsync duration.",
+                self.wal_fsync,
+            ),
+        ]
+        return render_metrics(families)
 
     def stats(self) -> dict:
         """JSON-able snapshot for dashboards and tests."""
@@ -965,6 +1301,10 @@ class FleetBroker:
                     self._log("shutdown")
             self._wal.close()
             self._wal = None
+        if self._trace_writer is not None:
+            self._trace_writer.close()
+            self._trace_writer = None
+            self._spans = None
 
 
 # ----------------------------------------------------------------------
@@ -1042,11 +1382,25 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         with self.server.track_inflight():  # type: ignore[attr-defined]
-            self._get()
+            start = time.perf_counter()
+            try:
+                self._get()
+            finally:
+                self.broker.observe_request(
+                    self.path.partition("?")[0],
+                    time.perf_counter() - start,
+                )
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         with self.server.track_inflight():  # type: ignore[attr-defined]
-            self._post()
+            start = time.perf_counter()
+            try:
+                self._post()
+            finally:
+                self.broker.observe_request(
+                    self.path.partition("?")[0],
+                    time.perf_counter() - start,
+                )
 
     def _get(self) -> None:
         path, _, query = self.path.partition("?")
@@ -1058,6 +1412,18 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/healthz":
             self._json(200, self.broker.healthz())
+            return
+        if path == "/metrics":
+            # Unauthenticated like /healthz: derived telemetry only,
+            # so Prometheus-style scrapers need no fleet key.
+            self._send(
+                200,
+                self.broker.metrics_text().encode(),
+                "text/plain; version=0.0.4",
+            )
+            return
+        if path == "/best":
+            self._json(200, self.broker.best())
             return
         if not self._check_auth("GET", b""):
             return
@@ -1115,6 +1481,7 @@ class _Handler(BaseHTTPRequestHandler):
             task_id = self.broker.submit(
                 params.get("queue", "default"), body,
                 task_id=params.get("task_id") or None,
+                trace=self.headers.get(TRACE_HEADER) or None,
             )
             self._json(200, {"task_id": task_id})
         elif path == "/lease":
@@ -1128,6 +1495,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json(200, {"task_id": None})
             else:
                 payload = grant.pop("payload")
+                extra = {}
+                if grant.get("trace"):
+                    extra["X_Repro_Trace"] = grant["trace"]
                 self._send(
                     200,
                     payload,
@@ -1137,11 +1507,20 @@ class _Handler(BaseHTTPRequestHandler):
                     X_Queue=grant["queue"],
                     X_Lease_Ttl=grant["ttl_s"],
                     X_Attempt=grant["attempt"],
+                    **extra,
                 )
         elif path == "/heartbeat":
             # Segment-bearing heartbeats put the lease in the query and
             # the raw journal bytes in the body; plain renewals still
-            # send the original JSON body.
+            # send the original JSON body.  ``front`` (URL-encoded
+            # JSON) is the worker's best-so-far summary for the task.
+            front = None
+            front_text = params.get("front")
+            if front_text:
+                try:
+                    front = json.loads(urllib.parse.unquote_plus(front_text))
+                except ValueError:
+                    front = None  # telemetry never fails a heartbeat
             lease_id = params.get("lease_id")
             if lease_id is not None:
                 offset = params.get("offset") or None
@@ -1149,10 +1528,13 @@ class _Handler(BaseHTTPRequestHandler):
                     lease_id, segment=body or None,
                     reset=params.get("reset") == "1",
                     offset=None if offset is None else int(offset),
+                    front=front,
                 )
             else:
                 msg = json.loads(body or b"{}")
-                ok = self.broker.heartbeat(msg.get("lease_id", ""))
+                ok = self.broker.heartbeat(
+                    msg.get("lease_id", ""), front=front
+                )
             self._json(200 if ok else 410, {"ok": ok})
         elif path == "/complete":
             try:
@@ -1251,12 +1633,14 @@ def serve(
     auth_key: bytes | None = None,
     port_file: str | Path | None = None,
     compact_bytes: int | None = None,
+    trace_file: str | Path | None = None,
 ) -> BrokerServer:
     """Build a serving-ready broker (caller runs ``serve_forever``).
 
     ``state_dir`` both persists and rehydrates (and compacts) the WAL;
     plain ``log_dir`` keeps the PR-8 behavior — the journal is written
-    for the monitor, never read back or compacted.
+    for the monitor, never read back or compacted.  ``trace_file``
+    records request spans for the merged Perfetto timeline.
     """
     log_path = (
         Path(log_dir) / "broker.fleet.jsonl" if log_dir is not None else None
@@ -1267,6 +1651,7 @@ def serve(
         state_dir=state_dir,
         auth_key=auth_key,
         compact_bytes=compact_bytes,
+        trace_path=trace_file,
     )
     return BrokerServer(
         (host, port), broker, verbose=verbose, port_file=port_file
@@ -1347,6 +1732,11 @@ def main(argv: list[str] | None = None) -> int:
         help="write the bound port number to this file once listening "
              "(removed again on graceful shutdown)",
     )
+    parser.add_argument(
+        "--trace-file", default="",
+        help="record broker request spans (schema-v7 JSONL) here for "
+             "the merged cross-process Perfetto timeline",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -1360,6 +1750,7 @@ def main(argv: list[str] | None = None) -> int:
         verbose=args.verbose,
         port_file=args.port_file or None,
         compact_bytes=None if args.compact_bytes < 0 else args.compact_bytes,
+        trace_file=args.trace_file or None,
     )
     if server.port_file is not None:
         server.port_file.write_text(str(server.server_address[1]))

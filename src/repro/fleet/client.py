@@ -41,6 +41,7 @@ import zlib
 
 from repro.fleet.wire import (
     AUTH_HEADER,
+    TRACE_HEADER,
     WIRE_HEADER,
     sign_request,
     wire_fingerprint,
@@ -72,17 +73,28 @@ class WireAuthError(BrokerError):
 
 
 class LeaseGrant:
-    """One granted lease: identity plus the opaque payload bytes."""
+    """One granted lease: identity plus the opaque payload bytes.
 
-    __slots__ = ("task_id", "lease_id", "queue", "ttl_s", "attempt", "payload")
+    ``trace`` is the task's propagated ``"<trace_id>:<span_id>"``
+    context (the scheduler's submit span), or ``None`` for untraced
+    submissions.
+    """
 
-    def __init__(self, task_id, lease_id, queue, ttl_s, attempt, payload):
+    __slots__ = (
+        "task_id", "lease_id", "queue", "ttl_s", "attempt", "payload",
+        "trace",
+    )
+
+    def __init__(
+        self, task_id, lease_id, queue, ttl_s, attempt, payload, trace=None
+    ):
         self.task_id = task_id
         self.lease_id = lease_id
         self.queue = queue
         self.ttl_s = ttl_s
         self.attempt = attempt
         self.payload = payload
+        self.trace = trace
 
 
 def _default_retry_policy():
@@ -131,6 +143,10 @@ class BrokerClient:
         self.transport = transport
         self.on_reconnect = on_reconnect
         self.reconnects = 0
+        #: Formatted ``"<trace_id>:<span_id>"`` context stamped as
+        #: ``X-Repro-Trace`` on every request while set (the scheduler
+        #: points it at the active submit span).  Telemetry only.
+        self.trace_context: str | None = None
         self._retry_policy = retry_policy
         self._wire = wire_fingerprint()
         self._rng = random.Random(
@@ -164,6 +180,8 @@ class BrokerClient:
         nonce and never trips the broker's replay rejection.
         """
         headers = {WIRE_HEADER: self._wire, "Content-Type": ctype}
+        if self.trace_context:
+            headers[TRACE_HEADER] = self.trace_context
         if self.auth_key is not None:
             headers[AUTH_HEADER] = sign_request(
                 self.auth_key, method, path, body or b""
@@ -314,6 +332,7 @@ class BrokerClient:
             ttl_s=float(headers["X-Lease-Ttl"]),
             attempt=int(headers["X-Attempt"]),
             payload=data,
+            trace=headers.get(TRACE_HEADER) or None,
         )
 
     def heartbeat(
@@ -322,26 +341,30 @@ class BrokerClient:
         segment: bytes | None = None,
         reset: bool = False,
         offset: int | None = None,
+        front: dict | None = None,
     ) -> bool:
         """Renew one lease, optionally shipping new cell-journal bytes.
 
         ``offset`` is the segment's start position in the worker's
         stream (bytes acknowledged since the last reset) — the broker
         uses it to drop re-delivered bytes when a retry or duplicate
-        transport delivery lands twice.
+        transport delivery lands twice.  ``front`` attaches the
+        worker's running best-so-far summary (JSON-able dict) for the
+        broker's fleet-wide ``/best`` aggregation.
         """
-        if segment is None and not reset:
+        if segment is None and not reset and front is None:
             status, _, _data = self._json_post(
                 "/heartbeat", {"lease_id": lease_id}
             )
             return status == 200
-        query = urllib.parse.urlencode(
-            {
-                "lease_id": lease_id,
-                "reset": "1" if reset else "0",
-                "offset": "" if offset is None else str(int(offset)),
-            }
-        )
+        params = {
+            "lease_id": lease_id,
+            "reset": "1" if reset else "0",
+            "offset": "" if offset is None else str(int(offset)),
+        }
+        if front is not None:
+            params["front"] = json.dumps(front)
+        query = urllib.parse.urlencode(params)
         status, _, _data = self._request(
             "POST", f"/heartbeat?{query}", segment or b""
         )
@@ -433,11 +456,26 @@ class BrokerClient:
         return json.loads(data)
 
     def healthz(self) -> dict:
-        """Unauthenticated liveness probe (WAL seq, uptime, restarts)."""
+        """Unauthenticated liveness probe (WAL seq, uptime, restarts,
+        WAL-fsync age)."""
         status, _, data = self._request("GET", "/healthz")
         if status != 200:
             raise BrokerError(f"healthz failed ({status}): {data!r}")
         return json.loads(data)
+
+    def best(self) -> dict:
+        """Unauthenticated fleet-wide best-so-far per session queue."""
+        status, _, data = self._request("GET", "/best")
+        if status != 200:
+            raise BrokerError(f"best failed ({status}): {data!r}")
+        return json.loads(data)
+
+    def metrics_text(self) -> str:
+        """Unauthenticated ``/metrics`` Prometheus exposition body."""
+        status, _, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise BrokerError(f"metrics failed ({status}): {data!r}")
+        return data.decode("utf-8", "replace")
 
     def shutdown(self) -> None:
         try:

@@ -26,6 +26,17 @@ Ground truth is shared through the **sharded gtcache**
 leasing any session's cell hits the same fingerprint-keyed store —
 the first worker to need a benchmark's exhaustive sweep pays for it,
 every later cell (any tenant) loads it.
+
+**Trace propagation** (DESIGN.md Sec. 15).  With ``--trace-dir`` the
+scheduler mints one trace id per session, records a ``submit`` span
+per cell into ``schedule.trace.jsonl``, and stamps every submit
+request with ``X-Repro-Trace: <trace>:<submit-span>`` — the broker
+records its marker spans under the same id and hands the context to
+whichever worker leases the cell, so ``python -m repro.obs.spans``
+merges scheduler, broker and all workers into one Perfetto timeline
+with ``submit → lease → execute → complete`` flow arrows.  Trace ids
+are telemetry only (random, outside every seed stream): results stay
+bitwise identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ import argparse
 import json
 import sys
 import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -146,6 +158,42 @@ def run_schedule(
         transport=transport,
         identity="schedule",
     )
+    spans = None
+    trace_writer = None
+    if trace_dir:
+        from repro.obs.spans import SpanRecorder
+        from repro.obs.trace import JsonlTraceWriter
+
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+        trace_writer = JsonlTraceWriter(
+            Path(trace_dir) / "schedule.trace.jsonl"
+        )
+        spans = SpanRecorder(trace_writer)
+
+    def _submit(spec: SessionSpec, trace_id: str | None, job):
+        payload = dump(
+            {"kind": "cell", "job": job, "submitted_at": time.time()}
+        )
+        task_id = uuid.uuid4().hex
+        if spans is None:
+            return client.submit(spec.queue, payload, task_id=task_id)
+        from repro.obs.spans import format_trace_context
+
+        # The submit span is the cell's remote parent: its id travels
+        # in X-Repro-Trace, the broker echoes it to the leasing worker,
+        # and every engine span the cell records parents back here.
+        with spans.span(
+            "submit", cat="fleet", trace=trace_id,
+            task=task_id, queue=spec.queue, session=spec.name,
+        ):
+            client.trace_context = format_trace_context(
+                trace_id, spans.current_span_id()
+            )
+            try:
+                return client.submit(spec.queue, payload, task_id=task_id)
+            finally:
+                client.trace_context = None
+
     sessions: list[tuple[SessionSpec, list, list[str]]] = []
     for spec in specs:
         client.create_queue(spec.queue)
@@ -154,25 +202,19 @@ def run_schedule(
             trace_dir=trace_dir, cache_dir=cache_dir,
             journal_dir=journal_dir,
         )
-        task_ids = [
-            client.submit(
-                spec.queue,
-                dump(
-                    {
-                        "kind": "cell",
-                        "job": job,
-                        "submitted_at": time.time(),
-                    }
-                ),
-            )
-            for job in jobs
-        ]
+        # One trace id per session: every span the session's cells emit
+        # (any worker, any attempt) lands on the same merged timeline.
+        session_trace = uuid.uuid4().hex if spans is not None else None
+        task_ids = [_submit(spec, session_trace, job) for job in jobs]
         sessions.append((spec, jobs, task_ids))
         if verbose:
             print(
                 f"session {spec.name}: submitted {len(jobs)} cells "
                 f"to {spec.queue}"
             )
+
+    if trace_writer is not None:
+        trace_writer.close()
 
     # Poll every outstanding task until all sessions drain (or timeout).
     outcomes: dict[str, object] = {}

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import IO, Any, Iterator
 
@@ -109,14 +110,27 @@ class WalWriter:
     ``seq`` stays strictly monotonic across broker restarts; ``bytes``
     tracks the current file size so the broker can trigger compaction
     without a ``stat`` per append.
+
+    ``observe_fsync`` (optional) is called with each append's fsync
+    duration in seconds — the broker feeds its durability-tax
+    histogram through it — and ``last_fsync_wall`` holds the wall time
+    of the most recent completed fsync (``None`` before the first),
+    surfaced by ``/healthz`` as ``last_wal_fsync_age_s``.
     """
 
-    def __init__(self, path: str | Path, start_seq: int = 0):
+    def __init__(
+        self,
+        path: str | Path,
+        start_seq: int = 0,
+        observe_fsync=None,
+    ):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle: IO[bytes] | None = self.path.open("ab")
         self.seq = int(start_seq)
         self.bytes = self.path.stat().st_size
+        self.observe_fsync = observe_fsync
+        self.last_fsync_wall: float | None = None
 
     def _encode(self, record: dict[str, Any]) -> bytes:
         line = json.dumps({"seq": self.seq, **record}, sort_keys=False)
@@ -131,9 +145,16 @@ class WalWriter:
         data = self._encode(record)
         self._handle.write(data)
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        self._fsync(self._handle)
         self.bytes += len(data)
         return seq
+
+    def _fsync(self, handle: IO[bytes]) -> None:
+        start = time.perf_counter()
+        os.fsync(handle.fileno())
+        self.last_fsync_wall = time.time()
+        if self.observe_fsync is not None:
+            self.observe_fsync(time.perf_counter() - start)
 
     def rotate(self, records: list[dict[str, Any]]) -> None:
         """Atomically replace the log with ``records`` (compaction).
@@ -151,7 +172,7 @@ class WalWriter:
             for record in records:
                 out.write(self._encode(record))
             out.flush()
-            os.fsync(out.fileno())
+            self._fsync(out)
         self._handle.close()
         os.replace(tmp, self.path)
         dir_fd = os.open(self.path.parent, os.O_RDONLY)
@@ -166,7 +187,7 @@ class WalWriter:
         """Flush, fsync and close — the graceful-shutdown tail sync."""
         if self._handle is not None:
             self._handle.flush()
-            os.fsync(self._handle.fileno())
+            self._fsync(self._handle)
             self._handle.close()
             self._handle = None
 

@@ -64,6 +64,7 @@ __all__ = [
     "AUTH_KEY_FILE_ENV",
     "NonceCache",
     "PINNED_FIELDS",
+    "TRACE_HEADER",
     "WIRE_HEADER",
     "WIRE_VERSION",
     "dump",
@@ -88,6 +89,16 @@ WIRE_HEADER = "X-Repro-Wire"
 #: HTTP header carrying ``<timestamp>:<nonce>:<mac>`` when a shared
 #: key is set.
 AUTH_HEADER = "X-Repro-Auth"
+
+#: HTTP header carrying the fleet trace context,
+#: ``"<trace_id>:<parent_span_id>"`` — stamped by the scheduler on
+#: ``/submit``, stored against the task, echoed on the ``/lease``
+#: response and adopted by the worker so every cell's spans parent
+#: into the originating session.  Pure telemetry: optional, additive
+#: (no :data:`WIRE_VERSION` bump) and outside the request MAC — a
+#: stripped or altered context degrades the merged timeline, never
+#: the work.
+TRACE_HEADER = "X-Repro-Trace"
 
 #: Signed-timestamp acceptance window, seconds either side of the
 #: verifier's clock.  Wide enough for rack-local clock drift and a

@@ -49,6 +49,9 @@ _LAZY_EXPORTS = {
     "SpanRecorder": "repro.obs.spans",
     "NULL_SPANS": "repro.obs.spans",
     "export_chrome_trace": "repro.obs.spans",
+    "TRACE_CONTEXT_ENV": "repro.obs.spans",
+    "format_trace_context": "repro.obs.spans",
+    "parse_trace_context": "repro.obs.spans",
 }
 
 
@@ -77,6 +80,9 @@ __all__ = [
     "SpanRecorder",
     "NULL_SPANS",
     "export_chrome_trace",
+    "TRACE_CONTEXT_ENV",
+    "format_trace_context",
+    "parse_trace_context",
     "JOB_TRACE_FIELDS",
     "SPAN_TRACE_FIELDS",
     "STEP_TRACE_FIELDS",

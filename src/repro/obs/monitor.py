@@ -24,15 +24,28 @@ for *newly appended* lines and redraws in place:
   the simulated clock;
 - fleet brokers (one block per ``*.fleet.jsonl`` event log from
   ``python -m repro.fleet.broker --log-dir``): per-queue progress and
-  lease depth, per-agent lease churn and busy time, plus lease-expiry
-  and duplicate-completion counters.
+  lease depth, per-agent lease churn and busy time, lease-expiry and
+  duplicate-completion counters, the queue's live best-so-far front
+  (``best`` WAL events), and per-queue wall-time attribution — how
+  long cells spent queued vs evaluating vs in fleet overhead (lease
+  round-trips, journal streaming, result shipping);
+- fleet health (one block per ``*.metrics.jsonl`` series scraped by
+  ``python -m repro.obs.scrape``): endpoint liveness, windowed
+  submit/complete/heartbeat rates and the headline gauges, plus
+  declarative **SLO rules** (``--slo`` / ``--slo-file``,
+  :mod:`repro.obs.slo`) evaluated every refresh — breaches render in
+  the pane, are written to ``--alert-file``, and flip the exit status
+  to 1 so a CI wrapper can gate on fleet health.
 
-The monitor deliberately imports **nothing from the hot path** — not
-even :mod:`repro.obs.trace` — only the standard library.  It re-parses
-raw JSONL itself (torn trailing lines of a live file are expected and
-skipped, and a journal rewritten by a resume is detected by shrinkage
-and re-read from the top), so it can run on any machine that sees the
-files, with zero risk of importing numpy/scipy into a login shell.
+The monitor deliberately imports **nothing from the hot path** — only
+the standard library and its stdlib-only :mod:`repro.obs` siblings
+(:mod:`~repro.obs.front`, :mod:`~repro.obs.slo`,
+:mod:`~repro.obs.prom`), never :mod:`repro.obs.trace` or anything
+that pulls in numpy/scipy.  It re-parses raw JSONL itself (torn
+trailing lines of a live file are expected and skipped, and a journal
+rewritten by a resume is detected by shrinkage and re-read from the
+top), so it can run on any machine that sees the files, with zero
+risk of importing numpy/scipy into a login shell.
 """
 
 from __future__ import annotations
@@ -45,9 +58,19 @@ import time
 from collections import defaultdict
 from pathlib import Path
 
+from repro.obs.front import (
+    hypervolume,
+    pareto_front,
+    point_from_commit,
+    reference_point,
+)
+from repro.obs.prom import metric_value
+from repro.obs.slo import evaluate_rules, parse_rules
+
 __all__ = [
     "TraceTail",
     "FleetState",
+    "MetricsState",
     "PipelineState",
     "SweepState",
     "pareto_front",
@@ -56,70 +79,6 @@ __all__ = [
     "render",
     "main",
 ]
-
-
-# ----------------------------------------------------------------------
-# pure-python Pareto / hypervolume (minimization)
-# ----------------------------------------------------------------------
-
-
-def pareto_front(points: list[tuple[float, ...]]) -> list[tuple[float, ...]]:
-    """Non-dominated subset (all objectives minimized); O(n^2), fine
-    for the tens-to-hundreds of committed points a cell accumulates."""
-    front: list[tuple[float, ...]] = []
-    for p in points:
-        if any(math.isnan(v) for v in p):
-            continue
-        dominated = False
-        for q in points:
-            if q is p:
-                continue
-            if all(a <= b for a, b in zip(q, p)) and any(
-                a < b for a, b in zip(q, p)
-            ):
-                dominated = True
-                break
-        if not dominated and p not in front:
-            front.append(p)
-    return front
-
-
-def _union_area_2d(
-    boxes: list[tuple[float, float]], rx: float, ry: float
-) -> float:
-    """Area of the union of [x, rx] x [y, ry] boxes (staircase sweep)."""
-    pts = sorted({(x, y) for x, y in boxes if x < rx and y < ry})
-    area = 0.0
-    best_y = ry
-    for x, y in pts:  # ascending x
-        if y < best_y:
-            area += (rx - x) * (best_y - y)
-            best_y = y
-    return area
-
-
-def hypervolume(
-    front: list[tuple[float, ...]], ref: tuple[float, ...]
-) -> float:
-    """Dominated hypervolume of a 3-objective front against ``ref``.
-
-    Slices along the third objective: between consecutive z levels the
-    dominated cross-section is a 2-D union of boxes, so the volume is
-    the sum of (slab height x union area).  Exact, stdlib-only, and
-    O(n^2 log n) — plenty for a monitor refresh.
-    """
-    pts = [p for p in front if all(a < b for a, b in zip(p, ref))]
-    if not pts:
-        return 0.0
-    if len(ref) == 2:
-        return _union_area_2d([(p[0], p[1]) for p in pts], ref[0], ref[1])
-    levels = sorted({p[2] for p in pts}) + [ref[2]]
-    volume = 0.0
-    for lo, hi in zip(levels, levels[1:]):
-        active = [(p[0], p[1]) for p in pts if p[2] <= lo]
-        if active:
-            volume += (hi - lo) * _union_area_2d(active, ref[0], ref[1])
-    return volume
 
 
 # ----------------------------------------------------------------------
@@ -214,22 +173,9 @@ class CellState:
                 self.degrades += 1
             if record.get("failed"):
                 self.failed += 1
-            reports = record.get("reports") or []
-            if reports:
-                final = reports[-1]
-                if final.get("valid"):
-                    delay_us = (
-                        _float(final.get("latency_cycles"))
-                        * _float(final.get("clock_ns"))
-                        * 1e-3
-                    )
-                    self.points.append(
-                        (
-                            _float(final.get("power_w")),
-                            delay_us,
-                            _float(final.get("lut_util")),
-                        )
-                    )
+            point = point_from_commit(record)
+            if point is not None:
+                self.points.append(point)
 
     @property
     def progress(self) -> str:
@@ -247,9 +193,7 @@ class CellState:
         ]
         if not pts:
             return None
-        ref = tuple(
-            max(p[i] for p in pts) * 1.1 + 1e-12 for i in range(3)
-        )
+        ref = reference_point(pts)
         return hypervolume(pareto_front(pts), ref)
 
 
@@ -308,6 +252,16 @@ class FleetState:
         self.segments = 0
         self.streamed_commits: dict[str, int] = {}  # task -> commits
         self.resumed: dict[str, int] = {}  # task -> salvaged commits
+        #: Latest ``best`` WAL event per queue (live best-so-far front).
+        self.best: dict[str, dict] = {}
+        # Per-task wall-clock stamps for the attribution rollup: every
+        # WAL record carries ``t``, so queued time is lease.t minus the
+        # moment the task (re)entered the queue, and the gap between
+        # lease-to-complete wall time and the worker's own ``exec_s``
+        # is fleet overhead (lease grant, journal streaming, result
+        # shipping — "network" for short).
+        self._ready_t: dict[str, float] = {}
+        self._lease_t: dict[str, float] = {}
 
     def _worker(self, name: str) -> dict:
         return self.workers.setdefault(
@@ -316,22 +270,36 @@ class FleetState:
 
     def _queue(self, name: str) -> dict:
         return self.queues.setdefault(
-            name, {"submitted": 0, "done": 0, "leased": 0}
+            name,
+            {
+                "submitted": 0, "done": 0, "leased": 0,
+                "queued_s": 0.0, "eval_s": 0.0, "network_s": 0.0,
+            },
         )
 
     def feed(self, record: dict) -> None:
         event = record.get("event")
         queue = record.get("queue", "?")
         worker = record.get("worker", "?")
+        task = record.get("task")
+        t = _float(record.get("t"))
         if event == "register":
             self._worker(worker)
         elif event == "queue":
             self._queue(queue)
         elif event == "submit":
             self._queue(queue)["submitted"] += 1
+            if task and not math.isnan(t):
+                self._ready_t[task] = t
         elif event == "lease":
             self._worker(worker)["leases"] += 1
-            self._queue(queue)["leased"] += 1
+            q = self._queue(queue)
+            q["leased"] += 1
+            if task and not math.isnan(t):
+                ready = self._ready_t.pop(task, None)
+                if ready is not None:
+                    q["queued_s"] += max(0.0, t - ready)
+                self._lease_t[task] = t
         elif event == "renew":
             self.renews += 1
         elif event == "expire":
@@ -340,16 +308,33 @@ class FleetState:
                 self.workers[worker]["expired"] += 1
             q = self._queue(queue)
             q["leased"] = max(0, q["leased"] - 1)
+            if task and not math.isnan(t):
+                # Back in the queue: waiting restarts from the expiry.
+                self._ready_t[task] = t
+                self._lease_t.pop(task, None)
         elif event == "complete":
             if record.get("status") == "duplicate":
                 self.duplicates += 1
                 return
+            exec_s = _float(record.get("exec_s", 0.0)) or 0.0
             w = self._worker(worker)
             w["completed"] += 1
-            w["busy_s"] += _float(record.get("exec_s", 0.0)) or 0.0
+            w["busy_s"] += exec_s
             q = self._queue(queue)
             q["done"] += 1
             q["leased"] = max(0, q["leased"] - 1)
+            q["eval_s"] += exec_s
+            leased = self._lease_t.pop(task, None) if task else None
+            if leased is not None and not math.isnan(t):
+                held = max(0.0, t - leased)
+                q["network_s"] += max(0.0, held - exec_s)
+        elif event == "best":
+            self.best[queue] = {
+                "hv": _float(record.get("hv")),
+                "n": int(record.get("n", 0) or 0),
+                "commits": int(record.get("commits", 0) or 0),
+                "t": t,
+            }
         elif event == "restart":
             self.restarts += 1
         elif event == "auth_reject":
@@ -387,7 +372,7 @@ class FleetState:
             w["expired"] = max(w["expired"], int(info.get("expired", 0)))
             w["busy_s"] = max(w["busy_s"], _float(info.get("busy_s")) or 0.0)
         tallies: dict[str, dict] = {}
-        for entry in (record.get("tasks") or {}).values():
+        for task_id, entry in (record.get("tasks") or {}).items():
             t = tallies.setdefault(
                 entry.get("queue", "?"),
                 {"submitted": 0, "done": 0, "leased": 0},
@@ -398,6 +383,12 @@ class FleetState:
                 t["done"] += 1
             elif state == "leased":
                 t["leased"] += 1
+            # Re-seed the attribution stamps the replaced per-event
+            # rows carried, so in-flight tasks still attribute.
+            if state == "queued" and entry.get("submitted_wall"):
+                self._ready_t[task_id] = _float(entry["submitted_wall"])
+            elif state == "leased" and entry.get("leased_wall"):
+                self._lease_t[task_id] = _float(entry["leased_wall"])
         for queue in record.get("queues") or {}:
             tallies.setdefault(
                 queue, {"submitted": 0, "done": 0, "leased": 0}
@@ -411,6 +402,77 @@ class FleetState:
             self.streamed_commits[task] = int(info.get("commits", 0))
 
 
+class MetricsState:
+    """Scraped ``/metrics`` time series, folded per endpoint URL.
+
+    Fed from the ``*.metrics.jsonl`` files ``python -m repro.obs.
+    scrape`` appends: one ``(t, samples)`` series per URL, bounded to
+    the most recent :data:`KEEP` samples (rates only need the trailing
+    window).  Gap records (``ok: false`` — endpoint down or mid-
+    restart) are counted and flip the liveness flag but never enter
+    the numeric series, so a rate never averages across a hole.
+    """
+
+    #: Samples retained per endpoint — plenty for any rate window.
+    KEEP = 720
+    #: Default trailing window for the pane's per-minute rates.
+    WINDOW_S = 120.0
+
+    def __init__(self) -> None:
+        self.series: dict[str, list[tuple[float, dict]]] = {}
+        self.gaps: dict[str, int] = {}
+        self.alive: dict[str, bool] = {}
+
+    def feed(self, record: dict) -> None:
+        if not isinstance(record, dict):
+            return
+        url = str(record.get("url", "?"))
+        if not record.get("ok"):
+            self.gaps[url] = self.gaps.get(url, 0) + 1
+            self.alive[url] = False
+            return
+        metrics = record.get("metrics")
+        t = _float(record.get("t"))
+        if not isinstance(metrics, dict) or math.isnan(t):
+            return
+        self.alive[url] = True
+        points = self.series.setdefault(url, [])
+        points.append((t, metrics))
+        del points[: -self.KEEP]
+
+    def latest(self, url: str, metric: str) -> float | None:
+        points = self.series.get(url)
+        if not points:
+            return None
+        return metric_value(points[-1][1], metric)
+
+    def rate(
+        self, url: str, metric: str, window_s: float | None = None
+    ) -> float | None:
+        """Per-minute increase of a counter over the trailing window.
+
+        A counter reset (broker restart without its WAL) clamps to 0
+        rather than going negative — same convention as the SLO
+        evaluator's ``rate()``.
+        """
+        window_s = self.WINDOW_S if window_s is None else window_s
+        points = self.series.get(url)
+        if not points or len(points) < 2:
+            return None
+        t1, last = points[-1]
+        v1 = metric_value(last, metric)
+        first = None
+        for t0, samples in reversed(points[:-1]):
+            v0 = metric_value(samples, metric)
+            if v0 is not None:
+                first = (t0, v0)
+            if t1 - t0 >= window_s:
+                break
+        if v1 is None or first is None or t1 <= first[0]:
+            return None
+        return max(0.0, v1 - first[1]) / (t1 - first[0]) * 60.0
+
+
 class SweepState:
     """Everything the monitor knows, folded from all tailed files."""
 
@@ -419,6 +481,7 @@ class SweepState:
         self.tails: dict[Path, TraceTail] = {}
         self.pipelines: dict[str, PipelineState] = {}
         self.fleets: dict[str, FleetState] = {}
+        self.metrics = MetricsState()
         self.faults = 0
         self.degrades = 0
         self.resumes = 0
@@ -445,6 +508,9 @@ class SweepState:
                 fleet = self.fleets.setdefault(path.name, FleetState())
                 for record in records:
                     fleet.feed(record)
+            elif kind == "metrics":
+                for record in records:
+                    self.metrics.feed(record)
             else:
                 for record in records:
                     self._feed_trace(record, path.name)
@@ -487,12 +553,14 @@ def _classify(name: str) -> str:
         return "journal"
     if name.endswith(".fleet.jsonl"):
         return "fleet"
+    if name.endswith(".metrics.jsonl"):
+        return "metrics"
     return "trace"
 
 
 def scan_files(root: Path) -> list[tuple[Path, str]]:
     """All (path, kind) pairs under ``root``; kind is
-    journal|fleet|trace."""
+    journal|fleet|metrics|trace."""
     if root.is_file():
         return [(root, _classify(root.name))]
     return [
@@ -506,7 +574,18 @@ def scan_files(root: Path) -> list[tuple[Path, str]]:
 # ----------------------------------------------------------------------
 
 
-def render(state: SweepState, root: Path, tick: int) -> str:
+def _metric_text(value: float | None, fmt: str = "{:.0f}") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return fmt.format(value)
+
+
+def render(
+    state: SweepState,
+    root: Path,
+    tick: int,
+    breaches: list[dict] | None = None,
+) -> str:
     lines = [f"sweep monitor — {root}  (refresh #{tick})"]
     if state.cells:
         lines.append(
@@ -571,6 +650,24 @@ def render(state: SweepState, root: Path, tick: int) -> str:
                 f"    queue {queue:<34} {q['done']:>4}/{q['submitted']:<4} "
                 f"done  {q['leased']} leased"
             )
+            spent = q["queued_s"] + q["eval_s"] + q["network_s"]
+            if spent > 0:
+                lines.append(
+                    f"      time: queued {q['queued_s']:>8.2f}s | "
+                    f"evaluating {q['eval_s']:>8.2f}s | "
+                    f"fleet overhead {q['network_s']:>7.2f}s"
+                )
+            best = fleet.best.get(queue)
+            if best is not None:
+                hv = best["hv"]
+                hv_text = (
+                    f"{hv:.4f}" if not math.isnan(hv) else "-"
+                )
+                lines.append(
+                    f"      best front: {best['n']} point(s)  "
+                    f"HV {hv_text}  from {best['commits']} "
+                    f"streamed commit(s)"
+                )
         for worker in sorted(fleet.workers):
             w = fleet.workers[worker]
             lines.append(
@@ -578,6 +675,49 @@ def render(state: SweepState, root: Path, tick: int) -> str:
                 f"done {w['completed']:>4}  expired {w['expired']:>2}  "
                 f"busy {w['busy_s']:>8.3f}s"
             )
+    metrics = state.metrics
+    sources = sorted(set(metrics.series) | set(metrics.alive))
+    if sources:
+        lines.append("  fleet health (scraped /metrics):")
+        for url in sources:
+            up = metrics.alive.get(url, False)
+            status = "up  " if up else "DOWN"
+            gaps = metrics.gaps.get(url, 0)
+            uptime = metrics.latest(url, "fleet_uptime_seconds")
+            depth = metrics.latest(url, "fleet_queue_depth")
+            inflight = metrics.latest(url, "fleet_inflight")
+            lines.append(
+                f"    {status} {url}"
+                + (f"  ({gaps} gap(s))" if gaps else "")
+            )
+            lines.append(
+                f"      uptime {_metric_text(uptime, '{:.0f}s'):>7}  "
+                f"depth {_metric_text(depth):>4}  "
+                f"in-flight {_metric_text(inflight):>4}  "
+                f"submit {_metric_text(metrics.rate(url, 'fleet_submits_total'), '{:.1f}/min'):>9}  "
+                f"done {_metric_text(metrics.rate(url, 'fleet_completions_total'), '{:.1f}/min'):>9}  "
+                f"beat {_metric_text(metrics.rate(url, 'fleet_heartbeats_total'), '{:.1f}/min'):>9}"
+            )
+            expiries = metrics.latest(url, "fleet_lease_expiries_total")
+            rejects = metrics.latest(url, "fleet_auth_rejects_total")
+            hv = metrics.latest(url, "fleet_best_hypervolume")
+            if any(v not in (None, 0.0) for v in (expiries, rejects, hv)):
+                lines.append(
+                    f"      expiries {_metric_text(expiries):>4}  "
+                    f"auth rejects {_metric_text(rejects):>4}  "
+                    f"best HV {_metric_text(hv, '{:.4f}'):>8}"
+                )
+    if breaches is not None:
+        if breaches:
+            lines.append(f"  SLO: {len(breaches)} BREACH(ES)")
+            for breach in breaches:
+                lines.append(
+                    f"    BREACH [{breach.get('source', '?')}] "
+                    f"{breach.get('rule', '?')}  observed "
+                    f"{breach.get('observed')}"
+                )
+        else:
+            lines.append("  SLO: ok")
     lines.append(
         f"  faults: {state.faults}  degrades: {state.degrades}  "
         f"resumes: {state.resumes}  trace events: {state.trace_events}"
@@ -624,30 +764,74 @@ def main(argv: list[str] | None = None) -> int:
         "--iterations", type=int, default=0,
         help="stop after N refreshes (0 = until interrupted)",
     )
+    parser.add_argument(
+        "--slo", action="append", default=[], metavar="RULE",
+        help="SLO rule over the scraped metrics series, e.g. "
+             "'rate(fleet_lease_expiries_total) <= 2/min over 120s' "
+             "(repeatable; see repro.obs.slo)",
+    )
+    parser.add_argument(
+        "--slo-file", default="",
+        help="file of SLO rules, one per line (# comments allowed)",
+    )
+    parser.add_argument(
+        "--alert-file", default="",
+        help="write breach records (JSON) here whenever a rule fires",
+    )
     args = parser.parse_args(argv)
     root = Path(args.path)
     if not root.exists():
         print(f"no such path: {root}", file=sys.stderr)
         return 1
+    rule_texts = list(args.slo)
+    if args.slo_file:
+        rule_texts.extend(
+            Path(args.slo_file).read_text(encoding="utf-8").splitlines()
+        )
+    try:
+        rules = parse_rules("\n".join(rule_texts))
+    except ValueError as exc:
+        print(f"bad SLO rule: {exc}", file=sys.stderr)
+        return 2
+
     state = SweepState()
     tick = 0
+    breached = False
+
+    def _evaluate() -> list[dict] | None:
+        nonlocal breached
+        if not rules:
+            return None
+        breaches = evaluate_rules(rules, state.metrics.series)
+        if breaches:
+            breached = True
+            if args.alert_file:
+                Path(args.alert_file).write_text(
+                    json.dumps(
+                        {"breaches": breaches, "tick": tick},
+                        indent=2, sort_keys=True,
+                    ) + "\n",
+                    encoding="utf-8",
+                )
+        return breaches
+
     try:
         while True:
             tick += 1
             state.refresh(root)
-            text = render(state, root, tick)
+            text = render(state, root, tick, breaches=_evaluate())
             if args.once:
                 print(text)
-                return 0
+                return 1 if breached else 0
             # Redraw in place: home the cursor, clear to end of screen.
             sys.stdout.write("\x1b[H\x1b[J" + text + "\n")
             sys.stdout.flush()
             if args.iterations and tick >= args.iterations:
-                return 0
+                return 1 if breached else 0
             time.sleep(args.interval)
     except KeyboardInterrupt:
         print()
-        return 0
+        return 1 if breached else 0
 
 
 if __name__ == "__main__":

@@ -86,6 +86,13 @@ def summarize_run(paths: list[str | Path]) -> dict:
     t_max = -math.inf
     covered_s = 0.0  # top-level span time (no parent): wall coverage
     n_spans = 0
+    # Fleet lifecycle marks per task id, harvested from the merged
+    # cross-process trace: the scheduler's ``submit`` span, the
+    # broker's ``broker.lease``/``broker.complete`` markers and the
+    # worker's ``execute`` span all carry ``args.task`` and an
+    # epoch-anchored ``t0``, so one pass yields the full
+    # queued → leased → evaluating → network attribution per cell.
+    fleet_marks: defaultdict[str, dict] = defaultdict(dict)
     for path in files:
         for record in iter_trace(path, tolerant=True):
             record = upgrade_record(record)
@@ -116,6 +123,18 @@ def summarize_run(paths: list[str | Path]) -> dict:
                         f"{record.get('tname', '?')}"
                     )
                     worker_busy_s[worker] += dur
+                name = record.get("name")
+                span_args = record.get("args") or {}
+                task = span_args.get("task")
+                if task and t0 is not None and name in (
+                    "submit", "broker.lease", "execute", "broker.complete"
+                ):
+                    mark = fleet_marks[str(task)]
+                    mark[name] = float(t0)
+                    if name == "execute":
+                        mark["exec_s"] = dur
+                    if span_args.get("queue"):
+                        mark.setdefault("queue", span_args["queue"])
             elif event in ("step", "commit"):
                 eval_counts[record.get("fidelity", "?")] += 1
                 flow_runtime_s += float(record.get("flow_runtime_s") or 0.0)
@@ -146,8 +165,46 @@ def summarize_run(paths: list[str | Path]) -> dict:
         "worker_busy_s": dict(worker_busy_s),
         "eval_counts": dict(eval_counts),
         "flow_runtime_s": flow_runtime_s,
+        "fleet_cells": _fleet_attribution(fleet_marks),
         **counters,
     }
+
+
+def _fleet_attribution(marks: dict[str, dict]) -> list[dict]:
+    """Per-cell queued/leased/evaluating/network seconds from marks.
+
+    Only tasks with at least the ``submit`` → ``broker.lease`` pair
+    attribute (a local run has none — the list is simply empty).  All
+    stamps are epoch-anchored wall times from their own host, so on a
+    multi-host fleet the splits carry that clock skew; see DESIGN.md
+    Sec. 15 on clock domains.
+    """
+    cells: list[dict] = []
+    for task, mark in sorted(marks.items()):
+        submitted = mark.get("submit")
+        leased = mark.get("broker.lease")
+        if submitted is None or leased is None:
+            continue
+        completed = mark.get("broker.complete")
+        exec_s = float(mark.get("exec_s") or 0.0)
+        leased_s = (
+            max(0.0, completed - leased) if completed is not None else None
+        )
+        cells.append(
+            {
+                "task": task,
+                "queue": mark.get("queue", "?"),
+                "queued_s": max(0.0, leased - submitted),
+                "leased_s": leased_s,
+                "evaluating_s": exec_s,
+                "network_s": (
+                    max(0.0, leased_s - exec_s)
+                    if leased_s is not None
+                    else None
+                ),
+            }
+        )
+    return cells
 
 
 def _pct(part: float, whole: float) -> str:
@@ -194,6 +251,30 @@ def format_run_summary(summary: dict) -> str:
             summary["worker_busy_s"].items(), key=lambda kv: -kv[1]
         ):
             lines.append(f"    {worker:<24} {busy:>9.3f}s  {_pct(busy, wall)}")
+    cells = summary.get("fleet_cells") or []
+    if cells:
+        lines.append(
+            "  fleet attribution (queued | evaluating | network, per cell):"
+        )
+        totals = {"queued_s": 0.0, "evaluating_s": 0.0, "network_s": 0.0}
+        for cell in cells:
+            net = cell["network_s"]
+            lines.append(
+                f"    {cell['task'][:16]:<16} {cell['queue']:<22} "
+                f"queued {cell['queued_s']:>8.3f}s | "
+                f"eval {cell['evaluating_s']:>8.3f}s | "
+                f"network "
+                + (f"{net:>7.3f}s" if net is not None else "   (open)")
+            )
+            totals["queued_s"] += cell["queued_s"]
+            totals["evaluating_s"] += cell["evaluating_s"]
+            totals["network_s"] += net or 0.0
+        lines.append(
+            f"    {'total':<16} {'':<22} "
+            f"queued {totals['queued_s']:>8.3f}s | "
+            f"eval {totals['evaluating_s']:>8.3f}s | "
+            f"network {totals['network_s']:>7.3f}s"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,204 @@
+"""Declarative SLO rules over scraped ``/metrics`` time series.
+
+Stdlib-only (monitor-side).  A rule is one line in the grammar below
+(DESIGN.md Sec. 15); the monitor and CI evaluate a rule file against
+the JSONL time series ``repro.obs.scrape`` appends and turn breaches
+into an alert report plus a nonzero exit code.
+
+Rule grammar (one rule per line; ``#`` comments and blanks ignored)::
+
+    rate(METRIC)  OP NUMBER [/min] [over WINDOWs]   # windowed rate
+    value(METRIC) OP NUMBER                         # latest sample
+    stall(METRIC) >= WINDOWs                        # no increase for W s
+
+A rule states the **breach condition** — it fires when the comparison
+holds (``rate(fleet_lease_expiries_total) > 2/min`` alerts once
+expiries exceed two per minute), matching how ``stall`` reads.
+
+``METRIC`` is a Prometheus sample name, optionally with a label block
+(``fleet_queue_depth{queue="session.a"}``); a bare family name sums
+its labeled series (:func:`repro.obs.prom.metric_value`).  ``OP`` is
+one of ``< <= > >= == !=``.  Rates are per minute, computed over the
+trailing ``WINDOW`` seconds (default 60) of each scraped endpoint's
+series; counters that reset mid-window (endpoint restart) clamp the
+delta at zero rather than alerting on the wrap.  ``stall`` fires when
+a monotone metric (hypervolume, completions) has not increased for at
+least ``WINDOW`` seconds *and* the series is old enough to know —
+hypervolume stagnation for N minutes is ``stall(fleet_best_
+hypervolume) >= 600s``.
+
+A rule with no matching metric in a series is *not* a breach (the
+fleet may simply not have started that subsystem); use ``value`` on a
+liveness gauge to alert on absence instead.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from dataclasses import dataclass
+
+from repro.obs.prom import metric_value
+
+__all__ = ["Rule", "SloError", "evaluate_rules", "parse_rules"]
+
+_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+_RULE_RE = re.compile(
+    r"""^\s*
+    (?P<kind>rate|value|stall)\s*\(\s*(?P<metric>[^()]+?)\s*\)\s*
+    (?P<op><=|>=|==|!=|<|>)\s*
+    (?P<number>[-+]?[0-9.]+(?:[eE][-+]?[0-9]+)?)\s*
+    (?P<permin>/\s*min)?\s*
+    (?:over\s+(?P<window>[0-9.]+)\s*s)?\s*
+    (?P<seconds>s)?\s*$""",
+    re.VERBOSE,
+)
+
+
+class SloError(ValueError):
+    """A rule line that does not parse."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One parsed SLO rule (see the module grammar)."""
+
+    kind: str  # "rate" | "value" | "stall"
+    metric: str
+    op: str
+    threshold: float
+    window_s: float
+    text: str
+
+    @classmethod
+    def parse(cls, text: str) -> "Rule":
+        match = _RULE_RE.match(text)
+        if match is None:
+            raise SloError(f"bad SLO rule: {text!r}")
+        kind = match.group("kind")
+        threshold = float(match.group("number"))
+        window = match.group("window")
+        window_s = float(window) if window is not None else 60.0
+        if kind == "stall":
+            if match.group("op") not in (">=", ">"):
+                raise SloError(
+                    f"stall() rules use >= (got {text!r})"
+                )
+            # stall(M) >= 300s: the threshold IS the window.
+            window_s = threshold
+        return cls(
+            kind=kind,
+            metric=match.group("metric"),
+            op=match.group("op"),
+            threshold=threshold,
+            window_s=window_s,
+            text=" ".join(text.split()),
+        )
+
+    # -- evaluation ----------------------------------------------------
+
+    def _series_values(
+        self, series: list[tuple[float, dict]]
+    ) -> list[tuple[float, float]]:
+        out = []
+        for t, samples in series:
+            value = metric_value(samples, self.metric)
+            if value is not None:
+                out.append((t, value))
+        return out
+
+    def check(
+        self, series: list[tuple[float, dict]]
+    ) -> dict | None:
+        """One endpoint's breach record, or ``None`` when healthy.
+
+        ``series`` is time-ascending ``(t, parsed_samples)`` pairs for
+        one scraped endpoint.
+        """
+        values = self._series_values(series)
+        if not values:
+            return None
+        if self.kind == "value":
+            t, latest = values[-1]
+            if _OPS[self.op](latest, self.threshold):
+                return self._breach(latest, t)
+            return None
+        if self.kind == "rate":
+            t_end = values[-1][0]
+            window = [
+                (t, v) for t, v in values if t >= t_end - self.window_s
+            ]
+            if len(window) < 2:
+                return None
+            (t0, v0), (t1, v1) = window[0], window[-1]
+            if t1 <= t0:
+                return None
+            # A counter reset (endpoint restart) shows as a negative
+            # delta; clamp instead of alerting on the wrap.
+            per_min = max(0.0, v1 - v0) / (t1 - t0) * 60.0
+            if _OPS[self.op](per_min, self.threshold):
+                return self._breach(per_min, t1)
+            return None
+        # stall: last strict increase older than the window, and the
+        # series spans at least the window (young series can't stall).
+        t_first, t_last = values[0][0], values[-1][0]
+        if t_last - t_first < self.window_s:
+            return None
+        last_rise = t_first
+        high = values[0][1]
+        for t, value in values[1:]:
+            if value > high:
+                high = value
+                last_rise = t
+        stalled_s = t_last - last_rise
+        if stalled_s >= self.window_s:
+            return self._breach(stalled_s, t_last)
+        return None
+
+    def _breach(self, observed: float, t: float) -> dict:
+        return {
+            "rule": self.text,
+            "kind": self.kind,
+            "metric": self.metric,
+            "observed": observed,
+            "threshold": self.threshold,
+            "t": t,
+        }
+
+
+def parse_rules(text: str) -> list[Rule]:
+    """Every rule in a rule-file body (comments/blanks skipped)."""
+    rules = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            rules.append(Rule.parse(line))
+    return rules
+
+
+def evaluate_rules(
+    rules: list[Rule],
+    series_by_source: dict[str, list[tuple[float, dict]]],
+) -> list[dict]:
+    """All breaches across every scraped endpoint's series.
+
+    ``series_by_source`` maps a source label (the scraped URL) to its
+    time-ascending ``(t, samples)`` list; each breach record carries
+    the source it fired on.
+    """
+    breaches = []
+    for source, series in sorted(series_by_source.items()):
+        for rule in rules:
+            breach = rule.check(series)
+            if breach is not None:
+                breach["source"] = source
+                breaches.append(breach)
+    return breaches

@@ -3,22 +3,34 @@
 A :class:`SpanRecorder` turns any sink of trace records (normally a
 :class:`repro.obs.trace.JsonlTraceWriter`) into a hierarchical tracer:
 ``with recorder.span("fit", cat="fit"):`` measures the enclosed block
-and emits one schema-v5 ``event == "span"`` record when it closes,
+and emits one schema-v7 ``event == "span"`` record when it closes,
 carrying
 
-- the **process and thread** that ran it (``pid``, ``tid``, ``tname``),
-  so merged multi-process traces render one track per worker;
+- the **host, process and thread** that ran it (``host``, ``pid``,
+  ``tid``, ``tname``), so merged multi-process — and multi-*machine* —
+  traces render one track per worker without pid-reuse collisions;
 - an explicit **parent id** — each thread keeps its own span stack, so
   nesting is attributed correctly even when the batch engine's eval
   threads run concurrently with the main loop;
+- the **fleet trace context**: a ``trace`` id propagated across
+  processes through the ``X-Repro-Trace`` header (scheduler → broker →
+  worker → cell) plus a ``remote_parent`` — the span id *in the
+  originating process* that this recorder's top-level spans parent
+  into.  The context arrives either explicitly (constructor arguments,
+  per-span overrides) or ambiently through the
+  :data:`TRACE_CONTEXT_ENV` environment variable
+  (``"<trace_id>:<span_id>"``), which is how a fleet worker hands the
+  lease's context to the optimizer's own recorder without plumbing
+  changes;
 - an **epoch-anchored start time**.  Durations are measured with
   ``perf_counter`` (monotonic, high resolution) and mapped onto the
   wall clock through a per-recorder anchor captured at construction:
   ``t0 = anchor + perf_counter_start``.  The wall clock is the shared
   time base across processes on one machine, which is what makes
-  child-process spans merge onto the parent's timeline (clock skew
-  between *machines* is out of scope until the distributed backend
-  lands — see DESIGN.md Sec. 11).
+  child-process spans merge onto the parent's timeline (cross-machine
+  merges rely on NTP-level wall-clock agreement — arrows and track
+  grouping come from the trace context, only the horizontal alignment
+  comes from the clocks; see DESIGN.md Sec. 15).
 
 Recording costs one ``perf_counter`` pair, one dict build and one
 locked JSONL append per span; nothing here touches any RNG, so
@@ -35,9 +47,11 @@ Export: :func:`export_chrome_trace` merges any number of JSONL trace
 files (per-cell optimizer traces, the parallel engine's job trace)
 into a single Chrome trace-event JSON file that opens directly in
 Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` — spans as
-complete ("X") events on per-(pid, tid) tracks, resilience
+complete ("X") events on per-(host, pid, tid) tracks, resilience
 ``fault``/``degrade``/``resume`` records as instant ("i")
-annotations, and ``job`` records as per-worker-process slices.
+annotations, ``job`` records as per-worker-process slices, and fleet
+task lifecycles (spans sharing a ``task`` arg: ``submit → lease →
+execute → complete``) as flow arrows across tracks.
 Command line::
 
     python -m repro.obs.spans TRACE_DIR_OR_FILES... -o run.trace.json
@@ -49,9 +63,11 @@ import argparse
 import itertools
 import json
 import os
+import socket
 import sys
 import threading
 import time
+import zlib
 from contextlib import contextmanager, nullcontext
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping
@@ -63,14 +79,49 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "TRACE_CONTEXT_ENV",
     "SpanRecorder",
     "NullSpanRecorder",
     "NULL_SPANS",
+    "format_trace_context",
+    "parse_trace_context",
     "collect_trace_files",
     "chrome_trace_events",
     "export_chrome_trace",
     "main",
 ]
+
+#: Environment variable carrying an ambient ``"<trace_id>:<span_id>"``
+#: context: a fleet worker sets it around cell execution so recorders
+#: created deep inside the optimizer adopt the lease's trace without
+#: any API plumbing.
+TRACE_CONTEXT_ENV = "REPRO_TRACE_CONTEXT"
+
+
+def format_trace_context(trace: str, span_id: int | None = None) -> str:
+    """``"<trace_id>:<span_id>"`` (or just ``"<trace_id>"``)."""
+    return trace if span_id is None else f"{trace}:{span_id}"
+
+
+def parse_trace_context(
+    text: str | None,
+) -> tuple[str | None, int | None]:
+    """``(trace_id, span_id)`` from a header/env value, tolerant.
+
+    Accepts ``"trace"``, ``"trace:span"``; anything unparseable (or
+    empty) degrades to ``(None, None)`` — a malformed context must
+    never fail a request that is otherwise fine.
+    """
+    if not text:
+        return None, None
+    trace, _, span = text.partition(":")
+    trace = trace.strip()
+    if not trace:
+        return None, None
+    try:
+        return trace, int(span)
+    except ValueError:
+        return trace, None
 
 
 class NullSpanRecorder:
@@ -81,28 +132,52 @@ class NullSpanRecorder:
     def span(self, name: str, cat: str = "run", **kwargs: Any):
         return nullcontext()
 
+    def current_span_id(self) -> None:
+        return None
+
 
 #: The shared no-op recorder used whenever span tracing is off.
 NULL_SPANS = NullSpanRecorder()
 
 
 class SpanRecorder:
-    """Thread-safe nested span tracer writing schema-v5 span records.
+    """Thread-safe nested span tracer writing schema-v7 span records.
 
     ``sink`` is any callable accepting one record dict —
     ``JsonlTraceWriter.write`` in production, a plain ``list.append``
     in tests.  Span ids are unique within the recorder (and therefore
     within the process: one recorder per traced run); cross-process
-    uniqueness is the ``(pid, id)`` pair.
+    uniqueness is the ``(host, pid, id)`` triple.
+
+    ``trace``/``remote_parent`` set the recorder-wide fleet context
+    (every top-level span parents into ``remote_parent`` under trace
+    id ``trace``); when omitted, the ambient :data:`TRACE_CONTEXT_ENV`
+    variable is adopted so a worker-launched optimizer inherits its
+    lease's context automatically.  Both can also be overridden per
+    span (the broker records request spans for many concurrent traces
+    through one recorder).
     """
 
     enabled = True
 
-    def __init__(self, sink: Callable[[Mapping[str, Any]], None]):
+    def __init__(
+        self,
+        sink: Callable[[Mapping[str, Any]], None],
+        trace: str | None = None,
+        remote_parent: int | None = None,
+        host: str | None = None,
+    ):
         if hasattr(sink, "write"):  # accept a JsonlTraceWriter directly
             sink = sink.write
         self._sink = sink
         self._pid = os.getpid()
+        self._host = host or socket.gethostname()
+        if trace is None and remote_parent is None:
+            trace, remote_parent = parse_trace_context(
+                os.environ.get(TRACE_CONTEXT_ENV)
+            )
+        self.trace = trace
+        self.remote_parent = remote_parent
         # Anchor perf_counter onto the epoch once: t_wall = anchor + t_perf.
         self._anchor = time.time() - time.perf_counter()
         self._ids = itertools.count()
@@ -114,6 +189,12 @@ class SpanRecorder:
             stack = self._local.stack = []
         return stack
 
+    def current_span_id(self) -> int | None:
+        """The innermost open span's id on this thread (``None`` at
+        top level) — what an outgoing request stamps as its parent."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
     @contextmanager
     def span(
         self,
@@ -122,6 +203,8 @@ class SpanRecorder:
         step: int | None = None,
         config_index: int | None = None,
         fidelity: str | None = None,
+        trace: str | None = None,
+        remote_parent: int | None = None,
         **args: Any,
     ) -> Iterator[None]:
         """Record the enclosed block as one span (emitted on close)."""
@@ -136,12 +219,15 @@ class SpanRecorder:
         finally:
             dur = time.perf_counter() - start
             stack.pop()
+            if remote_parent is None:
+                remote_parent = self.remote_parent
             self._sink(
                 {
                     "v": TRACE_SCHEMA_VERSION,
                     "event": "span",
                     "name": name,
                     "cat": cat,
+                    "host": self._host,
                     "pid": self._pid,
                     "tid": thread.ident,
                     "tname": thread.name,
@@ -149,6 +235,12 @@ class SpanRecorder:
                     "dur_s": dur,
                     "id": span_id,
                     "parent": parent,
+                    "trace": trace if trace is not None else self.trace,
+                    # A span nested under a local parent already chains
+                    # to the remote context through that parent.
+                    "remote_parent": (
+                        remote_parent if parent is None else None
+                    ),
                     "step": step,
                     "config_index": config_index,
                     "fidelity": fidelity,
@@ -166,7 +258,9 @@ def collect_trace_files(paths: list[str | Path]) -> list[Path]:
     """Expand files/directories into the JSONL trace files to merge.
 
     Directories contribute every ``*.jsonl`` below them except run
-    journals (``*.journal.jsonl`` — replay state, not telemetry).
+    journals (``*.journal.jsonl`` — replay state, not telemetry) and
+    scraped metrics time series (``*.metrics.jsonl`` — samples, not
+    spans).
     """
     files: list[Path] = []
     for raw in paths:
@@ -175,7 +269,9 @@ def collect_trace_files(paths: list[str | Path]) -> list[Path]:
             files.extend(
                 p
                 for p in sorted(path.rglob("*.jsonl"))
-                if not p.name.endswith(".journal.jsonl")
+                if not p.name.endswith(
+                    (".journal.jsonl", ".metrics.jsonl")
+                )
             )
         else:
             files.append(path)
@@ -195,14 +291,20 @@ def chrome_trace_events(
 ) -> list[dict[str, Any]]:
     """Merge trace files into Chrome trace-event dicts.
 
-    Spans become complete ("X") events on their recorded ``(pid,
-    tid)`` track; ``fault``/``degrade``/``resume`` records become
-    instant ("i") annotations on their file's main track; ``job``
-    records (which carry the worker *process* id) become one slice per
-    experiment cell on the worker's own track.  Metadata ("M") events
-    name each process after the run it hosts (``kernel.method`` from
-    the file's ``run_start`` header, or the file stem) and each thread
-    after its recorded ``tname``.
+    Spans become complete ("X") events on their recorded ``(host,
+    pid, tid)`` track — the host qualifier keeps pid reuse across
+    machines from merging unrelated tracks, and pre-v7 records
+    without a ``host`` field fall back to a ``None`` host (the old
+    single-host behavior); ``fault``/``degrade``/``resume`` records
+    become instant ("i") annotations on their file's main track;
+    ``job`` records (which carry the worker *process* id) become one
+    slice per experiment cell on the worker's own track.  Spans that
+    share a ``task`` argument (the fleet lifecycle ``submit → lease →
+    execute → complete``) are chained with flow arrows across tracks.
+    Metadata ("M") events name each process after the run it hosts
+    (``kernel.method`` from the file's ``run_start`` header, or the
+    file stem, plus the recording host when the merge spans several)
+    and each thread after its recorded ``tname``.
 
     Timestamps are wall-clock microseconds rebased to the earliest
     event across all files, so the merged view starts at t=0.
@@ -215,6 +317,7 @@ def chrome_trace_events(
         info: dict[str, Any] = {
             "label": path.stem,
             "pid": None,  # main pid of this file's spans, once seen
+            "host": None,  # recording host, once seen (None pre-v7)
             "threads": {},  # tid -> tname
         }
         last_end: float | None = None  # wall end of latest span line
@@ -228,6 +331,7 @@ def chrome_trace_events(
             elif event == "span":
                 if info["pid"] is None:
                     info["pid"] = record["pid"]
+                    info["host"] = record.get("host")
                 info["threads"].setdefault(
                     record["tid"], record.get("tname")
                 )
@@ -246,12 +350,15 @@ def chrome_trace_events(
 
     # Each file gets its own process track.  Files without spans (e.g.
     # an instants-only trace) get a synthetic pid; so does any file
-    # whose recorded pid is already claimed by an earlier file (two
-    # cells of a sequential sweep run in one process — lumping them
-    # onto one track would hide the second cell behind the first
-    # file's label).  The first file to claim a real pid keeps it, so
-    # parallel-sweep cell spans stay aligned with their worker's
-    # ``job`` slices.
+    # whose recorded (host, pid) is already claimed by an earlier file
+    # (two cells of a sequential sweep run in one process — lumping
+    # them onto one track would hide the second cell behind the first
+    # file's label), and any file whose pid *number* is taken by a
+    # different host (pid reuse across machines — the collision this
+    # host-qualified keying exists to fix).  The first file to claim a
+    # real (host, pid) keeps the pid, so parallel-sweep cell spans
+    # stay aligned with their worker's ``job`` slices; pre-v7 records
+    # without a host fall back to host ``None`` (old behavior).
     synthetic = itertools.count(
         max(
             [i["pid"] for i in file_infos if i["pid"] is not None]
@@ -260,13 +367,16 @@ def chrome_trace_events(
         )
         + 1
     )
-    claimed: set[int] = set()
+    claimed: set[tuple[Any, int]] = set()
+    used_pids: set[int] = set()
     for info in file_infos:
-        if info["pid"] is None or info["pid"] in claimed:
+        key = (info["host"], info["pid"])
+        if info["pid"] is None or key in claimed or info["pid"] in used_pids:
             info["display_pid"] = next(synthetic)
         else:
-            claimed.add(info["pid"])
+            claimed.add(key)
             info["display_pid"] = info["pid"]
+        used_pids.add(info["display_pid"])
 
     starts = (
         [r["t0"] for r, _ in spans]
@@ -279,17 +389,21 @@ def chrome_trace_events(
 
     events: list[dict[str, Any]] = []
     seen_process_names: set[int] = set()
+    hosts = {i["host"] for i in file_infos if i["host"] is not None}
     for info in file_infos:
         pid = info["display_pid"]
         if pid not in seen_process_names:
             seen_process_names.add(pid)
+            label = info["label"]
+            if len(hosts) > 1 and info["host"] is not None:
+                label = f"{label} [{info['host']}]"
             events.append(
                 {
                     "ph": "M",
                     "name": "process_name",
                     "pid": pid,
                     "tid": 0,
-                    "args": {"name": info["label"]},
+                    "args": {"name": label},
                 }
             )
         for tid, tname in info["threads"].items():
@@ -367,6 +481,40 @@ def chrome_trace_events(
                 },
             }
         )
+    # Fleet task lifecycles: chain every span carrying the same
+    # ``task`` argument (scheduler submit, broker request spans,
+    # worker execute) with flow arrows in wall-clock order.  Anchors
+    # sit at each span's midpoint so the arrow binds to the slice
+    # itself, not a neighbor that starts at the same microsecond.
+    flows: dict[str, list[tuple[float, int, int]]] = {}
+    for record, info in spans:
+        task = (record.get("args") or {}).get("task")
+        if not task:
+            continue
+        mid = record["t0"] + max(0.0, record["dur_s"]) / 2.0
+        flows.setdefault(str(task), []).append(
+            (mid, info["display_pid"], record["tid"])
+        )
+    for task, anchors in sorted(flows.items()):
+        if len(anchors) < 2:
+            continue
+        anchors.sort()
+        flow_id = zlib.crc32(task.encode())
+        last = len(anchors) - 1
+        for index, (mid, pid, tid) in enumerate(anchors):
+            phase = "s" if index == 0 else ("f" if index == last else "t")
+            event = {
+                "ph": phase,
+                "id": flow_id,
+                "name": "task",
+                "cat": "fleet",
+                "pid": pid,
+                "tid": tid,
+                "ts": us(mid),
+            }
+            if phase == "f":
+                event["bp"] = "e"  # bind to the enclosing slice
+            events.append(event)
     events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
     return events
 

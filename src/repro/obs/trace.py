@@ -49,7 +49,16 @@ proposals) and ``commit`` lines with ``inflight`` (evaluations still
 pending at commit time; ``null`` for round-barrier commits).  Span
 names gained async semantics: ``propose`` (one fit + fantasize +
 selection), ``inflight_wait`` (blocking on the modeled-next
-evaluation) and ``commit`` wrap the async loop's phases.
+evaluation) and ``commit`` wrap the async loop's phases; v7 added the
+fleet trace-context fields to ``span`` lines — ``host`` (the machine
+that recorded the span; ``(host, pid, tid)`` is the cross-machine
+track identity, fixing pid-reuse collisions in merged multi-host
+traces), ``trace`` (the fleet-wide trace id propagated through the
+``X-Repro-Trace`` header, ``null`` for purely local runs) and
+``remote_parent`` (the span id *in the originating process* that a
+top-level span parents into across the wire, ``null`` otherwise) —
+all defaulting to ``null`` so single-process traces are unchanged
+apart from the version stamp.
 
 Mixed-version files: a file whose records disagree on ``"v"`` (e.g. a
 resumed run written by newer code appending to an old file) is refused
@@ -68,7 +77,7 @@ from pathlib import Path
 from typing import IO, Any, Iterator, Mapping
 
 #: Bump when a field is added, removed or changes meaning.
-TRACE_SCHEMA_VERSION = 6
+TRACE_SCHEMA_VERSION = 7
 
 #: Fields guaranteed on every ``event == "step"`` line (schema v1).
 STEP_TRACE_FIELDS: tuple[str, ...] = (
@@ -226,12 +235,17 @@ DEGRADE_TRACE_FIELDS: tuple[str, ...] = (
 #: cross-process time base, see :mod:`repro.obs.spans`), a per-process
 #: span ``id`` with the enclosing span's id as ``parent`` (``null`` at
 #: top level), the step/config/fidelity it belongs to when applicable,
-#: and a free-form ``args`` mapping.
+#: and a free-form ``args`` mapping.  v7 adds ``host`` (recording
+#: machine — ``(host, pid, tid)`` is the merged-trace track identity),
+#: ``trace`` (propagated fleet trace id, ``null`` locally) and
+#: ``remote_parent`` (the originating process's span id a top-level
+#: span parents into across the wire, ``null`` otherwise).
 SPAN_TRACE_FIELDS: tuple[str, ...] = (
     "v",
     "event",
     "name",
     "cat",
+    "host",
     "pid",
     "tid",
     "tname",
@@ -239,6 +253,8 @@ SPAN_TRACE_FIELDS: tuple[str, ...] = (
     "dur_s",
     "id",
     "parent",
+    "trace",
+    "remote_parent",
     "step",
     "config_index",
     "fidelity",
@@ -346,6 +362,11 @@ _UPGRADE_DEFAULTS: dict[str, dict[str, Any]] = {
     },
     "job": {"t_start": None},  # added in v5
     "proposal": {"eta_s": None, "target": None},  # added in v6
+    "span": {  # host/trace/remote_parent added in v7
+        "host": None,
+        "trace": None,
+        "remote_parent": None,
+    },
 }
 
 

@@ -330,7 +330,7 @@ class TestTrace:
         records = read_trace(trace_path)
 
         start = next(r for r in records if r["event"] == "run_start")
-        assert start["v"] == TRACE_SCHEMA_VERSION == 6
+        assert start["v"] == TRACE_SCHEMA_VERSION == 7
         assert start["async_engine"] is True
         assert start["eval_workers"] == 2
 

@@ -553,7 +553,7 @@ class TestTraceSchemaV3:
                 tracer=tracer,
             ).run()
         (start,) = read_trace(path, "run_start")
-        assert start["v"] == TRACE_SCHEMA_VERSION == 6
+        assert start["v"] == TRACE_SCHEMA_VERSION == 7
         assert start["batch_size"] == 2 and start["eval_workers"] == 1
 
         proposals = read_trace(path, "proposal")
